@@ -1,0 +1,63 @@
+// Command nescbench regenerates the tables and figures of the NeSC paper
+// (MICRO 2016) from the simulated platform, plus the ablations documented in
+// DESIGN.md.
+//
+// Usage:
+//
+//	nescbench -list
+//	nescbench -exp fig9
+//	nescbench -exp all [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nesc/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (see -list), or 'all'")
+	list := flag.Bool("list", false, "list available experiments")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-12s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+
+	cfg := bench.DefaultConfig()
+	var exps []bench.Experiment
+	if *exp == "all" {
+		exps = bench.All()
+	} else {
+		e, err := bench.ByName(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		exps = []bench.Experiment{e}
+	}
+
+	for _, e := range exps {
+		start := time.Now()
+		tables, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			if *csv {
+				fmt.Print(t.CSV())
+			} else {
+				fmt.Println(t.String())
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+	}
+}

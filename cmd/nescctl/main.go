@@ -1,0 +1,141 @@
+// Command nescctl is a management-plane walkthrough of the simulated NeSC
+// platform: it plays the role of a cloud operator's control tool, showing
+// every step of the paper's operational flow (§IV-C) with live device
+// introspection — image creation, VF export with permission checks, guest
+// I/O, lazy allocation, extent-tree pruning, BTLB behaviour, and teardown.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+
+	"nesc"
+)
+
+func main() {
+	mediumMB := flag.Int("medium-mb", 128, "storage medium size in MiB")
+	tenants := flag.Int("tenants", 3, "number of tenant VMs to demo")
+	imageMB := flag.Int("image-mb", 8, "per-tenant image size in MiB")
+	traceN := flag.Int("trace", 0, "dump the last N device events at the end")
+	flag.Parse()
+
+	sim := nesc.New(nesc.Config{MediumMB: *mediumMB, TraceEvents: *traceN})
+	step := 0
+	say := func(format string, args ...any) {
+		step++
+		fmt.Printf("[%02d] ", step)
+		fmt.Printf(format+"\n", args...)
+	}
+
+	err := sim.Run(func(ctx *nesc.Ctx) error {
+		say("booted: host filesystem formatted on the NeSC physical function")
+
+		type tenant struct {
+			uid  uint32
+			path string
+			vm   *nesc.VM
+		}
+		var ts []*tenant
+		for i := 0; i < *tenants; i++ {
+			t := &tenant{uid: uint32(1000 + i), path: fmt.Sprintf("/images/tenant%d.img", i)}
+			if i == 0 {
+				if err := ctx.HostMkdir("/images", 0); err != nil {
+					return err
+				}
+			}
+			if err := ctx.CreateImage(t.path, t.uid, int64(*imageMB)<<20, false); err != nil {
+				return err
+			}
+			st, err := ctx.StatHost(t.path)
+			if err != nil {
+				return err
+			}
+			say("created %s: %d MB, uid %d, %d extents", t.path, st.Size>>20, st.UID, st.Extents)
+			ts = append(ts, t)
+		}
+
+		// Permission gate.
+		if _, err := ctx.StartVM("intruder", nesc.BackendNeSC, ts[0].path, 9999); err != nil {
+			say("VF export for uid 9999 on %s denied: %v", ts[0].path, err)
+		} else {
+			return fmt.Errorf("permission gate failed")
+		}
+
+		for i, t := range ts {
+			vm, err := ctx.StartVM(fmt.Sprintf("vm%d", i), nesc.BackendNeSC, t.path, t.uid)
+			if err != nil {
+				return err
+			}
+			t.vm = vm
+			say("vm%d attached: VF %d, %d MB virtual disk", i, vm.VFIndex(), vm.DiskSize()>>20)
+		}
+
+		// Guest I/O with verification.
+		for i, t := range ts {
+			pattern := bytes.Repeat([]byte{byte(0xC0 + i)}, 128<<10)
+			for off := int64(0); off < 1<<20; off += int64(len(pattern)) {
+				if err := t.vm.WriteAt(ctx, pattern, off); err != nil {
+					return err
+				}
+			}
+			got := make([]byte, len(pattern))
+			if err := t.vm.ReadAt(ctx, got, 0); err != nil {
+				return err
+			}
+			if !bytes.Equal(got, pattern) {
+				return fmt.Errorf("vm%d data mismatch", i)
+			}
+		}
+		st := sim.Stats()
+		say("each VM wrote 1 MB and verified it; BTLB hit rate %.2f, %d miss interrupts",
+			st.BTLBHitRate, st.MissInterrupts)
+
+		// Lazy allocation on a sparse image.
+		if err := ctx.CreateImage("/images/sparse.img", ts[0].uid, 4<<20, true); err != nil {
+			return err
+		}
+		sparseVM, err := ctx.StartVM("sparse", nesc.BackendNeSC, "/images/sparse.img", ts[0].uid)
+		if err != nil {
+			return err
+		}
+		if err := sparseVM.WriteAt(ctx, []byte("first touch"), 2<<20); err != nil {
+			return err
+		}
+		say("sparse image: first-touch write allocated blocks via %d miss interrupt(s)",
+			sim.Stats().MissInterrupts-st.MissInterrupts)
+
+		// Memory pressure: prune extent trees; reads regenerate on demand.
+		freed := ctx.PruneExtentTrees(1 << 20)
+		probe := make([]byte, 4096)
+		if err := ts[0].vm.ReadAt(ctx, probe, 512<<10); err != nil {
+			return err
+		}
+		say("pruned %d tree nodes under memory pressure; a later read regenerated mappings transparently", freed)
+
+		// BTLB flush (e.g. before host-side dedup).
+		ctx.FlushBTLB()
+		say("BTLB flushed (host-side block optimization barrier)")
+
+		// Teardown.
+		for i, t := range ts {
+			t.vm.Stop(ctx)
+			say("vm%d stopped; VF released", i)
+		}
+		if err := ctx.CheckHostFS(); err != nil {
+			return err
+		}
+		say("host filesystem fsck: clean; virtual time %v", ctx.Now())
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	final := sim.Stats()
+	fmt.Printf("\nfinal device counters: %d tree-node DMA fetches, %d/%d MB medium read/write, %d MSIs serviced\n",
+		final.WalkNodeReads, final.MediumReadBytes>>20, final.MediumWriteBytes>>20, final.MissInterrupts)
+	if *traceN > 0 {
+		fmt.Printf("\nlast device events:\n%s", sim.TraceDump())
+	}
+}

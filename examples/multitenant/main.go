@@ -1,0 +1,110 @@
+// Multitenant: several tenant VMs share one NeSC device concurrently. The
+// example demonstrates the paper's core claims: per-file isolation enforced
+// by the hardware extent trees (a tenant can only reach its own file's
+// blocks, and cannot even create a VF for a foreign file), and round-robin
+// multiplexing keeping service fair under contention.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"nesc"
+)
+
+func main() {
+	sim := nesc.New(nesc.Config{MediumMB: 128})
+	err := sim.Run(func(ctx *nesc.Ctx) error {
+		const tenants = 4
+		type tenant struct {
+			uid  uint32
+			path string
+			vm   *nesc.VM
+		}
+		var ts []*tenant
+		for i := 0; i < tenants; i++ {
+			t := &tenant{
+				uid:  uint32(100 + i),
+				path: fmt.Sprintf("/tenant%d.img", i),
+			}
+			if err := ctx.CreateImage(t.path, t.uid, 8<<20, false); err != nil {
+				return err
+			}
+			vm, err := ctx.StartVM(fmt.Sprintf("vm%d", i), nesc.BackendNeSC, t.path, t.uid)
+			if err != nil {
+				return err
+			}
+			t.vm = vm
+			ts = append(ts, t)
+			fmt.Printf("tenant %d: %s -> VF %d\n", t.uid, t.path, vm.VFIndex())
+		}
+
+		// Isolation at the control plane: tenant 0 cannot map tenant 1's
+		// image.
+		if _, err := ctx.StartVM("intruder", nesc.BackendNeSC, ts[1].path, ts[0].uid); err != nil {
+			fmt.Printf("control-plane isolation: VF creation for a foreign file denied (%v)\n", err)
+		} else {
+			return fmt.Errorf("isolation failure: foreign VF created")
+		}
+
+		// Concurrent load: every tenant writes its own pattern, then reads
+		// it back while the others hammer the device.
+		var tasks []*nesc.Task
+		done := make([]time.Duration, tenants)
+		for i, t := range ts {
+			i, t := i, t
+			tasks = append(tasks, ctx.Go(t.path, func(tc *nesc.Ctx) error {
+				start := tc.Now()
+				pattern := bytes.Repeat([]byte{byte(0x10 + i)}, 256<<10)
+				for off := int64(0); off < 4<<20; off += int64(len(pattern)) {
+					if err := t.vm.WriteAt(tc, pattern, off); err != nil {
+						return err
+					}
+				}
+				got := make([]byte, len(pattern))
+				for off := int64(0); off < 4<<20; off += int64(len(pattern)) {
+					if err := t.vm.ReadAt(tc, got, off); err != nil {
+						return err
+					}
+					if !bytes.Equal(got, pattern) {
+						return fmt.Errorf("tenant %d: data corrupted at %d", i, off)
+					}
+				}
+				done[i] = tc.Now() - start
+				return nil
+			}))
+		}
+		for _, task := range tasks {
+			if err := task.Wait(ctx); err != nil {
+				return err
+			}
+		}
+		fmt.Println("data-plane isolation: every tenant read back exactly its own pattern")
+		minD, maxD := done[0], done[0]
+		for _, d := range done {
+			if d < minD {
+				minD = d
+			}
+			if d > maxD {
+				maxD = d
+			}
+		}
+		fmt.Printf("round-robin fairness: per-tenant runtime %v .. %v (max/min %.2f)\n",
+			minD, maxD, float64(maxD)/float64(minD))
+
+		// Host filesystem is still consistent after all of it.
+		if err := ctx.CheckHostFS(); err != nil {
+			return err
+		}
+		fmt.Println("host filesystem check: clean")
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := sim.Stats()
+	fmt.Printf("device: %.0f%% BTLB hit rate, %d MB written to the medium\n",
+		st.BTLBHitRate*100, st.MediumWriteBytes>>20)
+}

@@ -1,0 +1,66 @@
+// Quickstart: boot the simulated NeSC platform, export a host file as a
+// virtual function, attach a VM to it, and do real I/O — the minimal
+// end-to-end flow of the paper's Figure 3.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"nesc"
+)
+
+func main() {
+	sim := nesc.New(nesc.DefaultConfig())
+	err := sim.Run(func(ctx *nesc.Ctx) error {
+		// The hypervisor creates a tenant disk image on its own filesystem
+		// (which lives on the NeSC physical function).
+		const tenant = 100
+		if err := ctx.CreateImage("/tenant.img", tenant, 16<<20, false); err != nil {
+			return err
+		}
+
+		// Exporting the file as a VF checks the tenant's permissions,
+		// translates the file's extent map into a device extent tree, and
+		// directly assigns the VF to the new VM — no hypervisor on the data
+		// path from here on.
+		vm, err := ctx.StartVM("tenant-vm", nesc.BackendNeSC, "/tenant.img", tenant)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("VM %q attached to VF %d, virtual disk %d MB\n",
+			vm.Name(), vm.VFIndex(), vm.DiskSize()>>20)
+
+		// Guest I/O: the device translates vLBAs through the extent tree
+		// and moves the bytes to the mapped physical blocks.
+		msg := []byte("hello from a self-virtualizing storage controller")
+		if err := vm.WriteAt(ctx, msg, 4096); err != nil {
+			return err
+		}
+		got := make([]byte, len(msg))
+		if err := vm.ReadAt(ctx, got, 4096); err != nil {
+			return err
+		}
+		if !bytes.Equal(got, msg) {
+			return fmt.Errorf("round trip mismatch")
+		}
+		fmt.Printf("guest read back: %q\n", got)
+
+		// The hypervisor sees the same bytes through its filesystem —
+		// it is the same physical storage, protected by the extent tree.
+		host := make([]byte, len(msg))
+		if _, err := ctx.ReadHostFile("/tenant.img", host, 4096); err != nil {
+			return err
+		}
+		fmt.Printf("host reads the same file: %q\n", host)
+		fmt.Printf("virtual time elapsed: %v\n", ctx.Now())
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := sim.Stats()
+	fmt.Printf("device stats: BTLB hit rate %.2f, %d tree-node fetches, %d medium bytes written\n",
+		st.BTLBHitRate, st.WalkNodeReads, st.MediumWriteBytes)
+}

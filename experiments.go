@@ -1,0 +1,43 @@
+package nesc
+
+import (
+	"strings"
+
+	"nesc/internal/bench"
+)
+
+// ExperimentInfo describes one regenerable paper artifact or ablation.
+type ExperimentInfo struct {
+	Name  string
+	Title string
+}
+
+// Experiments lists every experiment the harness can regenerate: the
+// paper's Tables I–II and Figures 2, 9, 10, 11, 12, plus the ablations
+// documented in DESIGN.md.
+func Experiments() []ExperimentInfo {
+	var out []ExperimentInfo
+	for _, e := range bench.All() {
+		out = append(out, ExperimentInfo{Name: e.Name, Title: e.Title})
+	}
+	return out
+}
+
+// RunExperiment regenerates one experiment on the default calibrated
+// platform and returns its rendered tables.
+func RunExperiment(name string) (string, error) {
+	e, err := bench.ByName(name)
+	if err != nil {
+		return "", err
+	}
+	tables, err := e.Run(bench.DefaultConfig())
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, t := range tables {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}

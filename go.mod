@@ -1,0 +1,3 @@
+module nesc
+
+go 1.22

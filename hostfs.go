@@ -1,0 +1,133 @@
+package nesc
+
+import (
+	"errors"
+	"io"
+
+	"nesc/internal/extfs"
+)
+
+// Host filesystem operations: what a cloud operator does on the
+// hypervisor's own filesystem before exporting files to tenants.
+
+// CreateImage creates a disk-image file owned by uid. When sparse is false
+// the image is fully preallocated; a sparse image allocates on first write
+// through NeSC's lazy-allocation miss path.
+func (c *Ctx) CreateImage(path string, uid uint32, sizeBytes int64, sparse bool) error {
+	fs := c.s.pl.Hyp.HostFS
+	f, err := fs.Create(c.proc, path, uid, 0o600)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(c.proc, uint64(sizeBytes)); err != nil {
+		return err
+	}
+	if sparse {
+		return nil
+	}
+	bs := uint64(c.s.pl.Cfg.Core.BlockSize)
+	return fs.AllocateRange(c.proc, path, 0, (uint64(sizeBytes)+bs-1)/bs)
+}
+
+// WriteHostFile writes data at off into an existing host file (as root),
+// creating it if absent.
+func (c *Ctx) WriteHostFile(path string, data []byte, off int64) error {
+	fs := c.s.pl.Hyp.HostFS
+	f, err := fs.Open(c.proc, path, 0, extfs.PermRead|extfs.PermWrite)
+	if errors.Is(err, extfs.ErrNotExist) {
+		f, err = fs.Create(c.proc, path, 0, 0o644)
+	}
+	if err != nil {
+		return err
+	}
+	_, err = f.WriteAt(c.proc, data, off)
+	return err
+}
+
+// ReadHostFile reads len(p) bytes at off from a host file (as root),
+// returning the bytes read.
+func (c *Ctx) ReadHostFile(path string, p []byte, off int64) (int, error) {
+	f, err := c.s.pl.Hyp.HostFS.Open(c.proc, path, 0, extfs.PermRead)
+	if err != nil {
+		return 0, err
+	}
+	n, err := f.ReadAt(c.proc, p, off)
+	if err == io.EOF {
+		err = nil
+	}
+	return n, err
+}
+
+// HostMkdir creates a world-writable directory on the host filesystem (a
+// shared image spool; per-tenant isolation comes from the image files' own
+// 0600 modes).
+func (c *Ctx) HostMkdir(path string, uid uint32) error {
+	return c.s.pl.Hyp.HostFS.Mkdir(c.proc, path, uid, 0o777)
+}
+
+// HostRemove unlinks a host file (as root).
+func (c *Ctx) HostRemove(path string) error {
+	return c.s.pl.Hyp.HostFS.Remove(c.proc, path, 0)
+}
+
+// HostList lists a host directory.
+func (c *Ctx) HostList(dir string) ([]string, error) {
+	ents, err := c.s.pl.Hyp.HostFS.ReadDir(c.proc, dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(ents))
+	for i, e := range ents {
+		names[i] = e.Name
+	}
+	return names, nil
+}
+
+// HostStat describes a host file.
+type HostStat struct {
+	Size    int64
+	UID     uint32
+	Mode    uint16
+	IsDir   bool
+	Extents int
+}
+
+// StatHost stats a host path.
+func (c *Ctx) StatHost(path string) (HostStat, error) {
+	info, err := c.s.pl.Hyp.HostFS.Stat(c.proc, path, 0)
+	if err != nil {
+		return HostStat{}, err
+	}
+	return HostStat{
+		Size:    int64(info.Size),
+		UID:     info.UID,
+		Mode:    info.Mode & 0o777,
+		IsDir:   info.IsDir(),
+		Extents: info.Extents,
+	}, nil
+}
+
+// CheckHostFS runs the host filesystem's consistency check (fsck).
+func (c *Ctx) CheckHostFS() error { return c.s.pl.Hyp.HostFS.Check(c.proc) }
+
+// PruneExtentTrees reclaims host memory by pruning up to maxNodes nodes per
+// VF extent tree; the device regenerates pruned mappings on demand through
+// miss interrupts.
+func (c *Ctx) PruneExtentTrees(maxNodes int) int {
+	return c.s.pl.Hyp.PruneVFTrees(maxNodes)
+}
+
+// FlushBTLB invalidates the device's translation cache, as required around
+// host-side block remapping (e.g. deduplication).
+func (c *Ctx) FlushBTLB() { c.s.pl.Hyp.FlushBTLB(c.proc) }
+
+// MigrateImage relocates the physical blocks behind a VM's disk image (a
+// stand-in for host-side deduplication or defragmentation), rebuilds the
+// device extent tree, and flushes the BTLB — the full §V-B flow. The VM
+// keeps running; its next accesses translate through the new mapping.
+func (c *Ctx) MigrateImage(vm *VM) error {
+	if vm.vm.VFIdx < 0 {
+		return c.s.pl.Hyp.HostFS.Migrate(c.proc, "") // will fail with not-exist
+	}
+	return c.s.pl.Hyp.MigrateVFFile(c.proc, vm.vm.VFIdx, true)
+}

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"nesc/internal/stats"
+)
+
+// Experiment is one regenerable paper artifact (or ablation).
+type Experiment struct {
+	Name  string
+	Title string
+	Run   func(cfg Config) ([]*stats.Table, error)
+}
+
+var registry = []Experiment{
+	{"table1", "Table I: experimental platform", Table1},
+	{"table2", "Table II: benchmarks", Table2},
+	{"fig2", "Figure 2: direct-assignment speedup over virtio vs device bandwidth", Fig2},
+	{"fig9", "Figure 9: raw access latency vs block size", Fig9},
+	{"fig10", "Figure 10: raw bandwidth vs block size (+ convergence)", Fig10},
+	{"fig11", "Figure 11: filesystem overheads on write latency", Fig11},
+	{"fig12", "Figure 12: application speedups (OLTP, Postmark, SysBench)", Fig12},
+	{"btlb", "Ablation: BTLB size", AblationBTLB},
+	{"walkoverlap", "Ablation: overlapped tree walks", AblationWalkOverlap},
+	{"trampoline", "Ablation: trampoline buffers vs IOMMU DMA", AblationTrampoline},
+	{"prune", "Ablation: extent-tree pruning and regeneration", AblationPrune},
+	{"fairness", "Ablation: round-robin fairness across VFs", AblationFairness},
+	{"qos", "Ablation: QoS weights across competing VFs", AblationQoS},
+	{"oob", "Ablation: PF out-of-band channel under VF load", AblationOOB},
+	{"lazyalloc", "Ablation: lazy allocation (write-miss) cost", AblationLazyAlloc},
+	{"breakdown", "Analysis: latency breakdown inside the NeSC pipeline", Breakdown},
+	{"qdepth", "Analysis: queue-depth scaling, NeSC vs virtio", QDepth},
+}
+
+// All lists every registered experiment.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	return out
+}
+
+// Names lists experiment names in registry order.
+func Names() []string {
+	var ns []string
+	for _, e := range registry {
+		ns = append(ns, e.Name)
+	}
+	return ns
+}
+
+// ByName finds an experiment.
+func ByName(name string) (Experiment, error) {
+	for _, e := range registry {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	known := Names()
+	sort.Strings(known)
+	return Experiment{}, fmt.Errorf("bench: no experiment %q (known: %v)", name, known)
+}

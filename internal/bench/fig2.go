@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"fmt"
+
+	"nesc/internal/hypervisor"
+	"nesc/internal/sim"
+	"nesc/internal/stats"
+	"nesc/internal/workload"
+)
+
+// Figure 2 (paper §II): the motivating experiment — the write-bandwidth
+// speedup of direct device assignment over virtio as a function of device
+// bandwidth. The paper emulates fast storage by throttling an in-memory disk
+// (whose effective bandwidth "peaks at 3.6 GB/s due to the overheads of the
+// software layers") and observes direct assignment roughly doubling
+// virtio's bandwidth for multi-GB/s devices.
+
+// Fig2Bandwidths is the device-bandwidth sweep, in MB/s.
+var Fig2Bandwidths = []float64{100, 200, 400, 800, 1200, 1600, 2000, 2400, 2800, 3200, 3600}
+
+// Fig2 regenerates the figure.
+func Fig2(cfg Config) ([]*stats.Table, error) {
+	speed := stats.NewTable("Figure 2: direct assignment speedup over virtio vs device bandwidth",
+		"device MB/s", "x", "Speedup")
+	abs := stats.NewTable("Figure 2 (underlying data): achieved write bandwidth",
+		"device MB/s", "MB/s", "Direct", "virtio")
+
+	// The throttled device in this experiment is a ramdisk, not the 1 GB/s
+	// PCIe prototype: remove the gen2 link and the prototype controller's
+	// channel count as bottlenecks so the sweep isolates the software
+	// overheads, as the paper's setup does.
+	cfg.PCIe.LinkBandwidth = 16e9
+	cfg.Medium.ReadLatency = 150 * sim.Nanosecond
+	cfg.Medium.WriteLatency = 150 * sim.Nanosecond
+	cfg.Core.DTUChannels = 16
+	cfg.Core.Walkers = 4
+
+	const ddBlock = 256 << 10
+	const ddTotalBytes = 8 << 20
+
+	for _, mbps := range Fig2Bandwidths {
+		bw := mbps * 1e6
+		row := fmt.Sprintf("%.0f", mbps)
+		var direct, vio float64
+		for _, kind := range []hypervisor.BackendKind{hypervisor.BackendDirect, hypervisor.BackendVirtio} {
+			kind := kind
+			c := cfg
+			c.Medium.ReadBandwidth = bw
+			c.Medium.WriteBandwidth = bw
+			pl := NewPlatform(c)
+			var got float64
+			err := pl.Run(func(p *sim.Proc) error {
+				if err := pl.Boot(p); err != nil {
+					return err
+				}
+				vm, err := pl.Hyp.NewVM(p, "fig2", hypervisor.VMConfig{
+					Backend: kind, RawDevice: true, Guest: pl.Cfg.Guest,
+				})
+				if err != nil {
+					return err
+				}
+				tgt := NewVMRawTarget(vm.Kernel)
+				if _, err := (workload.DD{BlockBytes: ddBlock, TotalBytes: ddBlock, Write: true}).Run(p, tgt); err != nil {
+					return err
+				}
+				res, err := (workload.DD{BlockBytes: ddBlock, TotalBytes: ddTotalBytes, Write: true}).Run(p, tgt)
+				if err != nil {
+					return err
+				}
+				got = res.BandwidthMBps()
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig2 %.0f MB/s %v: %w", mbps, kind, err)
+			}
+			if kind == hypervisor.BackendDirect {
+				direct = got
+			} else {
+				vio = got
+			}
+		}
+		abs.Set(row, "Direct", direct)
+		abs.Set(row, "virtio", vio)
+		if vio > 0 {
+			speed.Set(row, "Speedup", direct/vio)
+		}
+	}
+	speed.Note("direct assignment = identity-mapped NeSC VF (no hypervisor on the data path)")
+	speed.Note("the paper's ramdisk software cap (~3.6 GB/s) appears as Direct flattening at high device bandwidth")
+	return []*stats.Table{speed, abs}, nil
+}

@@ -1,0 +1,113 @@
+// Package bench is the experiment harness: it assembles complete simulated
+// platforms (host memory + PCIe fabric + medium + NeSC controller +
+// hypervisor) and regenerates every table and figure of the paper's
+// evaluation (§VI–VII), plus the ablations called out in DESIGN.md.
+package bench
+
+import (
+	"fmt"
+
+	"nesc/internal/blockdev"
+	"nesc/internal/core"
+	"nesc/internal/extfs"
+	"nesc/internal/guest"
+	"nesc/internal/hostmem"
+	"nesc/internal/hypervisor"
+	"nesc/internal/pcie"
+	"nesc/internal/sim"
+)
+
+// Config fully describes one simulated platform.
+type Config struct {
+	HostMemBytes int64
+	MediumBlocks int64
+	Core         core.Params
+	Medium       blockdev.MediumParams
+	PCIe         pcie.Params
+	Hyp          hypervisor.Params
+	Guest        guest.Params
+	HostFS       extfs.Params
+}
+
+// DefaultConfig is the calibrated model of the paper's platform (Table I):
+// a Xeon host, PCIe gen2 x8, the Virtex-7 NeSC prototype with 1 GB of
+// on-board DDR3, QEMU/KVM with 128 MB guests. The medium is sized down to
+// 128 MB so experiment suites stay fast; geometry-independent results are
+// unaffected.
+func DefaultConfig() Config {
+	return Config{
+		HostMemBytes: 512 << 20,
+		MediumBlocks: 128 * 1024, // 128 MB of 1 KB blocks
+		Core:         core.DefaultParams(),
+		Medium:       blockdev.DefaultMediumParams(),
+		PCIe:         pcie.DefaultParams(),
+		Hyp:          hypervisor.DefaultParams(),
+		Guest:        guest.DefaultParams(),
+		HostFS:       extfs.Params{InodeCount: 512, JournalBlocks: 256, Mode: extfs.JournalMetadata},
+	}
+}
+
+// Platform is one assembled world.
+type Platform struct {
+	Cfg Config
+	Eng *sim.Engine
+	Mem *hostmem.Memory
+	Fab *pcie.Fabric
+	Ctl *core.Controller
+	Hyp *hypervisor.Hypervisor
+}
+
+// NewPlatform assembles a platform from cfg. It panics on configuration
+// errors: the harness treats those as bugs, not runtime conditions.
+func NewPlatform(cfg Config) *Platform {
+	eng := sim.NewEngine()
+	mem := hostmem.New(cfg.HostMemBytes)
+	fab := pcie.New(eng, mem, cfg.PCIe)
+	store := blockdev.NewStore(cfg.Core.BlockSize, cfg.MediumBlocks)
+	medium := blockdev.NewMedium(eng, store, cfg.Medium)
+	ctl, err := core.New(eng, fab, medium, cfg.Core)
+	if err != nil {
+		panic(err)
+	}
+	h := hypervisor.New(eng, mem, fab, ctl, cfg.Hyp)
+	return &Platform{Cfg: cfg, Eng: eng, Mem: mem, Fab: fab, Ctl: ctl, Hyp: h}
+}
+
+// Run executes fn as the platform's initial host process, drives the
+// simulation to quiescence, and shuts the engine down. It returns an error
+// if fn blocked forever (a modeling deadlock).
+func (pl *Platform) Run(fn func(p *sim.Proc) error) error {
+	var ferr error
+	finished := false
+	pl.Eng.Go("bench-main", func(p *sim.Proc) {
+		ferr = fn(p)
+		finished = true
+	})
+	pl.Eng.Run()
+	pl.Eng.Shutdown()
+	if !finished {
+		return fmt.Errorf("bench: platform main process deadlocked")
+	}
+	return ferr
+}
+
+// Boot formats the host filesystem on the physical function.
+func (pl *Platform) Boot(p *sim.Proc) error {
+	return pl.Hyp.Boot(p, true, pl.Cfg.HostFS)
+}
+
+// MkImage creates a disk image on the host filesystem, preallocated unless
+// sparse is set.
+func (pl *Platform) MkImage(p *sim.Proc, path string, uid uint32, blocks uint64, sparse bool) error {
+	f, err := pl.Hyp.HostFS.Create(p, path, uid, 0o600)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(p, blocks*uint64(pl.Cfg.Core.BlockSize)); err != nil {
+		return err
+	}
+	if sparse {
+		return nil
+	}
+	return pl.Hyp.HostFS.AllocateRange(p, path, 0, blocks)
+}

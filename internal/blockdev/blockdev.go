@@ -1,0 +1,207 @@
+// Package blockdev models the storage medium behind the NeSC controller.
+//
+// The paper's prototype backs the controller with 1 GB of on-board DDR3 and
+// explicitly does "not emulate a specific access latency technology" — the
+// medium is a raw logical-block-address space with a latency and a bandwidth.
+// We split the model in two:
+//
+//   - Store: the functional content (bytes per LBA), synchronous and
+//     timeless, shared by the device pipeline and by white-box tests.
+//   - Medium: the timed access port, with per-operation latency and
+//     direction-specific bandwidth serialization. The Figure-2 experiment
+//     sweeps the bandwidth of a Medium to emulate storage devices of
+//     different speeds, just as the paper throttles an in-memory disk.
+package blockdev
+
+import (
+	"fmt"
+
+	"nesc/internal/sim"
+)
+
+// Store is the functional block space: numBlocks blocks of blockSize bytes.
+type Store struct {
+	blockSize int
+	numBlocks int64
+	data      []byte
+}
+
+// NewStore allocates a zeroed block space.
+func NewStore(blockSize int, numBlocks int64) *Store {
+	if blockSize <= 0 || numBlocks <= 0 {
+		panic("blockdev: invalid geometry")
+	}
+	return &Store{
+		blockSize: blockSize,
+		numBlocks: numBlocks,
+		data:      make([]byte, int64(blockSize)*numBlocks),
+	}
+}
+
+// BlockSize reports the block size in bytes.
+func (s *Store) BlockSize() int { return s.blockSize }
+
+// NumBlocks reports the number of addressable blocks.
+func (s *Store) NumBlocks() int64 { return s.numBlocks }
+
+func (s *Store) checkRange(lba int64, n int) error {
+	if n%s.blockSize != 0 {
+		return fmt.Errorf("blockdev: buffer of %d bytes not a multiple of block size %d", n, s.blockSize)
+	}
+	blocks := int64(n / s.blockSize)
+	if lba < 0 || lba+blocks > s.numBlocks {
+		return fmt.Errorf("blockdev: access [%d, %d) outside device of %d blocks", lba, lba+blocks, s.numBlocks)
+	}
+	return nil
+}
+
+// ReadBlocks copies whole blocks starting at lba into p (whose length must
+// be a block multiple).
+func (s *Store) ReadBlocks(lba int64, p []byte) error {
+	if err := s.checkRange(lba, len(p)); err != nil {
+		return err
+	}
+	copy(p, s.data[lba*int64(s.blockSize):])
+	return nil
+}
+
+// WriteBlocks copies whole blocks from p to the store starting at lba.
+func (s *Store) WriteBlocks(lba int64, p []byte) error {
+	if err := s.checkRange(lba, len(p)); err != nil {
+		return err
+	}
+	copy(s.data[lba*int64(s.blockSize):], p)
+	return nil
+}
+
+// Slice exposes the live bytes of a block range for zero-copy device paths.
+func (s *Store) Slice(lba int64, nBlocks int64) ([]byte, error) {
+	if lba < 0 || nBlocks < 0 || lba+nBlocks > s.numBlocks {
+		return nil, fmt.Errorf("blockdev: slice [%d,%d) outside device", lba, lba+nBlocks)
+	}
+	off := lba * int64(s.blockSize)
+	return s.data[off : off+nBlocks*int64(s.blockSize)], nil
+}
+
+// MediumParams sets the timing of the access port.
+type MediumParams struct {
+	// ReadLatency / WriteLatency are fixed per-operation costs (command
+	// decode, row activation, ...).
+	ReadLatency  sim.Time
+	WriteLatency sim.Time
+	// ReadBandwidth / WriteBandwidth serialize data movement, bytes/second.
+	ReadBandwidth  float64
+	WriteBandwidth float64
+}
+
+// DefaultMediumParams matches the prototype's on-board DDR3 port: the medium
+// slightly out-runs the controller so the PCIe/controller path, not the
+// medium, sets the ~800 MB/s read and ~1 GB/s write peaks.
+func DefaultMediumParams() MediumParams {
+	return MediumParams{
+		ReadLatency:    300 * sim.Nanosecond,
+		WriteLatency:   200 * sim.Nanosecond,
+		ReadBandwidth:  1.0e9,
+		WriteBandwidth: 1.4e9,
+	}
+}
+
+// Medium is the timed access port to a Store.
+type Medium struct {
+	store     *Store
+	readPort  *sim.Link
+	writePort *sim.Link
+	params    MediumParams
+
+	// Reads/Writes count operations; ReadBytes/WriteBytes count payloads.
+	Reads, Writes         int64
+	ReadBytes, WriteBytes int64
+}
+
+// NewMedium wraps store with a timed port on engine eng.
+func NewMedium(eng *sim.Engine, store *Store, p MediumParams) *Medium {
+	return &Medium{
+		store:     store,
+		readPort:  sim.NewLink(eng, p.ReadBandwidth, p.ReadLatency, 0),
+		writePort: sim.NewLink(eng, p.WriteBandwidth, p.WriteLatency, 0),
+		params:    p,
+	}
+}
+
+// Store returns the functional content behind the port.
+func (m *Medium) Store() *Store { return m.store }
+
+// Params returns the current timing parameters.
+func (m *Medium) Params() MediumParams { return m.params }
+
+// SetBandwidth reconfigures both directions (the Figure-2 throttle sweep).
+func (m *Medium) SetBandwidth(read, write float64) {
+	m.params.ReadBandwidth = read
+	m.params.WriteBandwidth = write
+	m.readPort.SetBandwidth(read)
+	m.writePort.SetBandwidth(write)
+}
+
+// Read fetches len(p) bytes (a whole number of blocks) starting at lba and
+// invokes done when the data has left the medium. The copy into p happens at
+// completion time.
+func (m *Medium) Read(lba int64, p []byte, done func()) error {
+	if err := m.store.checkRange(lba, len(p)); err != nil {
+		return err
+	}
+	m.Reads++
+	m.ReadBytes += int64(len(p))
+	m.readPort.Transfer(int64(len(p)), func() {
+		if err := m.store.ReadBlocks(lba, p); err != nil {
+			panic(err)
+		}
+		done()
+	})
+	return nil
+}
+
+// Write stores len(p) bytes (a whole number of blocks) at lba and invokes
+// done when the medium has absorbed them. The data is snapshotted at
+// submission.
+func (m *Medium) Write(lba int64, p []byte, done func()) error {
+	if err := m.store.checkRange(lba, len(p)); err != nil {
+		return err
+	}
+	m.Writes++
+	m.WriteBytes += int64(len(p))
+	data := make([]byte, len(p))
+	copy(data, p)
+	m.writePort.Transfer(int64(len(p)), func() {
+		if err := m.store.WriteBlocks(lba, data); err != nil {
+			panic(err)
+		}
+		done()
+	})
+	return nil
+}
+
+// ReadP and WriteP are process-style forms.
+
+// ReadP performs Read and blocks the process until completion.
+func (m *Medium) ReadP(p *sim.Proc, lba int64, buf []byte) error {
+	var err error
+	p.Wait(func(done func()) {
+		err = m.Read(lba, buf, done)
+		if err != nil {
+			done()
+		}
+	})
+	return err
+}
+
+// WriteP performs Write and blocks the process until completion.
+func (m *Medium) WriteP(p *sim.Proc, lba int64, buf []byte) error {
+	var err error
+	p.Wait(func(done func()) {
+		err = m.Write(lba, buf, done)
+		if err != nil {
+			done()
+		}
+	})
+	return err
+}

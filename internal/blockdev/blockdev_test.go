@@ -1,0 +1,216 @@
+package blockdev
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nesc/internal/sim"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	s := NewStore(1024, 16)
+	if s.BlockSize() != 1024 || s.NumBlocks() != 16 {
+		t.Fatalf("geometry %d/%d", s.BlockSize(), s.NumBlocks())
+	}
+	src := bytes.Repeat([]byte{0xab}, 2048)
+	if err := s.WriteBlocks(3, src); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 2048)
+	if err := s.ReadBlocks(3, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("round trip mismatch")
+	}
+	// Neighbors untouched.
+	one := make([]byte, 1024)
+	if err := s.ReadBlocks(2, one); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range one {
+		if b != 0 {
+			t.Fatal("write spilled into neighboring block")
+		}
+	}
+}
+
+func TestStoreValidation(t *testing.T) {
+	s := NewStore(512, 8)
+	if err := s.ReadBlocks(0, make([]byte, 100)); err == nil {
+		t.Fatal("non-block-multiple buffer accepted")
+	}
+	if err := s.ReadBlocks(7, make([]byte, 1024)); err == nil {
+		t.Fatal("read past end accepted")
+	}
+	if err := s.WriteBlocks(-1, make([]byte, 512)); err == nil {
+		t.Fatal("negative LBA accepted")
+	}
+	if _, err := s.Slice(6, 4); err == nil {
+		t.Fatal("oversized slice accepted")
+	}
+	sl, err := s.Slice(2, 2)
+	if err != nil || len(sl) != 1024 {
+		t.Fatalf("slice = %d bytes, %v", len(sl), err)
+	}
+}
+
+func TestStorePropertyRandomIO(t *testing.T) {
+	f := func(ops []struct {
+		LBA  uint8
+		Seed uint8
+	}) bool {
+		s := NewStore(64, 32)
+		shadow := make([]byte, 64*32)
+		for _, op := range ops {
+			lba := int64(op.LBA % 32)
+			blk := bytes.Repeat([]byte{op.Seed}, 64)
+			if err := s.WriteBlocks(lba, blk); err != nil {
+				return false
+			}
+			copy(shadow[lba*64:], blk)
+		}
+		got := make([]byte, 64*32)
+		if err := s.ReadBlocks(0, got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, shadow)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMediumTiming(t *testing.T) {
+	eng := sim.NewEngine()
+	s := NewStore(1024, 1024)
+	p := MediumParams{
+		ReadLatency:   sim.Microsecond,
+		WriteLatency:  sim.Microsecond,
+		ReadBandwidth: 1e9, WriteBandwidth: 1e9,
+	}
+	m := NewMedium(eng, s, p)
+	buf := make([]byte, 100*1024)
+	var doneAt sim.Time
+	if err := m.Read(0, buf, func() { doneAt = eng.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	// 100KB at 1GB/s = 102.4us + 1us latency.
+	want := sim.BytesTime(int64(len(buf)), 1e9) + sim.Microsecond
+	if doneAt != want {
+		t.Fatalf("read done at %v, want %v", doneAt, want)
+	}
+	if m.Reads != 1 || m.ReadBytes != int64(len(buf)) {
+		t.Fatalf("counters: %d ops, %d bytes", m.Reads, m.ReadBytes)
+	}
+}
+
+func TestMediumDataIntegrity(t *testing.T) {
+	eng := sim.NewEngine()
+	s := NewStore(512, 64)
+	m := NewMedium(eng, s, DefaultMediumParams())
+	rng := rand.New(rand.NewSource(1))
+	src := make([]byte, 4096)
+	rng.Read(src)
+	eng.Go("io", func(p *sim.Proc) {
+		if err := m.WriteP(p, 8, src); err != nil {
+			t.Error(err)
+		}
+		got := make([]byte, 4096)
+		if err := m.ReadP(p, 8, got); err != nil {
+			t.Error(err)
+		}
+		if !bytes.Equal(got, src) {
+			t.Error("medium round trip mismatch")
+		}
+	})
+	eng.Run()
+}
+
+func TestMediumWriteSnapshot(t *testing.T) {
+	eng := sim.NewEngine()
+	s := NewStore(512, 8)
+	m := NewMedium(eng, s, DefaultMediumParams())
+	buf := bytes.Repeat([]byte{7}, 512)
+	if err := m.Write(0, buf, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 99 // mutate after submission
+	eng.Run()
+	got := make([]byte, 512)
+	if err := s.ReadBlocks(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 7 {
+		t.Fatal("write observed post-submission mutation")
+	}
+}
+
+func TestMediumErrorsPropagate(t *testing.T) {
+	eng := sim.NewEngine()
+	s := NewStore(512, 8)
+	m := NewMedium(eng, s, DefaultMediumParams())
+	if err := m.Read(100, make([]byte, 512), func() {}); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+	eng.Go("io", func(p *sim.Proc) {
+		if err := m.ReadP(p, 100, make([]byte, 512)); err == nil {
+			t.Error("ReadP out-of-range accepted")
+		}
+	})
+	eng.Run()
+}
+
+func TestMediumThrottle(t *testing.T) {
+	// Halving bandwidth must roughly double streaming time — the Figure 2
+	// mechanism.
+	elapsed := func(bw float64) sim.Time {
+		eng := sim.NewEngine()
+		s := NewStore(1024, 4096)
+		m := NewMedium(eng, s, MediumParams{ReadBandwidth: bw, WriteBandwidth: bw})
+		buf := make([]byte, 1<<20)
+		var doneAt sim.Time
+		if err := m.Write(0, buf, func() { doneAt = eng.Now() }); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+		return doneAt
+	}
+	fast := elapsed(2e9)
+	slow := elapsed(1e9)
+	ratio := float64(slow) / float64(fast)
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Fatalf("throttle ratio = %.2f, want ~2", ratio)
+	}
+}
+
+func TestMediumSetBandwidth(t *testing.T) {
+	eng := sim.NewEngine()
+	s := NewStore(1024, 1024)
+	m := NewMedium(eng, s, DefaultMediumParams())
+	m.SetBandwidth(123e6, 456e6)
+	if m.Params().ReadBandwidth != 123e6 || m.Params().WriteBandwidth != 456e6 {
+		t.Fatalf("params not updated: %+v", m.Params())
+	}
+}
+
+func TestMediumConcurrentOpsSerialize(t *testing.T) {
+	eng := sim.NewEngine()
+	s := NewStore(1024, 1024)
+	m := NewMedium(eng, s, MediumParams{ReadBandwidth: 1e9, WriteBandwidth: 1e9})
+	var first, second sim.Time
+	buf := make([]byte, 100*1024)
+	if err := m.Read(0, buf, func() { first = eng.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Read(0, make([]byte, 100*1024), func() { second = eng.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if second < first*19/10 {
+		t.Fatalf("reads did not serialize: %v then %v", first, second)
+	}
+}

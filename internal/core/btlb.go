@@ -1,0 +1,72 @@
+package core
+
+import "nesc/internal/extent"
+
+// btlb is the block translation lookaside buffer (paper §V-B): a small
+// fully-associative cache of recently used extents with FIFO replacement.
+// With the paper's 8 entries it can hold "at least the last mapping for
+// each of the last 8 VFs it serviced". An entry caches a whole extent, so
+// one fill covers every block of the extent — the source of the high hit
+// rates on sequential workloads.
+type btlb struct {
+	entries []btlbEntry
+	next    int // FIFO replacement cursor
+}
+
+type btlbEntry struct {
+	valid bool
+	fnIdx int
+	run   extent.Run // vLBA range -> pLBA base
+}
+
+func newBTLB(n int) *btlb {
+	if n < 0 {
+		n = 0
+	}
+	return &btlb{entries: make([]btlbEntry, n)}
+}
+
+// lookup translates vlba for function fnIdx, reporting a miss when no valid
+// entry covers it.
+func (b *btlb) lookup(fnIdx int, vlba uint64) (uint64, bool) {
+	for i := range b.entries {
+		e := &b.entries[i]
+		if e.valid && e.fnIdx == fnIdx && vlba >= e.run.Logical && vlba < e.run.End() {
+			return e.run.Physical + (vlba - e.run.Logical), true
+		}
+	}
+	return 0, false
+}
+
+// insert caches an extent, evicting the oldest entry.
+func (b *btlb) insert(fnIdx int, run extent.Run) {
+	if len(b.entries) == 0 {
+		return
+	}
+	// Avoid duplicate entries for the same extent.
+	for i := range b.entries {
+		e := &b.entries[i]
+		if e.valid && e.fnIdx == fnIdx && e.run == run {
+			return
+		}
+	}
+	b.entries[b.next] = btlbEntry{valid: true, fnIdx: fnIdx, run: run}
+	b.next = (b.next + 1) % len(b.entries)
+}
+
+// flush invalidates everything (PF BTLBFlush register, used around host-side
+// block-level optimizations like deduplication).
+func (b *btlb) flush() {
+	for i := range b.entries {
+		b.entries[i].valid = false
+	}
+}
+
+// flushFn invalidates a single function's entries (VF teardown).
+func (b *btlb) flushFn(fnIdx int) {
+	for i := range b.entries {
+		if b.entries[i].fnIdx == fnIdx {
+			b.entries[i].valid = false
+		}
+	}
+}

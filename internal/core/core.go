@@ -1,0 +1,311 @@
+// Package core implements the NeSC controller — the paper's primary
+// contribution: a self-virtualizing, nested storage controller that exposes
+// a physical function (PF) to the hypervisor and up to 64 virtual functions
+// (VFs) to guests, translating each VF's virtual LBAs to physical LBAs in
+// hardware through per-VF extent trees resident in host memory.
+//
+// The microarchitecture follows the paper's Figures 6–8:
+//
+//	per-function register files and DMA request/completion rings
+//	  → per-VF request queues
+//	  → round-robin VF multiplexer (splits requests into 1 KB chunks)
+//	  → shared vLBA queue
+//	  → translation unit: 8-entry BTLB + block-walk unit that overlaps
+//	    two tree walks to hide host-memory DMA latency
+//	  → shared pLBA queue
+//	  → data-transfer unit (DMA engine channels) touching the medium
+//	PF requests use physical LBAs directly and bypass translation through
+//	the out-of-band (OOB) channel so a stalled VF walk never blocks the
+//	hypervisor (paper §V-A).
+//
+// Translation misses (lazy allocation, pruned subtrees) park the walk, latch
+// MissAddress/MissSize, and interrupt the hypervisor, which allocates
+// blocks, rebuilds the tree, and writes RewalkTree to release the walk —
+// the read/write flows of Figure 5.
+package core
+
+import (
+	"fmt"
+
+	"nesc/internal/blockdev"
+	"nesc/internal/extent"
+	"nesc/internal/pcie"
+	"nesc/internal/sim"
+	"nesc/internal/stats"
+	"nesc/internal/trace"
+)
+
+// Params configures the controller geometry and cost model.
+type Params struct {
+	// NumVFs is the maximum virtual function count (the prototype supports
+	// 64).
+	NumVFs int
+	// BlockSize is the translation granularity in bytes (the paper operates
+	// at 1 KB, "the smallest block size supported by ext4").
+	BlockSize int
+	// RingEntries is the request/completion ring depth per function.
+	RingEntries int
+	// BTLBEntries sizes the block translation lookaside buffer (8 in the
+	// paper: "a small cache of the last 8 extents used in translation").
+	BTLBEntries int
+	// Walkers is the number of concurrently overlapped tree walks (2 in the
+	// paper: "the unit can overlap two translation processes").
+	Walkers int
+	// DTUChannels is the number of outstanding data-transfer operations the
+	// DMA engine sustains.
+	DTUChannels int
+	// TreeFanout is the extent-tree node fanout the walker expects.
+	TreeFanout int
+
+	// Queue depths (backpressure points).
+	ReqQueueDepth  int
+	VLBAQueueDepth int
+	PLBAQueueDepth int
+
+	// Cost model.
+	DescriptorFetchTime sim.Time // decode cost per fetched descriptor
+	MuxChunkTime        sim.Time // per-chunk multiplexer occupancy
+	BTLBHitTime         sim.Time // BTLB lookup
+	WalkParseTime       sim.Time // node decode after its DMA arrives
+	DTUChunkOverhead    sim.Time // per-chunk scatter/gather handling
+
+	// CollectBreakdown enables per-chunk stage timing (the latency
+	// breakdown experiment); off by default to keep hot paths lean.
+	CollectBreakdown bool
+}
+
+// DefaultParams matches the paper's prototype.
+func DefaultParams() Params {
+	return Params{
+		NumVFs:              64,
+		BlockSize:           1024,
+		RingEntries:         256,
+		BTLBEntries:         8,
+		Walkers:             2,
+		DTUChannels:         4,
+		TreeFanout:          extent.DefaultFanout,
+		ReqQueueDepth:       64,
+		VLBAQueueDepth:      64,
+		PLBAQueueDepth:      64,
+		DescriptorFetchTime: 100 * sim.Nanosecond,
+		MuxChunkTime:        60 * sim.Nanosecond,
+		BTLBHitTime:         80 * sim.Nanosecond,
+		WalkParseTime:       150 * sim.Nanosecond,
+		DTUChunkOverhead:    220 * sim.Nanosecond,
+	}
+}
+
+// Operation codes in request descriptors.
+const (
+	OpRead  = 1
+	OpWrite = 2
+)
+
+// Completion status codes.
+const (
+	StatusOK         = 0
+	StatusOutOfRange = 1 // request exceeds the virtual device
+	StatusNoSpace    = 2 // hypervisor denied allocation (quota/space)
+	StatusDisabled   = 3 // function not enabled
+)
+
+// MSI vectors raised by the controller.
+const (
+	VecCompletion = 0 // request completion (raised from the owning function)
+	VecMiss       = 1 // translation miss (always raised from the PF)
+)
+
+// Request is one descriptor fetched from a function's request ring.
+type Request struct {
+	fn     *Function
+	Op     uint32
+	ID     uint32
+	LBA    uint64 // vLBA for VFs, pLBA for the PF
+	Count  uint32 // blocks
+	Buf    int64  // host memory address of the data buffer
+	status uint32
+	left   int // chunks outstanding
+}
+
+// chunk is the unit of translation and data transfer (one block).
+type chunk struct {
+	req  *Request
+	lba  uint64 // vLBA before translation, pLBA after
+	buf  int64
+	zero bool // hole read: DMA zeros, skip the medium
+
+	// Stage timestamps (only stamped when Params.CollectBreakdown).
+	tQueued   sim.Time // entered the vLBA queue
+	tTransIn  sim.Time // picked up by a walker
+	tTransOut sim.Time // translation done, entered the pLBA queue
+	tDTUIn    sim.Time // picked up by a DMA channel
+}
+
+// Controller is the NeSC device instance.
+type Controller struct {
+	Eng    *sim.Engine
+	Fab    *pcie.Fabric
+	Medium *blockdev.Medium
+	P      Params
+
+	pf  *Function
+	vfs []*Function
+
+	vlbaQ *sim.FIFO[*chunk]
+	// plbaQs holds translated chunks per VF; the data-transfer unit drains
+	// them with weighted (deficit round robin) scheduling — the QoS hook of
+	// paper §IV-D lives in the DMA engine.
+	plbaQs []*sim.FIFO[*chunk]
+	oobQ   *sim.FIFO[*chunk]
+	dtuW   *sim.Semaphore // counts items across plbaQs+oobQ
+	muxW   *sim.Semaphore // counts requests across all VF request queues
+	dtuRR  int            // DTU scheduling cursor
+
+	btlb *btlb
+
+	// Tracer, when non-nil, records device events (nil = zero cost).
+	Tracer *trace.Ring
+
+	barBase int64
+	sriov   pcie.SRIOVCap
+
+	// Stats.
+	BTLBStats     stats.Ratio
+	WalkNodeReads int64
+	Misses        int64
+	ChunksDone    int64
+	ReqsDone      int64
+
+	// Breakdown holds per-stage chunk latencies in microseconds (populated
+	// only when Params.CollectBreakdown is set).
+	Breakdown struct {
+		QueueWait stats.Sampler // vLBA queue residence
+		Translate stats.Sampler // BTLB lookup / tree walk
+		DTUWait   stats.Sampler // pLBA queue residence
+		Transfer  stats.Sampler // DMA channel service (medium + PCIe)
+	}
+}
+
+// New builds a controller on the fabric, registers its functions, and starts
+// its pipeline processes. The medium is the physical storage behind the PF's
+// LBA space.
+func New(eng *sim.Engine, fab *pcie.Fabric, medium *blockdev.Medium, p Params) (*Controller, error) {
+	if p.BlockSize != medium.Store().BlockSize() {
+		return nil, fmt.Errorf("core: controller block size %d != medium block size %d", p.BlockSize, medium.Store().BlockSize())
+	}
+	c := &Controller{
+		Eng:    eng,
+		Fab:    fab,
+		Medium: medium,
+		P:      p,
+		vlbaQ:  sim.NewFIFO[*chunk](eng, p.VLBAQueueDepth),
+		oobQ:   sim.NewFIFO[*chunk](eng, 0),
+		dtuW:   sim.NewSemaphore(eng, 0),
+		muxW:   sim.NewSemaphore(eng, 0),
+		btlb:   newBTLB(p.BTLBEntries),
+		sriov:  pcie.SRIOVCap{TotalVFs: p.NumVFs},
+	}
+	for i := 0; i < p.NumVFs; i++ {
+		c.plbaQs = append(c.plbaQs, sim.NewFIFO[*chunk](eng, p.PLBAQueueDepth))
+	}
+	c.pf = c.newFunction(0, fab.RegisterFunction("nesc-pf"))
+	c.pf.enabled = true
+	c.pf.sizeBlocks = uint64(medium.Store().NumBlocks())
+	for i := 1; i <= p.NumVFs; i++ {
+		c.vfs = append(c.vfs, c.newFunction(i, fab.RegisterFunction(fmt.Sprintf("nesc-vf%d", i-1))))
+	}
+	c.barBase = fab.MapBAR(c, c.BARSize())
+
+	// Pipeline processes.
+	eng.Go("nesc-mux", c.muxLoop)
+	for w := 0; w < p.Walkers; w++ {
+		eng.Go(fmt.Sprintf("nesc-walker%d", w), c.walkerLoop)
+	}
+	for d := 0; d < p.DTUChannels; d++ {
+		eng.Go(fmt.Sprintf("nesc-dtu%d", d), c.dtuLoop)
+	}
+	return c, nil
+}
+
+// BARBase reports the device's bus address as enumerated on the fabric.
+func (c *Controller) BARBase() int64 { return c.barBase }
+
+// PF returns the physical function.
+func (c *Controller) PF() *Function { return c.pf }
+
+// VF returns virtual function idx (0-based).
+func (c *Controller) VF(idx int) *Function { return c.vfs[idx] }
+
+// SRIOV exposes the device's SR-IOV capability record.
+func (c *Controller) SRIOV() *pcie.SRIOVCap { return &c.sriov }
+
+// Function is one facet of the controller: the PF or a VF. Each has its own
+// register file and request ring, exactly as each SR-IOV function has its
+// own PCIe identity.
+type Function struct {
+	c   *Controller
+	idx int // 0 = PF, 1..NumVFs = VFs
+	id  pcie.FnID
+
+	// Guest-programmable I/O registers.
+	ringBase int64
+	ringSize uint32
+	cplBase  int64
+	consumed uint32 // ring consumer index (device side)
+
+	// Hypervisor-programmable management registers.
+	enabled    bool
+	treeRoot   int64
+	sizeBlocks uint64
+
+	// Miss latch (read by the hypervisor on a miss interrupt).
+	missAddr      uint64
+	missSize      uint32
+	missIsWrite   bool
+	missPending   bool
+	rewalk        *sim.Signal
+	rewalkVerdict uint32 // what the hypervisor wrote to RewalkTree
+
+	doorbells *sim.FIFO[uint32]
+	reqQ      *sim.FIFO[*Request]
+	cplSeq    uint32
+
+	// QoS: the multiplexer serves up to `weight` requests — and the DMA
+	// engine up to `weight` chunks — per VF per scheduling round (deficit
+	// round robin; paper §IV-D "different priorities for each VF").
+	weight    uint32
+	credit    uint32
+	dtuCredit uint32
+
+	// Stats.
+	Reqs, Blocks int64
+}
+
+func (c *Controller) newFunction(idx int, id pcie.FnID) *Function {
+	f := &Function{
+		c:         c,
+		idx:       idx,
+		id:        id,
+		doorbells: sim.NewFIFO[uint32](c.Eng, 0),
+		reqQ:      sim.NewFIFO[*Request](c.Eng, c.P.ReqQueueDepth),
+		rewalk:    sim.NewSignal(c.Eng),
+		weight:    1,
+	}
+	c.Eng.Go(fmt.Sprintf("nesc-fetch%d", idx), f.fetchLoop)
+	return f
+}
+
+// ID reports the function's PCIe routing ID.
+func (f *Function) ID() pcie.FnID { return f.id }
+
+// Index reports the function index (0 = PF).
+func (f *Function) Index() int { return f.idx }
+
+// Enabled reports whether the function accepts requests.
+func (f *Function) Enabled() bool { return f.enabled }
+
+// SizeBlocks reports the virtual device size in blocks.
+func (f *Function) SizeBlocks() uint64 { return f.sizeBlocks }
+
+// TreeRoot reports the configured extent tree root (diagnostics).
+func (f *Function) TreeRoot() int64 { return f.treeRoot }

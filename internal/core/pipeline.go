@@ -1,0 +1,363 @@
+package core
+
+import (
+	"nesc/internal/extent"
+	"nesc/internal/pcie"
+	"nesc/internal/sim"
+	"nesc/internal/trace"
+)
+
+// The controller pipeline: descriptor fetchers (one per function), the
+// round-robin VF multiplexer, the translation unit's walkers, and the
+// data-transfer unit channels. Each stage is a process connected to the next
+// by a bounded queue, so a congested stage exerts backpressure upstream —
+// except the PF's out-of-band path, which bypasses translation entirely.
+
+// StatusDMAFault reports a request whose buffer DMA faulted in the IOMMU.
+const StatusDMAFault = 4
+
+// fetchLoop services a function's doorbell: it DMAs new request descriptors
+// from the ring in host memory, validates them, and hands them to the VF
+// multiplexer (or, for the PF, splits them straight into the OOB queue).
+func (f *Function) fetchLoop(p *sim.Proc) {
+	c := f.c
+	desc := make([]byte, DescBytes)
+	for {
+		prod := f.doorbells.Pop(p)
+		for f.consumed != prod {
+			if f.ringSize == 0 {
+				break // unprogrammed ring: drop the doorbell
+			}
+			slot := int64(f.consumed % f.ringSize)
+			if err := c.dmaReadP(p, c.pf.id, f.ringBase+slot*DescBytes, desc); err != nil {
+				break
+			}
+			p.Sleep(c.P.DescriptorFetchTime)
+			f.consumed++
+			op, id, lba, count, buf := decodeDescriptor(desc)
+			req := &Request{fn: f, Op: op, ID: id, LBA: lba, Count: count, Buf: buf, left: int(count)}
+			c.Tracer.Emit(trace.Event{At: p.Now(), Kind: trace.KindFetch, Fn: f.idx, LBA: lba, Arg: uint64(id)})
+			f.Reqs++
+			f.Blocks += int64(count)
+			switch {
+			case !f.enabled:
+				req.status = StatusDisabled
+				c.sendCompletion(p, req)
+			case lba+uint64(count) > f.sizeBlocks || (op != OpRead && op != OpWrite):
+				req.status = StatusOutOfRange
+				c.sendCompletion(p, req)
+			case count == 0:
+				c.sendCompletion(p, req)
+			case f.idx == 0:
+				// PF out-of-band channel: pLBAs, no translation.
+				bs := int64(c.P.BlockSize)
+				for i := uint32(0); i < count; i++ {
+					ch := &chunk{req: req, lba: lba + uint64(i), buf: buf + int64(i)*bs}
+					c.oobQ.Push(p, ch)
+					c.dtuW.Release()
+				}
+			default:
+				f.reqQ.Push(p, req)
+				c.muxW.Release()
+			}
+		}
+	}
+}
+
+// muxLoop is the VF multiplexer: it dequeues client requests round-robin
+// "to prevent client starvation" (paper §V-A), extended with per-VF weights
+// (deficit round robin) for the QoS policy of §IV-D. With all weights at
+// the default of 1 this degenerates to plain round robin.
+func (c *Controller) muxLoop(p *sim.Proc) {
+	rr := 0
+	for {
+		c.muxW.Acquire(p)
+		var req *Request
+		for pass := 0; pass < 2 && req == nil; pass++ {
+			for scanned := 0; scanned < len(c.vfs); scanned++ {
+				f := c.vfs[rr]
+				if f.reqQ.Len() > 0 && f.credit > 0 {
+					if r, ok := f.reqQ.TryPop(); ok {
+						f.credit--
+						req = r
+						break
+					}
+				}
+				rr = (rr + 1) % len(c.vfs)
+			}
+			if req == nil {
+				// Every backlogged VF exhausted its credit: start a new
+				// scheduling round.
+				for _, f := range c.vfs {
+					f.credit = f.weight
+				}
+			}
+		}
+		if req == nil {
+			continue // accounting mismatch cannot occur; defensive
+		}
+		bs := int64(c.P.BlockSize)
+		for i := uint32(0); i < req.Count; i++ {
+			p.Sleep(c.P.MuxChunkTime)
+			ch := &chunk{req: req, lba: req.LBA + uint64(i), buf: req.Buf + int64(i)*bs}
+			if c.P.CollectBreakdown {
+				ch.tQueued = p.Now()
+			}
+			c.vlbaQ.Push(p, ch)
+		}
+	}
+}
+
+// walkerLoop is one translation-unit walker. It first consults the BTLB; on
+// a miss it walks the VF's extent tree with DMA reads from host memory. A
+// translation that cannot complete (hole on a write, pruned subtree) latches
+// the miss registers, interrupts the hypervisor through the PF, and parks
+// until RewalkTree releases it (paper Fig. 5).
+func (c *Controller) walkerLoop(p *sim.Proc) {
+	nodeImg := make([]byte, extent.NodeBytes(c.P.TreeFanout))
+	for {
+		ch := c.vlbaQ.Pop(p)
+		f := ch.req.fn
+		if c.P.CollectBreakdown {
+			ch.tTransIn = p.Now()
+			c.Breakdown.QueueWait.Add((ch.tTransIn - ch.tQueued).Micros())
+		}
+		p.Sleep(c.P.BTLBHitTime)
+		if plba, ok := c.btlb.lookup(f.idx, ch.lba); ok {
+			c.BTLBStats.Hit()
+			ch.lba = plba
+			c.pushPLBA(p, f, ch)
+			continue
+		}
+		c.BTLBStats.Miss()
+
+	walk:
+		for {
+			res, err := c.walkTree(p, f, ch.lba, nodeImg)
+			if err != nil {
+				c.completeChunk(p, ch, StatusDMAFault)
+				break walk
+			}
+			switch {
+			case res.Mapped:
+				c.btlb.insert(f.idx, res.Extent)
+				ch.lba = res.PLBA
+				c.pushPLBA(p, f, ch)
+				break walk
+			case res.Hole && ch.req.Op == OpRead:
+				// POSIX: holes read as zeros (paper Fig. 5a "DMA zero
+				// blocks").
+				ch.zero = true
+				c.pushPLBA(p, f, ch)
+				break walk
+			default:
+				// Hole on a write, or a pruned subtree on either op: the
+				// hypervisor must allocate/regenerate mappings.
+				c.Misses++
+				if !f.missPending {
+					f.missPending = true
+					f.missAddr = ch.lba
+					f.missSize = 1
+					f.missIsWrite = ch.req.Op == OpWrite
+					f.rewalk = sim.NewSignal(c.Eng)
+					c.Tracer.Emit(trace.Event{At: p.Now(), Kind: trace.KindMiss, Fn: f.idx, LBA: ch.lba})
+					c.Fab.RaiseMSI(c.pf.id, VecMiss)
+				}
+				sig := f.rewalk
+				sig.Await(p)
+				c.Tracer.Emit(trace.Event{At: p.Now(), Kind: trace.KindRewalk, Fn: f.idx, LBA: ch.lba, Arg: uint64(f.rewalkVerdict)})
+				if f.rewalkVerdict == RewalkFail {
+					c.completeChunk(p, ch, StatusNoSpace)
+					break walk
+				}
+				continue walk // retry against the rebuilt tree
+			}
+		}
+	}
+}
+
+// walkTree performs one tree walk using device DMA, mirroring
+// extent.Lookup but with the cost model applied.
+func (c *Controller) walkTree(p *sim.Proc, f *Function, vlba uint64, nodeImg []byte) (extent.Resolution, error) {
+	var res extent.Resolution
+	addr := f.treeRoot
+	for {
+		if err := c.dmaReadP(p, c.pf.id, addr, nodeImg); err != nil {
+			return res, err
+		}
+		c.WalkNodeReads++
+		p.Sleep(c.P.WalkParseTime)
+		node, err := extent.ParseNode(nodeImg)
+		if err != nil {
+			return res, err
+		}
+		res.Levels++
+		e, ok := node.Find(vlba)
+		if !ok {
+			res.Hole = true
+			return res, nil
+		}
+		if node.Leaf() {
+			res.Mapped = true
+			res.Extent = extent.Run{Logical: e.FirstLogical, Physical: e.Ptr, Count: uint64(e.Count)}
+			res.PLBA = e.Ptr + (vlba - e.FirstLogical)
+			return res, nil
+		}
+		if e.Ptr == 0 {
+			res.Pruned = true
+			return res, nil
+		}
+		addr = int64(e.Ptr)
+	}
+}
+
+// pushPLBA hands a translated chunk to the data-transfer stage's per-VF
+// queue.
+func (c *Controller) pushPLBA(p *sim.Proc, f *Function, ch *chunk) {
+	if c.P.CollectBreakdown {
+		ch.tTransOut = p.Now()
+		c.Breakdown.Translate.Add((ch.tTransOut - ch.tTransIn).Micros())
+	}
+	c.Tracer.Emit(trace.Event{At: p.Now(), Kind: trace.KindTranslate, Fn: f.idx, LBA: ch.lba, Arg: uint64(ch.req.ID)})
+	c.plbaQs[f.idx-1].Push(p, ch)
+	c.dtuW.Release()
+}
+
+// dtuPick selects the next chunk for a DMA channel: OOB (PF) chunks win
+// absolute priority; VF chunks are scheduled with deficit round robin
+// weighted by each VF's QoS weight (paper §IV-D: the QoS policy lives in
+// the DMA engine).
+func (c *Controller) dtuPick() (*chunk, bool) {
+	if ch, ok := c.oobQ.TryPop(); ok {
+		return ch, true
+	}
+	for pass := 0; pass < 2; pass++ {
+		for scanned := 0; scanned < len(c.plbaQs); scanned++ {
+			f := c.vfs[c.dtuRR]
+			if c.plbaQs[c.dtuRR].Len() > 0 && f.dtuCredit > 0 {
+				if ch, ok := c.plbaQs[c.dtuRR].TryPop(); ok {
+					f.dtuCredit--
+					return ch, true
+				}
+			}
+			c.dtuRR = (c.dtuRR + 1) % len(c.plbaQs)
+		}
+		// Every backlogged VF is out of credit: new scheduling round.
+		for _, f := range c.vfs {
+			f.dtuCredit = f.weight
+		}
+	}
+	return nil, false
+}
+
+// dtuLoop is one data-transfer unit channel.
+func (c *Controller) dtuLoop(p *sim.Proc) {
+	bs := c.P.BlockSize
+	buf := make([]byte, bs)
+	for {
+		c.dtuW.Acquire(p)
+		ch, ok := c.dtuPick()
+		if !ok {
+			continue // defensive; semaphore and queues are kept in lockstep
+		}
+		if c.P.CollectBreakdown {
+			ch.tDTUIn = p.Now()
+			if ch.tTransOut != 0 { // OOB chunks skip translation
+				c.Breakdown.DTUWait.Add((ch.tDTUIn - ch.tTransOut).Micros())
+			}
+		}
+		p.Sleep(c.P.DTUChunkOverhead)
+		status := uint32(StatusOK)
+		switch {
+		case ch.req.Op == OpRead && ch.zero:
+			if err := c.dmaZeroP(p, ch.req.fn.id, ch.buf, int64(bs)); err != nil {
+				status = StatusDMAFault
+			}
+		case ch.req.Op == OpRead:
+			if err := c.Medium.ReadP(p, int64(ch.lba), buf); err != nil {
+				status = StatusOutOfRange
+			} else if err := c.dmaWriteP(p, ch.req.fn.id, ch.buf, buf); err != nil {
+				status = StatusDMAFault
+			}
+		default: // OpWrite
+			if err := c.dmaReadP(p, ch.req.fn.id, ch.buf, buf); err != nil {
+				status = StatusDMAFault
+			} else if err := c.Medium.WriteP(p, int64(ch.lba), buf); err != nil {
+				status = StatusOutOfRange
+			}
+		}
+		c.ChunksDone++
+		if c.P.CollectBreakdown {
+			c.Breakdown.Transfer.Add((p.Now() - ch.tDTUIn).Micros())
+		}
+		c.Tracer.Emit(trace.Event{At: p.Now(), Kind: trace.KindTransfer, Fn: ch.req.fn.idx, LBA: ch.lba, Arg: uint64(status)})
+		c.completeChunk(p, ch, status)
+	}
+}
+
+// completeChunk retires one chunk; the final chunk of a request triggers the
+// completion write and interrupt.
+func (c *Controller) completeChunk(p *sim.Proc, ch *chunk, status uint32) {
+	r := ch.req
+	if status != StatusOK && r.status == StatusOK {
+		r.status = status
+	}
+	r.left--
+	if r.left == 0 {
+		c.sendCompletion(p, r)
+	}
+}
+
+// sendCompletion DMA-writes the completion entry into the function's
+// completion ring and raises the completion MSI.
+func (c *Controller) sendCompletion(p *sim.Proc, r *Request) {
+	f := r.fn
+	c.ReqsDone++
+	c.Tracer.Emit(trace.Event{At: p.Now(), Kind: trace.KindComplete, Fn: f.idx, LBA: r.LBA, Arg: uint64(r.status)})
+	if f.cplBase == 0 || f.ringSize == 0 {
+		return // no completion ring programmed (management-only function)
+	}
+	f.cplSeq++
+	entry := make([]byte, CplBytes)
+	EncodeCompletion(entry, r.ID, r.status, f.cplSeq)
+	slot := int64((f.cplSeq - 1) % f.ringSize)
+	if err := c.dmaWriteP(p, c.pf.id, f.cplBase+slot*CplBytes, entry); err != nil {
+		return
+	}
+	c.Fab.RaiseMSI(f.id, VecCompletion)
+}
+
+// Process-style DMA helpers that surface errors instead of deadlocking.
+
+func (c *Controller) dmaReadP(p *sim.Proc, id pcie.FnID, addr int64, buf []byte) error {
+	var err error
+	p.Wait(func(done func()) {
+		err = c.Fab.DMARead(id, addr, buf, done)
+		if err != nil {
+			done()
+		}
+	})
+	return err
+}
+
+func (c *Controller) dmaWriteP(p *sim.Proc, id pcie.FnID, addr int64, buf []byte) error {
+	var err error
+	p.Wait(func(done func()) {
+		err = c.Fab.DMAWrite(id, addr, buf, done)
+		if err != nil {
+			done()
+		}
+	})
+	return err
+}
+
+func (c *Controller) dmaZeroP(p *sim.Proc, id pcie.FnID, addr, n int64) error {
+	var err error
+	p.Wait(func(done func()) {
+		err = c.Fab.DMAZero(id, addr, n, done)
+		if err != nil {
+			done()
+		}
+	})
+	return err
+}

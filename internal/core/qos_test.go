@@ -1,0 +1,208 @@
+package core
+
+import (
+	"testing"
+
+	"nesc/internal/extent"
+	"nesc/internal/sim"
+	"nesc/internal/trace"
+)
+
+func TestWeightRegisterClamping(t *testing.T) {
+	r := newRig(t, smallParams())
+	done := false
+	r.eng.Go("hyp", func(p *sim.Proc) {
+		mgmt := r.bar + r.ctl.MgmtPageOffset()
+		vf := r.ctl.VF(0)
+		if vf.weight != 1 {
+			t.Errorf("default weight = %d", vf.weight)
+		}
+		r.mmioW(p, mgmt+MgmtWeight, 8)
+		// Posted write: the read round trip orders behind it.
+		if got := r.mmioR(p, mgmt+MgmtWeight); got != 8 {
+			t.Errorf("weight readback = %d", got)
+		}
+		// Out-of-range values are ignored.
+		r.mmioW(p, mgmt+MgmtWeight, 0)
+		r.mmioW(p, mgmt+MgmtWeight, 1000)
+		if got := r.mmioR(p, mgmt+MgmtWeight); got != 8 {
+			t.Errorf("weight after invalid writes = %d", got)
+		}
+		done = true
+	})
+	r.run()
+	if !done {
+		t.Fatal("deadlock")
+	}
+}
+
+// fillPLBAQueues stuffs n chunks into each of the first two VFs' pLBA
+// queues (unit-level access; QoS binds only under backlog, which queue-
+// depth-1 clients never create).
+func fillPLBAQueues(c *Controller, n int) {
+	for i := 0; i < 2; i++ {
+		req := &Request{fn: c.vfs[i], Op: OpWrite, left: n}
+		for k := 0; k < n; k++ {
+			if !c.plbaQs[i].TryPush(&chunk{req: req, lba: uint64(k)}) {
+				panic("queue full in test setup")
+			}
+		}
+	}
+}
+
+func TestDTUPickWeightedScheduling(t *testing.T) {
+	p := smallParams()
+	p.PLBAQueueDepth = 256
+	r := newRig(t, p)
+	c := r.ctl
+	c.vfs[0].weight = 6
+	c.vfs[1].weight = 1
+	fillPLBAQueues(c, 140)
+	var picks [2]int
+	for i := 0; i < 140; i++ {
+		ch, ok := c.dtuPick()
+		if !ok {
+			t.Fatalf("pick %d failed with backlog present", i)
+		}
+		picks[ch.req.fn.idx-1]++
+	}
+	// 140 picks at 6:1 → 120:20.
+	if picks[0] != 120 || picks[1] != 20 {
+		t.Fatalf("picks = %v, want [120 20]", picks)
+	}
+	// Work conservation: once VF0 drains, VF1 gets everything.
+	for c.plbaQs[0].Len() > 0 {
+		c.dtuPick()
+	}
+	before := c.plbaQs[1].Len()
+	if before == 0 {
+		t.Fatal("VF1 queue already empty")
+	}
+	if ch, ok := c.dtuPick(); !ok || ch.req.fn.idx != 2 {
+		t.Fatal("scheduler not work-conserving after VF0 drained")
+	}
+}
+
+func TestDTUPickEqualWeightsAlternate(t *testing.T) {
+	p := smallParams()
+	p.PLBAQueueDepth = 64
+	r := newRig(t, p)
+	c := r.ctl
+	fillPLBAQueues(c, 32)
+	var picks [2]int
+	for i := 0; i < 64; i++ {
+		ch, ok := c.dtuPick()
+		if !ok {
+			t.Fatalf("pick %d failed", i)
+		}
+		picks[ch.req.fn.idx-1]++
+	}
+	if picks[0] != 32 || picks[1] != 32 {
+		t.Fatalf("equal weights picked %v", picks)
+	}
+}
+
+func TestDTUPickOOBPriority(t *testing.T) {
+	r := newRig(t, smallParams())
+	c := r.ctl
+	fillPLBAQueues(c, 4)
+	pfReq := &Request{fn: c.pf, Op: OpRead, left: 1}
+	c.oobQ.TryPush(&chunk{req: pfReq})
+	ch, ok := c.dtuPick()
+	if !ok || ch.req.fn != c.pf {
+		t.Fatal("OOB chunk did not win priority")
+	}
+}
+
+func TestBreakdownCollection(t *testing.T) {
+	p := smallParams()
+	p.CollectBreakdown = true
+	r := newRig(t, p)
+	tr := r.buildTree([]extent.Run{{Logical: 0, Physical: 0, Count: 256}})
+	buf := r.mem.MustAlloc(4096, 64)
+	done := false
+	r.eng.Go("guest", func(pr *sim.Proc) {
+		r.setVF(pr, 0, tr.Root(), 256)
+		d := r.openFunction(pr, 1)
+		for i := 0; i < 8; i++ {
+			if st := d.io(pr, OpWrite, uint64(i*4), 4, buf); st != StatusOK {
+				t.Errorf("status %d", st)
+			}
+		}
+		done = true
+	})
+	r.run()
+	if !done {
+		t.Fatal("deadlock")
+	}
+	b := &r.ctl.Breakdown
+	if b.QueueWait.N() == 0 || b.Translate.N() == 0 || b.Transfer.N() == 0 {
+		t.Fatalf("breakdown samplers empty: %d/%d/%d", b.QueueWait.N(), b.Translate.N(), b.Transfer.N())
+	}
+	if b.Transfer.Mean() <= 0 {
+		t.Fatal("transfer stage recorded no time")
+	}
+	// Disabled by default: no samples collected.
+	r2 := newRig(t, smallParams())
+	tr2 := r2.buildTree([]extent.Run{{Logical: 0, Physical: 0, Count: 16}})
+	r2.eng.Go("guest", func(pr *sim.Proc) {
+		r2.setVF(pr, 0, tr2.Root(), 16)
+		d := r2.openFunction(pr, 1)
+		d.io(pr, OpWrite, 0, 4, buf2addr(r2))
+	})
+	r2.run()
+	if r2.ctl.Breakdown.Transfer.N() != 0 {
+		t.Fatal("breakdown collected while disabled")
+	}
+}
+
+func buf2addr(r *rig) int64 { return r.mem.MustAlloc(4096, 64) }
+
+func TestTracerRecordsRequestLifecycle(t *testing.T) {
+	r := newRig(t, smallParams())
+	r.ctl.Tracer = trace.NewRing(64)
+	tr := r.buildTree([]extent.Run{{Logical: 0, Physical: 0, Count: 16}})
+	buf := r.mem.MustAlloc(4096, 64)
+	done := false
+	r.eng.Go("guest", func(p *sim.Proc) {
+		r.setVF(p, 0, tr.Root(), 16)
+		d := r.openFunction(p, 1)
+		if st := d.io(p, OpWrite, 0, 4, buf); st != StatusOK {
+			t.Errorf("status %d", st)
+		}
+		done = true
+	})
+	r.run()
+	if !done {
+		t.Fatal("deadlock")
+	}
+	evs := r.ctl.Tracer.Events()
+	var kinds []trace.Kind
+	for _, e := range evs {
+		if e.Fn == 1 {
+			kinds = append(kinds, e.Kind)
+		}
+	}
+	// Lifecycle: fetch, then translations/transfers, then completion last.
+	if len(kinds) < 3 || kinds[0] != trace.KindFetch || kinds[len(kinds)-1] != trace.KindComplete {
+		t.Fatalf("lifecycle kinds = %v", kinds)
+	}
+	sawTranslate, sawTransfer := false, false
+	for _, k := range kinds {
+		if k == trace.KindTranslate {
+			sawTranslate = true
+		}
+		if k == trace.KindTransfer {
+			sawTransfer = true
+		}
+	}
+	if !sawTranslate || !sawTransfer {
+		t.Fatalf("missing pipeline events: %v", kinds)
+	}
+	// Timestamps are monotone.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatal("trace events out of order")
+		}
+	}
+}

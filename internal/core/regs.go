@@ -1,0 +1,252 @@
+package core
+
+import (
+	"encoding/binary"
+)
+
+// BAR layout. Following the paper's prototype (§VI), the device's BAR is
+// divided into 4 KB pages: page 0 exports the PF's I/O registers, page i
+// exports VF i's, and a final management page holds the hypervisor-only
+// per-VF control blocks (extent tree root, miss latch, rewalk doorbell).
+// The hypervisor maps page 0 and the management page into its own address
+// space and maps exactly one VF page into each guest, which is what makes a
+// guest unable to touch another function's state.
+const (
+	// PageSize is the BAR page granularity.
+	PageSize = 4096
+
+	// Per-function I/O registers (offsets within a function page).
+	RegRingBase   = 0x00 // request ring base address (8B)
+	RegRingSize   = 0x08 // ring entry count (4B)
+	RegCplBase    = 0x10 // completion ring base address (8B)
+	RegDoorbell   = 0x18 // write: new producer index (4B)
+	RegDeviceSize = 0x20 // RO: virtual device size in blocks (8B)
+	RegCplSeq     = 0x28 // RO: completion sequence counter (4B)
+
+	// PF-page global registers.
+	PFRegBTLBFlush   = 0x800 // write: flush the BTLB (4B)
+	PFRegMissPending = 0x808 // RO: bitmap of VFs with latched misses (8B)
+	PFRegNumVFs      = 0x810 // RO: supported VF count (4B)
+
+	// Management page: one 64-byte block per VF, indexed by VF number - 1.
+	MgmtStride      = 64
+	MgmtTreeRoot    = 0x00 // extent tree root address (8B)
+	MgmtMissAddr    = 0x08 // RO: missing vLBA (8B)
+	MgmtMissSize    = 0x10 // RO: missing block count (4B)
+	MgmtRewalk      = 0x14 // write RewalkRetry/RewalkFail (4B)
+	MgmtEnable      = 0x18 // 1 = VF enabled (4B)
+	MgmtDeviceSize  = 0x20 // virtual device size in blocks (8B)
+	MgmtMissIsWrite = 0x28 // RO: 1 when the latched miss is a write (4B)
+	MgmtWeight      = 0x2C // QoS weight for the VF multiplexer, 1..255 (4B)
+
+	// RewalkTree verdicts.
+	RewalkRetry = 1
+	RewalkFail  = 2
+
+	// Wire sizes.
+	DescBytes = 32
+	CplBytes  = 16
+)
+
+// BARSize reports the device BAR size: PF page + VF pages + management page.
+func (c *Controller) BARSize() int64 { return int64(c.P.NumVFs+2) * PageSize }
+
+// FunctionPageOffset reports the BAR offset of function idx's I/O page
+// (0 = PF).
+func (c *Controller) FunctionPageOffset(idx int) int64 { return int64(idx) * PageSize }
+
+// MgmtPageOffset reports the BAR offset of the management page.
+func (c *Controller) MgmtPageOffset() int64 { return int64(c.P.NumVFs+1) * PageSize }
+
+// PCIeName implements pcie.Device.
+func (c *Controller) PCIeName() string { return "nesc" }
+
+func (c *Controller) funcByPage(page int) *Function {
+	if page == 0 {
+		return c.pf
+	}
+	if page >= 1 && page <= len(c.vfs) {
+		return c.vfs[page-1]
+	}
+	return nil
+}
+
+// MMIORead implements pcie.Device.
+func (c *Controller) MMIORead(off int64, size int) uint64 {
+	page := int(off / PageSize)
+	reg := off % PageSize
+	if page == c.P.NumVFs+1 {
+		return c.mgmtRead(reg)
+	}
+	f := c.funcByPage(page)
+	if f == nil {
+		return 0
+	}
+	if page == 0 {
+		switch reg {
+		case PFRegMissPending:
+			var bits uint64
+			for i, vf := range c.vfs {
+				if vf.missPending {
+					bits |= 1 << uint(i)
+				}
+			}
+			return bits
+		case PFRegNumVFs:
+			return uint64(c.P.NumVFs)
+		}
+	}
+	switch reg {
+	case RegRingBase:
+		return uint64(f.ringBase)
+	case RegRingSize:
+		return uint64(f.ringSize)
+	case RegCplBase:
+		return uint64(f.cplBase)
+	case RegDeviceSize:
+		return f.sizeBlocks
+	case RegCplSeq:
+		return uint64(f.cplSeq)
+	}
+	return 0
+}
+
+// MMIOWrite implements pcie.Device. Writes to offsets outside a page's
+// writable registers are silently ignored — in particular, a guest writing
+// management offsets through its own VF page has no effect.
+func (c *Controller) MMIOWrite(off int64, size int, val uint64) {
+	page := int(off / PageSize)
+	reg := off % PageSize
+	if page == c.P.NumVFs+1 {
+		c.mgmtWrite(reg, val)
+		return
+	}
+	f := c.funcByPage(page)
+	if f == nil {
+		return
+	}
+	if page == 0 && reg == PFRegBTLBFlush {
+		c.btlb.flush()
+		return
+	}
+	switch reg {
+	case RegRingBase:
+		f.ringBase = int64(val)
+	case RegRingSize:
+		if val > 0 && val <= 1<<16 {
+			f.ringSize = uint32(val)
+			// (Re)programming the ring resets the queue cursors, so a new
+			// owner of the function starts from a clean producer/consumer
+			// state.
+			f.consumed = 0
+			f.cplSeq = 0
+		}
+	case RegCplBase:
+		f.cplBase = int64(val)
+	case RegDoorbell:
+		f.doorbells.TryPush(uint32(val))
+	}
+}
+
+func (c *Controller) mgmtVF(reg int64) (*Function, int64) {
+	idx := int(reg / MgmtStride)
+	if idx < 0 || idx >= len(c.vfs) {
+		return nil, 0
+	}
+	return c.vfs[idx], reg % MgmtStride
+}
+
+func (c *Controller) mgmtRead(reg int64) uint64 {
+	f, r := c.mgmtVF(reg)
+	if f == nil {
+		return 0
+	}
+	switch r {
+	case MgmtTreeRoot:
+		return uint64(f.treeRoot)
+	case MgmtMissAddr:
+		return f.missAddr
+	case MgmtMissSize:
+		return uint64(f.missSize)
+	case MgmtEnable:
+		if f.enabled {
+			return 1
+		}
+		return 0
+	case MgmtDeviceSize:
+		return f.sizeBlocks
+	case MgmtMissIsWrite:
+		if f.missIsWrite {
+			return 1
+		}
+		return 0
+	case MgmtWeight:
+		return uint64(f.weight)
+	}
+	return 0
+}
+
+func (c *Controller) mgmtWrite(reg int64, val uint64) {
+	f, r := c.mgmtVF(reg)
+	if f == nil {
+		return
+	}
+	switch r {
+	case MgmtTreeRoot:
+		f.treeRoot = int64(val)
+	case MgmtRewalk:
+		f.rewalkVerdict = uint32(val)
+		f.missPending = false
+		f.rewalk.Fire()
+	case MgmtEnable:
+		was := f.enabled
+		f.enabled = val == 1
+		if was && !f.enabled {
+			// Disabling a VF drops its cached translations and ring state;
+			// the hypervisor quiesces the function before disabling it.
+			c.btlb.flushFn(f.idx)
+			f.ringBase, f.ringSize, f.cplBase = 0, 0, 0
+			f.consumed, f.cplSeq = 0, 0
+		}
+	case MgmtDeviceSize:
+		f.sizeBlocks = val
+	case MgmtWeight:
+		if val >= 1 && val <= 255 {
+			f.weight = uint32(val)
+		}
+	}
+}
+
+// EncodeDescriptor writes a request descriptor in the device wire format.
+// Drivers and the device share this layout.
+func EncodeDescriptor(b []byte, op, id uint32, lba uint64, count uint32, buf int64) {
+	binary.BigEndian.PutUint32(b[0:], op)
+	binary.BigEndian.PutUint32(b[4:], id)
+	binary.BigEndian.PutUint64(b[8:], lba)
+	binary.BigEndian.PutUint32(b[16:], count)
+	binary.BigEndian.PutUint32(b[20:], 0)
+	binary.BigEndian.PutUint64(b[24:], uint64(buf))
+}
+
+func decodeDescriptor(b []byte) (op, id uint32, lba uint64, count uint32, buf int64) {
+	op = binary.BigEndian.Uint32(b[0:])
+	id = binary.BigEndian.Uint32(b[4:])
+	lba = binary.BigEndian.Uint64(b[8:])
+	count = binary.BigEndian.Uint32(b[16:])
+	buf = int64(binary.BigEndian.Uint64(b[24:]))
+	return
+}
+
+// EncodeCompletion writes a completion entry (used by the device; exported
+// for driver-side tests).
+func EncodeCompletion(b []byte, id, status, seq uint32) {
+	binary.BigEndian.PutUint32(b[0:], id)
+	binary.BigEndian.PutUint32(b[4:], status)
+	binary.BigEndian.PutUint32(b[8:], seq)
+	binary.BigEndian.PutUint32(b[12:], 0)
+}
+
+// DecodeCompletion parses a completion entry.
+func DecodeCompletion(b []byte) (id, status, seq uint32) {
+	return binary.BigEndian.Uint32(b[0:]), binary.BigEndian.Uint32(b[4:]), binary.BigEndian.Uint32(b[8:])
+}

@@ -1,0 +1,554 @@
+// Package extent implements the NeSC extent tree (paper §IV-B, Fig. 4): the
+// per-VF translation table the hypervisor serializes into host memory and
+// the device walks with DMA reads to translate virtual LBAs (vLBA) into
+// physical LBAs (pLBA).
+//
+// A tree node is a fixed-size record:
+//
+//	header (8 bytes, big-endian):
+//	    magic    uint16  0xE5C0
+//	    depth    uint16  0 = leaf (extent pointers), >0 = internal (node pointers)
+//	    count    uint16  valid entries
+//	    capacity uint16  entry slots in this node
+//	entries (24 bytes each):
+//	    firstLogical uint64  first vLBA covered by the entry
+//	    count        uint32  number of logical blocks covered
+//	    reserved     uint32
+//	    pointer      uint64  leaf: first pLBA of the extent
+//	                         internal: host address of the child node,
+//	                                   0 (NULL) = subtree pruned by the host
+//
+// The layout mirrors the paper's Fig. 4b: an extent pointer is
+// (first logical block, number of blocks, first physical block); a node
+// pointer is (first logical block, number of blocks, next node pointer), and
+// a NULL next-node pointer marks a subtree the hypervisor pruned under
+// memory pressure.
+package extent
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"nesc/internal/hostmem"
+)
+
+const (
+	// Magic marks a valid serialized node.
+	Magic = 0xE5C0
+	// HeaderSize and EntrySize define the wire layout.
+	HeaderSize = 8
+	EntrySize  = 24
+	// DefaultFanout yields 248-byte nodes, close to the 256-byte fetch unit
+	// a hardware walker would use.
+	DefaultFanout = 10
+)
+
+// NodeBytes reports the serialized size of a node with the given fanout.
+func NodeBytes(fanout int) int64 { return HeaderSize + int64(fanout)*EntrySize }
+
+// Run is one contiguous mapping of Count logical blocks starting at Logical
+// onto physical blocks starting at Physical.
+type Run struct {
+	Logical  uint64
+	Physical uint64
+	Count    uint64
+}
+
+// End reports the first logical block past the run.
+func (r Run) End() uint64 { return r.Logical + r.Count }
+
+// Entry is a decoded node entry. For leaves Ptr is the first physical block;
+// for internal nodes it is the child node's host address (0 = pruned).
+type Entry struct {
+	FirstLogical uint64
+	Count        uint32
+	Ptr          uint64
+}
+
+// NodeView is a decoded node as the device's block-walk unit sees it.
+type NodeView struct {
+	Depth    int
+	Count    int
+	Capacity int
+	Entries  []Entry
+}
+
+// Leaf reports whether the node holds extent pointers.
+func (n *NodeView) Leaf() bool { return n.Depth == 0 }
+
+// Find locates the entry covering vlba using binary search, reporting false
+// when vlba falls in a coverage gap (a hole).
+func (n *NodeView) Find(vlba uint64) (Entry, bool) {
+	ents := n.Entries[:n.Count]
+	// First entry with FirstLogical > vlba; candidate is its predecessor.
+	i := sort.Search(len(ents), func(i int) bool { return ents[i].FirstLogical > vlba })
+	if i == 0 {
+		return Entry{}, false
+	}
+	e := ents[i-1]
+	if vlba >= e.FirstLogical+uint64(e.Count) {
+		return Entry{}, false
+	}
+	return e, true
+}
+
+// ParseNode decodes a serialized node image. It is the exact inverse of the
+// serializer and is shared by the device walker, the software Lookup, and
+// tests.
+func ParseNode(b []byte) (*NodeView, error) {
+	if len(b) < HeaderSize {
+		return nil, fmt.Errorf("extent: node image of %d bytes too small", len(b))
+	}
+	if m := binary.BigEndian.Uint16(b[0:]); m != Magic {
+		return nil, fmt.Errorf("extent: bad node magic %#x", m)
+	}
+	n := &NodeView{
+		Depth:    int(binary.BigEndian.Uint16(b[2:])),
+		Count:    int(binary.BigEndian.Uint16(b[4:])),
+		Capacity: int(binary.BigEndian.Uint16(b[6:])),
+	}
+	if n.Count > n.Capacity {
+		return nil, fmt.Errorf("extent: node count %d exceeds capacity %d", n.Count, n.Capacity)
+	}
+	if int64(len(b)) < HeaderSize+int64(n.Count)*EntrySize {
+		return nil, fmt.Errorf("extent: node image truncated")
+	}
+	n.Entries = make([]Entry, n.Count)
+	for i := 0; i < n.Count; i++ {
+		off := HeaderSize + i*EntrySize
+		n.Entries[i] = Entry{
+			FirstLogical: binary.BigEndian.Uint64(b[off:]),
+			Count:        binary.BigEndian.Uint32(b[off+8:]),
+			Ptr:          binary.BigEndian.Uint64(b[off+16:]),
+		}
+	}
+	return n, nil
+}
+
+func serializeNode(b []byte, depth, capacity int, entries []Entry) {
+	binary.BigEndian.PutUint16(b[0:], Magic)
+	binary.BigEndian.PutUint16(b[2:], uint16(depth))
+	binary.BigEndian.PutUint16(b[4:], uint16(len(entries)))
+	binary.BigEndian.PutUint16(b[6:], uint16(capacity))
+	for i, e := range entries {
+		off := HeaderSize + i*EntrySize
+		binary.BigEndian.PutUint64(b[off:], e.FirstLogical)
+		binary.BigEndian.PutUint32(b[off+8:], e.Count)
+		binary.BigEndian.PutUint32(b[off+12:], 0)
+		binary.BigEndian.PutUint64(b[off+16:], e.Ptr)
+	}
+}
+
+// Tree is a serialized extent tree resident in host memory, owned by the
+// hypervisor. The device only ever sees the root address and raw node bytes.
+type Tree struct {
+	mem    *hostmem.Memory
+	fanout int
+	root   hostmem.Addr
+	nodes  []hostmem.Addr // every allocation, for Free/accounting
+	runs   []Run          // authoritative mapping, kept for rebuilds
+}
+
+// Build validates and serializes runs into a tree in mem. Runs must be
+// sorted by Logical and non-overlapping; runs longer than MaxUint32 blocks
+// are split transparently.
+func Build(mem *hostmem.Memory, runs []Run, fanout int) (*Tree, error) {
+	if fanout < 2 {
+		fanout = DefaultFanout
+	}
+	norm, err := normalize(runs)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{mem: mem, fanout: fanout, runs: norm}
+	if err := t.serialize(); err != nil {
+		t.Free()
+		return nil, err
+	}
+	return t, nil
+}
+
+func normalize(runs []Run) ([]Run, error) {
+	out := make([]Run, 0, len(runs))
+	var prevEnd uint64
+	first := true
+	for i, r := range runs {
+		if r.Count == 0 {
+			continue
+		}
+		if !first && r.Logical < prevEnd {
+			return nil, fmt.Errorf("extent: run %d (logical %d) overlaps or is unsorted (previous end %d)", i, r.Logical, prevEnd)
+		}
+		if r.Logical+r.Count < r.Logical {
+			return nil, fmt.Errorf("extent: run %d overflows logical space", i)
+		}
+		// Split runs exceeding the 32-bit on-wire count.
+		for r.Count > math.MaxUint32 {
+			out = append(out, Run{Logical: r.Logical, Physical: r.Physical, Count: math.MaxUint32})
+			r.Logical += math.MaxUint32
+			r.Physical += math.MaxUint32
+			r.Count -= math.MaxUint32
+		}
+		out = append(out, r)
+		prevEnd = r.End()
+		first = false
+	}
+	return out, nil
+}
+
+// serialize writes t.runs as a fresh node hierarchy and updates t.root.
+func (t *Tree) serialize() error {
+	// Leaves.
+	type built struct {
+		addr  hostmem.Addr
+		first uint64
+		span  uint64 // coverage from first to end of last entry
+	}
+	var level []built
+	entries := make([]Entry, 0, t.fanout)
+	flushLeaf := func() error {
+		if len(entries) == 0 {
+			return nil
+		}
+		addr, err := t.allocNode()
+		if err != nil {
+			return err
+		}
+		img, err := t.mem.Slice(addr, NodeBytes(t.fanout))
+		if err != nil {
+			return err
+		}
+		serializeNode(img, 0, t.fanout, entries)
+		first := entries[0].FirstLogical
+		last := entries[len(entries)-1]
+		level = append(level, built{addr: addr, first: first, span: last.FirstLogical + uint64(last.Count) - first})
+		entries = entries[:0]
+		return nil
+	}
+	for _, r := range t.runs {
+		entries = append(entries, Entry{FirstLogical: r.Logical, Count: uint32(r.Count), Ptr: r.Physical})
+		if len(entries) == t.fanout {
+			if err := flushLeaf(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flushLeaf(); err != nil {
+		return err
+	}
+	if len(level) == 0 {
+		// Empty mapping: a single empty leaf so the device always has a
+		// valid node to walk (every vLBA is a hole).
+		addr, err := t.allocNode()
+		if err != nil {
+			return err
+		}
+		img, err := t.mem.Slice(addr, NodeBytes(t.fanout))
+		if err != nil {
+			return err
+		}
+		serializeNode(img, 0, t.fanout, nil)
+		t.root = addr
+		return nil
+	}
+
+	// Internal levels until a single root remains.
+	depth := 1
+	for len(level) > 1 {
+		var parents []built
+		for i := 0; i < len(level); i += t.fanout {
+			end := i + t.fanout
+			if end > len(level) {
+				end = len(level)
+			}
+			group := level[i:end]
+			ents := make([]Entry, len(group))
+			for j, c := range group {
+				count := c.span
+				if count > math.MaxUint32 {
+					count = math.MaxUint32
+				}
+				ents[j] = Entry{FirstLogical: c.first, Count: uint32(count), Ptr: uint64(c.addr)}
+			}
+			addr, err := t.allocNode()
+			if err != nil {
+				return err
+			}
+			img, err := t.mem.Slice(addr, NodeBytes(t.fanout))
+			if err != nil {
+				return err
+			}
+			serializeNode(img, depth, t.fanout, ents)
+			first := group[0].first
+			lastC := group[len(group)-1]
+			parents = append(parents, built{addr: addr, first: first, span: lastC.first + lastC.span - first})
+		}
+		level = parents
+		depth++
+	}
+	t.root = level[0].addr
+	return nil
+}
+
+func (t *Tree) allocNode() (hostmem.Addr, error) {
+	addr, err := t.mem.Alloc(NodeBytes(t.fanout), 8)
+	if err != nil {
+		return 0, err
+	}
+	t.nodes = append(t.nodes, addr)
+	return addr, nil
+}
+
+// Root reports the host address of the root node — the value the hypervisor
+// programs into the VF's ExtentTreeRoot register.
+func (t *Tree) Root() hostmem.Addr { return t.root }
+
+// Fanout reports the node fanout.
+func (t *Tree) Fanout() int { return t.fanout }
+
+// Nodes reports how many nodes are currently resident in host memory.
+func (t *Tree) Nodes() int { return len(t.nodes) }
+
+// ResidentBytes reports the host memory held by the serialized tree.
+func (t *Tree) ResidentBytes() int64 { return int64(len(t.nodes)) * NodeBytes(t.fanout) }
+
+// Runs returns the authoritative mapping (a copy).
+func (t *Tree) Runs() []Run { return append([]Run(nil), t.runs...) }
+
+// Free releases every node of the tree from host memory.
+func (t *Tree) Free() {
+	for _, a := range t.nodes {
+		// Free can only fail on double-free, which would be a Tree bug.
+		if err := t.mem.Free(a); err != nil {
+			panic(err)
+		}
+	}
+	t.nodes = nil
+	t.root = 0
+}
+
+// Rebuild replaces the mapping with runs and reserializes the whole tree.
+// This is the hypervisor's response both to lazy allocation (new blocks
+// mapped on first write) and to a device miss on a pruned subtree. The root
+// address changes; the caller must reprogram ExtentTreeRoot before signaling
+// RewalkTree.
+func (t *Tree) Rebuild(runs []Run) error {
+	norm, err := normalize(runs)
+	if err != nil {
+		return err
+	}
+	old := t.nodes
+	t.nodes = nil
+	t.runs = norm
+	if err := t.serialize(); err != nil {
+		// Roll back allocation bookkeeping; the tree is now unusable but
+		// memory is not leaked.
+		for _, a := range t.nodes {
+			if ferr := t.mem.Free(a); ferr != nil {
+				panic(ferr)
+			}
+		}
+		t.nodes = old
+		return err
+	}
+	for _, a := range old {
+		if err := t.mem.Free(a); err != nil {
+			panic(err)
+		}
+	}
+	return nil
+}
+
+// Prune walks the tree and detaches up to maxNodes descendant subtrees,
+// freeing their memory and NULLing the parent pointers (paper §IV-B: "If
+// memory becomes tight, the hypervisor can prune parts of the extent tree
+// and mark the pruned sections by storing NULL in their respective Next Node
+// Pointer"). It returns the number of nodes freed. Pruning a tree whose root
+// is a leaf is a no-op.
+func (t *Tree) Prune(maxNodes int) (int, error) {
+	if maxNodes <= 0 {
+		return 0, nil
+	}
+	img := make([]byte, NodeBytes(t.fanout))
+	freed := 0
+	// BFS from the root over internal nodes; prune children greedily.
+	queue := []hostmem.Addr{t.root}
+	for len(queue) > 0 && freed < maxNodes {
+		addr := queue[0]
+		queue = queue[1:]
+		if err := t.mem.Read(addr, img); err != nil {
+			return freed, err
+		}
+		n, err := ParseNode(img)
+		if err != nil {
+			return freed, err
+		}
+		if n.Leaf() {
+			continue
+		}
+		for i := 0; i < n.Count && freed < maxNodes; i++ {
+			child := hostmem.Addr(n.Entries[i].Ptr)
+			if child == 0 {
+				continue
+			}
+			nf, err := t.freeSubtree(child)
+			if err != nil {
+				return freed, err
+			}
+			freed += nf
+			// NULL the child pointer in place.
+			off := addr + HeaderSize + int64(i)*EntrySize + 16
+			if err := t.mem.WriteU64(off, 0); err != nil {
+				return freed, err
+			}
+		}
+	}
+	return freed, nil
+}
+
+// freeSubtree recursively frees the subtree rooted at addr, returning the
+// node count freed, and drops the addresses from the tree's node list.
+func (t *Tree) freeSubtree(addr hostmem.Addr) (int, error) {
+	img := make([]byte, NodeBytes(t.fanout))
+	if err := t.mem.Read(addr, img); err != nil {
+		return 0, err
+	}
+	n, err := ParseNode(img)
+	if err != nil {
+		return 0, err
+	}
+	freed := 0
+	if !n.Leaf() {
+		for i := 0; i < n.Count; i++ {
+			if child := hostmem.Addr(n.Entries[i].Ptr); child != 0 {
+				nf, err := t.freeSubtree(child)
+				if err != nil {
+					return freed, err
+				}
+				freed += nf
+			}
+		}
+	}
+	if err := t.mem.Free(addr); err != nil {
+		return freed, err
+	}
+	for i, a := range t.nodes {
+		if a == addr {
+			t.nodes = append(t.nodes[:i], t.nodes[i+1:]...)
+			break
+		}
+	}
+	return freed + 1, nil
+}
+
+// Resolution is the outcome of translating one vLBA.
+type Resolution struct {
+	// Mapped: a physical mapping exists; PLBA is valid.
+	Mapped bool
+	// Hole: no extent covers the vLBA (reads return zeros; writes require
+	// allocation).
+	Hole bool
+	// Pruned: the walk hit a NULL child pointer; the host must regenerate
+	// the mapping.
+	Pruned bool
+	// PLBA is the translated physical block address (valid when Mapped).
+	PLBA uint64
+	// Extent is the whole covering extent (valid when Mapped) — what the
+	// BTLB caches.
+	Extent Run
+	// Levels counts nodes visited during the walk.
+	Levels int
+}
+
+// Lookup is the software reference walker: it performs the same walk the
+// device's block-walk unit performs, synchronously against host memory. The
+// device model, tests, and the hypervisor all use it as ground truth.
+func Lookup(mem *hostmem.Memory, root hostmem.Addr, fanout int, vlba uint64) (Resolution, error) {
+	var res Resolution
+	if root == 0 {
+		return res, fmt.Errorf("extent: NULL root")
+	}
+	img := make([]byte, NodeBytes(fanout))
+	addr := root
+	for {
+		if err := mem.Read(addr, img); err != nil {
+			return res, err
+		}
+		n, err := ParseNode(img)
+		if err != nil {
+			return res, err
+		}
+		res.Levels++
+		e, ok := n.Find(vlba)
+		if !ok {
+			res.Hole = true
+			return res, nil
+		}
+		if n.Leaf() {
+			res.Mapped = true
+			res.Extent = Run{Logical: e.FirstLogical, Physical: e.Ptr, Count: uint64(e.Count)}
+			res.PLBA = e.Ptr + (vlba - e.FirstLogical)
+			return res, nil
+		}
+		if e.Ptr == 0 {
+			res.Pruned = true
+			return res, nil
+		}
+		addr = hostmem.Addr(e.Ptr)
+	}
+}
+
+// CollectRuns walks the whole tree and returns the mapped runs in logical
+// order. Pruned subtrees contribute nothing; callers that need completeness
+// should consult Tree.Runs instead.
+func CollectRuns(mem *hostmem.Memory, root hostmem.Addr, fanout int) ([]Run, error) {
+	var out []Run
+	img := make([]byte, NodeBytes(fanout))
+	var walk func(addr hostmem.Addr) error
+	walk = func(addr hostmem.Addr) error {
+		if err := mem.Read(addr, img); err != nil {
+			return err
+		}
+		n, err := ParseNode(img)
+		if err != nil {
+			return err
+		}
+		if n.Leaf() {
+			for _, e := range n.Entries {
+				out = append(out, Run{Logical: e.FirstLogical, Physical: e.Ptr, Count: uint64(e.Count)})
+			}
+			return nil
+		}
+		children := make([]hostmem.Addr, 0, n.Count)
+		for _, e := range n.Entries {
+			if e.Ptr != 0 {
+				children = append(children, hostmem.Addr(e.Ptr))
+			}
+		}
+		for _, c := range children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(root); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Depth reports the tree height in levels (1 for a single leaf).
+func (t *Tree) Depth() (int, error) {
+	img := make([]byte, NodeBytes(t.fanout))
+	if err := t.mem.Read(t.root, img); err != nil {
+		return 0, err
+	}
+	n, err := ParseNode(img)
+	if err != nil {
+		return 0, err
+	}
+	return n.Depth + 1, nil
+}

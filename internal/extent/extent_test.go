@@ -1,0 +1,423 @@
+package extent
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nesc/internal/hostmem"
+)
+
+func newMem() *hostmem.Memory { return hostmem.New(8 << 20) }
+
+func mustBuild(t *testing.T, mem *hostmem.Memory, runs []Run, fanout int) *Tree {
+	t.Helper()
+	tr, err := Build(mem, runs, fanout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestSingleExtentLookup(t *testing.T) {
+	mem := newMem()
+	tr := mustBuild(t, mem, []Run{{Logical: 0, Physical: 100, Count: 50}}, DefaultFanout)
+	for _, vlba := range []uint64{0, 1, 49} {
+		res, err := Lookup(mem, tr.Root(), tr.Fanout(), vlba)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Mapped || res.PLBA != 100+vlba {
+			t.Fatalf("vlba %d -> %+v", vlba, res)
+		}
+		if res.Levels != 1 {
+			t.Fatalf("single-leaf tree walked %d levels", res.Levels)
+		}
+	}
+	res, err := Lookup(mem, tr.Root(), tr.Fanout(), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Hole || res.Mapped {
+		t.Fatalf("past-end lookup = %+v, want hole", res)
+	}
+}
+
+func TestHoleBetweenExtents(t *testing.T) {
+	mem := newMem()
+	tr := mustBuild(t, mem, []Run{
+		{Logical: 0, Physical: 10, Count: 4},
+		{Logical: 8, Physical: 20, Count: 4},
+	}, DefaultFanout)
+	for vlba, wantHole := range map[uint64]bool{0: false, 3: false, 4: true, 7: true, 8: false, 11: false, 12: true} {
+		res, err := Lookup(mem, tr.Root(), tr.Fanout(), vlba)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Hole != wantHole {
+			t.Fatalf("vlba %d: hole=%v, want %v", vlba, res.Hole, wantHole)
+		}
+	}
+}
+
+func TestMultiLevelTree(t *testing.T) {
+	mem := newMem()
+	// 100 discontiguous runs with fanout 4 forces >= 3 levels.
+	var runs []Run
+	for i := 0; i < 100; i++ {
+		runs = append(runs, Run{Logical: uint64(i * 10), Physical: uint64(1000 + i*7), Count: 5})
+	}
+	tr := mustBuild(t, mem, runs, 4)
+	d, err := tr.Depth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 3 {
+		t.Fatalf("depth = %d, want >= 3", d)
+	}
+	for _, r := range runs {
+		for off := uint64(0); off < r.Count; off++ {
+			res, err := Lookup(mem, tr.Root(), tr.Fanout(), r.Logical+off)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Mapped || res.PLBA != r.Physical+off {
+				t.Fatalf("vlba %d -> %+v, want plba %d", r.Logical+off, res, r.Physical+off)
+			}
+			if res.Levels != d {
+				t.Fatalf("walk visited %d levels, want %d", res.Levels, d)
+			}
+		}
+		// Gap after each run is a hole.
+		res, _ := Lookup(mem, tr.Root(), tr.Fanout(), r.End())
+		if !res.Hole {
+			t.Fatalf("gap at %d not a hole", r.End())
+		}
+	}
+}
+
+func TestBuildRejectsOverlapsAndUnsorted(t *testing.T) {
+	mem := newMem()
+	if _, err := Build(mem, []Run{{0, 0, 10}, {5, 100, 10}}, DefaultFanout); err == nil {
+		t.Fatal("overlapping runs accepted")
+	}
+	if _, err := Build(mem, []Run{{10, 0, 5}, {0, 100, 5}}, DefaultFanout); err == nil {
+		t.Fatal("unsorted runs accepted")
+	}
+	if _, err := Build(mem, []Run{{math.MaxUint64 - 2, 0, 10}}, DefaultFanout); err == nil {
+		t.Fatal("logical overflow accepted")
+	}
+}
+
+func TestBuildEmptyMapping(t *testing.T) {
+	mem := newMem()
+	tr := mustBuild(t, mem, nil, DefaultFanout)
+	if tr.Root() == 0 {
+		t.Fatal("empty tree has NULL root")
+	}
+	res, err := Lookup(mem, tr.Root(), tr.Fanout(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Hole {
+		t.Fatalf("empty tree lookup = %+v, want hole", res)
+	}
+}
+
+func TestZeroCountRunsSkipped(t *testing.T) {
+	mem := newMem()
+	tr := mustBuild(t, mem, []Run{{0, 5, 0}, {3, 30, 2}}, DefaultFanout)
+	res, _ := Lookup(mem, tr.Root(), tr.Fanout(), 0)
+	if !res.Hole {
+		t.Fatal("zero-count run produced a mapping")
+	}
+	res, _ = Lookup(mem, tr.Root(), tr.Fanout(), 3)
+	if !res.Mapped || res.PLBA != 30 {
+		t.Fatalf("lookup = %+v", res)
+	}
+}
+
+func TestHugeRunSplit(t *testing.T) {
+	mem := newMem()
+	count := uint64(math.MaxUint32) + 5
+	tr := mustBuild(t, mem, []Run{{Logical: 0, Physical: 0, Count: count}}, DefaultFanout)
+	// The tail past MaxUint32 must still translate correctly.
+	vlba := uint64(math.MaxUint32) + 2
+	res, err := Lookup(mem, tr.Root(), tr.Fanout(), vlba)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Mapped || res.PLBA != vlba {
+		t.Fatalf("tail lookup = %+v", res)
+	}
+}
+
+func TestFreeReleasesAllMemory(t *testing.T) {
+	mem := newMem()
+	before := mem.AllocBytes
+	var runs []Run
+	for i := 0; i < 500; i++ {
+		runs = append(runs, Run{Logical: uint64(i * 4), Physical: uint64(i * 4), Count: 2})
+	}
+	tr := mustBuild(t, mem, runs, 4)
+	if tr.ResidentBytes() == 0 || tr.Nodes() == 0 {
+		t.Fatal("tree reports no resident memory")
+	}
+	tr.Free()
+	if mem.AllocBytes != before {
+		t.Fatalf("leak: %d bytes still allocated", mem.AllocBytes-before)
+	}
+}
+
+func TestRebuildChangesMappingAndFreesOldNodes(t *testing.T) {
+	mem := newMem()
+	tr := mustBuild(t, mem, []Run{{0, 100, 10}}, DefaultFanout)
+	live := mem.AllocBytes
+	if err := tr.Rebuild([]Run{{0, 100, 10}, {10, 500, 10}}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Lookup(mem, tr.Root(), tr.Fanout(), 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Mapped || res.PLBA != 505 {
+		t.Fatalf("post-rebuild lookup = %+v", res)
+	}
+	// Same node count (still one leaf), so allocation steady-state holds.
+	if mem.AllocBytes != live {
+		t.Fatalf("rebuild leaked: %d -> %d", live, mem.AllocBytes)
+	}
+}
+
+func TestPruneProducesPrunedResolution(t *testing.T) {
+	mem := newMem()
+	var runs []Run
+	for i := 0; i < 64; i++ {
+		runs = append(runs, Run{Logical: uint64(i * 4), Physical: uint64(i * 4), Count: 2})
+	}
+	tr := mustBuild(t, mem, runs, 4)
+	nodesBefore := tr.Nodes()
+	freed, err := tr.Prune(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freed == 0 {
+		t.Fatal("prune freed nothing on a multi-level tree")
+	}
+	if tr.Nodes() != nodesBefore-freed {
+		t.Fatalf("node accounting: %d -> %d after freeing %d", nodesBefore, tr.Nodes(), freed)
+	}
+	// Some lookups now resolve as Pruned (never as wrong mappings).
+	pruned := 0
+	for _, r := range runs {
+		res, err := Lookup(mem, tr.Root(), tr.Fanout(), r.Logical)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case res.Pruned:
+			pruned++
+		case res.Mapped:
+			if res.PLBA != r.Physical {
+				t.Fatalf("surviving mapping wrong: %+v", res)
+			}
+		default:
+			t.Fatalf("unexpected resolution %+v", res)
+		}
+	}
+	if pruned == 0 {
+		t.Fatal("no lookup hit a pruned subtree")
+	}
+	// Rebuild restores everything.
+	if err := tr.Rebuild(runs); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range runs {
+		res, _ := Lookup(mem, tr.Root(), tr.Fanout(), r.Logical)
+		if !res.Mapped || res.PLBA != r.Physical {
+			t.Fatalf("post-rebuild mapping wrong at %d: %+v", r.Logical, res)
+		}
+	}
+}
+
+func TestPruneLeafRootNoop(t *testing.T) {
+	mem := newMem()
+	tr := mustBuild(t, mem, []Run{{0, 0, 10}}, DefaultFanout)
+	freed, err := tr.Prune(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freed != 0 {
+		t.Fatalf("pruned %d nodes from single-leaf tree", freed)
+	}
+}
+
+func TestCollectRunsRoundTrip(t *testing.T) {
+	mem := newMem()
+	var runs []Run
+	for i := 0; i < 77; i++ {
+		runs = append(runs, Run{Logical: uint64(i * 9), Physical: uint64(3000 + i*5), Count: 3})
+	}
+	tr := mustBuild(t, mem, runs, 5)
+	got, err := CollectRuns(mem, tr.Root(), tr.Fanout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(runs) {
+		t.Fatalf("collected %d runs, want %d", len(got), len(runs))
+	}
+	for i := range runs {
+		if got[i] != runs[i] {
+			t.Fatalf("run %d = %+v, want %+v", i, got[i], runs[i])
+		}
+	}
+}
+
+func TestParseNodeRejectsGarbage(t *testing.T) {
+	if _, err := ParseNode(nil); err == nil {
+		t.Fatal("nil image accepted")
+	}
+	b := make([]byte, 64)
+	if _, err := ParseNode(b); err == nil {
+		t.Fatal("zero magic accepted")
+	}
+	// Valid magic but count > capacity.
+	b[0], b[1] = 0xE5, 0xC0
+	b[4], b[5] = 0x00, 0x09 // count 9
+	b[6], b[7] = 0x00, 0x02 // capacity 2
+	if _, err := ParseNode(b); err == nil {
+		t.Fatal("count > capacity accepted")
+	}
+}
+
+func TestNodeViewFind(t *testing.T) {
+	n := &NodeView{Depth: 0, Count: 3, Capacity: 4, Entries: []Entry{
+		{FirstLogical: 10, Count: 5, Ptr: 100},
+		{FirstLogical: 20, Count: 5, Ptr: 200},
+		{FirstLogical: 30, Count: 5, Ptr: 300},
+	}}
+	if _, ok := n.Find(5); ok {
+		t.Fatal("found entry before first")
+	}
+	if e, ok := n.Find(12); !ok || e.Ptr != 100 {
+		t.Fatalf("Find(12) = %+v, %v", e, ok)
+	}
+	if _, ok := n.Find(17); ok {
+		t.Fatal("found entry in gap")
+	}
+	if e, ok := n.Find(34); !ok || e.Ptr != 300 {
+		t.Fatalf("Find(34) = %+v, %v", e, ok)
+	}
+	if _, ok := n.Find(35); ok {
+		t.Fatal("found entry past last")
+	}
+}
+
+// Property: for random mappings and random probes, Lookup agrees with a
+// naive linear scan over the runs, across fanouts.
+func TestLookupMatchesReferenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 40; trial++ {
+		mem := newMem()
+		fanout := 2 + rng.Intn(9)
+		nRuns := 1 + rng.Intn(200)
+		var runs []Run
+		next := uint64(0)
+		for i := 0; i < nRuns; i++ {
+			next += uint64(rng.Intn(5)) // occasional holes (gap 0 = adjacent)
+			count := uint64(1 + rng.Intn(20))
+			runs = append(runs, Run{Logical: next, Physical: uint64(rng.Intn(1 << 20)), Count: count})
+			next += count
+		}
+		tr, err := Build(mem, runs, fanout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := func(vlba uint64) (uint64, bool) {
+			for _, r := range runs {
+				if vlba >= r.Logical && vlba < r.End() {
+					return r.Physical + (vlba - r.Logical), true
+				}
+			}
+			return 0, false
+		}
+		for probe := 0; probe < 200; probe++ {
+			vlba := uint64(rng.Intn(int(next) + 10))
+			wantP, wantMapped := ref(vlba)
+			res, err := Lookup(mem, tr.Root(), tr.Fanout(), vlba)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Mapped != wantMapped {
+				t.Fatalf("trial %d fanout %d vlba %d: mapped=%v want %v", trial, fanout, vlba, res.Mapped, wantMapped)
+			}
+			if wantMapped && res.PLBA != wantP {
+				t.Fatalf("trial %d vlba %d: plba=%d want %d", trial, vlba, res.PLBA, wantP)
+			}
+			if wantMapped {
+				// The covering extent must actually cover vlba.
+				e := res.Extent
+				if vlba < e.Logical || vlba >= e.End() || e.Physical+(vlba-e.Logical) != res.PLBA {
+					t.Fatalf("covering extent inconsistent: vlba %d, extent %+v", vlba, e)
+				}
+			}
+		}
+		tr.Free()
+	}
+}
+
+// Property: serialization round-trips through ParseNode for arbitrary entry
+// sets.
+func TestSerializeParseRoundTripProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		fanout := DefaultFanout
+		n := len(raw)
+		if n > fanout {
+			n = fanout
+		}
+		entries := make([]Entry, n)
+		logical := uint64(0)
+		for i := 0; i < n; i++ {
+			count := raw[i]%1000 + 1
+			entries[i] = Entry{FirstLogical: logical, Count: count, Ptr: uint64(raw[i]) * 7}
+			logical += uint64(count) + 1
+		}
+		b := make([]byte, NodeBytes(fanout))
+		serializeNode(b, 0, fanout, entries)
+		nv, err := ParseNode(b)
+		if err != nil {
+			return false
+		}
+		if nv.Count != n || !nv.Leaf() || nv.Capacity != fanout {
+			return false
+		}
+		for i := range entries {
+			if nv.Entries[i] != entries[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDepthGrowsLogarithmically(t *testing.T) {
+	mem := hostmem.New(64 << 20)
+	var runs []Run
+	for i := 0; i < 10000; i++ {
+		runs = append(runs, Run{Logical: uint64(i * 2), Physical: uint64(i * 2), Count: 1})
+	}
+	tr := mustBuild(t, mem, runs, 10)
+	d, err := tr.Depth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10000 entries at fanout 10: 1000 leaves -> 100 -> 10 -> 1 root,
+	// i.e. 4 levels of nodes.
+	if d != 4 {
+		t.Fatalf("depth = %d, want 4", d)
+	}
+}

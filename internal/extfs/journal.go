@@ -1,0 +1,289 @@
+package extfs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"nesc/internal/sim"
+)
+
+// Write-ahead redo journal. Each public mutating operation is one
+// transaction: block images are buffered, then on commit written to the
+// journal region (descriptor block, image blocks, commit block with a
+// checksum) and finally checkpointed to their home locations. Mount replays
+// committed transactions in sequence order, which makes every operation
+// atomic across a crash between commit and checkpoint.
+
+const (
+	jDescMagic   = 0x4A444553 // "JDES"
+	jCommitMagic = 0x4A434D54 // "JCMT"
+)
+
+type txState struct {
+	order  []int64
+	images map[int64][]byte
+}
+
+// txBegin opens a transaction buffer. No-op when journaling is off.
+func (fs *FS) txBegin() {
+	if fs.sb.mode == JournalNone {
+		return
+	}
+	fs.tx = &txState{images: make(map[int64][]byte)}
+}
+
+// writeBlock routes one block image either into the open transaction (when
+// the journal covers this class of block) or directly to disk. When a
+// transaction outgrows the journal descriptor's capacity (full-data mode
+// with large writes), the accumulated batch is committed and a fresh
+// transaction continues — multi-transaction operations, as in ext4.
+func (fs *FS) writeBlock(ctx *sim.Proc, lba int64, img []byte, meta bool) error {
+	journal := fs.tx != nil && (meta || fs.sb.mode == JournalFull)
+	if !journal {
+		if meta {
+			fs.MetaBlockWrites++
+		} else {
+			fs.DataBlockWrites++
+		}
+		return fs.devWrite(ctx, lba, img)
+	}
+	batch := fs.txEntriesPerDesc() - 8
+	if jb := int(fs.sb.journalBlocks) - 2; jb < batch {
+		batch = jb
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	if len(fs.tx.order) >= batch {
+		if err := fs.txCommit(ctx); err != nil {
+			return err
+		}
+		fs.txBegin()
+	}
+	buf, ok := fs.tx.images[lba]
+	if !ok {
+		buf = make([]byte, fs.bs)
+		fs.tx.images[lba] = buf
+		fs.tx.order = append(fs.tx.order, lba)
+	}
+	copy(buf, img)
+	return nil
+}
+
+// txEntriesPerDesc reports how many block numbers fit in one descriptor
+// block: header is magic(4) seq(8) count(4) = 16 bytes, then 8 bytes per
+// block number.
+func (fs *FS) txEntriesPerDesc() int { return (fs.bs - 16) / 8 }
+
+// txCommit writes the journal record and checkpoints the buffered blocks.
+func (fs *FS) txCommit(ctx *sim.Proc) error {
+	tx := fs.tx
+	fs.tx = nil
+	if tx == nil || len(tx.order) == 0 {
+		fs.tx = nil
+		return nil
+	}
+	if len(tx.order) > fs.txEntriesPerDesc() {
+		return fmt.Errorf("extfs: transaction of %d blocks exceeds journal descriptor capacity %d", len(tx.order), fs.txEntriesPerDesc())
+	}
+	need := uint64(len(tx.order) + 2) // descriptor + images + commit
+	if need > fs.sb.journalBlocks {
+		return fmt.Errorf("extfs: transaction of %d blocks exceeds journal of %d blocks", len(tx.order), fs.sb.journalBlocks)
+	}
+	if fs.journalHead+need > fs.sb.journalBlocks {
+		fs.journalHead = 0 // wrap; old records become garbage
+	}
+	fs.journalSeq++
+	head := fs.sb.journalStart + fs.journalHead
+
+	// Descriptor.
+	desc := make([]byte, fs.bs)
+	binary.BigEndian.PutUint32(desc[0:], jDescMagic)
+	binary.BigEndian.PutUint64(desc[4:], fs.journalSeq)
+	binary.BigEndian.PutUint32(desc[12:], uint32(len(tx.order)))
+	for i, lba := range tx.order {
+		binary.BigEndian.PutUint64(desc[16+8*i:], uint64(lba))
+	}
+	if err := fs.devWrite(ctx, int64(head), desc); err != nil {
+		return err
+	}
+	fs.JournalBlockWrites++
+
+	// Images, with a rolling checksum sealed into the commit block.
+	var sum uint64
+	for i, lba := range tx.order {
+		img := tx.images[lba]
+		sum = checksum(sum, img)
+		if err := fs.devWrite(ctx, int64(head)+1+int64(i), img); err != nil {
+			return err
+		}
+		fs.JournalBlockWrites++
+	}
+
+	// Commit record.
+	commit := make([]byte, fs.bs)
+	binary.BigEndian.PutUint32(commit[0:], jCommitMagic)
+	binary.BigEndian.PutUint64(commit[4:], fs.journalSeq)
+	binary.BigEndian.PutUint64(commit[12:], sum)
+	if err := fs.devWrite(ctx, int64(head)+1+int64(len(tx.order)), commit); err != nil {
+		return err
+	}
+	fs.JournalBlockWrites++
+	fs.journalHead += need
+
+	if fs.failAfterCommit {
+		fs.dead = true
+		return nil // committed but not checkpointed: recovery's job
+	}
+
+	// Checkpoint to home locations.
+	for _, lba := range tx.order {
+		fs.MetaBlockWrites++
+		if err := fs.devWrite(ctx, lba, tx.images[lba]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checksum(sum uint64, b []byte) uint64 {
+	// FNV-1a folded over the existing sum; cheap and order-sensitive.
+	const prime = 1099511628211
+	if sum == 0 {
+		sum = 14695981039346656037
+	}
+	for _, c := range b {
+		sum ^= uint64(c)
+		sum *= prime
+	}
+	return sum
+}
+
+// replayJournal scans the journal region at mount and redoes every fully
+// committed transaction in sequence order.
+func (fs *FS) replayJournal(ctx *sim.Proc) error {
+	if fs.sb.journalBlocks == 0 {
+		return nil
+	}
+	type rec struct {
+		seq    uint64
+		blocks []int64
+		start  uint64 // journal block index of first image
+	}
+	img := make([]byte, fs.bs)
+	var recs []rec
+	var maxSeq uint64
+	for j := uint64(0); j < fs.sb.journalBlocks; j++ {
+		if err := fs.dev.ReadBlocks(ctx, int64(fs.sb.journalStart+j), img); err != nil {
+			return err
+		}
+		if binary.BigEndian.Uint32(img[0:]) != jDescMagic {
+			continue
+		}
+		seq := binary.BigEndian.Uint64(img[4:])
+		n := binary.BigEndian.Uint32(img[12:])
+		if n == 0 || uint64(n) > fs.sb.journalBlocks || j+uint64(n)+1 >= fs.sb.journalBlocks {
+			continue
+		}
+		blocks := make([]int64, n)
+		for i := uint32(0); i < n; i++ {
+			blocks[i] = int64(binary.BigEndian.Uint64(img[16+8*i:]))
+		}
+		// Validate the commit record and checksum.
+		cb := make([]byte, fs.bs)
+		if err := fs.dev.ReadBlocks(ctx, int64(fs.sb.journalStart+j+uint64(n)+1), cb); err != nil {
+			return err
+		}
+		if binary.BigEndian.Uint32(cb[0:]) != jCommitMagic || binary.BigEndian.Uint64(cb[4:]) != seq {
+			continue
+		}
+		var sum uint64
+		bimg := make([]byte, fs.bs)
+		valid := true
+		for i := uint32(0); i < n; i++ {
+			if err := fs.dev.ReadBlocks(ctx, int64(fs.sb.journalStart+j+1+uint64(i)), bimg); err != nil {
+				return err
+			}
+			sum = checksum(sum, bimg)
+		}
+		if sum != binary.BigEndian.Uint64(cb[12:]) {
+			valid = false
+		}
+		if !valid {
+			continue
+		}
+		recs = append(recs, rec{seq: seq, blocks: blocks, start: j + 1})
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		j += uint64(n) + 1 // skip past this record
+	}
+	sort.Slice(recs, func(i, k int) bool { return recs[i].seq < recs[k].seq })
+	for _, r := range recs {
+		for i, lba := range r.blocks {
+			if err := fs.dev.ReadBlocks(ctx, int64(fs.sb.journalStart+r.start+uint64(i)), img); err != nil {
+				return err
+			}
+			if err := fs.devWrite(ctx, lba, img); err != nil {
+				return err
+			}
+		}
+	}
+	fs.journalSeq = maxSeq
+	// Leave journalHead at 0: fresh records overwrite old ones; stale
+	// records lose to the checksum/seq validation.
+	fs.journalHead = 0
+	return nil
+}
+
+// flushDirtyBitmap writes bitmap disk blocks touched since the last flush
+// into the current transaction.
+func (fs *FS) flushDirtyBitmap(ctx *sim.Proc) error {
+	if len(fs.dirtyBitmapBlks) == 0 {
+		return nil
+	}
+	img := make([]byte, fs.bs)
+	blks := make([]uint64, 0, len(fs.dirtyBitmapBlks))
+	for b := range fs.dirtyBitmapBlks {
+		blks = append(blks, b)
+	}
+	sort.Slice(blks, func(i, j int) bool { return blks[i] < blks[j] })
+	for _, b := range blks {
+		off := b * uint64(fs.bs)
+		clear(img)
+		end := off + uint64(fs.bs)
+		if end > uint64(len(fs.bitmap)) {
+			end = uint64(len(fs.bitmap))
+		}
+		if off < end {
+			copy(img, fs.bitmap[off:end])
+		}
+		if err := fs.writeBlock(ctx, int64(fs.sb.bitmapStart+b), img, true); err != nil {
+			return err
+		}
+	}
+	fs.dirtyBitmapBlks = nil
+	return nil
+}
+
+// flushBitmapAll writes the entire bitmap (mkfs path).
+func (fs *FS) flushBitmapAll(ctx *sim.Proc) error {
+	img := make([]byte, fs.bs)
+	for b := uint64(0); b < fs.sb.bitmapBlocks; b++ {
+		off := b * uint64(fs.bs)
+		clear(img)
+		end := off + uint64(fs.bs)
+		if end > uint64(len(fs.bitmap)) {
+			end = uint64(len(fs.bitmap))
+		}
+		if off < end {
+			copy(img, fs.bitmap[off:end])
+		}
+		if err := fs.devWrite(ctx, int64(fs.sb.bitmapStart+b), img); err != nil {
+			return err
+		}
+	}
+	fs.dirtyBitmapBlks = nil
+	return nil
+}

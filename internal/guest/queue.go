@@ -1,0 +1,161 @@
+package guest
+
+import (
+	"fmt"
+
+	"nesc/internal/core"
+	"nesc/internal/hostmem"
+	"nesc/internal/pcie"
+	"nesc/internal/sim"
+)
+
+// QueuePair is the NeSC ring-protocol client shared by the guest VF driver
+// and the hypervisor's PF driver: it owns a request/completion ring pair in
+// host memory, programs the function's ring registers over MMIO, and matches
+// completions (delivered by interrupt) back to blocked submitters. It
+// supports multiple concurrent submitters, so a queue-depth > 1 workload
+// keeps the device pipeline full.
+type QueuePair struct {
+	eng     *sim.Engine
+	mem     *hostmem.Memory
+	fab     *pcie.Fabric
+	pageBus int64 // bus address of the function's register page
+	entries uint32
+
+	ringBase hostmem.Addr
+	cplBase  hostmem.Addr
+	prod     uint32
+	lastSeq  uint32
+	nextID   uint32
+
+	slots   *sim.Semaphore
+	waiters map[uint32]*qpWaiter
+
+	// SubmitTime is the driver CPU cost per submission.
+	SubmitTime sim.Time
+
+	// Submitted counts requests issued.
+	Submitted int64
+}
+
+type qpWaiter struct {
+	sig    *sim.Signal
+	status uint32
+}
+
+// NewQueuePair allocates and programs rings for the function whose register
+// page sits at pageBus.
+func NewQueuePair(p *sim.Proc, eng *sim.Engine, mem *hostmem.Memory, fab *pcie.Fabric, pageBus int64, entries int, submitTime sim.Time) (*QueuePair, error) {
+	qp := &QueuePair{
+		eng:        eng,
+		mem:        mem,
+		fab:        fab,
+		pageBus:    pageBus,
+		entries:    uint32(entries),
+		slots:      sim.NewSemaphore(eng, entries),
+		waiters:    make(map[uint32]*qpWaiter),
+		SubmitTime: submitTime,
+	}
+	var err error
+	if qp.ringBase, err = mem.Alloc(int64(entries)*core.DescBytes, 64); err != nil {
+		return nil, err
+	}
+	if qp.cplBase, err = mem.Alloc(int64(entries)*core.CplBytes, 64); err != nil {
+		return nil, err
+	}
+	if err := mem.Zero(qp.ringBase, int64(entries)*core.DescBytes); err != nil {
+		return nil, err
+	}
+	if err := mem.Zero(qp.cplBase, int64(entries)*core.CplBytes); err != nil {
+		return nil, err
+	}
+	if err := fab.MMIOWrite(p, pageBus+core.RegRingBase, 8, uint64(qp.ringBase)); err != nil {
+		return nil, err
+	}
+	if err := fab.MMIOWrite(p, pageBus+core.RegRingSize, 4, uint64(entries)); err != nil {
+		return nil, err
+	}
+	if err := fab.MMIOWrite(p, pageBus+core.RegCplBase, 8, uint64(qp.cplBase)); err != nil {
+		return nil, err
+	}
+	return qp, nil
+}
+
+// DMARanges reports the ring memory the hypervisor must grant to the device
+// when the IOMMU is enabled.
+func (qp *QueuePair) DMARanges() [][2]int64 {
+	return [][2]int64{
+		{qp.ringBase, int64(qp.entries) * core.DescBytes},
+		{qp.cplBase, int64(qp.entries) * core.CplBytes},
+	}
+}
+
+// DeviceSize reads the function's device-size register.
+func (qp *QueuePair) DeviceSize(p *sim.Proc) (uint64, error) {
+	return qp.fab.MMIORead(p, qp.pageBus+core.RegDeviceSize, 8)
+}
+
+// Submit issues one request and blocks until its completion, returning the
+// device status code.
+func (qp *QueuePair) Submit(p *sim.Proc, op uint32, lba uint64, count uint32, bufAddr int64) (uint32, error) {
+	qp.slots.Acquire(p)
+	defer qp.slots.Release()
+	p.Sleep(qp.SubmitTime)
+	qp.nextID++
+	id := qp.nextID
+	var desc [core.DescBytes]byte
+	core.EncodeDescriptor(desc[:], op, id, lba, count, bufAddr)
+	slot := int64(qp.prod % qp.entries)
+	if err := qp.mem.Write(qp.ringBase+slot*core.DescBytes, desc[:]); err != nil {
+		return 0, err
+	}
+	qp.prod++
+	qp.Submitted++
+	w := &qpWaiter{sig: sim.NewSignal(qp.eng)}
+	qp.waiters[id] = w
+	if err := qp.fab.MMIOWrite(p, qp.pageBus+core.RegDoorbell, 4, uint64(qp.prod)); err != nil {
+		return 0, err
+	}
+	w.sig.Await(p)
+	return w.status, nil
+}
+
+// OnInterrupt drains new completion entries and wakes their submitters. It
+// runs in engine (interrupt) context.
+func (qp *QueuePair) OnInterrupt() {
+	entry := make([]byte, core.CplBytes)
+	for {
+		slot := int64(qp.lastSeq % qp.entries)
+		if err := qp.mem.Read(qp.cplBase+slot*core.CplBytes, entry); err != nil {
+			return
+		}
+		id, status, seq := core.DecodeCompletion(entry)
+		if seq != qp.lastSeq+1 {
+			return
+		}
+		qp.lastSeq = seq
+		if w, ok := qp.waiters[id]; ok {
+			delete(qp.waiters, id)
+			w.status = status
+			w.sig.Fire()
+		}
+	}
+}
+
+// StatusError converts a device status to an error (nil for StatusOK).
+func StatusError(status uint32) error {
+	switch status {
+	case core.StatusOK:
+		return nil
+	case core.StatusOutOfRange:
+		return fmt.Errorf("nesc: request out of device range")
+	case core.StatusNoSpace:
+		return fmt.Errorf("nesc: no space (hypervisor denied allocation)")
+	case core.StatusDisabled:
+		return fmt.Errorf("nesc: function disabled")
+	case core.StatusDMAFault:
+		return fmt.Errorf("nesc: DMA fault")
+	default:
+		return fmt.Errorf("nesc: device status %d", status)
+	}
+}

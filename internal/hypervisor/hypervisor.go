@@ -1,0 +1,276 @@
+// Package hypervisor models the host virtualization stack: the QEMU/KVM-
+// style virtual machine monitor of the paper's experimental platform. It
+// owns the NeSC physical function, mounts the host filesystem on it, routes
+// the device's interrupts, services translation-miss interrupts (lazy
+// allocation and pruned-tree regeneration), and exposes the three storage
+// virtualization methods of the paper's Figure 1 to guest VMs:
+//
+//	full device emulation (trapped PIO), virtio (paravirtual), and
+//	direct device assignment of NeSC virtual functions.
+package hypervisor
+
+import (
+	"nesc/internal/core"
+	"nesc/internal/extent"
+	"nesc/internal/extfs"
+	"nesc/internal/guest"
+	"nesc/internal/hostmem"
+	"nesc/internal/pcie"
+	"nesc/internal/sim"
+)
+
+// Params is the host-side cost model.
+type Params struct {
+	// VMExitTime / VMEnterTime are the world-switch halves of a trap.
+	VMExitTime  sim.Time
+	VMEnterTime sim.Time
+	// InjectTime is the cost of injecting an interrupt into a guest.
+	InjectTime sim.Time
+	// HostStackTime is the host block layer's per-request cost (the
+	// hypervisor replica of the guest stack, §II).
+	HostStackTime sim.Time
+	// HostFSOpCost is the host filesystem's per-operation CPU cost.
+	HostFSOpCost sim.Time
+	// BackendWakeTime is the latency from a virtio kick to the backend
+	// thread running (eventfd + iothread scheduling).
+	BackendWakeTime sim.Time
+	// BackendProcessTime is QEMU's per-request virtio-blk processing cost.
+	BackendProcessTime sim.Time
+	// EmulTrapTime is the device-emulation work per trapped access.
+	EmulTrapTime sim.Time
+	// EmulCmdProcessTime is the emulated disk's per-command processing.
+	EmulCmdProcessTime sim.Time
+	// MissHandlerTime is the hypervisor CPU cost of one NeSC miss
+	// (interrupt handler, filesystem query, tree rebuild).
+	MissHandlerTime sim.Time
+	// MemcpyBandwidth prices host-side data copies.
+	MemcpyBandwidth float64
+	// UseIOMMU enables DMA remapping (a real SR-IOV platform); off, the
+	// paper's prototype mode, guests bounce through trampoline buffers.
+	UseIOMMU bool
+	// PFMaxBlocksPerReq bounds one PF ring request.
+	PFMaxBlocksPerReq int
+	// PFRingEntries sizes the PF rings.
+	PFRingEntries int
+	// DriverSubmitTime is the per-request CPU cost of ring drivers (PF and
+	// guest VF alike).
+	DriverSubmitTime sim.Time
+}
+
+// DefaultParams returns costs representative of the paper's QEMU/KVM
+// platform (Table I).
+func DefaultParams() Params {
+	return Params{
+		VMExitTime:         1300 * sim.Nanosecond,
+		VMEnterTime:        1200 * sim.Nanosecond,
+		InjectTime:         1800 * sim.Nanosecond,
+		HostStackTime:      2500 * sim.Nanosecond,
+		HostFSOpCost:       1800 * sim.Nanosecond,
+		BackendWakeTime:    12 * sim.Microsecond,
+		BackendProcessTime: 48 * sim.Microsecond,
+		EmulTrapTime:       22 * sim.Microsecond,
+		EmulCmdProcessTime: 45 * sim.Microsecond,
+		MissHandlerTime:    6 * sim.Microsecond,
+		MemcpyBandwidth:    8e9,
+		PFMaxBlocksPerReq:  1024,
+		PFRingEntries:      256,
+		DriverSubmitTime:   600 * sim.Nanosecond,
+	}
+}
+
+// sharedTree is one extent tree exported through one or more VFs. The paper
+// (§IV-B) explicitly allows "multiple VFs to share an extent tree and
+// thereby files"; NeSC guarantees only the consistency of the shared tree —
+// data synchronization is the clients' business.
+type sharedTree struct {
+	key  string // host path, or a unique synthetic key for raw VFs
+	tree *extent.Tree
+	refs int
+}
+
+// vfState is the hypervisor's bookkeeping for one exported VF.
+type vfState struct {
+	inUse  bool
+	path   string
+	shared *sharedTree
+	// identity marks a raw passthrough VF (no backing file).
+	identity bool
+}
+
+// Hypervisor is the host VMM instance.
+type Hypervisor struct {
+	Eng *sim.Engine
+	Mem *hostmem.Memory
+	Fab *pcie.Fabric
+	Ctl *core.Controller
+	P   Params
+
+	pfQP   *guest.QueuePair
+	HostFS *extfs.FS
+
+	vfs   []*vfState
+	trees map[string]*sharedTree
+	// qps routes completion MSIs to ring clients; vmOf marks VF-owned ones
+	// for interrupt-injection cost.
+	qps  map[pcie.FnID]*guest.QueuePair
+	vmOf map[pcie.FnID]*VM
+
+	// MissInterrupts counts serviced NeSC miss interrupts.
+	MissInterrupts int64
+	// Injections counts guest interrupt injections.
+	Injections int64
+}
+
+// New wires a hypervisor to the controller and installs the MSI router.
+func New(eng *sim.Engine, mem *hostmem.Memory, fab *pcie.Fabric, ctl *core.Controller, p Params) *Hypervisor {
+	h := &Hypervisor{
+		Eng:   eng,
+		Mem:   mem,
+		Fab:   fab,
+		Ctl:   ctl,
+		P:     p,
+		vfs:   make([]*vfState, ctl.P.NumVFs),
+		trees: make(map[string]*sharedTree),
+		qps:   make(map[pcie.FnID]*guest.QueuePair),
+		vmOf:  make(map[pcie.FnID]*VM),
+	}
+	for i := range h.vfs {
+		h.vfs[i] = &vfState{}
+	}
+	fab.SetMSIHandler(h.handleMSI)
+	if p.UseIOMMU {
+		fab.IOMMU().Enable()
+		// The PF (device master) may reach all host memory: it DMAs extent
+		// trees, PF rings, and backend buffers on the hypervisor's behalf.
+		fab.IOMMU().Grant(ctl.PF().ID(), 0, mem.Size())
+	}
+	return h
+}
+
+func (h *Hypervisor) handleMSI(from pcie.FnID, vec uint8) {
+	switch vec {
+	case core.VecCompletion:
+		qp := h.qps[from]
+		if qp == nil {
+			return
+		}
+		if vm := h.vmOf[from]; vm != nil {
+			// VF completions are delivered to the guest: charge injection.
+			h.Injections++
+			h.Eng.After(h.P.InjectTime, qp.OnInterrupt)
+			return
+		}
+		qp.OnInterrupt()
+	case core.VecMiss:
+		h.Eng.Go("nesc-miss-handler", h.serviceMisses)
+	}
+}
+
+// Boot programs the PF rings and formats (or mounts) the host filesystem on
+// the physical device.
+func (h *Hypervisor) Boot(p *sim.Proc, format bool, fsParams extfs.Params) error {
+	qp, err := guest.NewQueuePair(p, h.Eng, h.Mem, h.Fab,
+		h.Ctl.BARBase()+h.Ctl.FunctionPageOffset(0), h.P.PFRingEntries, h.P.DriverSubmitTime)
+	if err != nil {
+		return err
+	}
+	h.pfQP = qp
+	h.qps[h.Ctl.PF().ID()] = qp
+	disk := h.PFDisk()
+	fsParams.OpCost = h.P.HostFSOpCost
+	if format {
+		h.HostFS, err = extfs.Format(p, disk, fsParams)
+	} else {
+		h.HostFS, err = extfs.Mount(p, disk, h.P.HostFSOpCost)
+	}
+	return err
+}
+
+// PFDisk returns the host block-device view of the physical function.
+func (h *Hypervisor) PFDisk() *PFDisk {
+	return &PFDisk{h: h}
+}
+
+// PFDisk is the host's block device over the PF out-of-band channel: the
+// "raw storage device with no file mapping capabilities" that serves as the
+// paper's baseline (§VII).
+type PFDisk struct {
+	h      *Hypervisor
+	bounce guest.Buffer
+}
+
+// BlockSize implements extfs.BlockDev.
+func (d *PFDisk) BlockSize() int { return d.h.Ctl.P.BlockSize }
+
+// NumBlocks implements extfs.BlockDev.
+func (d *PFDisk) NumBlocks() int64 { return d.h.Ctl.Medium.Store().NumBlocks() }
+
+func (d *PFDisk) ensure(n int) guest.Buffer {
+	if len(d.bounce.Data) < n {
+		addr := d.h.Mem.MustAlloc(int64(n), 64)
+		data, err := d.h.Mem.Slice(addr, int64(n))
+		if err != nil {
+			panic(err)
+		}
+		d.bounce = guest.Buffer{Addr: addr, Data: data}
+	}
+	return guest.Buffer{Addr: d.bounce.Addr, Data: d.bounce.Data[:n]}
+}
+
+func (d *PFDisk) submit(ctx *sim.Proc, op uint32, lba int64, buf guest.Buffer) error {
+	h := d.h
+	bs := d.BlockSize()
+	maxB := h.P.PFMaxBlocksPerReq
+	blocks := len(buf.Data) / bs
+	for done := 0; done < blocks; {
+		n := blocks - done
+		if n > maxB {
+			n = maxB
+		}
+		ctx.Sleep(h.P.HostStackTime)
+		st, err := h.pfQP.Submit(ctx, op, uint64(lba+int64(done)), uint32(n), buf.Addr+int64(done*bs))
+		if err != nil {
+			return err
+		}
+		if err := guest.StatusError(st); err != nil {
+			return err
+		}
+		done += n
+	}
+	return nil
+}
+
+// ReadBlocks implements extfs.BlockDev.
+func (d *PFDisk) ReadBlocks(ctx *sim.Proc, lba int64, p []byte) error {
+	if ctx == nil {
+		// Timeless access for setup/inspection: bypass the rings.
+		return d.h.Ctl.Medium.Store().ReadBlocks(lba, p)
+	}
+	buf := d.ensure(len(p))
+	if err := d.submit(ctx, core.OpRead, lba, buf); err != nil {
+		return err
+	}
+	copy(p, buf.Data)
+	ctx.Sleep(sim.BytesTime(int64(len(p)), d.h.P.MemcpyBandwidth))
+	return nil
+}
+
+// WriteBlocks implements extfs.BlockDev.
+func (d *PFDisk) WriteBlocks(ctx *sim.Proc, lba int64, p []byte) error {
+	if ctx == nil {
+		return d.h.Ctl.Medium.Store().WriteBlocks(lba, p)
+	}
+	buf := d.ensure(len(p))
+	copy(buf.Data, p)
+	ctx.Sleep(sim.BytesTime(int64(len(p)), d.h.P.MemcpyBandwidth))
+	return d.submit(ctx, core.OpWrite, lba, buf)
+}
+
+// Flush implements extfs.BlockDev.
+func (d *PFDisk) Flush(*sim.Proc) error { return nil }
+
+// trap charges a full guest trap (vmexit + handler + vmenter) to the guest's
+// process.
+func (h *Hypervisor) trap(p *sim.Proc, handler sim.Time) {
+	p.Sleep(h.P.VMExitTime + handler + h.P.VMEnterTime)
+}

@@ -1,0 +1,509 @@
+package hypervisor
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+
+	"nesc/internal/blockdev"
+	"nesc/internal/core"
+	"nesc/internal/extfs"
+	"nesc/internal/hostmem"
+	"nesc/internal/pcie"
+	"nesc/internal/sim"
+)
+
+// world is a fully wired platform: memory, fabric, medium, controller,
+// hypervisor.
+type world struct {
+	eng *sim.Engine
+	mem *hostmem.Memory
+	fab *pcie.Fabric
+	ctl *core.Controller
+	h   *Hypervisor
+}
+
+func newWorld(t *testing.T, mediumBlocks int64, mut func(*Params)) *world {
+	t.Helper()
+	eng := sim.NewEngine()
+	mem := hostmem.New(256 << 20)
+	fab := pcie.New(eng, mem, pcie.DefaultParams())
+	cp := core.DefaultParams()
+	cp.NumVFs = 8
+	store := blockdev.NewStore(cp.BlockSize, mediumBlocks)
+	medium := blockdev.NewMedium(eng, store, blockdev.DefaultMediumParams())
+	ctl, err := core.New(eng, fab, medium, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp := DefaultParams()
+	if mut != nil {
+		mut(&hp)
+	}
+	h := New(eng, mem, fab, ctl, hp)
+	return &world{eng: eng, mem: mem, fab: fab, ctl: ctl, h: h}
+}
+
+// run executes fn as the initial host process and drives the simulation to
+// quiescence, failing the test if fn never finished (deadlock).
+func (w *world) run(t *testing.T, fn func(p *sim.Proc)) {
+	t.Helper()
+	done := false
+	w.eng.Go("main", func(p *sim.Proc) {
+		fn(p)
+		done = true
+	})
+	w.eng.Run()
+	w.eng.Shutdown()
+	if !done {
+		t.Fatal("main process deadlocked")
+	}
+}
+
+func (w *world) boot(t *testing.T, p *sim.Proc) {
+	t.Helper()
+	if err := w.h.Boot(p, true, extfs.Params{InodeCount: 128, JournalBlocks: 64, Mode: extfs.JournalMetadata}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// mkImage creates and fully allocates a disk image on the host FS.
+func (w *world) mkImage(t *testing.T, p *sim.Proc, path string, uid uint32, blocks uint64) {
+	t.Helper()
+	f, err := w.h.HostFS.Create(p, path, uid, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(p, blocks*1024); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.h.HostFS.AllocateRange(p, path, 0, blocks); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBootAndHostFS(t *testing.T) {
+	w := newWorld(t, 8192, nil)
+	w.run(t, func(p *sim.Proc) {
+		w.boot(t, p)
+		f, err := w.h.HostFS.Create(p, "/hello", 0, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt(p, []byte("through the PF rings"), 0); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 20)
+		if _, err := f.ReadAt(p, got, 0); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+		if string(got) != "through the PF rings" {
+			t.Fatalf("read %q", got)
+		}
+		if p.Now() == 0 {
+			t.Fatal("host FS I/O consumed no virtual time")
+		}
+	})
+}
+
+func TestDirectVMRoundTrip(t *testing.T) {
+	w := newWorld(t, 8192, nil)
+	w.run(t, func(p *sim.Proc) {
+		w.boot(t, p)
+		w.mkImage(t, p, "/disk.img", 100, 512)
+		vm, err := w.h.NewVM(p, "vm0", VMConfig{Backend: BackendDirect, DiskPath: "/disk.img", UID: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vm.NescDrv.CapacityBlocks() != 512 {
+			t.Fatalf("capacity = %d", vm.NescDrv.CapacityBlocks())
+		}
+		buf := vm.Kernel.AllocBuffer(64 * 1024)
+		rand.New(rand.NewSource(2)).Read(buf.Data)
+		want := append([]byte(nil), buf.Data...)
+		if err := vm.Kernel.SubmitAligned(p, true, 0, buf); err != nil {
+			t.Fatal(err)
+		}
+		clear(buf.Data)
+		if err := vm.Kernel.SubmitAligned(p, false, 0, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Data, want) {
+			t.Fatal("direct VM round trip mismatch")
+		}
+		// The bytes are visible through the host filesystem too: same file.
+		f, err := w.h.HostFS.Open(p, "/disk.img", 0, extfs.PermRead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 64*1024)
+		if _, err := f.ReadAt(p, got, 0); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatal("host view of VF-written file differs")
+		}
+	})
+}
+
+func TestAllBackendsRoundTrip(t *testing.T) {
+	for _, kind := range []BackendKind{BackendDirect, BackendVirtio, BackendEmulation} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			w := newWorld(t, 8192, nil)
+			w.run(t, func(p *sim.Proc) {
+				w.boot(t, p)
+				w.mkImage(t, p, "/d.img", 7, 256)
+				vm, err := w.h.NewVM(p, "vm", VMConfig{Backend: kind, DiskPath: "/d.img", UID: 7})
+				if err != nil {
+					t.Fatal(err)
+				}
+				buf := vm.Kernel.AllocBuffer(32 * 1024)
+				rand.New(rand.NewSource(int64(kind))).Read(buf.Data)
+				want := append([]byte(nil), buf.Data...)
+				if err := vm.Kernel.SubmitAligned(p, true, 16, buf); err != nil {
+					t.Fatal(err)
+				}
+				clear(buf.Data)
+				if err := vm.Kernel.SubmitAligned(p, false, 16, buf); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(buf.Data, want) {
+					t.Fatalf("%v round trip mismatch", kind)
+				}
+			})
+		})
+	}
+}
+
+func TestRawDeviceBackends(t *testing.T) {
+	for _, kind := range []BackendKind{BackendDirect, BackendVirtio, BackendEmulation} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			w := newWorld(t, 4096, nil)
+			w.run(t, func(p *sim.Proc) {
+				w.boot(t, p)
+				vm, err := w.h.NewVM(p, "vm", VMConfig{Backend: kind, RawDevice: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				buf := vm.Kernel.AllocBuffer(8 * 1024)
+				for i := range buf.Data {
+					buf.Data[i] = byte(i)
+				}
+				want := append([]byte(nil), buf.Data...)
+				if err := vm.Kernel.SubmitAligned(p, true, 100, buf); err != nil {
+					t.Fatal(err)
+				}
+				clear(buf.Data)
+				if err := vm.Kernel.SubmitAligned(p, false, 100, buf); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(buf.Data, want) {
+					t.Fatalf("%v raw round trip mismatch", kind)
+				}
+			})
+		})
+	}
+}
+
+func TestVFCreationPermissionDenied(t *testing.T) {
+	w := newWorld(t, 4096, nil)
+	w.run(t, func(p *sim.Proc) {
+		w.boot(t, p)
+		w.mkImage(t, p, "/alice.img", 100, 64)
+		// Bob (uid 200) cannot map Alice's 0600 image.
+		if _, err := w.h.NewVM(p, "mallory", VMConfig{Backend: BackendDirect, DiskPath: "/alice.img", UID: 200}); err == nil {
+			t.Fatal("VF creation on a foreign file succeeded")
+		}
+		// Alice can.
+		if _, err := w.h.NewVM(p, "alice", VMConfig{Backend: BackendDirect, DiskPath: "/alice.img", UID: 100}); err != nil {
+			t.Fatalf("owner denied: %v", err)
+		}
+	})
+}
+
+func TestLazyAllocationThroughFullStack(t *testing.T) {
+	w := newWorld(t, 8192, nil)
+	w.run(t, func(p *sim.Proc) {
+		w.boot(t, p)
+		// Sparse image: size only, no blocks.
+		f, err := w.h.HostFS.Create(p, "/sparse.img", 5, 0o600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Truncate(p, 256*1024); err != nil {
+			t.Fatal(err)
+		}
+		vm, err := w.h.NewVM(p, "vm", VMConfig{Backend: BackendDirect, DiskPath: "/sparse.img", UID: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reads of unallocated space return zeros without host involvement.
+		buf := vm.Kernel.AllocBuffer(4096)
+		buf.Data[0] = 0xFF
+		if err := vm.Kernel.SubmitAligned(p, false, 8, buf); err != nil {
+			t.Fatal(err)
+		}
+		for i, b := range buf.Data {
+			if b != 0 {
+				t.Fatalf("sparse read byte %d = %#x", i, b)
+			}
+		}
+		if w.h.MissInterrupts != 0 {
+			t.Fatalf("read of hole raised %d miss interrupts", w.h.MissInterrupts)
+		}
+		// Writes trigger lazy allocation through the miss path.
+		rand.New(rand.NewSource(9)).Read(buf.Data)
+		want := append([]byte(nil), buf.Data...)
+		if err := vm.Kernel.SubmitAligned(p, true, 8, buf); err != nil {
+			t.Fatal(err)
+		}
+		if w.h.MissInterrupts == 0 {
+			t.Fatal("lazy-allocating write raised no miss interrupt")
+		}
+		clear(buf.Data)
+		if err := vm.Kernel.SubmitAligned(p, false, 8, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Data, want) {
+			t.Fatal("lazily allocated data lost")
+		}
+		// Host filesystem stayed consistent and sees the same data.
+		if err := w.h.HostFS.Check(p); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 4096)
+		if _, err := f.ReadAt(p, got, 8*1024); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatal("host view of lazily allocated data differs")
+		}
+	})
+}
+
+func TestPruneAndRegenerateThroughFullStack(t *testing.T) {
+	w := newWorld(t, 16384, nil)
+	w.run(t, func(p *sim.Proc) {
+		w.boot(t, p)
+		// A deliberately fragmented image so the tree has several levels.
+		f, err := w.h.HostFS.Create(p, "/frag.img", 3, 0o600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blk := make([]byte, 1024)
+		for i := 0; i < 300; i++ {
+			blk[0] = byte(i)
+			if _, err := f.WriteAt(p, blk, int64(i)*2048); err != nil {
+				t.Fatal(err)
+			}
+		}
+		vm, err := w.h.NewVM(p, "vm", VMConfig{Backend: BackendDirect, DiskPath: "/frag.img", UID: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resident := vm.H.VFTree(vm.VFIdx).ResidentBytes()
+		freed := w.h.PruneVFTrees(16)
+		if freed == 0 {
+			t.Fatal("prune freed nothing")
+		}
+		if vm.H.VFTree(vm.VFIdx).ResidentBytes() >= resident {
+			t.Fatal("pruning did not shrink the tree")
+		}
+		missesBefore := w.h.MissInterrupts
+		// Read across the whole device: pruned subtrees must regenerate
+		// transparently.
+		buf := vm.Kernel.AllocBuffer(1024)
+		for i := 0; i < 300; i += 37 {
+			if err := vm.Kernel.SubmitAligned(p, false, int64(i)*2, buf); err != nil {
+				t.Fatal(err)
+			}
+			if buf.Data[0] != byte(i) {
+				t.Fatalf("block %d read %#x after prune", i, buf.Data[0])
+			}
+		}
+		if w.h.MissInterrupts == missesBefore {
+			t.Fatal("no regeneration interrupts despite pruning")
+		}
+	})
+}
+
+func TestNestedGuestFilesystem(t *testing.T) {
+	w := newWorld(t, 32768, nil)
+	w.run(t, func(p *sim.Proc) {
+		w.boot(t, p)
+		w.mkImage(t, p, "/guestdisk.img", 10, 4096)
+		vm, err := w.h.NewVM(p, "vm", VMConfig{Backend: BackendDirect, DiskPath: "/guestdisk.img", UID: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gfs, err := vm.Kernel.Mount(p, true, extfs.Params{InodeCount: 64, JournalBlocks: 32, Mode: extfs.JournalMetadata})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gf, err := gfs.Create(p, "/nested.txt", 0, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := bytes.Repeat([]byte("nested filesystems! "), 500)
+		if _, err := gf.WriteAt(p, payload, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := gfs.Check(p); err != nil {
+			t.Fatal(err)
+		}
+		vm.Teardown(p)
+
+		// A second VM over the same image sees the same guest filesystem —
+		// the nested FS really lives in the file's blocks.
+		vm2, err := w.h.NewVM(p, "vm2", VMConfig{Backend: BackendDirect, DiskPath: "/guestdisk.img", UID: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gfs2, err := vm2.Kernel.Mount(p, false, extfs.Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(payload))
+		gf2, err := gfs2.Open(p, "/nested.txt", 0, extfs.PermRead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := gf2.ReadAt(p, got, 0); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatal("nested filesystem content lost across VMs")
+		}
+	})
+}
+
+func TestLatencyOrderingAcrossBackends(t *testing.T) {
+	lat := func(kind BackendKind) sim.Time {
+		w := newWorld(t, 8192, nil)
+		var elapsed sim.Time
+		w.run(t, func(p *sim.Proc) {
+			w.boot(t, p)
+			w.mkImage(t, p, "/d.img", 1, 256)
+			vm, err := w.h.NewVM(p, "vm", VMConfig{Backend: kind, DiskPath: "/d.img", UID: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf := vm.Kernel.AllocBuffer(1024)
+			// Warm up, then measure.
+			if err := vm.Kernel.SubmitAligned(p, true, 0, buf); err != nil {
+				t.Fatal(err)
+			}
+			start := p.Now()
+			const n = 20
+			for i := 0; i < n; i++ {
+				if err := vm.Kernel.SubmitAligned(p, true, int64(i), buf); err != nil {
+					t.Fatal(err)
+				}
+			}
+			elapsed = (p.Now() - start) / n
+		})
+		return elapsed
+	}
+	nesc := lat(BackendDirect)
+	vio := lat(BackendVirtio)
+	emu := lat(BackendEmulation)
+	t.Logf("1KB write latency: nesc=%v virtio=%v emul=%v", nesc, vio, emu)
+	if !(nesc < vio && vio < emu) {
+		t.Fatalf("latency ordering violated: nesc=%v virtio=%v emul=%v", nesc, vio, emu)
+	}
+	if float64(vio)/float64(nesc) < 3 {
+		t.Fatalf("virtio/nesc ratio %.1f too small (paper: >6x for small accesses)", float64(vio)/float64(nesc))
+	}
+	if float64(emu)/float64(nesc) < 8 {
+		t.Fatalf("emulation/nesc ratio %.1f too small (paper: >20x)", float64(emu)/float64(nesc))
+	}
+}
+
+func TestMultiVMFairShare(t *testing.T) {
+	w := newWorld(t, 16384, nil)
+	var ends [2]sim.Time
+	w.eng.Go("main", func(p *sim.Proc) {
+		w.boot(t, p)
+		for i := 0; i < 2; i++ {
+			i := i
+			path := []string{"/a.img", "/b.img"}[i]
+			w.mkImage(t, p, path, uint32(i+1), 2048)
+			vm, err := w.h.NewVM(p, path, VMConfig{Backend: BackendDirect, DiskPath: path, UID: uint32(i + 1)})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			w.eng.Go("vmload", func(q *sim.Proc) {
+				buf := vm.Kernel.AllocBuffer(64 * 1024)
+				for r := 0; r < 16; r++ {
+					if err := vm.Kernel.SubmitAligned(q, true, int64(r*64), buf); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				ends[i] = q.Now()
+			})
+		}
+	})
+	w.eng.Run()
+	w.eng.Shutdown()
+	if ends[0] == 0 || ends[1] == 0 {
+		t.Fatal("a VM did not finish")
+	}
+	ratio := float64(ends[0]) / float64(ends[1])
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Fatalf("unfair multiplexing: %v vs %v", ends[0], ends[1])
+	}
+}
+
+func TestVFTeardownReuse(t *testing.T) {
+	w := newWorld(t, 4096, nil)
+	w.run(t, func(p *sim.Proc) {
+		w.boot(t, p)
+		w.mkImage(t, p, "/x.img", 1, 64)
+		for i := 0; i < 10; i++ {
+			vm, err := w.h.NewVM(p, "vm", VMConfig{Backend: BackendDirect, DiskPath: "/x.img", UID: 1})
+			if err != nil {
+				t.Fatalf("iteration %d: %v", i, err)
+			}
+			if vm.VFIdx != 0 {
+				t.Fatalf("iteration %d: VF index %d, want reuse of 0", i, vm.VFIdx)
+			}
+			vm.Teardown(p)
+		}
+		if w.ctl.SRIOV().NumEnabled != 0 {
+			t.Fatalf("SR-IOV enabled count = %d after teardown", w.ctl.SRIOV().NumEnabled)
+		}
+	})
+}
+
+func TestIOMMUModeSkipsTrampolines(t *testing.T) {
+	w := newWorld(t, 4096, func(p *Params) { p.UseIOMMU = true })
+	w.run(t, func(p *sim.Proc) {
+		w.boot(t, p)
+		w.mkImage(t, p, "/d.img", 1, 128)
+		vm, err := w.h.NewVM(p, "vm", VMConfig{Backend: BackendDirect, DiskPath: "/d.img", UID: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := vm.Kernel.AllocBuffer(16 * 1024)
+		rand.New(rand.NewSource(4)).Read(buf.Data)
+		want := append([]byte(nil), buf.Data...)
+		if err := vm.Kernel.SubmitAligned(p, true, 0, buf); err != nil {
+			t.Fatal(err)
+		}
+		clear(buf.Data)
+		if err := vm.Kernel.SubmitAligned(p, false, 0, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Data, want) {
+			t.Fatal("IOMMU-mode round trip mismatch")
+		}
+		if vm.NescDrv.TrampolineCopies != 0 {
+			t.Fatalf("IOMMU mode made %d trampoline copies", vm.NescDrv.TrampolineCopies)
+		}
+	})
+}

@@ -1,0 +1,299 @@
+package hypervisor
+
+import (
+	"fmt"
+
+	"nesc/internal/core"
+	"nesc/internal/extent"
+	"nesc/internal/extfs"
+	"nesc/internal/guest"
+	"nesc/internal/sim"
+)
+
+// VF lifecycle and the translation-miss service path (paper §IV-C).
+
+func (h *Hypervisor) mgmtAddr(vfIdx int) int64 {
+	return h.Ctl.BARBase() + h.Ctl.MgmtPageOffset() + int64(vfIdx)*core.MgmtStride
+}
+
+// CreateVF exports the host file at path as a virtual function on behalf of
+// uid: it checks the filesystem permissions, translates the file's extent
+// map into a device extent tree in host memory, and programs the VF's
+// management block. It returns the VF index.
+//
+// Exporting the same file again shares the existing extent tree across the
+// VFs (paper §IV-B); the tree stays consistent for all sharers, while data
+// synchronization remains the clients' responsibility.
+func (h *Hypervisor) CreateVF(p *sim.Proc, path string, uid uint32) (int, error) {
+	// The protection gate: the hypervisor only exports files the requesting
+	// tenant may access (read+write for a block device).
+	if err := h.HostFS.Access(p, path, uid, extfs.PermRead|extfs.PermWrite); err != nil {
+		return 0, fmt.Errorf("hypervisor: VF creation denied: %w", err)
+	}
+	runs, size, err := h.HostFS.Runs(p, path)
+	if err != nil {
+		return 0, err
+	}
+	idx, err := h.freeVF()
+	if err != nil {
+		return 0, err
+	}
+	sh, ok := h.trees[path]
+	if !ok {
+		tree, err := extent.Build(h.Mem, runs, h.Ctl.P.TreeFanout)
+		if err != nil {
+			return 0, err
+		}
+		sh = &sharedTree{key: path, tree: tree}
+		h.trees[path] = sh
+	}
+	sh.refs++
+	bs := uint64(h.Ctl.P.BlockSize)
+	sizeBlocks := (size + bs - 1) / bs
+	st := h.vfs[idx]
+	st.inUse = true
+	st.path = path
+	st.shared = sh
+	st.identity = false
+	h.programVF(p, idx, sh.tree.Root(), sizeBlocks)
+	return idx, nil
+}
+
+// CreateRawVF exports the whole physical device through a VF with an
+// identity vLBA→pLBA mapping — NeSC "managing a single disk can be viewed
+// simply as a PCIe SSD" (§II); this is the direct-device-assignment
+// configuration of Figure 2.
+func (h *Hypervisor) CreateRawVF(p *sim.Proc) (int, error) {
+	idx, err := h.freeVF()
+	if err != nil {
+		return 0, err
+	}
+	blocks := uint64(h.Ctl.Medium.Store().NumBlocks())
+	tree, err := extent.Build(h.Mem, []extent.Run{{Logical: 0, Physical: 0, Count: blocks}}, h.Ctl.P.TreeFanout)
+	if err != nil {
+		return 0, err
+	}
+	key := fmt.Sprintf("\x00raw-vf-%d", idx) // cannot collide with host paths
+	sh := &sharedTree{key: key, tree: tree, refs: 1}
+	h.trees[key] = sh
+	st := h.vfs[idx]
+	st.inUse = true
+	st.path = ""
+	st.shared = sh
+	st.identity = true
+	h.programVF(p, idx, tree.Root(), blocks)
+	return idx, nil
+}
+
+func (h *Hypervisor) freeVF() (int, error) {
+	for i, st := range h.vfs {
+		if !st.inUse {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("hypervisor: out of virtual functions")
+}
+
+func (h *Hypervisor) programVF(p *sim.Proc, idx int, root int64, sizeBlocks uint64) {
+	mgmt := h.mgmtAddr(idx)
+	h.mmioW(p, mgmt+core.MgmtTreeRoot, uint64(root))
+	h.mmioW(p, mgmt+core.MgmtDeviceSize, sizeBlocks)
+	h.mmioW(p, mgmt+core.MgmtEnable, 1)
+	if err := h.Ctl.SRIOV().EnableVFs(h.enabledVFs()); err != nil {
+		panic(err)
+	}
+}
+
+func (h *Hypervisor) enabledVFs() int {
+	n := 0
+	for _, st := range h.vfs {
+		if st.inUse {
+			n++
+		}
+	}
+	return n
+}
+
+// DestroyVF disables a VF and drops its extent-tree reference; the tree is
+// freed when its last sharer goes away.
+func (h *Hypervisor) DestroyVF(p *sim.Proc, idx int) {
+	st := h.vfs[idx]
+	if !st.inUse {
+		return
+	}
+	h.mmioW(p, h.mgmtAddr(idx)+core.MgmtEnable, 0)
+	st.shared.refs--
+	if st.shared.refs == 0 {
+		st.shared.tree.Free()
+		delete(h.trees, st.shared.key)
+	}
+	*st = vfState{}
+	if err := h.Ctl.SRIOV().EnableVFs(h.enabledVFs()); err != nil {
+		panic(err)
+	}
+}
+
+// VFPageBus reports the bus address of a VF's register page — what the
+// hypervisor maps into the owning guest's address space.
+func (h *Hypervisor) VFPageBus(idx int) int64 {
+	return h.Ctl.BARBase() + h.Ctl.FunctionPageOffset(idx+1)
+}
+
+// VFTree exposes a VF's extent tree (for the pruning ablation).
+func (h *Hypervisor) VFTree(idx int) *extent.Tree { return h.vfs[idx].shared.tree }
+
+// SharesTreeWith reports whether two VFs share one extent tree.
+func (h *Hypervisor) SharesTreeWith(a, b int) bool {
+	return h.vfs[a].inUse && h.vfs[b].inUse && h.vfs[a].shared == h.vfs[b].shared
+}
+
+// PruneVFTrees reclaims host memory by pruning up to maxNodes nodes from
+// each in-use tree (paper §IV-B "If memory becomes tight..."); shared trees
+// are pruned once.
+func (h *Hypervisor) PruneVFTrees(maxNodes int) int {
+	total := 0
+	for _, sh := range h.trees {
+		n, err := sh.tree.Prune(maxNodes)
+		if err != nil {
+			panic(err)
+		}
+		total += n
+	}
+	return total
+}
+
+// reprogramSharers writes the (possibly new) tree root into the management
+// block of every VF sharing sh. Required after any rebuild: the old nodes
+// are freed, so a stale root register would walk dead memory.
+func (h *Hypervisor) reprogramSharers(p *sim.Proc, sh *sharedTree) {
+	for idx, st := range h.vfs {
+		if st.inUse && st.shared == sh {
+			h.mmioW(p, h.mgmtAddr(idx)+core.MgmtTreeRoot, uint64(sh.tree.Root()))
+		}
+	}
+}
+
+// serviceMisses is the NeSC miss-interrupt handler (paper Fig. 5b): for
+// every VF with a latched miss it allocates backing blocks through the host
+// filesystem (lazy allocation), rebuilds the device extent tree from the
+// file's refreshed mapping, reprograms the tree root, and releases the
+// stalled walk with RewalkTree.
+func (h *Hypervisor) serviceMisses(p *sim.Proc) {
+	pending := h.mmioR(p, h.Ctl.BARBase()+core.PFRegMissPending)
+	for idx := 0; idx < len(h.vfs) && pending != 0; idx++ {
+		if pending&(1<<uint(idx)) == 0 {
+			continue
+		}
+		h.MissInterrupts++
+		mgmt := h.mgmtAddr(idx)
+		missAddr := h.mmioR(p, mgmt+core.MgmtMissAddr)
+		missSize := h.mmioR(p, mgmt+core.MgmtMissSize)
+		p.Sleep(h.P.MissHandlerTime)
+		st := h.vfs[idx]
+		if !st.inUse || st.identity {
+			// No backing file to extend: fail the write.
+			h.mmioW(p, mgmt+core.MgmtRewalk, core.RewalkFail)
+			continue
+		}
+		if err := h.HostFS.AllocateRange(p, st.path, missAddr, missSize); err != nil {
+			h.mmioW(p, mgmt+core.MgmtRewalk, core.RewalkFail)
+			continue
+		}
+		runs, _, err := h.HostFS.Runs(p, st.path)
+		if err != nil {
+			h.mmioW(p, mgmt+core.MgmtRewalk, core.RewalkFail)
+			continue
+		}
+		if err := st.shared.tree.Rebuild(runs); err != nil {
+			h.mmioW(p, mgmt+core.MgmtRewalk, core.RewalkFail)
+			continue
+		}
+		// Every sharer of the tree must see the new root before the walk
+		// resumes.
+		h.reprogramSharers(p, st.shared)
+		h.mmioW(p, mgmt+core.MgmtRewalk, core.RewalkRetry)
+	}
+}
+
+// RegenerateVFTree rebuilds a VF's tree from the filesystem (used after
+// out-of-band pruning in tests/ablations when no device walk is pending).
+func (h *Hypervisor) RegenerateVFTree(p *sim.Proc, idx int) error {
+	st := h.vfs[idx]
+	if !st.inUse {
+		return fmt.Errorf("hypervisor: VF %d not in use", idx)
+	}
+	runs, _, err := h.HostFS.Runs(p, st.path)
+	if err != nil {
+		return err
+	}
+	if err := st.shared.tree.Rebuild(runs); err != nil {
+		return err
+	}
+	h.reprogramSharers(p, st.shared)
+	return nil
+}
+
+// MigrateVFFile relocates the physical blocks behind a VF's backing file —
+// standing in for host-side block optimizations like deduplication or
+// defragmentation — then rebuilds the device extent tree and, when
+// flushBTLB is set, invalidates the device's translation cache. The paper
+// (§V-B) requires exactly this flush: "the BTLB cache must not prevent the
+// hypervisor from executing traditional storage optimizations". Passing
+// flushBTLB=false exists only so tests can demonstrate the stale-mapping
+// hazard the flush prevents.
+func (h *Hypervisor) MigrateVFFile(p *sim.Proc, idx int, flushBTLB bool) error {
+	st := h.vfs[idx]
+	if !st.inUse || st.identity {
+		return fmt.Errorf("hypervisor: VF %d has no backing file", idx)
+	}
+	if err := h.HostFS.Migrate(p, st.path); err != nil {
+		return err
+	}
+	runs, _, err := h.HostFS.Runs(p, st.path)
+	if err != nil {
+		return err
+	}
+	if err := st.shared.tree.Rebuild(runs); err != nil {
+		return err
+	}
+	h.reprogramSharers(p, st.shared)
+	if flushBTLB {
+		h.FlushBTLB(p)
+	}
+	return nil
+}
+
+// SetVFWeight programs a VF's QoS weight: the device multiplexer serves up
+// to weight requests from this VF per scheduling round (paper §IV-D's QoS
+// extension). Weights are clamped to 1..255 by the device.
+func (h *Hypervisor) SetVFWeight(p *sim.Proc, idx int, weight int) {
+	h.mmioW(p, h.mgmtAddr(idx)+core.MgmtWeight, uint64(weight))
+}
+
+// RouteVFInterrupts delivers a VF's completion interrupts straight to the
+// given ring client with no injection cost — the peer-to-peer delivery an
+// accelerator directly attached to a VF would get (paper §IV-D "direct
+// storage accesses from accelerators").
+func (h *Hypervisor) RouteVFInterrupts(idx int, qp *guest.QueuePair) {
+	h.qps[h.Ctl.VF(idx).ID()] = qp
+}
+
+// FlushBTLB invalidates the device's translation cache (required around
+// host-side block remapping such as deduplication, §V-B).
+func (h *Hypervisor) FlushBTLB(p *sim.Proc) {
+	h.mmioW(p, h.Ctl.BARBase()+core.PFRegBTLBFlush, 1)
+}
+
+func (h *Hypervisor) mmioW(p *sim.Proc, addr int64, val uint64) {
+	if err := h.Fab.MMIOWrite(p, addr, 8, val); err != nil {
+		panic(err)
+	}
+}
+
+func (h *Hypervisor) mmioR(p *sim.Proc, addr int64) uint64 {
+	v, err := h.Fab.MMIORead(p, addr, 8)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

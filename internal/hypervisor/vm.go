@@ -1,0 +1,206 @@
+package hypervisor
+
+import (
+	"fmt"
+
+	"nesc/internal/extfs"
+	"nesc/internal/guest"
+	"nesc/internal/sim"
+	"nesc/internal/virtio"
+)
+
+// BackendKind selects the storage virtualization method (paper Fig. 1).
+type BackendKind int
+
+const (
+	// BackendDirect assigns a NeSC virtual function to the guest.
+	BackendDirect BackendKind = iota
+	// BackendVirtio uses the paravirtual virtio-blk path.
+	BackendVirtio
+	// BackendEmulation uses full device emulation (trapped PIO).
+	BackendEmulation
+)
+
+func (k BackendKind) String() string {
+	switch k {
+	case BackendDirect:
+		return "nesc"
+	case BackendVirtio:
+		return "virtio"
+	case BackendEmulation:
+		return "emulation"
+	default:
+		return fmt.Sprintf("BackendKind(%d)", int(k))
+	}
+}
+
+// VMConfig describes one guest and its virtual disk.
+type VMConfig struct {
+	Backend BackendKind
+	// DiskPath is the host-filesystem file backing the virtual disk.
+	// Ignored when RawDevice is set.
+	DiskPath string
+	// RawDevice backs the disk with the raw physical device instead of a
+	// file: identity-mapped VF for BackendDirect, the PF for the others
+	// (the configuration of the paper's raw-device experiments, §VII-A).
+	RawDevice bool
+	// UID is the tenant identity the hypervisor enforces on DiskPath.
+	UID uint32
+	// Guest overrides the guest kernel cost model (zero value = defaults).
+	Guest guest.Params
+	// VFRingEntries / VirtioQueueSize size the respective rings (0 =
+	// defaults).
+	VFRingEntries   int
+	VirtioQueueSize int
+	// ForceTrampoline keeps trampoline copies even with an IOMMU (for the
+	// prototype-overhead ablation).
+	ForceTrampoline bool
+	// IOWeight is the VF's QoS weight (0 = device default of 1). Only
+	// meaningful for BackendDirect.
+	IOWeight int
+}
+
+// VM is a running guest.
+type VM struct {
+	Name   string
+	H      *Hypervisor
+	Kernel *guest.Kernel
+	Kind   BackendKind
+	VFIdx  int // -1 unless BackendDirect
+
+	NescDrv *guest.NescDriver
+	VioDrv  *guest.VirtioDriver
+	EmulDrv *guest.EmulDriver
+	VioBk   *VioBackend
+	EmulBk  *EmulBackend
+}
+
+// NewVM builds a guest VM with the configured storage backend. The call
+// performs the hypervisor-side setup (VF creation or device-model start) and
+// the guest-side driver probe.
+func (h *Hypervisor) NewVM(p *sim.Proc, name string, cfg VMConfig) (*VM, error) {
+	if cfg.Guest == (guest.Params{}) {
+		cfg.Guest = guest.DefaultParams()
+	}
+	vm := &VM{Name: name, H: h, Kind: cfg.Backend, VFIdx: -1}
+	switch cfg.Backend {
+	case BackendDirect:
+		var idx int
+		var err error
+		if cfg.RawDevice {
+			idx, err = h.CreateRawVF(p)
+		} else {
+			idx, err = h.CreateVF(p, cfg.DiskPath, cfg.UID)
+		}
+		if err != nil {
+			return nil, err
+		}
+		vm.VFIdx = idx
+		if cfg.IOWeight > 0 {
+			h.SetVFWeight(p, idx, cfg.IOWeight)
+		}
+		drv, err := guest.NewNescDriver(p, h.Eng, guest.NescDriverConfig{
+			Fab:             h.Fab,
+			Mem:             h.Mem,
+			PageBus:         h.VFPageBus(idx),
+			RingEntries:     cfg.VFRingEntries,
+			SubmitTime:      h.P.DriverSubmitTime,
+			UseTrampoline:   !h.P.UseIOMMU || cfg.ForceTrampoline,
+			MemcpyBandwidth: cfg.Guest.MemcpyBandwidth,
+			BlockSize:       h.Ctl.P.BlockSize,
+		})
+		if err != nil {
+			return nil, err
+		}
+		vm.NescDrv = drv
+		fnID := h.Ctl.VF(idx).ID()
+		h.qps[fnID] = drv.QueuePair()
+		h.vmOf[fnID] = vm
+		if h.P.UseIOMMU {
+			// Stand-in for mapping the guest's RAM at the IOMMU: the VF may
+			// DMA anywhere in the VM's (shared, in this model) memory.
+			h.Fab.IOMMU().Grant(fnID, 0, h.Mem.Size())
+		}
+		vm.Kernel = guest.NewKernel(h.Eng, h.Mem, cfg.Guest, drv)
+
+	case BackendVirtio:
+		target, err := h.targetFor(p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		qsz := cfg.VirtioQueueSize
+		if qsz == 0 {
+			qsz = 128
+		}
+		queueBase, err := h.Mem.Alloc(virtio.RingBytes(qsz), 16)
+		if err != nil {
+			return nil, err
+		}
+		bk := &VioBackend{h: h, target: target, kicks: sim.NewSemaphore(h.Eng, 0), aio: sim.NewSemaphore(h.Eng, 16)}
+		drv, err := guest.NewVirtioDriver(h.Eng, guest.VirtioDriverConfig{
+			Mem:            h.Mem,
+			Transport:      bk,
+			QueueBase:      queueBase,
+			QueueSize:      qsz,
+			CapacityBlocks: target.SizeBlocks(),
+			BlockSize:      h.Ctl.P.BlockSize,
+			SubmitTime:     h.P.DriverSubmitTime,
+		})
+		if err != nil {
+			return nil, err
+		}
+		bk.drv = drv
+		bk.vq = drv.Virtqueue()
+		h.Eng.Go("virtio-backend-"+name, bk.loop)
+		vm.VioDrv = drv
+		vm.VioBk = bk
+		vm.Kernel = guest.NewKernel(h.Eng, h.Mem, cfg.Guest, drv)
+
+	case BackendEmulation:
+		target, err := h.targetFor(p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		bk := &EmulBackend{h: h, target: target}
+		drv := guest.NewEmulDriver(guest.EmulDriverConfig{
+			Port:           bk,
+			CapacityBlocks: target.SizeBlocks(),
+			BlockSize:      h.Ctl.P.BlockSize,
+			SubmitTime:     h.P.DriverSubmitTime,
+		})
+		vm.EmulDrv = drv
+		vm.EmulBk = bk
+		vm.Kernel = guest.NewKernel(h.Eng, h.Mem, cfg.Guest, drv)
+
+	default:
+		return nil, fmt.Errorf("hypervisor: unknown backend %v", cfg.Backend)
+	}
+	return vm, nil
+}
+
+// targetFor opens the backing store for a software backend.
+func (h *Hypervisor) targetFor(p *sim.Proc, cfg VMConfig) (HostTarget, error) {
+	if cfg.RawDevice {
+		return &rawPFTarget{h: h}, nil
+	}
+	f, err := h.HostFS.Open(p, cfg.DiskPath, cfg.UID, extfs.PermRead|extfs.PermWrite)
+	if err != nil {
+		return nil, fmt.Errorf("hypervisor: cannot open disk image: %w", err)
+	}
+	bs := uint64(h.Ctl.P.BlockSize)
+	return &fileTarget{h: h, file: f, size: int64((f.Size() + bs - 1) / bs)}, nil
+}
+
+// Teardown releases a VM's hypervisor-side resources (its VF, if any).
+func (vm *VM) Teardown(p *sim.Proc) {
+	if vm.VFIdx >= 0 {
+		fnID := vm.H.Ctl.VF(vm.VFIdx).ID()
+		delete(vm.H.qps, fnID)
+		delete(vm.H.vmOf, fnID)
+		if vm.H.P.UseIOMMU {
+			vm.H.Fab.IOMMU().RevokeAll(fnID)
+		}
+		vm.H.DestroyVF(p, vm.VFIdx)
+		vm.VFIdx = -1
+	}
+}

@@ -1,0 +1,365 @@
+// Package pcie models the PCIe interconnect between the host and the NeSC
+// device: function addressing (routing IDs, the bus:device:function triplet
+// of the paper), BAR-mapped MMIO with read/write timing, DMA with per-TLP
+// overhead and link-bandwidth serialization, MSI interrupts, an optional
+// IOMMU (the prototype in the paper runs without one, which is why it needs
+// trampoline buffers), and the SR-IOV capability that lets one physical
+// device expose virtual functions.
+//
+// Timing model: the link is full duplex. Device-initiated reads of host
+// memory consume host-to-device completion bandwidth and pay a round-trip
+// request latency; device writes and MSIs consume device-to-host bandwidth.
+// MMIO reads are non-posted (the CPU stalls for a round trip); MMIO writes
+// are posted.
+package pcie
+
+import (
+	"fmt"
+
+	"nesc/internal/hostmem"
+	"nesc/internal/sim"
+)
+
+// FnID identifies a PCIe function on the fabric (a compressed
+// bus:device:function routing ID). The fabric originates it on every
+// transaction, so — exactly as in the paper — it is unforgeable by clients.
+type FnID uint16
+
+// BDF is the conventional bus:device:function rendering of a routing ID.
+type BDF struct{ Bus, Dev, Fn uint8 }
+
+func (b BDF) String() string { return fmt.Sprintf("%02x:%02x.%x", b.Bus, b.Dev, b.Fn) }
+
+// BDF decodes a routing ID into bus/device/function fields.
+func (id FnID) BDF() BDF {
+	return BDF{Bus: uint8(id >> 8), Dev: uint8(id>>3) & 0x1f, Fn: uint8(id) & 0x7}
+}
+
+// Device is the fabric-facing interface a PCIe endpoint implements. MMIO
+// handlers run in engine context and must not block; long operations are
+// modeled by scheduling further events.
+type Device interface {
+	// PCIeName identifies the device in diagnostics.
+	PCIeName() string
+	// MMIORead services a non-posted read of `size` bytes at BAR offset off.
+	MMIORead(off int64, size int) uint64
+	// MMIOWrite services a posted write at BAR offset off.
+	MMIOWrite(off int64, size int, val uint64)
+}
+
+// Params sets the fabric cost model.
+type Params struct {
+	// LinkBandwidth is the payload bandwidth of each link direction in
+	// bytes/second (PCIe gen2 x8 ≈ 3.2 GB/s effective).
+	LinkBandwidth float64
+	// TLPOverheadBytes is the per-transfer framing overhead folded into
+	// serialization (headers, DLLP traffic).
+	TLPOverheadBytes int64
+	// MaxPayload is the maximum TLP payload; larger DMAs are split and pay
+	// the overhead per TLP.
+	MaxPayload int64
+	// DMARequestLatency is the one-way request latency of a device-initiated
+	// read before completion data starts flowing.
+	DMARequestLatency sim.Time
+	// PropagationLatency is the one-way wire+switch latency of any TLP.
+	PropagationLatency sim.Time
+	// MMIOReadLatency is the full CPU-visible round trip of a non-posted
+	// read.
+	MMIOReadLatency sim.Time
+	// MMIOWriteLatency is the CPU-side cost of issuing a posted write.
+	MMIOWriteLatency sim.Time
+	// MSILatency is the delivery cost of a message-signaled interrupt from
+	// device doorbell to host handler dispatch.
+	MSILatency sim.Time
+}
+
+// DefaultParams returns a PCIe gen2 x8 cost model matching the paper's
+// prototype platform (Table I).
+func DefaultParams() Params {
+	return Params{
+		LinkBandwidth:      3.2e9,
+		TLPOverheadBytes:   24,
+		MaxPayload:         256,
+		DMARequestLatency:  600 * sim.Nanosecond,
+		PropagationLatency: 200 * sim.Nanosecond,
+		MMIOReadLatency:    900 * sim.Nanosecond,
+		MMIOWriteLatency:   150 * sim.Nanosecond,
+		MSILatency:         900 * sim.Nanosecond,
+	}
+}
+
+// barWindow records one device's slice of the fabric's flat MMIO space.
+type barWindow struct {
+	base, size int64
+	dev        Device
+}
+
+type fnRecord struct {
+	id   FnID
+	name string
+}
+
+// MSIHandler receives interrupts raised on the fabric. It runs in engine
+// context.
+type MSIHandler func(from FnID, vector uint8)
+
+// Fabric is the interconnect instance: it owns the address maps, the two
+// link directions, the IOMMU, and the MSI delivery path.
+type Fabric struct {
+	Eng    *sim.Engine
+	Mem    *hostmem.Memory
+	Params Params
+
+	toHost *sim.Link // device -> host direction
+	toDev  *sim.Link // host -> device direction
+
+	bars    []barWindow
+	nextBar int64
+	fns     []fnRecord
+
+	iommu *IOMMU
+
+	msiHandler MSIHandler
+
+	// Counters for tests and reporting.
+	DMAReads, DMAWrites   int64
+	DMAReadBytes          int64
+	DMAWriteBytes         int64
+	MSIs                  int64
+	MMIOReads, MMIOWrites int64
+}
+
+// New creates a fabric over the given engine and host memory.
+func New(eng *sim.Engine, mem *hostmem.Memory, p Params) *Fabric {
+	return &Fabric{
+		Eng:     eng,
+		Mem:     mem,
+		Params:  p,
+		toHost:  sim.NewLink(eng, p.LinkBandwidth, p.PropagationLatency, 0),
+		toDev:   sim.NewLink(eng, p.LinkBandwidth, p.PropagationLatency, 0),
+		nextBar: 0x1000, // leave page zero unmapped to catch stray accesses
+		iommu:   &IOMMU{grants: make(map[FnID][]span)},
+	}
+}
+
+// IOMMU returns the fabric's IOMMU (disabled by default, as in the paper's
+// prototype).
+func (f *Fabric) IOMMU() *IOMMU { return f.iommu }
+
+// RegisterFunction assigns the next routing ID to a named function and
+// returns it. The first registered function of a device conventionally is
+// its physical function.
+func (f *Fabric) RegisterFunction(name string) FnID {
+	id := FnID(len(f.fns))
+	f.fns = append(f.fns, fnRecord{id: id, name: name})
+	return id
+}
+
+// FunctionName reports the registered name for a routing ID.
+func (f *Fabric) FunctionName(id FnID) string {
+	if int(id) >= len(f.fns) {
+		return fmt.Sprintf("fn%d(unregistered)", id)
+	}
+	return f.fns[id].name
+}
+
+// MapBAR assigns a BAR window of the given size to dev and returns its bus
+// base address.
+func (f *Fabric) MapBAR(dev Device, size int64) int64 {
+	const align = 0x1000
+	base := (f.nextBar + align - 1) &^ (align - 1)
+	f.bars = append(f.bars, barWindow{base: base, size: size, dev: dev})
+	f.nextBar = base + size
+	return base
+}
+
+func (f *Fabric) route(busAddr int64) (Device, int64, error) {
+	for _, w := range f.bars {
+		if busAddr >= w.base && busAddr < w.base+w.size {
+			return w.dev, busAddr - w.base, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("pcie: no BAR maps bus address %#x", busAddr)
+}
+
+// MMIORead performs a non-posted CPU read of a device register, stalling the
+// calling process for the round-trip latency.
+func (f *Fabric) MMIORead(p *sim.Proc, busAddr int64, size int) (uint64, error) {
+	dev, off, err := f.route(busAddr)
+	if err != nil {
+		return 0, err
+	}
+	f.MMIOReads++
+	p.Sleep(f.Params.MMIOReadLatency)
+	return dev.MMIORead(off, size), nil
+}
+
+// MMIOWrite performs a posted CPU write of a device register. The calling
+// process pays only the issue cost; delivery happens after the propagation
+// latency.
+func (f *Fabric) MMIOWrite(p *sim.Proc, busAddr int64, size int, val uint64) error {
+	dev, off, err := f.route(busAddr)
+	if err != nil {
+		return err
+	}
+	f.MMIOWrites++
+	if p != nil {
+		p.Sleep(f.Params.MMIOWriteLatency)
+	}
+	f.Eng.After(f.Params.PropagationLatency, func() {
+		dev.MMIOWrite(off, size, val)
+	})
+	return nil
+}
+
+// tlpCount reports how many TLPs an n-byte DMA splits into.
+func (f *Fabric) tlpCount(n int64) int64 {
+	mp := f.Params.MaxPayload
+	if mp <= 0 {
+		return 1
+	}
+	c := (n + mp - 1) / mp
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// DMARead copies len(p) bytes of host memory at addr into p on behalf of
+// function `from`, invoking done when the completion data has fully arrived
+// at the device. The data flows on the host-to-device link.
+func (f *Fabric) DMARead(from FnID, addr hostmem.Addr, p []byte, done func()) error {
+	if err := f.iommu.Check(from, addr, int64(len(p))); err != nil {
+		return err
+	}
+	f.DMAReads++
+	f.DMAReadBytes += int64(len(p))
+	n := int64(len(p))
+	wire := n + f.tlpCount(n)*f.Params.TLPOverheadBytes
+	f.Eng.After(f.Params.DMARequestLatency, func() {
+		f.toDev.Transfer(wire, func() {
+			// Snapshot memory at completion time: DMA sees the bytes present
+			// when the data phase finishes.
+			if err := f.Mem.Read(addr, p); err != nil {
+				panic(err) // range was validated above; failure is a model bug
+			}
+			done()
+		})
+	})
+	return nil
+}
+
+// DMAWrite copies p into host memory at addr on behalf of function `from`,
+// invoking done when the posted write has drained onto the link.
+func (f *Fabric) DMAWrite(from FnID, addr hostmem.Addr, p []byte, done func()) error {
+	if err := f.iommu.Check(from, addr, int64(len(p))); err != nil {
+		return err
+	}
+	f.DMAWrites++
+	f.DMAWriteBytes += int64(len(p))
+	n := int64(len(p))
+	wire := n + f.tlpCount(n)*f.Params.TLPOverheadBytes
+	data := make([]byte, len(p))
+	copy(data, p)
+	f.toHost.Transfer(wire, func() {
+		if err := f.Mem.Write(addr, data); err != nil {
+			panic(err)
+		}
+		done()
+	})
+	return nil
+}
+
+// DMAZero writes n zero bytes to host memory at addr (the paper's
+// hole-read path: unmapped vLBAs "read as zeros" and NeSC "transparently
+// DMAs zeros to the destination buffer").
+func (f *Fabric) DMAZero(from FnID, addr hostmem.Addr, n int64, done func()) error {
+	if err := f.iommu.Check(from, addr, n); err != nil {
+		return err
+	}
+	f.DMAWrites++
+	f.DMAWriteBytes += n
+	wire := n + f.tlpCount(n)*f.Params.TLPOverheadBytes
+	f.toHost.Transfer(wire, func() {
+		if err := f.Mem.Zero(addr, n); err != nil {
+			panic(err)
+		}
+		done()
+	})
+	return nil
+}
+
+// SetMSIHandler installs the host-side interrupt dispatcher.
+func (f *Fabric) SetMSIHandler(h MSIHandler) { f.msiHandler = h }
+
+// RaiseMSI delivers a message-signaled interrupt from a function to the
+// host.
+func (f *Fabric) RaiseMSI(from FnID, vector uint8) {
+	f.MSIs++
+	f.Eng.After(f.Params.MSILatency, func() {
+		if f.msiHandler != nil {
+			f.msiHandler(from, vector)
+		}
+	})
+}
+
+// HostLink exposes the device-to-host link for utilization reporting.
+func (f *Fabric) HostLink() *sim.Link { return f.toHost }
+
+// DevLink exposes the host-to-device link for utilization reporting.
+func (f *Fabric) DevLink() *sim.Link { return f.toDev }
+
+// span is a granted DMA window.
+type span struct{ base, size int64 }
+
+// IOMMU validates device-initiated DMA against per-function grants. Disabled
+// (the default) it admits everything — the paper's prototype platform, where
+// "the emulated VFs are not recognized by the IOMMU", so the hypervisor
+// interposes trampoline buffers instead.
+type IOMMU struct {
+	enabled bool
+	grants  map[FnID][]span
+}
+
+// Enable turns enforcement on.
+func (i *IOMMU) Enable() { i.enabled = true }
+
+// Enabled reports whether enforcement is on.
+func (i *IOMMU) Enabled() bool { return i.enabled }
+
+// Grant allows function fn to DMA within [base, base+size).
+func (i *IOMMU) Grant(fn FnID, base hostmem.Addr, size int64) {
+	i.grants[fn] = append(i.grants[fn], span{base, size})
+}
+
+// RevokeAll removes every grant for fn (VF teardown).
+func (i *IOMMU) RevokeAll(fn FnID) { delete(i.grants, fn) }
+
+// Check validates an access, returning an error on a fault.
+func (i *IOMMU) Check(fn FnID, addr hostmem.Addr, size int64) error {
+	if !i.enabled {
+		return nil
+	}
+	for _, s := range i.grants[fn] {
+		if addr >= s.base && addr+size <= s.base+s.size {
+			return nil
+		}
+	}
+	return fmt.Errorf("pcie: IOMMU fault: fn %d access [%#x,%#x) not granted", fn, addr, addr+size)
+}
+
+// SRIOVCap describes a device's SR-IOV capability as exposed in (simplified)
+// config space: how many VFs it supports and how many are enabled.
+type SRIOVCap struct {
+	TotalVFs   int
+	NumEnabled int
+}
+
+// EnableVFs sets the enabled-VF count, clamped to TotalVFs.
+func (c *SRIOVCap) EnableVFs(n int) error {
+	if n < 0 || n > c.TotalVFs {
+		return fmt.Errorf("pcie: cannot enable %d VFs (TotalVFs=%d)", n, c.TotalVFs)
+	}
+	c.NumEnabled = n
+	return nil
+}

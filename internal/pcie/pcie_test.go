@@ -1,0 +1,328 @@
+package pcie
+
+import (
+	"bytes"
+	"testing"
+
+	"nesc/internal/hostmem"
+	"nesc/internal/sim"
+)
+
+type testDev struct {
+	name   string
+	regs   map[int64]uint64
+	writes []int64
+}
+
+func newTestDev(name string) *testDev {
+	return &testDev{name: name, regs: make(map[int64]uint64)}
+}
+
+func (d *testDev) PCIeName() string                 { return d.name }
+func (d *testDev) MMIORead(off int64, _ int) uint64 { return d.regs[off] }
+func (d *testDev) MMIOWrite(off int64, _ int, v uint64) {
+	d.regs[off] = v
+	d.writes = append(d.writes, off)
+}
+
+func newFabric() (*Fabric, *sim.Engine, *hostmem.Memory) {
+	eng := sim.NewEngine()
+	mem := hostmem.New(1 << 20)
+	return New(eng, mem, DefaultParams()), eng, mem
+}
+
+func TestFnIDBDF(t *testing.T) {
+	id := FnID(0x0123)
+	bdf := id.BDF()
+	if bdf.Bus != 0x01 || bdf.Dev != 0x04 || bdf.Fn != 0x3 {
+		t.Fatalf("BDF = %+v", bdf)
+	}
+	if got := bdf.String(); got != "01:04.3" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestRegisterFunctionAssignsSequentialIDs(t *testing.T) {
+	f, _, _ := newFabric()
+	pf := f.RegisterFunction("nesc-pf")
+	vf0 := f.RegisterFunction("nesc-vf0")
+	if pf != 0 || vf0 != 1 {
+		t.Fatalf("ids = %d, %d", pf, vf0)
+	}
+	if f.FunctionName(pf) != "nesc-pf" {
+		t.Fatalf("name = %q", f.FunctionName(pf))
+	}
+	if f.FunctionName(FnID(99)) == "" {
+		t.Fatal("unregistered name must still render")
+	}
+}
+
+func TestMMIORouting(t *testing.T) {
+	f, eng, _ := newFabric()
+	d1 := newTestDev("d1")
+	d2 := newTestDev("d2")
+	b1 := f.MapBAR(d1, 0x2000)
+	b2 := f.MapBAR(d2, 0x1000)
+	if b1 == b2 || b2 < b1+0x2000 {
+		t.Fatalf("BAR overlap: %#x %#x", b1, b2)
+	}
+	d1.regs[0x10] = 42
+	var got uint64
+	var rdErr, wrErr error
+	var readAt sim.Time
+	eng.Go("cpu", func(p *sim.Proc) {
+		got, rdErr = f.MMIORead(p, b1+0x10, 8)
+		readAt = p.Now()
+		wrErr = f.MMIOWrite(p, b2+0x20, 4, 7)
+	})
+	eng.Run()
+	if rdErr != nil || wrErr != nil {
+		t.Fatal(rdErr, wrErr)
+	}
+	if got != 42 {
+		t.Fatalf("MMIORead = %d", got)
+	}
+	if readAt != DefaultParams().MMIOReadLatency {
+		t.Fatalf("read stalled %v, want %v", readAt, DefaultParams().MMIOReadLatency)
+	}
+	if d2.regs[0x20] != 7 {
+		t.Fatal("posted write not delivered")
+	}
+	if f.MMIOReads != 1 || f.MMIOWrites != 1 {
+		t.Fatalf("counters: %d reads %d writes", f.MMIOReads, f.MMIOWrites)
+	}
+}
+
+func TestMMIOUnmappedAddress(t *testing.T) {
+	f, eng, _ := newFabric()
+	eng.Go("cpu", func(p *sim.Proc) {
+		if _, err := f.MMIORead(p, 0x10, 8); err == nil {
+			t.Error("read of unmapped bus address succeeded")
+		}
+		if err := f.MMIOWrite(p, 0x10, 8, 1); err == nil {
+			t.Error("write of unmapped bus address succeeded")
+		}
+	})
+	eng.Run()
+}
+
+func TestDMAReadWriteRoundTrip(t *testing.T) {
+	f, eng, mem := newFabric()
+	fn := f.RegisterFunction("dev")
+	src := []byte("some payload for the wire")
+	buf := make([]byte, len(src))
+	addr := mem.MustAlloc(64, 8)
+
+	doneW := false
+	if err := f.DMAWrite(fn, addr, src, func() { doneW = true }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !doneW {
+		t.Fatal("DMA write never completed")
+	}
+	doneR := false
+	if err := f.DMARead(fn, addr, buf, func() { doneR = true }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !doneR || !bytes.Equal(buf, src) {
+		t.Fatalf("DMA read = %q", buf)
+	}
+	if f.DMAReads != 1 || f.DMAWrites != 1 {
+		t.Fatalf("counters: %d/%d", f.DMAReads, f.DMAWrites)
+	}
+	if f.DMAReadBytes != int64(len(src)) || f.DMAWriteBytes != int64(len(src)) {
+		t.Fatalf("byte counters: %d/%d", f.DMAReadBytes, f.DMAWriteBytes)
+	}
+}
+
+func TestDMAWriteSnapshotsSource(t *testing.T) {
+	// A posted DMA write must carry the bytes as of submission even if the
+	// caller's buffer is reused immediately (real DMA engines copy from a
+	// pinned buffer; our model snapshots instead).
+	f, eng, mem := newFabric()
+	fn := f.RegisterFunction("dev")
+	addr := mem.MustAlloc(16, 8)
+	p := []byte{1, 2, 3, 4}
+	if err := f.DMAWrite(fn, addr, p, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	p[0] = 99
+	eng.Run()
+	got := make([]byte, 4)
+	if err := mem.Read(addr, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 {
+		t.Fatalf("DMA write observed post-submission mutation: % x", got)
+	}
+}
+
+func TestDMAZero(t *testing.T) {
+	f, eng, mem := newFabric()
+	fn := f.RegisterFunction("dev")
+	addr := mem.MustAlloc(32, 8)
+	if err := mem.Write(addr, bytes.Repeat([]byte{0xff}, 32)); err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	if err := f.DMAZero(fn, addr, 32, func() { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !done {
+		t.Fatal("DMAZero never completed")
+	}
+	got := make([]byte, 32)
+	if err := mem.Read(addr, got); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatalf("not zeroed: % x", got)
+		}
+	}
+}
+
+func TestDMATimingScalesWithSize(t *testing.T) {
+	f, eng, mem := newFabric()
+	fn := f.RegisterFunction("dev")
+	addr := mem.MustAlloc(1<<16, 8)
+	var smallDone, bigDone sim.Time
+	small := make([]byte, 512)
+	big := make([]byte, 1<<16)
+	if err := f.DMAWrite(fn, addr, small, func() { smallDone = eng.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	f2, eng2, mem2 := newFabric()
+	addr2 := mem2.MustAlloc(1<<16, 8)
+	if err := f2.DMAWrite(fn, addr2, big, func() { bigDone = eng2.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	eng2.Run()
+	if bigDone <= smallDone {
+		t.Fatalf("64KB DMA (%v) not slower than 512B DMA (%v)", bigDone, smallDone)
+	}
+	// 64KB at 3.2GB/s is ~20.5us of serialization; allow overheads.
+	if bigDone < 20*sim.Microsecond {
+		t.Fatalf("64KB DMA too fast: %v", bigDone)
+	}
+	_ = addr
+}
+
+func TestMSIDelivery(t *testing.T) {
+	f, eng, _ := newFabric()
+	fn := f.RegisterFunction("dev")
+	var gotFn FnID
+	var gotVec uint8
+	var at sim.Time
+	f.SetMSIHandler(func(from FnID, vector uint8) {
+		gotFn, gotVec = from, vector
+		at = eng.Now()
+	})
+	f.RaiseMSI(fn, 3)
+	eng.Run()
+	if gotFn != fn || gotVec != 3 {
+		t.Fatalf("MSI = fn%d vec%d", gotFn, gotVec)
+	}
+	if at != DefaultParams().MSILatency {
+		t.Fatalf("MSI delivered at %v", at)
+	}
+	if f.MSIs != 1 {
+		t.Fatalf("MSI counter = %d", f.MSIs)
+	}
+}
+
+func TestMSIWithoutHandlerIsDropped(t *testing.T) {
+	f, eng, _ := newFabric()
+	f.RaiseMSI(0, 1)
+	eng.Run() // must not panic
+}
+
+func TestIOMMUEnforcement(t *testing.T) {
+	f, eng, mem := newFabric()
+	vf := f.RegisterFunction("vf")
+	other := f.RegisterFunction("other")
+	f.IOMMU().Enable()
+	buf := mem.MustAlloc(4096, 8)
+	f.IOMMU().Grant(vf, buf, 4096)
+
+	p := make([]byte, 64)
+	if err := f.DMARead(vf, buf, p, func() {}); err != nil {
+		t.Fatalf("granted DMA rejected: %v", err)
+	}
+	if err := f.DMARead(vf, buf+4096-32, make([]byte, 64), func() {}); err == nil {
+		t.Fatal("DMA spanning past grant accepted")
+	}
+	if err := f.DMARead(other, buf, p, func() {}); err == nil {
+		t.Fatal("DMA by ungranted function accepted")
+	}
+	if err := f.DMAWrite(other, buf, p, func() {}); err == nil {
+		t.Fatal("DMA write by ungranted function accepted")
+	}
+	f.IOMMU().RevokeAll(vf)
+	if err := f.DMARead(vf, buf, p, func() {}); err == nil {
+		t.Fatal("DMA after revoke accepted")
+	}
+	eng.Run()
+}
+
+func TestIOMMUDisabledAdmitsEverything(t *testing.T) {
+	f, eng, mem := newFabric()
+	fn := f.RegisterFunction("dev")
+	addr := mem.MustAlloc(64, 8)
+	if err := f.DMAWrite(fn, addr, make([]byte, 64), func() {}); err != nil {
+		t.Fatalf("disabled IOMMU rejected DMA: %v", err)
+	}
+	eng.Run()
+}
+
+func TestSRIOVCap(t *testing.T) {
+	c := SRIOVCap{TotalVFs: 64}
+	if err := c.EnableVFs(64); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumEnabled != 64 {
+		t.Fatalf("NumEnabled = %d", c.NumEnabled)
+	}
+	if err := c.EnableVFs(65); err == nil {
+		t.Fatal("enabling more VFs than TotalVFs succeeded")
+	}
+	if err := c.EnableVFs(-1); err == nil {
+		t.Fatal("negative VF count accepted")
+	}
+}
+
+func TestTLPCount(t *testing.T) {
+	f, _, _ := newFabric()
+	cases := []struct {
+		n    int64
+		want int64
+	}{{0, 1}, {1, 1}, {256, 1}, {257, 2}, {1024, 4}}
+	for _, c := range cases {
+		if got := f.tlpCount(c.n); got != c.want {
+			t.Errorf("tlpCount(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestConcurrentDMAsSerializeOnLink(t *testing.T) {
+	f, eng, mem := newFabric()
+	fn := f.RegisterFunction("dev")
+	addr := mem.MustAlloc(1<<20>>1, 8)
+	// Two 64KB writes back to back must take ~2x one write's serialization.
+	var t1, t2 sim.Time
+	buf := make([]byte, 1<<16)
+	if err := f.DMAWrite(fn, addr, buf, func() { t1 = eng.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.DMAWrite(fn, addr, buf, func() { t2 = eng.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if t2 < t1+(t1-DefaultParams().PropagationLatency)*9/10 {
+		t.Fatalf("second DMA (%v) did not serialize behind first (%v)", t2, t1)
+	}
+}

@@ -1,0 +1,545 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.After(30*Microsecond, func() { got = append(got, 3) })
+	e.After(10*Microsecond, func() { got = append(got, 1) })
+	e.After(20*Microsecond, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if e.Now() != 30*Microsecond {
+		t.Fatalf("clock = %v, want 30us", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.After(5*Microsecond, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var trace []Time
+	e.After(Microsecond, func() {
+		trace = append(trace, e.Now())
+		e.After(2*Microsecond, func() {
+			trace = append(trace, e.Now())
+		})
+	})
+	e.Run()
+	if len(trace) != 2 || trace[0] != Microsecond || trace[1] != 3*Microsecond {
+		t.Fatalf("nested schedule trace = %v", trace)
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.After(10*Microsecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5*Microsecond, func() {})
+	})
+	e.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.After(10*Microsecond, func() { fired++ })
+	e.After(20*Microsecond, func() { fired++ })
+	e.RunUntil(15 * Microsecond)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if e.Now() != 15*Microsecond {
+		t.Fatalf("clock = %v, want 15us", e.Now())
+	}
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+}
+
+// Property: dispatch order equals sorted order of (time, insertion) for any
+// random schedule.
+func TestEngineDispatchOrderProperty(t *testing.T) {
+	f := func(delaysRaw []uint16) bool {
+		if len(delaysRaw) == 0 {
+			return true
+		}
+		e := NewEngine()
+		type stamp struct {
+			at  Time
+			seq int
+		}
+		want := make([]stamp, len(delaysRaw))
+		var got []stamp
+		for i, d := range delaysRaw {
+			at := Time(d) * Microsecond
+			want[i] = stamp{at, i}
+			s := stamp{at, i}
+			e.At(at, func() { got = append(got, s) })
+		}
+		sort.SliceStable(want, func(i, j int) bool { return want[i].at < want[j].at })
+		e.Run()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcSleepAndHandoff(t *testing.T) {
+	e := NewEngine()
+	var trace []string
+	e.Go("a", func(p *Proc) {
+		trace = append(trace, "a0")
+		p.Sleep(10 * Microsecond)
+		trace = append(trace, "a1")
+	})
+	e.Go("b", func(p *Proc) {
+		trace = append(trace, "b0")
+		p.Sleep(5 * Microsecond)
+		trace = append(trace, "b1")
+	})
+	e.Run()
+	want := []string{"a0", "b0", "b1", "a1"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v", trace)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestProcWaitSynchronousCompletion(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Go("p", func(p *Proc) {
+		p.Wait(func(done func()) { done() }) // completes inline
+		ran = true
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("process did not survive synchronous Wait completion")
+	}
+}
+
+func TestProcWaitAsynchronousCompletion(t *testing.T) {
+	e := NewEngine()
+	var doneAt Time
+	e.Go("p", func(p *Proc) {
+		p.Wait(func(done func()) { e.After(7*Microsecond, done) })
+		doneAt = p.Now()
+	})
+	e.Run()
+	if doneAt != 7*Microsecond {
+		t.Fatalf("wait completed at %v, want 7us", doneAt)
+	}
+}
+
+func TestFIFOBlockingPopAndBackpressure(t *testing.T) {
+	e := NewEngine()
+	q := NewFIFO[int](e, 2)
+	var got []int
+	e.Go("consumer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			v := q.Pop(p)
+			got = append(got, v)
+			p.Sleep(10 * Microsecond) // slow consumer forces producer to block
+		}
+	})
+	var producerDone Time
+	e.Go("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			q.Push(p, i)
+		}
+		producerDone = p.Now()
+	})
+	e.Run()
+	if len(got) != 5 {
+		t.Fatalf("consumed %d items, want 5", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+	if producerDone == 0 {
+		t.Fatal("producer finished instantly; bounded queue did not apply backpressure")
+	}
+}
+
+func TestFIFOTryOps(t *testing.T) {
+	e := NewEngine()
+	q := NewFIFO[string](e, 1)
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("TryPop on empty queue succeeded")
+	}
+	if !q.TryPush("x") {
+		t.Fatal("TryPush on empty queue failed")
+	}
+	if q.TryPush("y") {
+		t.Fatal("TryPush past capacity succeeded")
+	}
+	v, ok := q.TryPop()
+	if !ok || v != "x" {
+		t.Fatalf("TryPop = %q, %v", v, ok)
+	}
+}
+
+func TestSemaphoreMutualExclusion(t *testing.T) {
+	e := NewEngine()
+	sem := NewSemaphore(e, 1)
+	inside := 0
+	maxInside := 0
+	for i := 0; i < 4; i++ {
+		e.Go("worker", func(p *Proc) {
+			sem.Acquire(p)
+			inside++
+			if inside > maxInside {
+				maxInside = inside
+			}
+			p.Sleep(5 * Microsecond)
+			inside--
+			sem.Release()
+		})
+	}
+	e.Run()
+	if maxInside != 1 {
+		t.Fatalf("max concurrent holders = %d, want 1", maxInside)
+	}
+	if e.Now() != 20*Microsecond {
+		t.Fatalf("serialized critical sections should end at 20us, got %v", e.Now())
+	}
+}
+
+func TestSignal(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal(e)
+	var woke []Time
+	for i := 0; i < 3; i++ {
+		e.Go("waiter", func(p *Proc) {
+			s.Await(p)
+			woke = append(woke, p.Now())
+		})
+	}
+	e.After(12*Microsecond, s.Fire)
+	e.Run()
+	if len(woke) != 3 {
+		t.Fatalf("woke %d waiters, want 3", len(woke))
+	}
+	for _, at := range woke {
+		if at != 12*Microsecond {
+			t.Fatalf("waiter woke at %v, want 12us", at)
+		}
+	}
+	// Awaiting a fired signal returns immediately.
+	late := false
+	e.Go("late", func(p *Proc) { s.Await(p); late = true })
+	e.Run()
+	if !late {
+		t.Fatal("late waiter on fired signal blocked")
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	e := NewEngine()
+	wg := NewWaitGroup(e)
+	wg.Add(3)
+	for i := 1; i <= 3; i++ {
+		d := Time(i) * 10 * Microsecond
+		e.After(d, wg.Done)
+	}
+	var doneAt Time
+	e.Go("waiter", func(p *Proc) {
+		wg.WaitFor(p)
+		doneAt = p.Now()
+	})
+	e.Run()
+	if doneAt != 30*Microsecond {
+		t.Fatalf("waitgroup released at %v, want 30us", doneAt)
+	}
+}
+
+func TestLinkSerialization(t *testing.T) {
+	e := NewEngine()
+	// 1 GB/s, 1us latency, no overhead.
+	l := NewLink(e, 1e9, Microsecond, 0)
+	var done []Time
+	l.Transfer(1000, func() { done = append(done, e.Now()) }) // 1us ser
+	l.Transfer(1000, func() { done = append(done, e.Now()) }) // queued behind
+	e.Run()
+	if len(done) != 2 {
+		t.Fatalf("completions = %d", len(done))
+	}
+	if done[0] != 2*Microsecond { // 1us serialization + 1us latency
+		t.Fatalf("first transfer done at %v, want 2us", done[0])
+	}
+	if done[1] != 3*Microsecond { // serialized after the first
+		t.Fatalf("second transfer done at %v, want 3us", done[1])
+	}
+	if l.Bytes != 2000 || l.Transfers != 2 {
+		t.Fatalf("accounting: bytes=%d transfers=%d", l.Bytes, l.Transfers)
+	}
+}
+
+func TestLinkOverheadPenalizesSmallTransfers(t *testing.T) {
+	e := NewEngine()
+	l := NewLink(e, 1e9, 0, 100)
+	var doneAt Time
+	l.Transfer(100, func() { doneAt = e.Now() })
+	e.Run()
+	// 200 bytes serialized at 1GB/s = 200ns.
+	if doneAt != 200*Nanosecond {
+		t.Fatalf("done at %v, want 200ns", doneAt)
+	}
+}
+
+func TestLinkInfiniteBandwidth(t *testing.T) {
+	e := NewEngine()
+	l := NewLink(e, 0, 5*Microsecond, 0)
+	var doneAt Time
+	l.Transfer(1<<30, func() { doneAt = e.Now() })
+	e.Run()
+	if doneAt != 5*Microsecond {
+		t.Fatalf("done at %v, want 5us (latency only)", doneAt)
+	}
+}
+
+func TestServerFCFSAndParallelism(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, 2)
+	var done []Time
+	for i := 0; i < 4; i++ {
+		s.Visit(10*Microsecond, func() { done = append(done, e.Now()) })
+	}
+	e.Run()
+	if len(done) != 4 {
+		t.Fatalf("completions = %d", len(done))
+	}
+	// Two run immediately (finish at 10us), two queue (finish at 20us).
+	if done[0] != 10*Microsecond || done[1] != 10*Microsecond {
+		t.Fatalf("first pair done at %v,%v, want 10us", done[0], done[1])
+	}
+	if done[2] != 20*Microsecond || done[3] != 20*Microsecond {
+		t.Fatalf("second pair done at %v,%v, want 20us", done[2], done[3])
+	}
+	if s.Jobs != 4 {
+		t.Fatalf("jobs = %d", s.Jobs)
+	}
+}
+
+// Property: a single-slot server completes jobs in submission order and its
+// makespan equals the sum of service times, regardless of service pattern.
+func TestServerConservationProperty(t *testing.T) {
+	f := func(servicesRaw []uint8) bool {
+		e := NewEngine()
+		s := NewServer(e, 1)
+		var total Time
+		completed := 0
+		for _, sr := range servicesRaw {
+			d := Time(sr) * Microsecond
+			total += d
+			s.Visit(d, func() { completed++ })
+		}
+		e.Run()
+		return completed == len(servicesRaw) && e.Now() == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShutdownKillsParkedProcs(t *testing.T) {
+	e := NewEngine()
+	q := NewFIFO[int](e, 0)
+	e.Go("blocked", func(p *Proc) {
+		q.Pop(p) // parks forever
+		t.Error("blocked process resumed unexpectedly")
+	})
+	e.Run()
+	e.Shutdown()
+	// Nothing to assert beyond "does not deadlock or panic"; the goroutine
+	// unwinds via the kill path.
+}
+
+func TestBytesTime(t *testing.T) {
+	if got := BytesTime(1000, 1e9); got != Microsecond {
+		t.Fatalf("BytesTime(1000, 1GB/s) = %v, want 1us", got)
+	}
+	if got := BytesTime(0, 1e9); got != 0 {
+		t.Fatalf("BytesTime(0) = %v", got)
+	}
+	if got := BytesTime(1000, 0); got != 0 {
+		t.Fatalf("BytesTime with zero bandwidth = %v", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500 * Nanosecond, "500ns"},
+		{2 * Microsecond, "2.000us"},
+		{3 * Millisecond, "3.000ms"},
+		{4 * Second, "4.000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+// A randomized pipeline smoke test: N producers push through a shared
+// bounded FIFO to M consumers; every item must arrive exactly once.
+func TestPipelineDeliveryProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		e := NewEngine()
+		q := NewFIFO[int](e, 1+rng.Intn(4))
+		producers := 1 + rng.Intn(3)
+		perProducer := 1 + rng.Intn(20)
+		seen := make(map[int]int)
+		for pi := 0; pi < producers; pi++ {
+			base := pi * 1000
+			e.Go("prod", func(p *Proc) {
+				for i := 0; i < perProducer; i++ {
+					p.Sleep(Time(rng.Intn(5)) * Microsecond)
+					q.Push(p, base+i)
+				}
+			})
+		}
+		total := producers * perProducer
+		got := 0
+		consumers := 1 + rng.Intn(3)
+		for ci := 0; ci < consumers; ci++ {
+			e.Go("cons", func(p *Proc) {
+				for {
+					if got >= total {
+						return
+					}
+					v := q.Pop(p)
+					seen[v]++
+					got++
+					p.Sleep(Time(rng.Intn(5)) * Microsecond)
+				}
+			})
+		}
+		e.Run()
+		e.Shutdown()
+		if got != total {
+			t.Fatalf("trial %d: delivered %d of %d", trial, got, total)
+		}
+		for k, n := range seen {
+			if n != 1 {
+				t.Fatalf("trial %d: item %d delivered %d times", trial, k, n)
+			}
+		}
+	}
+}
+
+func TestYieldDefersToSameTimestampEvents(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Go("a", func(p *Proc) {
+		order = append(order, "a-before")
+		p.Yield()
+		order = append(order, "a-after")
+	})
+	e.Go("b", func(p *Proc) {
+		order = append(order, "b")
+	})
+	e.Run()
+	if len(order) != 3 || order[0] != "a-before" || order[1] != "b" || order[2] != "a-after" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestSteppedCounterAndIdle(t *testing.T) {
+	e := NewEngine()
+	if !e.Idle() || e.Pending() != 0 {
+		t.Fatal("fresh engine not idle")
+	}
+	for i := 0; i < 5; i++ {
+		e.After(Time(i)*Microsecond, func() {})
+	}
+	if e.Pending() != 5 || e.Idle() {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+	e.Run()
+	if e.Stepped != 5 {
+		t.Fatalf("Stepped = %d", e.Stepped)
+	}
+	if !e.Idle() {
+		t.Fatal("engine not idle after Run")
+	}
+}
+
+func TestSleepZeroAndNegative(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Go("p", func(p *Proc) {
+		p.Sleep(0)
+		p.Sleep(-5)
+		ran = true
+	})
+	e.Run()
+	if !ran || e.Now() != 0 {
+		t.Fatalf("zero sleeps misbehaved: ran=%v now=%v", ran, e.Now())
+	}
+}
+
+func TestWaitGroupAddAfterZero(t *testing.T) {
+	e := NewEngine()
+	wg := NewWaitGroup(e)
+	wg.Add(1)
+	wg.Done()
+	// Reuse after reaching zero.
+	wg.Add(1)
+	released := false
+	e.Go("w", func(p *Proc) {
+		wg.WaitFor(p)
+		released = true
+	})
+	e.After(3*Microsecond, wg.Done)
+	e.Run()
+	if !released {
+		t.Fatal("waiter stuck after WaitGroup reuse")
+	}
+}

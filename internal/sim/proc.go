@@ -1,0 +1,203 @@
+package sim
+
+// Proc is a simulation process: a goroutine whose execution is interleaved
+// with the event loop under a strict hand-off protocol. At any moment either
+// the engine or exactly one process runs. A process blocks only through the
+// kernel primitives (Sleep, Wait, FIFO.Pop, Semaphore.Acquire, ...), each of
+// which parks the goroutine and returns control to the engine.
+//
+// The hand-off makes process code look like ordinary sequential software:
+// guest kernels, hypervisor interrupt handlers, and device pipeline stages
+// are all written as plain loops over blocking calls.
+type Proc struct {
+	eng    *Engine
+	wake   chan wakeMsg
+	back   chan struct{}
+	parked bool
+	name   string
+}
+
+type wakeMsg struct{ kill bool }
+
+type procKilled struct{}
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Name returns the debug name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Go spawns a new process executing fn. The process starts at the current
+// virtual time (after already-pending events at this timestamp). When fn
+// returns the process disappears.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:  e,
+		wake: make(chan wakeMsg),
+		back: make(chan struct{}),
+		name: name,
+	}
+	e.procs[p] = struct{}{}
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(procKilled); ok {
+					// Engine shutdown: unwind silently. The killer does not
+					// wait for control back.
+					return
+				}
+				panic(r)
+			}
+		}()
+		if msg := <-p.wake; msg.kill {
+			return
+		}
+		fn(p)
+		delete(e.procs, p)
+		p.back <- struct{}{} // return control to the engine
+	}()
+	e.After(0, func() { p.resume() })
+	return p
+}
+
+// resume transfers control to the process and blocks until it parks again or
+// terminates. Must be called from engine (event) context.
+func (p *Proc) resume() {
+	p.parked = false
+	p.wake <- wakeMsg{}
+	<-p.back
+}
+
+// park returns control to the engine and blocks until resumed.
+// Must be called from process context.
+func (p *Proc) park() {
+	p.parked = true
+	p.back <- struct{}{}
+	if msg := <-p.wake; msg.kill {
+		panic(procKilled{})
+	}
+	p.parked = false
+}
+
+// kill terminates a parked process. Engine context only.
+func (p *Proc) kill() {
+	p.wake <- wakeMsg{kill: true}
+}
+
+// Sleep suspends the process for d nanoseconds of virtual time.
+func (p *Proc) Sleep(d Time) {
+	if d <= 0 {
+		return
+	}
+	p.eng.After(d, func() { p.resume() })
+	p.park()
+}
+
+// Yield parks the process and reschedules it at the current time, letting
+// other events and processes at this timestamp run first.
+func (p *Proc) Yield() {
+	p.eng.After(0, func() { p.resume() })
+	p.park()
+}
+
+// Wait adapts a callback-style asynchronous operation to process style.
+// start must initiate the operation and arrange for done to be invoked
+// exactly once from engine context when the operation completes. Wait blocks
+// the process until then. done may also be invoked synchronously from within
+// start.
+func (p *Proc) Wait(start func(done func())) {
+	completed := false
+	parked := false
+	start(func() {
+		if !parked {
+			completed = true
+			return
+		}
+		p.resume()
+	})
+	if completed {
+		return
+	}
+	parked = true
+	p.park()
+}
+
+// Signal is a single-use wakeup another party completes. Zero value is ready
+// for use after NewSignal.
+type Signal struct {
+	eng   *Engine
+	fired bool
+	wait  []func()
+}
+
+// NewSignal returns a signal bound to engine e.
+func NewSignal(e *Engine) *Signal { return &Signal{eng: e} }
+
+// Fire marks the signal complete and wakes every waiter. Firing twice is a
+// no-op.
+func (s *Signal) Fire() {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	for _, w := range s.wait {
+		w()
+	}
+	s.wait = nil
+}
+
+// Fired reports whether the signal has fired.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Await blocks the process until the signal fires (returns immediately if it
+// already has).
+func (s *Signal) Await(p *Proc) {
+	if s.fired {
+		return
+	}
+	p.Wait(func(done func()) {
+		s.wait = append(s.wait, func() { s.eng.After(0, done) })
+	})
+}
+
+// WaitGroup counts outstanding operations and wakes waiters at zero, like
+// sync.WaitGroup but in virtual time.
+type WaitGroup struct {
+	eng  *Engine
+	n    int
+	wait []func()
+}
+
+// NewWaitGroup returns a wait group bound to engine e.
+func NewWaitGroup(e *Engine) *WaitGroup { return &WaitGroup{eng: e} }
+
+// Add increments the outstanding-operation count by delta.
+func (w *WaitGroup) Add(delta int) { w.n += delta }
+
+// Done decrements the count; at zero all waiters wake.
+func (w *WaitGroup) Done() {
+	w.n--
+	if w.n < 0 {
+		panic("sim: WaitGroup count below zero")
+	}
+	if w.n == 0 {
+		waiters := w.wait
+		w.wait = nil
+		for _, fn := range waiters {
+			fn()
+		}
+	}
+}
+
+// WaitFor blocks the process until the count reaches zero.
+func (w *WaitGroup) WaitFor(p *Proc) {
+	if w.n == 0 {
+		return
+	}
+	p.Wait(func(done func()) {
+		w.wait = append(w.wait, func() { w.eng.After(0, done) })
+	})
+}

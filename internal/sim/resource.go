@@ -1,0 +1,124 @@
+package sim
+
+// Link models a bandwidth-serialized, store-and-forward transport such as a
+// PCIe link or a storage medium's data port. Concurrent transfers are
+// serialized at the link's bandwidth; each transfer additionally pays a fixed
+// propagation latency after its bytes have been serialized.
+//
+// Transfers optionally pay a fixed per-transfer overhead in bytes (header,
+// framing, per-TLP overhead folded into an average) so small transfers see
+// realistic efficiency loss.
+type Link struct {
+	eng         *Engine
+	bytesPerSec float64
+	latency     Time
+	overhead    int64 // extra serialized bytes per transfer
+	nextFree    Time
+
+	// Bytes counts payload bytes accepted (excludes overhead).
+	Bytes int64
+	// Transfers counts accepted transfers.
+	Transfers int64
+	// busy accumulates serialization time for utilization accounting.
+	busy Time
+}
+
+// NewLink returns a link on engine e with the given payload bandwidth
+// (bytes/second; <=0 means infinitely fast), propagation latency, and fixed
+// per-transfer overhead bytes.
+func NewLink(e *Engine, bytesPerSec float64, latency Time, overheadBytes int64) *Link {
+	return &Link{eng: e, bytesPerSec: bytesPerSec, latency: latency, overhead: overheadBytes}
+}
+
+// Bandwidth returns the configured payload bandwidth in bytes per second.
+func (l *Link) Bandwidth() float64 { return l.bytesPerSec }
+
+// SetBandwidth reconfigures the link bandwidth (used by throttled-device
+// sweeps). Applies to transfers issued after the call.
+func (l *Link) SetBandwidth(bps float64) { l.bytesPerSec = bps }
+
+// Transfer moves n payload bytes across the link and invokes done when the
+// last byte (plus propagation latency) has arrived. Multiple in-flight
+// transfers queue behind one another at the serialization point.
+func (l *Link) Transfer(n int64, done func()) {
+	l.Bytes += n
+	l.Transfers++
+	start := l.nextFree
+	if now := l.eng.now; start < now {
+		start = now
+	}
+	ser := BytesTime(n+l.overhead, l.bytesPerSec)
+	l.nextFree = start + ser
+	l.busy += ser
+	l.eng.At(l.nextFree+l.latency, done)
+}
+
+// TransferP is the process-style form of Transfer.
+func (l *Link) TransferP(p *Proc, n int64) {
+	p.Wait(func(done func()) { l.Transfer(n, done) })
+}
+
+// BusyTime returns the total serialization time accumulated so far.
+func (l *Link) BusyTime() Time { return l.busy }
+
+// Server models a first-come-first-served service station with a fixed
+// number of parallel servers (e.g. a hardware functional unit, a host CPU
+// devoted to an I/O thread). Each job specifies its own service time.
+type Server struct {
+	eng  *Engine
+	cap  int
+	busy int
+	q    []serverJob
+
+	// Jobs counts accepted jobs; Wait accumulates queueing delay.
+	Jobs int64
+	Wait Time
+}
+
+type serverJob struct {
+	service  Time
+	done     func()
+	enqueued Time
+}
+
+// NewServer returns a server with n parallel service slots.
+func NewServer(e *Engine, n int) *Server {
+	if n < 1 {
+		n = 1
+	}
+	return &Server{eng: e, cap: n}
+}
+
+// Visit submits a job with the given service time; done is invoked when
+// service completes.
+func (s *Server) Visit(service Time, done func()) {
+	s.Jobs++
+	job := serverJob{service: service, done: done, enqueued: s.eng.now}
+	if s.busy < s.cap {
+		s.start(job)
+		return
+	}
+	s.q = append(s.q, job)
+}
+
+// VisitP is the process-style form of Visit.
+func (s *Server) VisitP(p *Proc, service Time) {
+	p.Wait(func(done func()) { s.Visit(service, done) })
+}
+
+func (s *Server) start(job serverJob) {
+	s.busy++
+	s.Wait += s.eng.now - job.enqueued
+	s.eng.After(job.service, func() {
+		s.busy--
+		if len(s.q) > 0 {
+			next := s.q[0]
+			s.q = s.q[1:]
+			s.start(next)
+		}
+		job.done()
+	})
+}
+
+// QueueLen reports the number of jobs waiting for a slot.
+func (s *Server) QueueLen() int { return len(s.q) }

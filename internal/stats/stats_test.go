@@ -1,0 +1,239 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSamplerBasics(t *testing.T) {
+	var s Sampler
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		s.Add(v)
+	}
+	if s.N() != 5 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 3 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Median() != 3 {
+		t.Fatalf("Median = %v", s.Median())
+	}
+	if got := s.Percentile(100); got != 5 {
+		t.Fatalf("P100 = %v", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Fatalf("P0 = %v", got)
+	}
+}
+
+func TestSamplerEmpty(t *testing.T) {
+	var s Sampler
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Median() != 0 || s.Stddev() != 0 {
+		t.Fatal("empty sampler must report zeros")
+	}
+}
+
+func TestSamplerStddev(t *testing.T) {
+	var s Sampler
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if got := s.Stddev(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("Stddev = %v, want 2", got)
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sampler
+		for _, v := range raw {
+			s.Add(float64(v))
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			v := s.Percentile(p)
+			if v < prev || v < s.Min()-1e-9 || v > s.Max()+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: adding samples in any order yields the same percentile answers.
+func TestSamplerOrderInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]float64, 200)
+	for i := range vals {
+		vals[i] = rng.Float64() * 1000
+	}
+	var a, b Sampler
+	for _, v := range vals {
+		a.Add(v)
+	}
+	shuffled := append([]float64(nil), vals...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	for _, v := range shuffled {
+		b.Add(v)
+	}
+	for _, p := range []float64{10, 50, 90, 99} {
+		if a.Percentile(p) != b.Percentile(p) {
+			t.Fatalf("P%v differs between insertion orders", p)
+		}
+	}
+}
+
+func TestCounterAndRatio(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Addn(4)
+	if c.Value() != 5 {
+		t.Fatalf("Counter = %d", c.Value())
+	}
+	var r Ratio
+	if r.Rate() != 0 {
+		t.Fatal("empty ratio rate must be 0")
+	}
+	r.Hit()
+	r.Hit()
+	r.Hit()
+	r.Miss()
+	if r.Total() != 4 || r.Rate() != 0.75 {
+		t.Fatalf("Ratio = %v/%v rate %v", r.Hits, r.Total(), r.Rate())
+	}
+}
+
+func TestTableSetGetOrdering(t *testing.T) {
+	tb := NewTable("t", "bs", "MB/s", "Host", "NeSC")
+	tb.Set("1KB", "NeSC", 100)
+	tb.Set("1KB", "Host", 110)
+	tb.Set("4KB", "NeSC", 400)
+	tb.Set("4KB", "virtio", 150) // new column appended
+	if v := tb.MustGet("1KB", "NeSC"); v != 100 {
+		t.Fatalf("cell = %v", v)
+	}
+	if _, ok := tb.Get("4KB", "Host"); ok {
+		t.Fatal("missing cell reported present")
+	}
+	rows := tb.Rows()
+	if len(rows) != 2 || rows[0] != "1KB" || rows[1] != "4KB" {
+		t.Fatalf("rows = %v", rows)
+	}
+	wantCols := []string{"Host", "NeSC", "virtio"}
+	if len(tb.Columns) != 3 {
+		t.Fatalf("columns = %v", tb.Columns)
+	}
+	for i, c := range wantCols {
+		if tb.Columns[i] != c {
+			t.Fatalf("columns = %v, want %v", tb.Columns, wantCols)
+		}
+	}
+}
+
+func TestTableMustGetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGet on missing cell did not panic")
+		}
+	}()
+	NewTable("t", "x", "").MustGet("a", "b")
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Figure X", "block", "us", "A", "B")
+	tb.Set("512B", "A", 1.5)
+	tb.Set("512B", "B", 20)
+	tb.Note("note line")
+	s := tb.String()
+	for _, want := range []string{"Figure X", "[us]", "block", "512B", "1.50", "20", "# note line"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, s)
+		}
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "block,A,B\n") {
+		t.Fatalf("csv header wrong: %q", csv)
+	}
+	if !strings.Contains(csv, "512B,1.50,20") {
+		t.Fatalf("csv row wrong: %q", csv)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tb := NewTable("t", `x,"y"`, "")
+	tb.Set("a,b", "c", 1)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"x,""y"""`) || !strings.Contains(csv, `"a,b"`) {
+		t.Fatalf("csv escaping wrong: %q", csv)
+	}
+}
+
+// Property: every value set into a table can be read back exactly.
+func TestTableRoundTripProperty(t *testing.T) {
+	f := func(keys []uint8, vals []uint32) bool {
+		tb := NewTable("p", "x", "")
+		n := len(keys)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		type kv struct {
+			x, c string
+			v    float64
+		}
+		var want []kv
+		for i := 0; i < n; i++ {
+			x := string(rune('a' + keys[i]%8))
+			c := string(rune('A' + keys[i]%5))
+			v := float64(vals[i])
+			tb.Set(x, c, v)
+			want = append(want, kv{x, c, v})
+		}
+		// Later sets overwrite earlier ones; check the final value per key.
+		final := make(map[[2]string]float64)
+		for _, w := range want {
+			final[[2]string{w.x, w.c}] = w.v
+		}
+		for k, v := range final {
+			got, ok := tb.Get(k[0], k[1])
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatCell(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{3, "3"},
+		{1234.56, "1234.6"},
+		{12.345, "12.35"},
+		{0.1234, "0.1234"},
+	}
+	for _, c := range cases {
+		if got := formatCell(c.v); got != c.want {
+			t.Errorf("formatCell(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"nesc/internal/sim"
+)
+
+func TestNilRingIsNoOp(t *testing.T) {
+	var r *Ring
+	r.Emit(Event{Kind: KindFetch}) // must not panic
+	if r.Len() != 0 || r.Events() != nil {
+		t.Fatal("nil ring holds events")
+	}
+}
+
+func TestRingHoldsAndOrders(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{At: sim.Time(i) * sim.Microsecond, Kind: KindFetch, LBA: uint64(i)})
+	}
+	if r.Len() != 5 || r.Total != 5 {
+		t.Fatalf("len=%d total=%d", r.Len(), r.Total)
+	}
+	evs := r.Events()
+	for i, e := range evs {
+		if e.LBA != uint64(i) {
+			t.Fatalf("event %d lba=%d", i, e.LBA)
+		}
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{LBA: uint64(i)})
+	}
+	if r.Len() != 4 || r.Total != 10 {
+		t.Fatalf("len=%d total=%d", r.Len(), r.Total)
+	}
+	evs := r.Events()
+	want := []uint64{6, 7, 8, 9}
+	for i, e := range evs {
+		if e.LBA != want[i] {
+			t.Fatalf("events after wrap = %v", evs)
+		}
+	}
+}
+
+func TestKindStringsAndDump(t *testing.T) {
+	kinds := []Kind{KindFetch, KindTranslate, KindMiss, KindRewalk, KindTransfer, KindComplete, Kind(99)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Fatalf("kind %d renders empty", k)
+		}
+	}
+	r := NewRing(2)
+	r.Emit(Event{At: sim.Microsecond, Kind: KindMiss, Fn: 3, LBA: 42})
+	var b strings.Builder
+	if err := r.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"miss", "fn3", "lba=42"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q: %s", want, out)
+		}
+	}
+}
+
+func TestZeroCapacityClamped(t *testing.T) {
+	r := NewRing(0)
+	r.Emit(Event{LBA: 1})
+	if r.Len() != 1 {
+		t.Fatal("clamped ring dropped event")
+	}
+}

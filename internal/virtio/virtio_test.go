@@ -1,0 +1,171 @@
+package virtio
+
+import (
+	"math/rand"
+	"testing"
+
+	"nesc/internal/hostmem"
+)
+
+func newQ(t *testing.T, qsz int) *Virtqueue {
+	t.Helper()
+	mem := hostmem.New(1 << 20)
+	base := mem.MustAlloc(RingBytes(qsz), 16)
+	return New(mem, base, qsz)
+}
+
+func TestAddPopChain(t *testing.T) {
+	q := newQ(t, 8)
+	bufs := []DescBuf{
+		{Addr: 0x1000, Len: 16},
+		{Addr: 0x2000, Len: 4096, DeviceWrite: true},
+		{Addr: 0x3000, Len: 1, DeviceWrite: true},
+	}
+	head, ok, err := q.AddChain(bufs)
+	if err != nil || !ok {
+		t.Fatalf("AddChain = %v, %v", ok, err)
+	}
+	got, ok, err := q.PopAvail()
+	if err != nil || !ok || got != head {
+		t.Fatalf("PopAvail = %d, %v, %v (want %d)", got, ok, err, head)
+	}
+	chain, err := q.ReadChain(head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 3 {
+		t.Fatalf("chain length %d", len(chain))
+	}
+	for i := range bufs {
+		if chain[i] != bufs[i] {
+			t.Fatalf("chain[%d] = %+v, want %+v", i, chain[i], bufs[i])
+		}
+	}
+	// Nothing more available.
+	if _, ok, _ := q.PopAvail(); ok {
+		t.Fatal("spurious avail entry")
+	}
+}
+
+func TestUsedRoundTripAndDescriptorRecycling(t *testing.T) {
+	q := newQ(t, 4)
+	// Fill the ring, complete everything, repeat — descriptors must recycle.
+	for round := 0; round < 5; round++ {
+		var heads []uint16
+		for i := 0; i < 2; i++ { // two 2-buf chains exhaust a 4-entry ring
+			h, ok, err := q.AddChain([]DescBuf{{Addr: 1, Len: 2}, {Addr: 3, Len: 4, DeviceWrite: true}})
+			if err != nil || !ok {
+				t.Fatalf("round %d: AddChain = %v, %v", round, ok, err)
+			}
+			heads = append(heads, h)
+		}
+		// Ring is now full.
+		if _, ok, _ := q.AddChain([]DescBuf{{Addr: 9, Len: 9}}); ok {
+			t.Fatal("AddChain succeeded on a full ring")
+		}
+		for _, want := range heads {
+			h, ok, err := q.PopAvail()
+			if err != nil || !ok || h != want {
+				t.Fatalf("PopAvail = %d, %v, %v", h, ok, err)
+			}
+			if err := q.PushUsed(h, 4); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, want := range heads {
+			h, ok, err := q.PopUsed()
+			if err != nil || !ok || h != want {
+				t.Fatalf("PopUsed = %d, %v, %v (want %d)", h, ok, err, want)
+			}
+		}
+		if _, ok, _ := q.PopUsed(); ok {
+			t.Fatal("spurious used entry")
+		}
+	}
+}
+
+func TestIndexWraparound(t *testing.T) {
+	q := newQ(t, 2)
+	// Push enough single-buffer chains to wrap the 16-bit indices region
+	// (ring position arithmetic) many times.
+	for i := 0; i < 300; i++ {
+		h, ok, err := q.AddChain([]DescBuf{{Addr: int64(i), Len: 1}})
+		if err != nil || !ok {
+			t.Fatalf("i=%d AddChain = %v, %v", i, ok, err)
+		}
+		g, ok, err := q.PopAvail()
+		if err != nil || !ok || g != h {
+			t.Fatalf("i=%d PopAvail mismatch", i)
+		}
+		chain, err := q.ReadChain(g)
+		if err != nil || len(chain) != 1 || chain[0].Addr != int64(i) {
+			t.Fatalf("i=%d chain = %+v, %v", i, chain, err)
+		}
+		if err := q.PushUsed(g, 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, _ := q.PopUsed(); !ok {
+			t.Fatalf("i=%d used entry lost", i)
+		}
+	}
+}
+
+func TestRingBytesLayoutDisjoint(t *testing.T) {
+	// The three ring areas must not overlap for any size.
+	for _, qsz := range []int{1, 2, 8, 128, 256} {
+		q := newQ(t, qsz)
+		if q.availOff < int64(qsz)*descBytes {
+			t.Fatalf("qsz %d: avail overlaps desc", qsz)
+		}
+		if q.usedOff < q.availOff+int64(4+2*qsz) {
+			t.Fatalf("qsz %d: used overlaps avail", qsz)
+		}
+		if RingBytes(qsz) < q.usedOff+int64(4+8*qsz) {
+			t.Fatalf("qsz %d: RingBytes too small", qsz)
+		}
+	}
+}
+
+func TestInterleavedProducerConsumerProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	q := newQ(t, 16)
+	inFlight := map[uint16]int64{}
+	submitted, completed := 0, 0
+	for step := 0; step < 2000; step++ {
+		if rng.Intn(2) == 0 {
+			addr := int64(rng.Intn(1 << 20))
+			if h, ok, err := q.AddChain([]DescBuf{{Addr: addr, Len: 8}}); err != nil {
+				t.Fatal(err)
+			} else if ok {
+				inFlight[h] = addr
+				submitted++
+			}
+		} else {
+			h, ok, err := q.PopAvail()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				continue
+			}
+			chain, err := q.ReadChain(h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if chain[0].Addr != inFlight[h] {
+				t.Fatalf("chain %d addr %#x, want %#x", h, chain[0].Addr, inFlight[h])
+			}
+			if err := q.PushUsed(h, 0); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok, err := q.PopUsed(); err != nil || !ok {
+				t.Fatal("used entry lost")
+			}
+			delete(inFlight, h)
+			completed++
+		}
+	}
+	if submitted == 0 || completed == 0 {
+		t.Fatal("property test exercised nothing")
+	}
+}

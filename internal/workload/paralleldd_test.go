@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"testing"
+
+	"nesc/internal/sim"
+)
+
+func TestParallelDDAggregatesWorkers(t *testing.T) {
+	runW(t, func(p *sim.Proc) {
+		tgt := &fakeTarget{size: 4 << 20, lat: 10 * sim.Microsecond, bw: 1e9}
+		res, err := ParallelDD{BlockBytes: 4096, TotalBytes: 64 * 4096, QD: 4}.Run(p, tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ops != 64 {
+			t.Fatalf("ops = %d", res.Ops)
+		}
+		if res.Bytes != 64*4096 {
+			t.Fatalf("bytes = %d", res.Bytes)
+		}
+	})
+}
+
+func TestParallelDDScalesWithQD(t *testing.T) {
+	// With a fixed per-op latency and infinite bandwidth, QD n cuts elapsed
+	// time by ~n.
+	elapsed := func(qd int) sim.Time {
+		var out sim.Time
+		runW(t, func(p *sim.Proc) {
+			tgt := &fakeTarget{size: 16 << 20, lat: 50 * sim.Microsecond, bw: 0}
+			res, err := ParallelDD{BlockBytes: 4096, TotalBytes: 128 * 4096, QD: qd}.Run(p, tgt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = res.Elapsed
+		})
+		return out
+	}
+	e1 := elapsed(1)
+	e4 := elapsed(4)
+	ratio := float64(e1) / float64(e4)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("QD4 speedup = %.2f, want ~4", ratio)
+	}
+}
+
+func TestParallelDDRegionsDisjoint(t *testing.T) {
+	runW(t, func(p *sim.Proc) {
+		// A target that fails on out-of-region access would error if
+		// regions overlapped or escaped the device; exercise heavily.
+		tgt := &fakeTarget{size: 1 << 20, lat: sim.Microsecond, bw: 1e9}
+		if _, err := (ParallelDD{BlockBytes: 4096, TotalBytes: 2 << 20, QD: 8, Write: true}).Run(p, tgt); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestParallelDDValidation(t *testing.T) {
+	runW(t, func(p *sim.Proc) {
+		tgt := &fakeTarget{size: 8192}
+		if _, err := (ParallelDD{QD: 2}).Run(p, tgt); err == nil {
+			t.Fatal("zero geometry accepted")
+		}
+		if _, err := (ParallelDD{BlockBytes: 4096, TotalBytes: 1 << 20, QD: 100}).Run(p, tgt); err == nil {
+			t.Fatal("QD larger than target accepted")
+		}
+	})
+}

@@ -1,0 +1,301 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"nesc/internal/sim"
+)
+
+// fakeTarget is a timed in-memory target: each op costs a fixed latency plus
+// bandwidth-proportional time.
+type fakeTarget struct {
+	eng     *sim.Engine
+	size    int64
+	lat     sim.Time
+	bw      float64
+	reads   int64
+	writes  int64
+	syncs   int64
+	rdBytes int64
+	wrBytes int64
+}
+
+func (t *fakeTarget) Size() int64 { return t.size }
+func (t *fakeTarget) ReadAt(p *sim.Proc, off int64, n int) error {
+	if off < 0 || off+int64(n) > t.size {
+		return fmt.Errorf("fakeTarget: read [%d,%d) out of range", off, off+int64(n))
+	}
+	t.reads++
+	t.rdBytes += int64(n)
+	p.Sleep(t.lat + sim.BytesTime(int64(n), t.bw))
+	return nil
+}
+func (t *fakeTarget) WriteAt(p *sim.Proc, off int64, n int) error {
+	if off < 0 {
+		return fmt.Errorf("fakeTarget: negative offset")
+	}
+	if off+int64(n) > t.size {
+		t.size = off + int64(n) // files grow
+	}
+	t.writes++
+	t.wrBytes += int64(n)
+	// Writes cost more than reads so op-mix differences are observable.
+	p.Sleep(2*t.lat + sim.BytesTime(int64(n), t.bw))
+	return nil
+}
+func (t *fakeTarget) Sync(p *sim.Proc) error {
+	t.syncs++
+	p.Sleep(t.lat)
+	return nil
+}
+
+// fakeFS is an in-memory workload.FS.
+type fakeFS struct {
+	eng     *sim.Engine
+	files   map[string]*fakeTarget
+	removed int
+}
+
+func newFakeFS(eng *sim.Engine) *fakeFS {
+	return &fakeFS{eng: eng, files: make(map[string]*fakeTarget)}
+}
+
+func (fs *fakeFS) Create(p *sim.Proc, name string) (ByteTarget, error) {
+	if _, ok := fs.files[name]; ok {
+		return nil, fmt.Errorf("fakeFS: %s exists", name)
+	}
+	f := &fakeTarget{eng: fs.eng, lat: 10 * sim.Microsecond, bw: 500e6}
+	fs.files[name] = f
+	return f, nil
+}
+
+func (fs *fakeFS) Open(p *sim.Proc, name string) (ByteTarget, error) {
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("fakeFS: %s missing", name)
+	}
+	return f, nil
+}
+
+func (fs *fakeFS) Remove(p *sim.Proc, name string) error {
+	if _, ok := fs.files[name]; !ok {
+		return fmt.Errorf("fakeFS: %s missing", name)
+	}
+	delete(fs.files, name)
+	fs.removed++
+	return nil
+}
+
+func runW(t *testing.T, fn func(p *sim.Proc)) {
+	t.Helper()
+	eng := sim.NewEngine()
+	done := false
+	eng.Go("wl", func(p *sim.Proc) { fn(p); done = true })
+	eng.Run()
+	eng.Shutdown()
+	if !done {
+		t.Fatal("workload deadlocked")
+	}
+}
+
+func TestDDSequential(t *testing.T) {
+	runW(t, func(p *sim.Proc) {
+		tgt := &fakeTarget{size: 1 << 20, lat: 20 * sim.Microsecond, bw: 1e9}
+		res, err := DD{BlockBytes: 4096, TotalBytes: 64 * 4096}.Run(p, tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ops != 64 || res.Bytes != 64*4096 {
+			t.Fatalf("ops=%d bytes=%d", res.Ops, res.Bytes)
+		}
+		if tgt.reads != 64 || tgt.writes != 0 {
+			t.Fatalf("target saw %d reads %d writes", tgt.reads, tgt.writes)
+		}
+		// Latency per op = 20us + 4096/1e9 ~= 24.1us.
+		if res.MeanLatencyUs() < 23 || res.MeanLatencyUs() > 26 {
+			t.Fatalf("latency = %v us", res.MeanLatencyUs())
+		}
+		// Bandwidth consistent with elapsed time.
+		if res.BandwidthMBps() < 150 || res.BandwidthMBps() > 180 {
+			t.Fatalf("bandwidth = %v MB/s", res.BandwidthMBps())
+		}
+	})
+}
+
+func TestDDWrapsWithinDevice(t *testing.T) {
+	runW(t, func(p *sim.Proc) {
+		tgt := &fakeTarget{size: 16 * 1024, lat: sim.Microsecond, bw: 1e9}
+		res, err := DD{BlockBytes: 4096, TotalBytes: 40 * 4096, Write: true}.Run(p, tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ops != 40 {
+			t.Fatalf("ops = %d", res.Ops)
+		}
+		// No out-of-range errors means wrapping worked.
+	})
+}
+
+func TestDDRejectsBadGeometry(t *testing.T) {
+	runW(t, func(p *sim.Proc) {
+		tgt := &fakeTarget{size: 1 << 20}
+		if _, err := (DD{}).Run(p, tgt); err == nil {
+			t.Fatal("zero geometry accepted")
+		}
+	})
+}
+
+func TestSysbenchMixAndFsync(t *testing.T) {
+	runW(t, func(p *sim.Proc) {
+		eng := p.Engine()
+		fs := newFakeFS(eng)
+		sb := SysbenchIO{FileBytes: 1 << 20, Ops: 500, RequestBytes: 16 * 1024, Seed: 4}
+		f, err := sb.Prepare(p, fs, "/test")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ft := f.(*fakeTarget)
+		prepWrites := ft.writes
+		res, err := sb.Run(p, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ops != 500 {
+			t.Fatalf("ops = %d", res.Ops)
+		}
+		reads, writes := ft.reads, ft.writes-prepWrites
+		total := reads + writes
+		ratio := float64(reads) / float64(total)
+		if ratio < 0.5 || ratio > 0.7 {
+			t.Fatalf("read ratio = %.2f, want ~0.6", ratio)
+		}
+		if ft.syncs == 0 {
+			t.Fatal("no fsyncs issued")
+		}
+	})
+}
+
+func TestSysbenchDeterministicAcrossSeeds(t *testing.T) {
+	elapsed := func(seed int64) sim.Time {
+		var out sim.Time
+		runW(t, func(p *sim.Proc) {
+			fs := newFakeFS(p.Engine())
+			sb := SysbenchIO{FileBytes: 1 << 20, Ops: 200, Seed: seed}
+			f, err := sb.Prepare(p, fs, "/t")
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sb.Run(p, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = res.Elapsed
+		})
+		return out
+	}
+	if elapsed(1) != elapsed(1) {
+		t.Fatal("same seed produced different runs")
+	}
+	if elapsed(1) == elapsed(2) {
+		t.Fatal("different seeds produced identical runs (suspicious)")
+	}
+}
+
+func TestPostmarkTransactionMix(t *testing.T) {
+	runW(t, func(p *sim.Proc) {
+		fs := newFakeFS(p.Engine())
+		pm := Postmark{InitialFiles: 20, Transactions: 200, Seed: 5}
+		res, err := pm.Run(p, fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ops != 200 {
+			t.Fatalf("transactions = %d", res.Ops)
+		}
+		if fs.removed == 0 {
+			t.Fatal("no deletions happened")
+		}
+		if len(fs.files) == 0 {
+			t.Fatal("pool emptied out")
+		}
+		if res.OpsPerSec() <= 0 {
+			t.Fatal("no transaction rate")
+		}
+	})
+}
+
+func TestPostmarkTransactionCPUSlowsItDown(t *testing.T) {
+	run := func(cpu sim.Time) sim.Time {
+		var out sim.Time
+		runW(t, func(p *sim.Proc) {
+			fs := newFakeFS(p.Engine())
+			res, err := Postmark{InitialFiles: 10, Transactions: 50, TransactionCPU: cpu, Seed: 6}.Run(p, fs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = res.Elapsed
+		})
+		return out
+	}
+	fast := run(0)
+	slow := run(500 * sim.Microsecond)
+	if slow < fast+50*500*sim.Microsecond*9/10 {
+		t.Fatalf("CPU time not charged: %v vs %v", fast, slow)
+	}
+}
+
+func TestOLTPTransactions(t *testing.T) {
+	runW(t, func(p *sim.Proc) {
+		fs := newFakeFS(p.Engine())
+		o := OLTP{Rows: 4000, Transactions: 100, Seed: 7}
+		res, err := o.Run(p, fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ops != 100 {
+			t.Fatalf("transactions = %d", res.Ops)
+		}
+		table := fs.files["/oltp.tbl"]
+		log := fs.files["/oltp.log"]
+		if table == nil || log == nil {
+			t.Fatal("OLTP files missing")
+		}
+		if log.syncs != 100 {
+			t.Fatalf("log syncs = %d, want one per transaction", log.syncs)
+		}
+		if table.writes == 0 {
+			t.Fatal("no table updates")
+		}
+		// Buffer pool keeps reads well under selects*txns.
+		if table.reads >= 12*100 {
+			t.Fatalf("buffer pool ineffective: %d table reads", table.reads)
+		}
+	})
+}
+
+func TestOLTPRequiresRows(t *testing.T) {
+	runW(t, func(p *sim.Proc) {
+		fs := newFakeFS(p.Engine())
+		if _, err := (OLTP{Transactions: 1}).Run(p, fs); err == nil {
+			t.Fatal("OLTP without rows accepted")
+		}
+	})
+}
+
+func TestResultFormatting(t *testing.T) {
+	r := Result{Name: "x", Ops: 10, Bytes: 1e6, Elapsed: sim.Second}
+	if r.BandwidthMBps() != 1 {
+		t.Fatalf("bandwidth = %v", r.BandwidthMBps())
+	}
+	if r.OpsPerSec() != 10 {
+		t.Fatalf("ops/s = %v", r.OpsPerSec())
+	}
+	if s := r.String(); s == "" {
+		t.Fatal("empty render")
+	}
+	var empty Result
+	if empty.BandwidthMBps() != 0 || empty.OpsPerSec() != 0 {
+		t.Fatal("zero-elapsed result must report zero rates")
+	}
+}

@@ -1,0 +1,217 @@
+// Package nesc is a full-system simulation of NeSC, the self-virtualizing
+// nested storage controller of Gottesman & Etsion (MICRO 2016).
+//
+// A Simulation assembles the complete platform — host memory, a PCIe fabric,
+// the storage medium, the NeSC controller (physical function + virtual
+// functions, per-VF extent trees, BTLB, out-of-band PF channel), and a
+// QEMU/KVM-style hypervisor with an extent filesystem on the physical
+// device. Guest VMs attach to virtual disks through any of the paper's three
+// storage virtualization methods: direct assignment of a NeSC VF,
+// virtio-blk, or full device emulation.
+//
+// Everything runs in deterministic virtual time on a discrete-event engine;
+// data really moves (a byte written through a VF lands on the medium block
+// the file's extent tree maps it to), so both performance and isolation
+// properties are observable.
+//
+// # Quick start
+//
+//	sim := nesc.New(nesc.DefaultConfig())
+//	err := sim.Run(func(ctx *nesc.Ctx) error {
+//	    if err := ctx.CreateImage("/tenant.img", 100, 16<<20, false); err != nil {
+//	        return err
+//	    }
+//	    vm, err := ctx.StartVM("tenant", nesc.BackendNeSC, "/tenant.img", 100)
+//	    if err != nil {
+//	        return err
+//	    }
+//	    return vm.WriteAt(ctx, []byte("hello"), 0)
+//	})
+//
+// The experiment harness that regenerates the paper's tables and figures is
+// exposed through Experiments and RunExperiment, and as the nescbench
+// command.
+package nesc
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"nesc/internal/bench"
+	"nesc/internal/extfs"
+	"nesc/internal/sim"
+	"nesc/internal/trace"
+)
+
+// Backend selects a storage virtualization method (paper Fig. 1).
+type Backend string
+
+// The three methods the paper compares.
+const (
+	BackendNeSC      Backend = "nesc"      // direct assignment of a NeSC VF
+	BackendVirtio    Backend = "virtio"    // paravirtual virtio-blk
+	BackendEmulation Backend = "emulation" // full device emulation
+)
+
+// Config sets the coarse platform knobs. Zero values take defaults; the
+// full low-level cost model lives in the internal packages and is calibrated
+// against the paper (see DESIGN.md and EXPERIMENTS.md).
+type Config struct {
+	// MediumMB is the storage medium size in MiB (default 128; the paper's
+	// prototype carries 1024).
+	MediumMB int
+	// NumVFs is the maximum virtual-function count (default 64, as the
+	// prototype).
+	NumVFs int
+	// BTLBEntries sizes the device's translation cache (default 8).
+	BTLBEntries int
+	// UseIOMMU enables DMA remapping; off (the prototype's mode), guests
+	// bounce through trampoline buffers.
+	UseIOMMU bool
+	// HostJournal selects the host filesystem journal mode:
+	// "none", "metadata" (default), or "full".
+	HostJournal string
+	// TraceEvents, when positive, keeps a ring of that many recent device
+	// events (see Simulation.TraceDump).
+	TraceEvents int
+}
+
+// DefaultConfig returns the calibrated platform.
+func DefaultConfig() Config {
+	return Config{MediumMB: 128, NumVFs: 64, BTLBEntries: 8, HostJournal: "metadata"}
+}
+
+// Simulation is one assembled platform.
+type Simulation struct {
+	pl  *bench.Platform
+	cfg Config
+}
+
+// New assembles a platform. The hypervisor is not booted until Run.
+func New(cfg Config) *Simulation {
+	def := DefaultConfig()
+	if cfg.MediumMB <= 0 {
+		cfg.MediumMB = def.MediumMB
+	}
+	if cfg.NumVFs <= 0 {
+		cfg.NumVFs = def.NumVFs
+	}
+	if cfg.BTLBEntries == 0 {
+		cfg.BTLBEntries = def.BTLBEntries
+	}
+	bcfg := bench.DefaultConfig()
+	bcfg.MediumBlocks = int64(cfg.MediumMB) << 10 // MiB -> 1KB blocks
+	bcfg.Core.NumVFs = cfg.NumVFs
+	bcfg.Core.BTLBEntries = cfg.BTLBEntries
+	bcfg.Hyp.UseIOMMU = cfg.UseIOMMU
+	switch cfg.HostJournal {
+	case "", "metadata":
+		bcfg.HostFS.Mode = extfs.JournalMetadata
+	case "none":
+		bcfg.HostFS.Mode = extfs.JournalNone
+	case "full":
+		bcfg.HostFS.Mode = extfs.JournalFull
+	default:
+		panic(fmt.Sprintf("nesc: unknown journal mode %q", cfg.HostJournal))
+	}
+	s := &Simulation{pl: bench.NewPlatform(bcfg), cfg: cfg}
+	if cfg.TraceEvents > 0 {
+		s.pl.Ctl.Tracer = trace.NewRing(cfg.TraceEvents)
+	}
+	return s
+}
+
+// TraceDump renders the retained device events (requires Config.TraceEvents
+// > 0), oldest first.
+func (s *Simulation) TraceDump() string {
+	var b strings.Builder
+	if err := s.pl.Ctl.Tracer.Dump(&b); err != nil {
+		return "trace: " + err.Error()
+	}
+	return b.String()
+}
+
+// Run boots the hypervisor and executes fn as the initial host process,
+// driving virtual time until the system is quiescent. It may be called once
+// per Simulation.
+func (s *Simulation) Run(fn func(ctx *Ctx) error) error {
+	return s.pl.Run(func(p *sim.Proc) error {
+		if err := s.pl.Boot(p); err != nil {
+			return err
+		}
+		return fn(&Ctx{proc: p, s: s})
+	})
+}
+
+// Ctx is the handle host-side code runs with: it carries the simulated
+// process (for virtual time) and reaches the whole platform.
+type Ctx struct {
+	proc *sim.Proc
+	s    *Simulation
+}
+
+// Now reports the current virtual time.
+func (c *Ctx) Now() time.Duration { return time.Duration(c.proc.Now()) }
+
+// Sleep advances virtual time for this process.
+func (c *Ctx) Sleep(d time.Duration) { c.proc.Sleep(sim.Time(d)) }
+
+// Go spawns a concurrent simulated process (e.g. one per tenant VM) and
+// returns immediately; Wait on the returned handle joins it.
+func (c *Ctx) Go(name string, fn func(ctx *Ctx) error) *Task {
+	t := &Task{done: sim.NewSignal(c.proc.Engine())}
+	c.proc.Engine().Go(name, func(p *sim.Proc) {
+		t.err = fn(&Ctx{proc: p, s: c.s})
+		t.done.Fire()
+	})
+	return t
+}
+
+// Task is a spawned simulated process.
+type Task struct {
+	done *sim.Signal
+	err  error
+}
+
+// Wait blocks the calling context until the task finishes and returns its
+// error.
+func (t *Task) Wait(c *Ctx) error {
+	t.done.Await(c.proc)
+	return t.err
+}
+
+// Stats is a point-in-time snapshot of platform counters.
+type Stats struct {
+	// BTLBHitRate is the device translation cache hit rate.
+	BTLBHitRate float64
+	// BTLBHits / BTLBMisses are the raw lookup counts.
+	BTLBHits, BTLBMisses int64
+	// WalkNodeReads counts extent-tree node fetches by the device.
+	WalkNodeReads int64
+	// MissInterrupts counts hypervisor-serviced translation misses.
+	MissInterrupts int64
+	// MediumReadBytes / MediumWriteBytes count medium traffic.
+	MediumReadBytes, MediumWriteBytes int64
+	// DMAReadBytes / DMAWriteBytes count device-initiated PCIe traffic.
+	DMAReadBytes, DMAWriteBytes int64
+	// VirtualTime is the simulation clock.
+	VirtualTime time.Duration
+}
+
+// Stats snapshots the platform counters.
+func (s *Simulation) Stats() Stats {
+	ctl := s.pl.Ctl
+	return Stats{
+		BTLBHitRate:      ctl.BTLBStats.Rate(),
+		BTLBHits:         ctl.BTLBStats.Hits,
+		BTLBMisses:       ctl.BTLBStats.Misses,
+		WalkNodeReads:    ctl.WalkNodeReads,
+		MissInterrupts:   s.pl.Hyp.MissInterrupts,
+		MediumReadBytes:  ctl.Medium.ReadBytes,
+		MediumWriteBytes: ctl.Medium.WriteBytes,
+		DMAReadBytes:     s.pl.Fab.DMAReadBytes,
+		DMAWriteBytes:    s.pl.Fab.DMAWriteBytes,
+		VirtualTime:      time.Duration(s.pl.Eng.Now()),
+	}
+}

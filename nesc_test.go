@@ -1,0 +1,353 @@
+package nesc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	sim := New(DefaultConfig())
+	err := sim.Run(func(ctx *Ctx) error {
+		if err := ctx.CreateImage("/tenant.img", 100, 8<<20, false); err != nil {
+			return err
+		}
+		vm, err := ctx.StartVM("tenant", BackendNeSC, "/tenant.img", 100)
+		if err != nil {
+			return err
+		}
+		if vm.DiskSize() != 8<<20 {
+			t.Errorf("disk size = %d", vm.DiskSize())
+		}
+		if vm.VFIndex() < 0 {
+			t.Error("NeSC VM has no VF")
+		}
+		msg := []byte("self-virtualizing nested storage controller")
+		if err := vm.WriteAt(ctx, msg, 4096); err != nil {
+			return err
+		}
+		got := make([]byte, len(msg))
+		if err := vm.ReadAt(ctx, got, 4096); err != nil {
+			return err
+		}
+		if !bytes.Equal(got, msg) {
+			t.Error("VM raw round trip mismatch")
+		}
+		// The same bytes are visible in the backing host file.
+		host := make([]byte, len(msg))
+		if _, err := ctx.ReadHostFile("/tenant.img", host, 4096); err != nil {
+			return err
+		}
+		if !bytes.Equal(host, msg) {
+			t.Error("host view differs from guest view")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sim.Stats()
+	if st.VirtualTime == 0 {
+		t.Error("no virtual time elapsed")
+	}
+	if st.MediumWriteBytes == 0 {
+		t.Error("no medium traffic recorded")
+	}
+}
+
+func TestAllBackendsThroughPublicAPI(t *testing.T) {
+	for _, backend := range []Backend{BackendNeSC, BackendVirtio, BackendEmulation} {
+		backend := backend
+		t.Run(string(backend), func(t *testing.T) {
+			sim := New(Config{MediumMB: 32})
+			err := sim.Run(func(ctx *Ctx) error {
+				if err := ctx.CreateImage("/d.img", 1, 4<<20, false); err != nil {
+					return err
+				}
+				vm, err := ctx.StartVM("vm", backend, "/d.img", 1)
+				if err != nil {
+					return err
+				}
+				if vm.Backend() != backend {
+					t.Errorf("backend = %q", vm.Backend())
+				}
+				data := bytes.Repeat([]byte{0xA5}, 10000)
+				if err := vm.WriteAt(ctx, data, 12345); err != nil {
+					return err
+				}
+				got := make([]byte, len(data))
+				if err := vm.ReadAt(ctx, got, 12345); err != nil {
+					return err
+				}
+				if !bytes.Equal(got, data) {
+					t.Error("round trip mismatch")
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestPermissionEnforcement(t *testing.T) {
+	sim := New(Config{MediumMB: 32})
+	err := sim.Run(func(ctx *Ctx) error {
+		if err := ctx.CreateImage("/alice.img", 100, 2<<20, false); err != nil {
+			return err
+		}
+		if _, err := ctx.StartVM("mallory", BackendNeSC, "/alice.img", 200); err == nil {
+			t.Error("foreign tenant obtained a VF for alice's image")
+		}
+		if _, err := ctx.StartVM("alice", BackendNeSC, "/alice.img", 100); err != nil {
+			t.Errorf("owner denied: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGuestFilesystemLifecycle(t *testing.T) {
+	simu := New(Config{MediumMB: 64})
+	err := simu.Run(func(ctx *Ctx) error {
+		if err := ctx.CreateImage("/g.img", 5, 16<<20, false); err != nil {
+			return err
+		}
+		vm, err := ctx.StartVM("vm", BackendNeSC, "/g.img", 5)
+		if err != nil {
+			return err
+		}
+		gfs, err := vm.FormatFS(ctx)
+		if err != nil {
+			return err
+		}
+		if err := gfs.Mkdir(ctx, "/mail"); err != nil {
+			return err
+		}
+		f, err := gfs.Create(ctx, "/mail/inbox")
+		if err != nil {
+			return err
+		}
+		payload := bytes.Repeat([]byte("msg "), 4096)
+		if _, err := f.WriteAt(ctx, payload, 0); err != nil {
+			return err
+		}
+		if err := f.Sync(ctx); err != nil {
+			return err
+		}
+		if err := gfs.Check(ctx); err != nil {
+			return err
+		}
+		vm.Stop(ctx)
+
+		// Remount from a second VM.
+		vm2, err := ctx.StartVM("vm2", BackendNeSC, "/g.img", 5)
+		if err != nil {
+			return err
+		}
+		gfs2, err := vm2.MountFS(ctx)
+		if err != nil {
+			return err
+		}
+		names, err := gfs2.List(ctx, "/mail")
+		if err != nil {
+			return err
+		}
+		if len(names) != 1 || names[0] != "inbox" {
+			t.Errorf("guest dir listing = %v", names)
+		}
+		f2, err := gfs2.Open(ctx, "/mail/inbox")
+		if err != nil {
+			return err
+		}
+		got := make([]byte, len(payload))
+		if _, err := f2.ReadAt(ctx, got, 0); err != nil {
+			return err
+		}
+		if !bytes.Equal(got, payload) {
+			t.Error("guest file lost across VM restart")
+		}
+		if err := gfs2.Remove(ctx, "/mail/inbox"); err != nil {
+			return err
+		}
+		return gfs2.Check(ctx)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseImageLazyAllocation(t *testing.T) {
+	sim := New(Config{MediumMB: 32})
+	err := sim.Run(func(ctx *Ctx) error {
+		if err := ctx.CreateImage("/sparse.img", 9, 4<<20, true); err != nil {
+			return err
+		}
+		st, err := ctx.StatHost("/sparse.img")
+		if err != nil {
+			return err
+		}
+		if st.Extents != 0 {
+			t.Errorf("sparse image has %d extents", st.Extents)
+		}
+		vm, err := ctx.StartVM("vm", BackendNeSC, "/sparse.img", 9)
+		if err != nil {
+			return err
+		}
+		if err := vm.WriteAt(ctx, []byte("first touch"), 1<<20); err != nil {
+			return err
+		}
+		got := make([]byte, 11)
+		if err := vm.ReadAt(ctx, got, 1<<20); err != nil {
+			return err
+		}
+		if string(got) != "first touch" {
+			t.Errorf("read back %q", got)
+		}
+		return ctx.CheckHostFS()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Stats().MissInterrupts == 0 {
+		t.Error("no lazy-allocation miss interrupts observed")
+	}
+}
+
+func TestConcurrentTenantsViaTasks(t *testing.T) {
+	simu := New(Config{MediumMB: 64})
+	err := simu.Run(func(ctx *Ctx) error {
+		var tasks []*Task
+		for i := 0; i < 3; i++ {
+			uid := uint32(100 + i)
+			path := "/t" + string(rune('0'+i)) + ".img"
+			if err := ctx.CreateImage(path, uid, 4<<20, false); err != nil {
+				return err
+			}
+			vm, err := ctx.StartVM(path, BackendNeSC, path, uid)
+			if err != nil {
+				return err
+			}
+			pattern := byte(i + 1)
+			tasks = append(tasks, ctx.Go("tenant", func(tc *Ctx) error {
+				data := bytes.Repeat([]byte{pattern}, 64<<10)
+				if err := vm.WriteAt(tc, data, 0); err != nil {
+					return err
+				}
+				got := make([]byte, len(data))
+				if err := vm.ReadAt(tc, got, 0); err != nil {
+					return err
+				}
+				if !bytes.Equal(got, data) {
+					t.Errorf("tenant %d data corrupted", pattern)
+				}
+				return nil
+			}))
+		}
+		for _, task := range tasks {
+			if err := task.Wait(ctx); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simu.Stats().BTLBHitRate == 0 {
+		t.Error("BTLB never hit under sequential tenant I/O")
+	}
+}
+
+func TestSharedImageAndMigration(t *testing.T) {
+	simu := New(Config{MediumMB: 64})
+	err := simu.Run(func(ctx *Ctx) error {
+		if err := ctx.CreateImage("/shared.img", 0, 4<<20, false); err != nil {
+			return err
+		}
+		vm1, err := ctx.StartVM("a", BackendNeSC, "/shared.img", 0)
+		if err != nil {
+			return err
+		}
+		vm2, err := ctx.StartVM("b", BackendNeSC, "/shared.img", 0)
+		if err != nil {
+			return err
+		}
+		// Shared file: one VM's write is the other's read.
+		msg := []byte("shared extent tree")
+		if err := vm1.WriteAt(ctx, msg, 0); err != nil {
+			return err
+		}
+		got := make([]byte, len(msg))
+		if err := vm2.ReadAt(ctx, got, 0); err != nil {
+			return err
+		}
+		if !bytes.Equal(got, msg) {
+			t.Error("shared image not visible across VMs")
+		}
+		// Live migration of the backing blocks is transparent.
+		if err := ctx.MigrateImage(vm1); err != nil {
+			return err
+		}
+		if err := vm2.ReadAt(ctx, got, 0); err != nil {
+			return err
+		}
+		if !bytes.Equal(got, msg) {
+			t.Error("data lost across block migration")
+		}
+		// QoS weight programming is accepted.
+		vm1.SetIOWeight(ctx, 8)
+		return ctx.CheckHostFS()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) < 13 {
+		t.Fatalf("only %d experiments registered", len(exps))
+	}
+	want := map[string]bool{"fig2": false, "fig9": false, "fig10": false, "fig11": false, "fig12": false, "table1": false, "table2": false}
+	for _, e := range exps {
+		if _, ok := want[e.Name]; ok {
+			want[e.Name] = true
+		}
+		if e.Title == "" {
+			t.Errorf("experiment %s has no title", e.Name)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("paper artifact %s not registered", name)
+		}
+	}
+	if _, err := RunExperiment("definitely-not-an-experiment"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunExperimentTable2(t *testing.T) {
+	out, err := RunExperiment("table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Postmark", "OLTP", "SysBench", "dd"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table2 output missing %q", want)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad journal mode accepted")
+		}
+	}()
+	New(Config{HostJournal: "quantum"})
+}

@@ -1,0 +1,205 @@
+package nesc
+
+import (
+	"fmt"
+	"io"
+
+	"nesc/internal/extfs"
+	"nesc/internal/hypervisor"
+)
+
+// VM is a running guest with a virtual disk.
+type VM struct {
+	name string
+	vm   *hypervisor.VM
+	s    *Simulation
+}
+
+func backendKind(b Backend) (hypervisor.BackendKind, error) {
+	switch b {
+	case BackendNeSC:
+		return hypervisor.BackendDirect, nil
+	case BackendVirtio:
+		return hypervisor.BackendVirtio, nil
+	case BackendEmulation:
+		return hypervisor.BackendEmulation, nil
+	default:
+		return 0, fmt.Errorf("nesc: unknown backend %q", b)
+	}
+}
+
+// StartVM launches a guest whose virtual disk is the host file at diskPath,
+// attached through the chosen backend on behalf of tenant uid. For
+// BackendNeSC the hypervisor checks the tenant's filesystem permissions,
+// translates the file's extent map into a device extent tree, and assigns
+// the resulting virtual function directly to the guest.
+func (c *Ctx) StartVM(name string, backend Backend, diskPath string, uid uint32) (*VM, error) {
+	kind, err := backendKind(backend)
+	if err != nil {
+		return nil, err
+	}
+	vm, err := c.s.pl.Hyp.NewVM(c.proc, name, hypervisor.VMConfig{
+		Backend:  kind,
+		DiskPath: diskPath,
+		UID:      uid,
+		Guest:    c.s.pl.Cfg.Guest,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &VM{name: name, vm: vm, s: c.s}, nil
+}
+
+// StartRawVM launches a guest whose virtual disk is the raw physical device
+// (the configuration of the paper's microbenchmarks: an identity-mapped VF
+// for NeSC, the PF for virtio/emulation).
+func (c *Ctx) StartRawVM(name string, backend Backend) (*VM, error) {
+	kind, err := backendKind(backend)
+	if err != nil {
+		return nil, err
+	}
+	vm, err := c.s.pl.Hyp.NewVM(c.proc, name, hypervisor.VMConfig{
+		Backend:   kind,
+		RawDevice: true,
+		Guest:     c.s.pl.Cfg.Guest,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &VM{name: name, vm: vm, s: c.s}, nil
+}
+
+// Name reports the VM name.
+func (vm *VM) Name() string { return vm.name }
+
+// Backend reports the storage virtualization method in use.
+func (vm *VM) Backend() Backend { return Backend(vm.vm.Kind.String()) }
+
+// DiskSize reports the virtual disk size in bytes.
+func (vm *VM) DiskSize() int64 {
+	return vm.vm.Kernel.Drv.CapacityBlocks() * int64(vm.vm.Kernel.Drv.BlockSize())
+}
+
+// VFIndex reports the assigned virtual function (-1 for software backends).
+func (vm *VM) VFIndex() int { return vm.vm.VFIdx }
+
+// WriteAt writes p to the raw virtual disk at off, through the guest's full
+// I/O stack and the backend's data path. The bytes genuinely land on the
+// medium blocks the VF's extent tree maps.
+func (vm *VM) WriteAt(c *Ctx, p []byte, off int64) error {
+	return vm.vm.Kernel.WriteBytes(c.proc, off, p)
+}
+
+// ReadAt fills p from the raw virtual disk at off.
+func (vm *VM) ReadAt(c *Ctx, p []byte, off int64) error {
+	return vm.vm.Kernel.ReadBytes(c.proc, off, p)
+}
+
+// SetIOWeight programs the VM's QoS weight at the device (1..255): the NeSC
+// DMA engine serves competing VFs in proportion to their weights (paper
+// §IV-D). Only meaningful for BackendNeSC VMs.
+func (vm *VM) SetIOWeight(c *Ctx, weight int) {
+	if vm.vm.VFIdx >= 0 {
+		vm.s.pl.Hyp.SetVFWeight(c.proc, vm.vm.VFIdx, weight)
+	}
+}
+
+// Stop tears the VM down, releasing its virtual function (if any).
+func (vm *VM) Stop(c *Ctx) { vm.vm.Teardown(c.proc) }
+
+// GuestFS is a guest filesystem mounted inside the VM's virtual disk — the
+// nested-filesystem configuration of paper §IV-D.
+type GuestFS struct {
+	fs *extfs.FS
+	vm *VM
+}
+
+// FormatFS creates a fresh guest filesystem on the virtual disk.
+func (vm *VM) FormatFS(c *Ctx) (*GuestFS, error) {
+	fs, err := vm.vm.Kernel.Mount(c.proc, true, extfs.Params{
+		InodeCount: 1024, JournalBlocks: 128, Mode: extfs.JournalMetadata,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &GuestFS{fs: fs, vm: vm}, nil
+}
+
+// MountFS mounts an existing guest filesystem from the virtual disk.
+func (vm *VM) MountFS(c *Ctx) (*GuestFS, error) {
+	fs, err := vm.vm.Kernel.Mount(c.proc, false, extfs.Params{})
+	if err != nil {
+		return nil, err
+	}
+	return &GuestFS{fs: fs, vm: vm}, nil
+}
+
+// GuestFile is an open file inside a guest filesystem.
+type GuestFile struct {
+	f *extfs.File
+}
+
+// Create makes a new guest file.
+func (g *GuestFS) Create(c *Ctx, path string) (*GuestFile, error) {
+	f, err := g.fs.Create(c.proc, path, 0, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &GuestFile{f: f}, nil
+}
+
+// Open opens an existing guest file for read/write.
+func (g *GuestFS) Open(c *Ctx, path string) (*GuestFile, error) {
+	f, err := g.fs.Open(c.proc, path, 0, extfs.PermRead|extfs.PermWrite)
+	if err != nil {
+		return nil, err
+	}
+	return &GuestFile{f: f}, nil
+}
+
+// Mkdir creates a guest directory.
+func (g *GuestFS) Mkdir(c *Ctx, path string) error {
+	return g.fs.Mkdir(c.proc, path, 0, 0o755)
+}
+
+// Remove unlinks a guest file or empty directory.
+func (g *GuestFS) Remove(c *Ctx, path string) error {
+	return g.fs.Remove(c.proc, path, 0)
+}
+
+// List names a guest directory's entries.
+func (g *GuestFS) List(c *Ctx, dir string) ([]string, error) {
+	ents, err := g.fs.ReadDir(c.proc, dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(ents))
+	for i, e := range ents {
+		names[i] = e.Name
+	}
+	return names, nil
+}
+
+// Check runs the guest filesystem's consistency check.
+func (g *GuestFS) Check(c *Ctx) error { return g.fs.Check(c.proc) }
+
+// WriteAt writes p at off.
+func (f *GuestFile) WriteAt(c *Ctx, p []byte, off int64) (int, error) {
+	return f.f.WriteAt(c.proc, p, off)
+}
+
+// ReadAt reads into p at off; short reads at EOF return the count with a
+// nil error.
+func (f *GuestFile) ReadAt(c *Ctx, p []byte, off int64) (int, error) {
+	n, err := f.f.ReadAt(c.proc, p, off)
+	if err == io.EOF {
+		err = nil
+	}
+	return n, err
+}
+
+// Size reports the file size.
+func (f *GuestFile) Size() int64 { return int64(f.f.Size()) }
+
+// Sync flushes the file (fsync).
+func (f *GuestFile) Sync(c *Ctx) error { return f.f.Sync(c.proc) }
