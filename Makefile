@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: tier1 ci vet build test race chaos bench
+
+# tier1 is the seed acceptance gate: everything must build and pass.
+tier1: build test
+
+# ci is the full hygiene gate. The race run uses -short so the full-size
+# chaos soak (seconds of virtual time, minutes under the race detector)
+# stays out of the fast path; run `make chaos` for the big one.
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+# chaos runs the full-size chaos soak (4 VMs x 16 rounds x 16-block
+# stripes, plus the same-seed determinism replay).
+chaos:
+	$(GO) test -run TestChaosSoak -v .
+
+bench:
+	$(GO) test -bench=. -benchmem .

@@ -10,6 +10,7 @@ import (
 	"nesc/internal/blockdev"
 	"nesc/internal/core"
 	"nesc/internal/extfs"
+	"nesc/internal/fault"
 	"nesc/internal/guest"
 	"nesc/internal/hostmem"
 	"nesc/internal/hypervisor"
@@ -27,6 +28,9 @@ type Config struct {
 	Hyp          hypervisor.Params
 	Guest        guest.Params
 	HostFS       extfs.Params
+	// Fault, when set, arms a seeded fault injector across the medium, the
+	// PCIe fabric, and the hypervisor's miss-service path.
+	Fault *fault.Plan
 }
 
 // DefaultConfig is the calibrated model of the paper's platform (Table I):
@@ -55,11 +59,19 @@ type Platform struct {
 	Fab *pcie.Fabric
 	Ctl *core.Controller
 	Hyp *hypervisor.Hypervisor
+	// Inj is the armed fault injector, nil when Cfg.Fault is unset.
+	Inj *fault.Injector
 }
 
 // NewPlatform assembles a platform from cfg. It panics on configuration
 // errors: the harness treats those as bugs, not runtime conditions.
 func NewPlatform(cfg Config) *Platform {
+	if cfg.Fault != nil && cfg.Core.MissResendInterval == 0 {
+		// Under fault injection a dropped miss MSI would park walkers
+		// forever; arm the device's miss-resend timer unless the caller chose
+		// a cadence.
+		cfg.Core.MissResendInterval = 100 * sim.Microsecond
+	}
 	eng := sim.NewEngine()
 	mem := hostmem.New(cfg.HostMemBytes)
 	fab := pcie.New(eng, mem, cfg.PCIe)
@@ -70,7 +82,14 @@ func NewPlatform(cfg Config) *Platform {
 		panic(err)
 	}
 	h := hypervisor.New(eng, mem, fab, ctl, cfg.Hyp)
-	return &Platform{Cfg: cfg, Eng: eng, Mem: mem, Fab: fab, Ctl: ctl, Hyp: h}
+	pl := &Platform{Cfg: cfg, Eng: eng, Mem: mem, Fab: fab, Ctl: ctl, Hyp: h}
+	if cfg.Fault != nil {
+		pl.Inj = fault.NewInjector(*cfg.Fault)
+		medium.SetInjector(pl.Inj)
+		fab.SetInjector(pl.Inj)
+		h.SetInjector(pl.Inj)
+	}
+	return pl
 }
 
 // Run executes fn as the platform's initial host process, drives the

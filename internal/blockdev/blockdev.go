@@ -14,8 +14,10 @@
 package blockdev
 
 import (
+	"errors"
 	"fmt"
 
+	"nesc/internal/fault"
 	"nesc/internal/sim"
 )
 
@@ -106,27 +108,44 @@ func DefaultMediumParams() MediumParams {
 	}
 }
 
+// ErrMedium marks an access that failed at the medium itself (a transient or
+// latent sector error), as opposed to a range/programming error. Callers use
+// IsMediumError to decide whether a retry can help.
+var ErrMedium = errors.New("blockdev: medium error")
+
+// IsMediumError reports whether err is a (possibly wrapped) medium error.
+func IsMediumError(err error) bool { return errors.Is(err, ErrMedium) }
+
 // Medium is the timed access port to a Store.
 type Medium struct {
+	eng       *sim.Engine
 	store     *Store
 	readPort  *sim.Link
 	writePort *sim.Link
 	params    MediumParams
+	inj       *fault.Injector
 
 	// Reads/Writes count operations; ReadBytes/WriteBytes count payloads.
 	Reads, Writes         int64
 	ReadBytes, WriteBytes int64
+	// ReadFaults/WriteFaults count operations failed by fault injection.
+	ReadFaults, WriteFaults int64
 }
 
 // NewMedium wraps store with a timed port on engine eng.
 func NewMedium(eng *sim.Engine, store *Store, p MediumParams) *Medium {
 	return &Medium{
+		eng:       eng,
 		store:     store,
 		readPort:  sim.NewLink(eng, p.ReadBandwidth, p.ReadLatency, 0),
 		writePort: sim.NewLink(eng, p.WriteBandwidth, p.WriteLatency, 0),
 		params:    p,
 	}
 }
+
+// SetInjector installs a fault injector on the access port (nil disables
+// injection).
+func (m *Medium) SetInjector(inj *fault.Injector) { m.inj = inj }
 
 // Store returns the functional content behind the port.
 func (m *Medium) Store() *Store { return m.store }
@@ -142,40 +161,67 @@ func (m *Medium) SetBandwidth(read, write float64) {
 	m.writePort.SetBandwidth(write)
 }
 
+// finish invokes done, optionally after an injected extra delay.
+func (m *Medium) finish(delay sim.Time, done func()) {
+	if delay > 0 {
+		m.eng.After(delay, done)
+		return
+	}
+	done()
+}
+
 // Read fetches len(p) bytes (a whole number of blocks) starting at lba and
-// invokes done when the data has left the medium. The copy into p happens at
-// completion time.
-func (m *Medium) Read(lba int64, p []byte, done func()) error {
+// invokes done when the data has left the medium (or the medium has reported
+// an error, still after the access time). The copy into p happens at
+// completion time. A synchronous non-nil return means the request itself was
+// malformed (range/alignment) and done will not be called.
+func (m *Medium) Read(lba int64, p []byte, done func(error)) error {
 	if err := m.store.checkRange(lba, len(p)); err != nil {
 		return err
 	}
 	m.Reads++
 	m.ReadBytes += int64(len(p))
+	dec := m.inj.MediumAccess(false, lba, int64(len(p)/m.store.blockSize))
 	m.readPort.Transfer(int64(len(p)), func() {
-		if err := m.store.ReadBlocks(lba, p); err != nil {
-			panic(err)
-		}
-		done()
+		m.finish(dec.Delay, func() {
+			if dec.Fault {
+				m.ReadFaults++
+				done(fmt.Errorf("%w: read of %d blocks at lba %d", ErrMedium, len(p)/m.store.blockSize, lba))
+				return
+			}
+			if err := m.store.ReadBlocks(lba, p); err != nil {
+				panic(err)
+			}
+			done(nil)
+		})
 	})
 	return nil
 }
 
 // Write stores len(p) bytes (a whole number of blocks) at lba and invokes
-// done when the medium has absorbed them. The data is snapshotted at
-// submission.
-func (m *Medium) Write(lba int64, p []byte, done func()) error {
+// done when the medium has absorbed them (or reported an error). The data is
+// snapshotted at submission; a faulted write leaves the store untouched.
+func (m *Medium) Write(lba int64, p []byte, done func(error)) error {
 	if err := m.store.checkRange(lba, len(p)); err != nil {
 		return err
 	}
 	m.Writes++
 	m.WriteBytes += int64(len(p))
+	dec := m.inj.MediumAccess(true, lba, int64(len(p)/m.store.blockSize))
 	data := make([]byte, len(p))
 	copy(data, p)
 	m.writePort.Transfer(int64(len(p)), func() {
-		if err := m.store.WriteBlocks(lba, data); err != nil {
-			panic(err)
-		}
-		done()
+		m.finish(dec.Delay, func() {
+			if dec.Fault {
+				m.WriteFaults++
+				done(fmt.Errorf("%w: write of %d blocks at lba %d", ErrMedium, len(data)/m.store.blockSize, lba))
+				return
+			}
+			if err := m.store.WriteBlocks(lba, data); err != nil {
+				panic(err)
+			}
+			done(nil)
+		})
 	})
 	return nil
 }
@@ -186,8 +232,11 @@ func (m *Medium) Write(lba int64, p []byte, done func()) error {
 func (m *Medium) ReadP(p *sim.Proc, lba int64, buf []byte) error {
 	var err error
 	p.Wait(func(done func()) {
-		err = m.Read(lba, buf, done)
-		if err != nil {
+		if e := m.Read(lba, buf, func(opErr error) {
+			err = opErr
+			done()
+		}); e != nil {
+			err = e
 			done()
 		}
 	})
@@ -198,8 +247,11 @@ func (m *Medium) ReadP(p *sim.Proc, lba int64, buf []byte) error {
 func (m *Medium) WriteP(p *sim.Proc, lba int64, buf []byte) error {
 	var err error
 	p.Wait(func(done func()) {
-		err = m.Write(lba, buf, done)
-		if err != nil {
+		if e := m.Write(lba, buf, func(opErr error) {
+			err = opErr
+			done()
+		}); e != nil {
+			err = e
 			done()
 		}
 	})

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"nesc/internal/fault"
 	"nesc/internal/sim"
 )
 
@@ -94,7 +95,7 @@ func TestMediumTiming(t *testing.T) {
 	m := NewMedium(eng, s, p)
 	buf := make([]byte, 100*1024)
 	var doneAt sim.Time
-	if err := m.Read(0, buf, func() { doneAt = eng.Now() }); err != nil {
+	if err := m.Read(0, buf, func(error) { doneAt = eng.Now() }); err != nil {
 		t.Fatal(err)
 	}
 	eng.Run()
@@ -135,7 +136,7 @@ func TestMediumWriteSnapshot(t *testing.T) {
 	s := NewStore(512, 8)
 	m := NewMedium(eng, s, DefaultMediumParams())
 	buf := bytes.Repeat([]byte{7}, 512)
-	if err := m.Write(0, buf, func() {}); err != nil {
+	if err := m.Write(0, buf, func(error) {}); err != nil {
 		t.Fatal(err)
 	}
 	buf[0] = 99 // mutate after submission
@@ -153,7 +154,7 @@ func TestMediumErrorsPropagate(t *testing.T) {
 	eng := sim.NewEngine()
 	s := NewStore(512, 8)
 	m := NewMedium(eng, s, DefaultMediumParams())
-	if err := m.Read(100, make([]byte, 512), func() {}); err == nil {
+	if err := m.Read(100, make([]byte, 512), func(error) {}); err == nil {
 		t.Fatal("out-of-range read accepted")
 	}
 	eng.Go("io", func(p *sim.Proc) {
@@ -173,7 +174,7 @@ func TestMediumThrottle(t *testing.T) {
 		m := NewMedium(eng, s, MediumParams{ReadBandwidth: bw, WriteBandwidth: bw})
 		buf := make([]byte, 1<<20)
 		var doneAt sim.Time
-		if err := m.Write(0, buf, func() { doneAt = eng.Now() }); err != nil {
+		if err := m.Write(0, buf, func(error) { doneAt = eng.Now() }); err != nil {
 			t.Fatal(err)
 		}
 		eng.Run()
@@ -203,14 +204,80 @@ func TestMediumConcurrentOpsSerialize(t *testing.T) {
 	m := NewMedium(eng, s, MediumParams{ReadBandwidth: 1e9, WriteBandwidth: 1e9})
 	var first, second sim.Time
 	buf := make([]byte, 100*1024)
-	if err := m.Read(0, buf, func() { first = eng.Now() }); err != nil {
+	if err := m.Read(0, buf, func(error) { first = eng.Now() }); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Read(0, make([]byte, 100*1024), func() { second = eng.Now() }); err != nil {
+	if err := m.Read(0, make([]byte, 100*1024), func(error) { second = eng.Now() }); err != nil {
 		t.Fatal(err)
 	}
 	eng.Run()
 	if second < first*19/10 {
 		t.Fatalf("reads did not serialize: %v then %v", first, second)
+	}
+}
+
+func TestMediumFaultInjection(t *testing.T) {
+	eng := sim.NewEngine()
+	s := NewStore(512, 64)
+	m := NewMedium(eng, s, DefaultMediumParams())
+	plan := fault.Plan{Seed: 3}
+	plan.Sites[fault.MediumWrite] = fault.SiteParams{OneShot: []int64{1}}
+	plan.Sites[fault.MediumRead] = fault.SiteParams{OneShot: []int64{2}}
+	m.SetInjector(fault.NewInjector(plan))
+	src := bytes.Repeat([]byte{0xAB}, 512)
+	eng.Go("io", func(p *sim.Proc) {
+		// Write 1 faults and must leave the store untouched.
+		if err := m.WriteP(p, 4, src); !IsMediumError(err) {
+			t.Errorf("faulted write returned %v, want medium error", err)
+		}
+		got := make([]byte, 512)
+		if err := m.ReadP(p, 4, got); err != nil { // read 1 is clean
+			t.Error(err)
+		}
+		if !bytes.Equal(got, make([]byte, 512)) {
+			t.Error("faulted write modified the store")
+		}
+		// Read 2 faults even though the data is intact.
+		if err := m.WriteP(p, 4, src); err != nil { // write 2 is clean
+			t.Error(err)
+		}
+		if err := m.ReadP(p, 4, got); !IsMediumError(err) {
+			t.Errorf("faulted read returned %v, want medium error", err)
+		}
+		// Read 3 succeeds and sees the write-2 data.
+		if err := m.ReadP(p, 4, got); err != nil {
+			t.Error(err)
+		}
+		if !bytes.Equal(got, src) {
+			t.Error("post-fault read mismatch")
+		}
+	})
+	eng.Run()
+	if m.ReadFaults != 1 || m.WriteFaults != 1 {
+		t.Fatalf("fault counters: reads=%d writes=%d", m.ReadFaults, m.WriteFaults)
+	}
+}
+
+func TestMediumInjectedDelay(t *testing.T) {
+	elapsed := func(delay sim.Time) sim.Time {
+		eng := sim.NewEngine()
+		s := NewStore(512, 8)
+		m := NewMedium(eng, s, MediumParams{ReadBandwidth: 1e9, WriteBandwidth: 1e9})
+		if delay > 0 {
+			plan := fault.Plan{Seed: 5}
+			plan.Sites[fault.MediumRead] = fault.SiteParams{DelayProb: 1.0, Delay: delay}
+			m.SetInjector(fault.NewInjector(plan))
+		}
+		var doneAt sim.Time
+		if err := m.Read(0, make([]byte, 512), func(error) { doneAt = eng.Now() }); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+		return doneAt
+	}
+	base := elapsed(0)
+	slow := elapsed(40 * sim.Microsecond)
+	if slow != base+40*sim.Microsecond {
+		t.Fatalf("injected delay: base=%v slow=%v", base, slow)
 	}
 }

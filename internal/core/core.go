@@ -72,6 +72,18 @@ type Params struct {
 	// CollectBreakdown enables per-chunk stage timing (the latency
 	// breakdown experiment); off by default to keep hot paths lean.
 	CollectBreakdown bool
+
+	// Error recovery.
+	//
+	// MediumRetryMax is how many times the DTU retries a transient medium
+	// error before latching StatusMediumError; MediumRetryDelay is the cost
+	// of each retry.
+	MediumRetryMax   int
+	MediumRetryDelay sim.Time
+	// MissResendInterval, when positive, re-raises the miss MSI while a
+	// function's miss stays latched (recovers a miss interrupt lost on the
+	// wire). Zero disables resending and leaves the event queue untouched.
+	MissResendInterval sim.Time
 }
 
 // DefaultParams matches the paper's prototype.
@@ -92,6 +104,8 @@ func DefaultParams() Params {
 		BTLBHitTime:         80 * sim.Nanosecond,
 		WalkParseTime:       150 * sim.Nanosecond,
 		DTUChunkOverhead:    220 * sim.Nanosecond,
+		MediumRetryMax:      3,
+		MediumRetryDelay:    2 * sim.Microsecond,
 	}
 }
 
@@ -101,12 +115,14 @@ const (
 	OpWrite = 2
 )
 
-// Completion status codes.
+// Completion status codes. (StatusDMAFault = 4 lives in pipeline.go.)
 const (
-	StatusOK         = 0
-	StatusOutOfRange = 1 // request exceeds the virtual device
-	StatusNoSpace    = 2 // hypervisor denied allocation (quota/space)
-	StatusDisabled   = 3 // function not enabled
+	StatusOK          = 0
+	StatusOutOfRange  = 1 // request exceeds the virtual device
+	StatusNoSpace     = 2 // hypervisor denied allocation (quota/space)
+	StatusDisabled    = 3 // function not enabled
+	StatusMediumError = 5 // medium error persisted through all retries
+	StatusAborted     = 6 // request killed by a function-level reset
 )
 
 // MSI vectors raised by the controller.
@@ -124,7 +140,8 @@ type Request struct {
 	Count  uint32 // blocks
 	Buf    int64  // host memory address of the data buffer
 	status uint32
-	left   int // chunks outstanding
+	left   int    // chunks outstanding
+	epoch  uint32 // function reset epoch at fetch time; stale = aborted
 }
 
 // chunk is the unit of translation and data transfer (one block).
@@ -175,6 +192,16 @@ type Controller struct {
 	Misses        int64
 	ChunksDone    int64
 	ReqsDone      int64
+
+	// Error/recovery stats, aggregated across functions.
+	FetchDrops    int64 // doorbells lost to descriptor-fetch DMA errors
+	CplDrops      int64 // completions lost to completion-ring DMA errors
+	MediumErrors  int64 // chunks that exhausted medium retries
+	MediumRetries int64 // individual medium retry attempts
+	DMAFaults     int64 // chunks failed by data-buffer DMA faults
+	FLRs          int64 // function-level resets performed
+	AbortedChunks int64 // chunks killed by a reset
+	MissResends   int64 // miss MSIs re-raised by the resend timer
 
 	// Breakdown holds per-stage chunk latencies in microseconds (populated
 	// only when Params.CollectBreakdown is set).
@@ -263,8 +290,16 @@ type Function struct {
 	missSize      uint32
 	missIsWrite   bool
 	missPending   bool
+	missGen       uint64 // bumped per latch; guards the resend timer
 	rewalk        *sim.Signal
 	rewalkVerdict uint32 // what the hypervisor wrote to RewalkTree
+
+	// Reset state: resetEpoch is bumped by each function-level reset, and
+	// requests stamped with an older epoch are aborted at every pipeline
+	// stage; inflight counts fetched-but-uncompleted requests, exposed
+	// through RegReset so the hypervisor can poll for drain.
+	resetEpoch uint32
+	inflight   int64
 
 	doorbells *sim.FIFO[uint32]
 	reqQ      *sim.FIFO[*Request]
@@ -279,6 +314,15 @@ type Function struct {
 
 	// Stats.
 	Reqs, Blocks int64
+
+	// AER-style per-function error counters, exposed through the RegErr*
+	// registers.
+	DMAFaults     int64
+	MediumErrors  int64
+	MediumRetries int64
+	Resets        int64
+	FetchDrops    int64
+	CplDrops      int64
 }
 
 func (c *Controller) newFunction(idx int, id pcie.FnID) *Function {
@@ -309,3 +353,34 @@ func (f *Function) SizeBlocks() uint64 { return f.sizeBlocks }
 
 // TreeRoot reports the configured extent tree root (diagnostics).
 func (f *Function) TreeRoot() int64 { return f.treeRoot }
+
+// Inflight reports the number of fetched-but-uncompleted requests.
+func (f *Function) Inflight() int64 { return f.inflight }
+
+// resetFunction performs a function-level reset (FLR): ring state is cleared,
+// queued doorbells are discarded, cached translations are flushed, a latched
+// miss is failed, and the reset epoch is bumped so every in-flight request is
+// aborted as it reaches its next pipeline stage. The function's management
+// state (enable, tree root, size, weight) survives — FLR recovers a wedged
+// function without reprovisioning it. Runs in engine context (MMIO delivery).
+func (c *Controller) resetFunction(f *Function) {
+	f.Resets++
+	c.FLRs++
+	f.resetEpoch++
+	f.ringBase, f.ringSize, f.cplBase = 0, 0, 0
+	f.consumed, f.cplSeq = 0, 0
+	for {
+		if _, ok := f.doorbells.TryPop(); !ok {
+			break
+		}
+	}
+	c.btlb.flushFn(f.idx)
+	if f.missPending {
+		// A walker is parked on this miss; fail the walk so the chunk drains
+		// (it will be aborted as stale before any completion is attempted).
+		f.missPending = false
+		f.rewalkVerdict = RewalkFail
+		f.rewalk.Fire()
+	}
+	c.Tracer.Emit(trace.Event{At: c.Eng.Now(), Kind: trace.KindReset, Fn: f.idx, Arg: uint64(f.resetEpoch)})
+}

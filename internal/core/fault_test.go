@@ -1,0 +1,231 @@
+package core
+
+import (
+	"testing"
+
+	"nesc/internal/extent"
+	"nesc/internal/fault"
+	"nesc/internal/sim"
+)
+
+// Fault-injection and recovery tests: DTU medium retries, function-level
+// reset, and the observability counters for silently dropped work.
+
+func (r *rig) installPlan(plan fault.Plan) *fault.Injector {
+	inj := fault.NewInjector(plan)
+	r.ctl.Medium.SetInjector(inj)
+	r.fab.SetInjector(inj)
+	return inj
+}
+
+func TestMediumRetryRecoversTransientError(t *testing.T) {
+	r := newRig(t, DefaultParams())
+	plan := fault.Plan{Seed: 1}
+	plan.Sites[fault.MediumRead] = fault.SiteParams{OneShot: []int64{1}}
+	r.installPlan(plan)
+	r.eng.Go("test", func(p *sim.Proc) {
+		tr := r.buildTree([]extent.Run{{Logical: 0, Physical: 100, Count: 8}})
+		r.setVF(p, 0, tr.Root(), 64)
+		d := r.openFunction(p, 1)
+		buf := r.mem.MustAlloc(int64(r.ctl.P.BlockSize), 64)
+		if st := d.io(p, OpRead, 0, 1, buf); st != StatusOK {
+			t.Errorf("read after transient medium error: status %d, want OK", st)
+		}
+	})
+	r.run()
+	vf := r.ctl.VF(0)
+	if vf.MediumRetries != 1 || vf.MediumErrors != 0 {
+		t.Fatalf("retries=%d errors=%d, want 1/0", vf.MediumRetries, vf.MediumErrors)
+	}
+	if r.ctl.MediumRetries != 1 {
+		t.Fatalf("controller retries=%d, want 1", r.ctl.MediumRetries)
+	}
+}
+
+func TestMediumErrorLatchesAfterRetries(t *testing.T) {
+	r := newRig(t, DefaultParams())
+	plan := fault.Plan{Seed: 1}
+	plan.Sites[fault.MediumRead] = fault.SiteParams{Prob: 1.0}
+	r.installPlan(plan)
+	r.eng.Go("test", func(p *sim.Proc) {
+		tr := r.buildTree([]extent.Run{{Logical: 0, Physical: 100, Count: 8}})
+		r.setVF(p, 0, tr.Root(), 64)
+		d := r.openFunction(p, 1)
+		buf := r.mem.MustAlloc(int64(r.ctl.P.BlockSize), 64)
+		if st := d.io(p, OpRead, 0, 1, buf); st != StatusMediumError {
+			t.Errorf("unreadable block: status %d, want StatusMediumError", st)
+		}
+		// The AER registers expose the per-function counters.
+		if got := r.mmioR(p, d.pageOff+RegErrMedium); got != 1 {
+			t.Errorf("RegErrMedium = %d, want 1", got)
+		}
+		if got := r.mmioR(p, d.pageOff+RegErrRetries); got != uint64(r.ctl.P.MediumRetryMax) {
+			t.Errorf("RegErrRetries = %d, want %d", got, r.ctl.P.MediumRetryMax)
+		}
+	})
+	r.run()
+	vf := r.ctl.VF(0)
+	if vf.MediumErrors != 1 || vf.MediumRetries != int64(r.ctl.P.MediumRetryMax) {
+		t.Fatalf("errors=%d retries=%d, want 1/%d", vf.MediumErrors, vf.MediumRetries, r.ctl.P.MediumRetryMax)
+	}
+}
+
+func TestFLRAbortsWedgedFunction(t *testing.T) {
+	r := newRig(t, DefaultParams())
+	// No miss handler installed: a translation miss wedges the VF forever —
+	// exactly the state FLR exists to recover.
+	r.eng.Go("test", func(p *sim.Proc) {
+		tr := r.buildTree([]extent.Run{{Logical: 0, Physical: 100, Count: 8}})
+		r.setVF(p, 0, tr.Root(), 64)
+		d := r.openFunction(p, 1)
+		buf := r.mem.MustAlloc(int64(r.ctl.P.BlockSize), 64)
+		// A write into a hole latches a miss and parks a walker.
+		var desc [DescBytes]byte
+		EncodeDescriptor(desc[:], OpWrite, 1, 32, 1, buf)
+		if err := r.mem.Write(d.ringBase, desc[:]); err != nil {
+			t.Error(err)
+		}
+		d.prod++
+		r.mmioW(p, d.pageOff+RegDoorbell, uint64(d.prod))
+		p.Sleep(100 * sim.Microsecond)
+		if got := r.mmioR(p, d.pageOff+RegReset); got != 1 {
+			t.Errorf("RegReset before FLR = %d, want 1 (in-flight)", got)
+		}
+		r.mmioW(p, d.pageOff+RegReset, 1)
+		for r.mmioR(p, d.pageOff+RegReset) != 0 {
+			p.Sleep(5 * sim.Microsecond)
+		}
+		if got := r.mmioR(p, d.pageOff+RegErrResets); got != 1 {
+			t.Errorf("RegErrResets = %d, want 1", got)
+		}
+	})
+	r.run()
+	vf := r.ctl.VF(0)
+	if vf.Resets != 1 || r.ctl.FLRs != 1 {
+		t.Fatalf("resets=%d flrs=%d, want 1/1", vf.Resets, r.ctl.FLRs)
+	}
+	if vf.Inflight() != 0 {
+		t.Fatalf("inflight=%d after drain, want 0", vf.Inflight())
+	}
+	if r.ctl.AbortedChunks == 0 {
+		t.Fatal("no chunks aborted by the reset")
+	}
+	if vf.missPending {
+		t.Fatal("miss latch survived the reset")
+	}
+	if vf.ringSize != 0 || vf.ringBase != 0 || vf.cplBase != 0 {
+		t.Fatal("ring state survived the reset")
+	}
+	// The function stays provisioned: FLR recovers, it does not deprovision.
+	if !vf.Enabled() || vf.SizeBlocks() != 64 {
+		t.Fatal("management state lost by the reset")
+	}
+}
+
+func TestFunctionRecoversAfterFLR(t *testing.T) {
+	r := newRig(t, DefaultParams())
+	r.eng.Go("test", func(p *sim.Proc) {
+		tr := r.buildTree([]extent.Run{{Logical: 0, Physical: 100, Count: 8}})
+		r.setVF(p, 0, tr.Root(), 64)
+		d := r.openFunction(p, 1)
+		buf := r.mem.MustAlloc(int64(r.ctl.P.BlockSize), 64)
+		if st := d.io(p, OpRead, 0, 1, buf); st != StatusOK {
+			t.Errorf("pre-reset read: status %d", st)
+		}
+		r.mmioW(p, d.pageOff+RegReset, 1)
+		for r.mmioR(p, d.pageOff+RegReset) != 0 {
+			p.Sleep(5 * sim.Microsecond)
+		}
+		// Reprogram the rings (the hypervisor/driver recovery path) and run
+		// fresh I/O through the recovered function.
+		d2 := r.openFunction(p, 1)
+		if st := d2.io(p, OpRead, 2, 1, buf); st != StatusOK {
+			t.Errorf("post-reset read: status %d", st)
+		}
+	})
+	r.run()
+}
+
+func TestFetchDropIsCounted(t *testing.T) {
+	r := newRig(t, DefaultParams())
+	plan := fault.Plan{Seed: 1}
+	// The first device DMA read in this scenario is the descriptor fetch.
+	plan.Sites[fault.DMARead] = fault.SiteParams{OneShot: []int64{1}}
+	r.installPlan(plan)
+	r.eng.Go("test", func(p *sim.Proc) {
+		d := r.openFunction(p, 0)
+		buf := r.mem.MustAlloc(int64(r.ctl.P.BlockSize), 64)
+		var desc [DescBytes]byte
+		EncodeDescriptor(desc[:], OpRead, 1, 0, 1, buf)
+		if err := r.mem.Write(d.ringBase, desc[:]); err != nil {
+			t.Error(err)
+		}
+		d.prod++
+		r.mmioW(p, d.pageOff+RegDoorbell, uint64(d.prod))
+	})
+	r.run()
+	if r.ctl.FetchDrops != 1 || r.ctl.PF().FetchDrops != 1 {
+		t.Fatalf("fetch drops: ctl=%d pf=%d, want 1/1", r.ctl.FetchDrops, r.ctl.PF().FetchDrops)
+	}
+	if r.ctl.ReqsDone != 0 {
+		t.Fatalf("dropped fetch still completed a request")
+	}
+}
+
+func TestCompletionDropIsCounted(t *testing.T) {
+	r := newRig(t, DefaultParams())
+	plan := fault.Plan{Seed: 1}
+	// For a PF write the first device DMA write is the completion entry.
+	plan.Sites[fault.DMAWrite] = fault.SiteParams{OneShot: []int64{1}}
+	r.installPlan(plan)
+	r.eng.Go("test", func(p *sim.Proc) {
+		d := r.openFunction(p, 0)
+		buf := r.mem.MustAlloc(int64(r.ctl.P.BlockSize), 64)
+		var desc [DescBytes]byte
+		EncodeDescriptor(desc[:], OpWrite, 1, 0, 1, buf)
+		if err := r.mem.Write(d.ringBase, desc[:]); err != nil {
+			t.Error(err)
+		}
+		d.prod++
+		r.mmioW(p, d.pageOff+RegDoorbell, uint64(d.prod))
+	})
+	r.run()
+	if r.ctl.CplDrops != 1 || r.ctl.PF().CplDrops != 1 {
+		t.Fatalf("cpl drops: ctl=%d pf=%d, want 1/1", r.ctl.CplDrops, r.ctl.PF().CplDrops)
+	}
+	// The request itself completed device-side (the data write happened).
+	if r.ctl.ReqsDone != 1 {
+		t.Fatalf("ReqsDone=%d, want 1", r.ctl.ReqsDone)
+	}
+}
+
+func TestMissResendRecoversDroppedMSI(t *testing.T) {
+	p := DefaultParams()
+	p.MissResendInterval = 50 * sim.Microsecond
+	r := newRig(t, p)
+	plan := fault.Plan{Seed: 1}
+	// Drop the first miss MSI on the wire; the resend timer must re-raise it.
+	plan.Sites[fault.MSI] = fault.SiteParams{OneShot: []int64{1}}
+	r.installPlan(plan)
+	r.missHandler = func(hp *sim.Proc) {
+		mgmt := r.bar + r.ctl.MgmtPageOffset()
+		r.mmioW(hp, mgmt+MgmtRewalk, RewalkFail)
+	}
+	r.eng.Go("test", func(tp *sim.Proc) {
+		tr := r.buildTree([]extent.Run{{Logical: 0, Physical: 100, Count: 8}})
+		r.setVF(tp, 0, tr.Root(), 64)
+		d := r.openFunction(tp, 1)
+		buf := r.mem.MustAlloc(int64(r.ctl.P.BlockSize), 64)
+		// Write into a hole: miss; first MSI dropped; resend delivers it.
+		if st := d.io(tp, OpWrite, 32, 1, buf); st != StatusNoSpace {
+			t.Errorf("hole write: status %d, want StatusNoSpace", st)
+		}
+	})
+	r.run()
+	if r.ctl.MissResends == 0 {
+		t.Fatal("miss MSI was not resent")
+	}
+	if r.missMSIs == 0 {
+		t.Fatal("miss handler never ran")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"nesc/internal/blockdev"
 	"nesc/internal/extent"
 	"nesc/internal/pcie"
 	"nesc/internal/sim"
@@ -30,15 +31,21 @@ func (f *Function) fetchLoop(p *sim.Proc) {
 			}
 			slot := int64(f.consumed % f.ringSize)
 			if err := c.dmaReadP(p, c.pf.id, f.ringBase+slot*DescBytes, desc); err != nil {
+				// Descriptor fetch failed: the doorbell's remaining requests
+				// are lost. The driver's completion timeout recovers them.
+				f.FetchDrops++
+				c.FetchDrops++
+				c.Tracer.Emit(trace.Event{At: p.Now(), Kind: trace.KindDrop, Fn: f.idx, Arg: uint64(prod)})
 				break
 			}
 			p.Sleep(c.P.DescriptorFetchTime)
 			f.consumed++
 			op, id, lba, count, buf := decodeDescriptor(desc)
-			req := &Request{fn: f, Op: op, ID: id, LBA: lba, Count: count, Buf: buf, left: int(count)}
+			req := &Request{fn: f, Op: op, ID: id, LBA: lba, Count: count, Buf: buf, left: int(count), epoch: f.resetEpoch}
 			c.Tracer.Emit(trace.Event{At: p.Now(), Kind: trace.KindFetch, Fn: f.idx, LBA: lba, Arg: uint64(id)})
 			f.Reqs++
 			f.Blocks += int64(count)
+			f.inflight++
 			switch {
 			case !f.enabled:
 				req.status = StatusDisabled
@@ -96,6 +103,13 @@ func (c *Controller) muxLoop(p *sim.Proc) {
 		if req == nil {
 			continue // accounting mismatch cannot occur; defensive
 		}
+		if req.epoch != req.fn.resetEpoch {
+			// Fetched before a function-level reset: abort without splitting.
+			req.status = StatusAborted
+			c.AbortedChunks += int64(req.left)
+			c.sendCompletion(p, req)
+			continue
+		}
 		bs := int64(c.P.BlockSize)
 		for i := uint32(0); i < req.Count; i++ {
 			p.Sleep(c.P.MuxChunkTime)
@@ -118,6 +132,10 @@ func (c *Controller) walkerLoop(p *sim.Proc) {
 	for {
 		ch := c.vlbaQ.Pop(p)
 		f := ch.req.fn
+		if ch.req.epoch != f.resetEpoch {
+			c.completeChunk(p, ch, StatusAborted)
+			continue
+		}
 		if c.P.CollectBreakdown {
 			ch.tTransIn = p.Now()
 			c.Breakdown.QueueWait.Add((ch.tTransIn - ch.tQueued).Micros())
@@ -156,16 +174,24 @@ func (c *Controller) walkerLoop(p *sim.Proc) {
 				c.Misses++
 				if !f.missPending {
 					f.missPending = true
+					f.missGen++
 					f.missAddr = ch.lba
 					f.missSize = 1
 					f.missIsWrite = ch.req.Op == OpWrite
 					f.rewalk = sim.NewSignal(c.Eng)
 					c.Tracer.Emit(trace.Event{At: p.Now(), Kind: trace.KindMiss, Fn: f.idx, LBA: ch.lba})
 					c.Fab.RaiseMSI(c.pf.id, VecMiss)
+					if c.P.MissResendInterval > 0 {
+						c.scheduleMissResend(f, f.missGen)
+					}
 				}
 				sig := f.rewalk
 				sig.Await(p)
 				c.Tracer.Emit(trace.Event{At: p.Now(), Kind: trace.KindRewalk, Fn: f.idx, LBA: ch.lba, Arg: uint64(f.rewalkVerdict)})
+				if ch.req.epoch != f.resetEpoch {
+					c.completeChunk(p, ch, StatusAborted)
+					break walk
+				}
 				if f.rewalkVerdict == RewalkFail {
 					c.completeChunk(p, ch, StatusNoSpace)
 					break walk
@@ -260,6 +286,10 @@ func (c *Controller) dtuLoop(p *sim.Proc) {
 		if !ok {
 			continue // defensive; semaphore and queues are kept in lockstep
 		}
+		if ch.req.epoch != ch.req.fn.resetEpoch {
+			c.completeChunk(p, ch, StatusAborted)
+			continue
+		}
 		if c.P.CollectBreakdown {
 			ch.tDTUIn = p.Now()
 			if ch.tTransOut != 0 { // OOB chunks skip translation
@@ -274,16 +304,16 @@ func (c *Controller) dtuLoop(p *sim.Proc) {
 				status = StatusDMAFault
 			}
 		case ch.req.Op == OpRead:
-			if err := c.Medium.ReadP(p, int64(ch.lba), buf); err != nil {
-				status = StatusOutOfRange
+			if st := c.mediumOp(p, ch, buf, false); st != StatusOK {
+				status = st
 			} else if err := c.dmaWriteP(p, ch.req.fn.id, ch.buf, buf); err != nil {
 				status = StatusDMAFault
 			}
 		default: // OpWrite
 			if err := c.dmaReadP(p, ch.req.fn.id, ch.buf, buf); err != nil {
 				status = StatusDMAFault
-			} else if err := c.Medium.WriteP(p, int64(ch.lba), buf); err != nil {
-				status = StatusOutOfRange
+			} else if st := c.mediumOp(p, ch, buf, true); st != StatusOK {
+				status = st
 			}
 		}
 		c.ChunksDone++
@@ -295,10 +325,63 @@ func (c *Controller) dtuLoop(p *sim.Proc) {
 	}
 }
 
+// mediumOp performs one chunk's medium access, retrying transient medium
+// errors up to MediumRetryMax with a per-retry latency cost before latching
+// StatusMediumError. A non-medium failure (range/programming) maps to
+// StatusOutOfRange as before.
+func (c *Controller) mediumOp(p *sim.Proc, ch *chunk, buf []byte, write bool) uint32 {
+	f := ch.req.fn
+	for attempt := 0; ; attempt++ {
+		var err error
+		if write {
+			err = c.Medium.WriteP(p, int64(ch.lba), buf)
+		} else {
+			err = c.Medium.ReadP(p, int64(ch.lba), buf)
+		}
+		if err == nil {
+			return StatusOK
+		}
+		if !blockdev.IsMediumError(err) {
+			return StatusOutOfRange
+		}
+		c.Tracer.Emit(trace.Event{At: p.Now(), Kind: trace.KindFault, Fn: f.idx, LBA: ch.lba, Arg: uint64(ch.req.ID)})
+		if attempt >= c.P.MediumRetryMax {
+			f.MediumErrors++
+			c.MediumErrors++
+			return StatusMediumError
+		}
+		f.MediumRetries++
+		c.MediumRetries++
+		p.Sleep(c.P.MediumRetryDelay)
+	}
+}
+
+// scheduleMissResend re-raises the miss MSI while f's miss stays latched —
+// the recovery path for a miss interrupt dropped on the wire. The generation
+// guard makes a stale timer (miss already serviced, possibly re-latched) a
+// no-op.
+func (c *Controller) scheduleMissResend(f *Function, gen uint64) {
+	c.Eng.After(c.P.MissResendInterval, func() {
+		if !f.missPending || f.missGen != gen {
+			return
+		}
+		c.MissResends++
+		c.Fab.RaiseMSI(c.pf.id, VecMiss)
+		c.scheduleMissResend(f, gen)
+	})
+}
+
 // completeChunk retires one chunk; the final chunk of a request triggers the
 // completion write and interrupt.
 func (c *Controller) completeChunk(p *sim.Proc, ch *chunk, status uint32) {
 	r := ch.req
+	switch status {
+	case StatusDMAFault:
+		r.fn.DMAFaults++
+		c.DMAFaults++
+	case StatusAborted:
+		c.AbortedChunks++
+	}
 	if status != StatusOK && r.status == StatusOK {
 		r.status = status
 	}
@@ -313,6 +396,9 @@ func (c *Controller) completeChunk(p *sim.Proc, ch *chunk, status uint32) {
 func (c *Controller) sendCompletion(p *sim.Proc, r *Request) {
 	f := r.fn
 	c.ReqsDone++
+	if f.inflight > 0 {
+		f.inflight--
+	}
 	c.Tracer.Emit(trace.Event{At: p.Now(), Kind: trace.KindComplete, Fn: f.idx, LBA: r.LBA, Arg: uint64(r.status)})
 	if f.cplBase == 0 || f.ringSize == 0 {
 		return // no completion ring programmed (management-only function)
@@ -322,6 +408,11 @@ func (c *Controller) sendCompletion(p *sim.Proc, r *Request) {
 	EncodeCompletion(entry, r.ID, r.status, f.cplSeq)
 	slot := int64((f.cplSeq - 1) % f.ringSize)
 	if err := c.dmaWriteP(p, c.pf.id, f.cplBase+slot*CplBytes, entry); err != nil {
+		// The completion entry never reached host memory: the guest will
+		// only learn of this request through its timeout path.
+		f.CplDrops++
+		c.CplDrops++
+		c.Tracer.Emit(trace.Event{At: p.Now(), Kind: trace.KindDrop, Fn: f.idx, LBA: r.LBA, Arg: uint64(r.ID)})
 		return
 	}
 	c.Fab.RaiseMSI(f.id, VecCompletion)

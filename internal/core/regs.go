@@ -22,6 +22,13 @@ const (
 	RegDoorbell   = 0x18 // write: new producer index (4B)
 	RegDeviceSize = 0x20 // RO: virtual device size in blocks (8B)
 	RegCplSeq     = 0x28 // RO: completion sequence counter (4B)
+	RegReset      = 0x30 // write 1: function-level reset; reads 1 while draining (4B)
+
+	// AER-style per-function error counters (RO).
+	RegErrDMAFaults = 0x38 // chunks failed by data-buffer DMA faults (8B)
+	RegErrMedium    = 0x40 // chunks that exhausted medium retries (8B)
+	RegErrRetries   = 0x48 // medium retry attempts (8B)
+	RegErrResets    = 0x50 // function-level resets performed (8B)
 
 	// PF-page global registers.
 	PFRegBTLBFlush   = 0x800 // write: flush the BTLB (4B)
@@ -107,6 +114,19 @@ func (c *Controller) MMIORead(off int64, size int) uint64 {
 		return f.sizeBlocks
 	case RegCplSeq:
 		return uint64(f.cplSeq)
+	case RegReset:
+		if f.inflight > 0 {
+			return 1
+		}
+		return 0
+	case RegErrDMAFaults:
+		return uint64(f.DMAFaults)
+	case RegErrMedium:
+		return uint64(f.MediumErrors)
+	case RegErrRetries:
+		return uint64(f.MediumRetries)
+	case RegErrResets:
+		return uint64(f.Resets)
 	}
 	return 0
 }
@@ -145,6 +165,10 @@ func (c *Controller) MMIOWrite(off int64, size int, val uint64) {
 		f.cplBase = int64(val)
 	case RegDoorbell:
 		f.doorbells.TryPush(uint32(val))
+	case RegReset:
+		if val == 1 {
+			c.resetFunction(f)
+		}
 	}
 }
 

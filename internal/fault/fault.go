@@ -1,0 +1,263 @@
+// Package fault is the platform's seeded, deterministic fault-injection
+// engine. A Plan names the faults a simulation should experience — per-site
+// probabilities, one-shot triggers, injected delays, and latent medium
+// sectors — and an Injector turns the plan into per-operation decisions.
+//
+// Determinism is the whole point: the simulation kernel is single-threaded
+// and event-ordered, every injection site draws from its own PRNG stream
+// derived from the plan seed, and no wall-clock state is consulted, so the
+// same seed always produces the identical fault sequence. A chaos run that
+// corrupts data or deadlocks a submitter is therefore replayable bit-exactly
+// for debugging.
+//
+// The injector hooks the three I/O boundaries of the platform:
+//
+//   - blockdev.Medium — transient and latent sector errors on reads and
+//     writes (latent sectors persist until successfully rewritten);
+//   - pcie.Fabric — DMA TLP faults (the transfer is rejected at the
+//     requester) and dropped or delayed MSIs;
+//   - the hypervisor miss handler — slow or failing lazy allocation.
+//
+// A nil *Injector is valid everywhere and decides "no fault" at zero cost,
+// so fault-free simulations pay nothing.
+package fault
+
+import (
+	"fmt"
+	"strings"
+
+	"nesc/internal/sim"
+)
+
+// Site identifies one injection point.
+type Site int
+
+// The injection sites, in boundary order.
+const (
+	MediumRead Site = iota
+	MediumWrite
+	DMARead
+	DMAWrite
+	MSI
+	MissHandler
+	NumSites
+)
+
+func (s Site) String() string {
+	switch s {
+	case MediumRead:
+		return "medium-read"
+	case MediumWrite:
+		return "medium-write"
+	case DMARead:
+		return "dma-read"
+	case DMAWrite:
+		return "dma-write"
+	case MSI:
+		return "msi"
+	case MissHandler:
+		return "miss-handler"
+	default:
+		return fmt.Sprintf("Site(%d)", int(s))
+	}
+}
+
+// SiteParams configures one site's fault behavior.
+type SiteParams struct {
+	// Prob is the per-operation fault probability in [0, 1].
+	Prob float64
+	// OneShot lists 1-based operation ordinals that fault unconditionally
+	// (deterministic triggers for targeted tests).
+	OneShot []int64
+	// DelayProb is the per-operation probability of injecting Delay extra
+	// latency (the operation still succeeds unless it also faulted).
+	DelayProb float64
+	// Delay is the injected extra latency.
+	Delay sim.Time
+}
+
+// Plan is a complete, reproducible fault schedule.
+type Plan struct {
+	// Seed derives every site's PRNG stream.
+	Seed uint64
+	// Sites holds the per-site parameters, indexed by Site.
+	Sites [NumSites]SiteParams
+	// LatentSectors are medium LBAs that are bad from the start: reads fail
+	// until the sector is successfully rewritten.
+	LatentSectors []int64
+	// LatentProb is the probability that a faulted medium read latches the
+	// first LBA of the access as a latent bad sector.
+	LatentProb float64
+}
+
+// Decision is the injector's verdict for one operation.
+type Decision struct {
+	// Fault fails the operation.
+	Fault bool
+	// Delay is extra latency to add (independently of Fault).
+	Delay sim.Time
+}
+
+// Injector executes a Plan. Not safe for concurrent use — like the rest of
+// the simulation it relies on the engine's single-threaded hand-off.
+type Injector struct {
+	plan    Plan
+	streams [NumSites]uint64
+	ops     [NumSites]int64
+	faults  [NumSites]int64
+	delays  [NumSites]int64
+	latent  map[int64]struct{}
+
+	// LatentHits counts reads that failed on a latent sector; LatentAdded
+	// counts sectors latched latent by a faulted read; LatentCleared counts
+	// sectors repaired by a successful rewrite.
+	LatentHits, LatentAdded, LatentCleared int64
+}
+
+// NewInjector compiles a plan into a ready injector.
+func NewInjector(plan Plan) *Injector {
+	in := &Injector{plan: plan, latent: make(map[int64]struct{})}
+	for s := Site(0); s < NumSites; s++ {
+		// Distinct, seed-derived stream per site so decisions at one site
+		// never perturb another site's sequence.
+		in.streams[s] = plan.Seed ^ (uint64(s)+1)*0x9e3779b97f4a7c15
+	}
+	for _, lba := range plan.LatentSectors {
+		in.latent[lba] = struct{}{}
+	}
+	return in
+}
+
+// splitmix64 advances a stream and returns the next 64 uniform bits.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// rand draws a uniform float in [0, 1) from site s's stream.
+func (in *Injector) rand(s Site) float64 {
+	return float64(splitmix64(&in.streams[s])>>11) / (1 << 53)
+}
+
+// Decide draws one verdict for an operation at site s. Safe on a nil
+// receiver (never faults, never delays).
+func (in *Injector) Decide(s Site) Decision {
+	if in == nil {
+		return Decision{}
+	}
+	sp := &in.plan.Sites[s]
+	in.ops[s]++
+	var d Decision
+	for _, shot := range sp.OneShot {
+		if shot == in.ops[s] {
+			d.Fault = true
+			break
+		}
+	}
+	if !d.Fault && sp.Prob > 0 && in.rand(s) < sp.Prob {
+		d.Fault = true
+	}
+	if sp.DelayProb > 0 && in.rand(s) < sp.DelayProb {
+		d.Delay = sp.Delay
+		in.delays[s]++
+	}
+	if d.Fault {
+		in.faults[s]++
+	}
+	return d
+}
+
+// MediumAccess decides one medium operation covering blocks [lba,
+// lba+blocks). Reads additionally fail on latent sectors; a successful write
+// repairs any latent sectors it covers. Safe on a nil receiver.
+func (in *Injector) MediumAccess(write bool, lba, blocks int64) Decision {
+	if in == nil {
+		return Decision{}
+	}
+	site := MediumRead
+	if write {
+		site = MediumWrite
+	}
+	d := in.Decide(site)
+	if write {
+		if !d.Fault {
+			for b := lba; b < lba+blocks; b++ {
+				if _, ok := in.latent[b]; ok {
+					delete(in.latent, b)
+					in.LatentCleared++
+				}
+			}
+		}
+		return d
+	}
+	for b := lba; b < lba+blocks; b++ {
+		if _, ok := in.latent[b]; ok {
+			d.Fault = true
+			in.LatentHits++
+			break
+		}
+	}
+	if d.Fault && in.plan.LatentProb > 0 && in.rand(MediumRead) < in.plan.LatentProb {
+		if _, ok := in.latent[lba]; !ok {
+			in.latent[lba] = struct{}{}
+			in.LatentAdded++
+		}
+	}
+	return d
+}
+
+// Ops reports how many decisions site s has made.
+func (in *Injector) Ops(s Site) int64 {
+	if in == nil {
+		return 0
+	}
+	return in.ops[s]
+}
+
+// Faults reports how many operations site s has faulted.
+func (in *Injector) Faults(s Site) int64 {
+	if in == nil {
+		return 0
+	}
+	return in.faults[s]
+}
+
+// TotalFaults reports faults across all sites.
+func (in *Injector) TotalFaults() int64 {
+	if in == nil {
+		return 0
+	}
+	var t int64
+	for s := Site(0); s < NumSites; s++ {
+		t += in.faults[s]
+	}
+	return t
+}
+
+// LatentCount reports the number of currently latent sectors.
+func (in *Injector) LatentCount() int {
+	if in == nil {
+		return 0
+	}
+	return len(in.latent)
+}
+
+// Summary renders the per-site counters as one deterministic line per site —
+// chaos tests compare summaries across runs to prove seed reproducibility.
+func (in *Injector) Summary() string {
+	if in == nil {
+		return "fault: no plan"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault plan seed=%d\n", in.plan.Seed)
+	for s := Site(0); s < NumSites; s++ {
+		fmt.Fprintf(&b, "  %-12s ops=%-8d faults=%-6d delays=%d\n",
+			s, in.ops[s], in.faults[s], in.delays[s])
+	}
+	fmt.Fprintf(&b, "  latent: hits=%d added=%d cleared=%d live=%d\n",
+		in.LatentHits, in.LatentAdded, in.LatentCleared, len(in.latent))
+	return b.String()
+}

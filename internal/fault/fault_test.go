@@ -1,0 +1,141 @@
+package fault
+
+import (
+	"testing"
+
+	"nesc/internal/sim"
+)
+
+func TestNilInjectorIsNoop(t *testing.T) {
+	var in *Injector
+	if d := in.Decide(MSI); d.Fault || d.Delay != 0 {
+		t.Fatalf("nil injector decided %+v", d)
+	}
+	if d := in.MediumAccess(false, 0, 8); d.Fault {
+		t.Fatalf("nil injector faulted a medium access")
+	}
+	if in.TotalFaults() != 0 || in.Ops(MSI) != 0 || in.LatentCount() != 0 {
+		t.Fatalf("nil injector has state")
+	}
+	if in.Summary() == "" {
+		t.Fatalf("nil injector summary empty")
+	}
+}
+
+func TestSeedReproducibility(t *testing.T) {
+	plan := Plan{Seed: 7}
+	plan.Sites[DMARead] = SiteParams{Prob: 0.3}
+	plan.Sites[MSI] = SiteParams{Prob: 0.1, DelayProb: 0.2, Delay: 5 * sim.Microsecond}
+	run := func() ([]Decision, string) {
+		in := NewInjector(plan)
+		var out []Decision
+		for i := 0; i < 500; i++ {
+			out = append(out, in.Decide(DMARead))
+			out = append(out, in.Decide(MSI))
+		}
+		return out, in.Summary()
+	}
+	a, sa := run()
+	b, sb := run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if sa != sb {
+		t.Fatalf("summaries differ:\n%s\nvs\n%s", sa, sb)
+	}
+	// A 30% site should have faulted a plausible number of times.
+	in := NewInjector(plan)
+	for i := 0; i < 1000; i++ {
+		in.Decide(DMARead)
+	}
+	if f := in.Faults(DMARead); f < 200 || f > 400 {
+		t.Fatalf("30%% fault site faulted %d/1000 times", f)
+	}
+}
+
+func TestStreamsAreIndependent(t *testing.T) {
+	plan := Plan{Seed: 11}
+	plan.Sites[DMARead] = SiteParams{Prob: 0.5}
+	plan.Sites[DMAWrite] = SiteParams{Prob: 0.5}
+	// Run A: interleave the two sites. Run B: consume extra DMAWrite draws
+	// between DMARead draws. DMARead's sequence must be unchanged.
+	seqA := func() []bool {
+		in := NewInjector(plan)
+		var out []bool
+		for i := 0; i < 100; i++ {
+			out = append(out, in.Decide(DMARead).Fault)
+			in.Decide(DMAWrite)
+		}
+		return out
+	}()
+	seqB := func() []bool {
+		in := NewInjector(plan)
+		var out []bool
+		for i := 0; i < 100; i++ {
+			out = append(out, in.Decide(DMARead).Fault)
+			in.Decide(DMAWrite)
+			in.Decide(DMAWrite)
+			in.Decide(DMAWrite)
+		}
+		return out
+	}()
+	for i := range seqA {
+		if seqA[i] != seqB[i] {
+			t.Fatalf("DMARead decision %d perturbed by DMAWrite draws", i)
+		}
+	}
+}
+
+func TestOneShotTrigger(t *testing.T) {
+	plan := Plan{Seed: 1}
+	plan.Sites[MediumWrite] = SiteParams{OneShot: []int64{3}}
+	in := NewInjector(plan)
+	for i := 1; i <= 5; i++ {
+		d := in.Decide(MediumWrite)
+		if got, want := d.Fault, i == 3; got != want {
+			t.Fatalf("op %d: fault=%v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestLatentSectors(t *testing.T) {
+	plan := Plan{Seed: 1, LatentSectors: []int64{42}}
+	in := NewInjector(plan)
+	// Reads covering the latent sector fail; others succeed.
+	if d := in.MediumAccess(false, 40, 4); !d.Fault {
+		t.Fatalf("read over latent sector did not fault")
+	}
+	if d := in.MediumAccess(false, 0, 4); d.Fault {
+		t.Fatalf("clean read faulted")
+	}
+	// A successful write repairs the sector.
+	if d := in.MediumAccess(true, 42, 1); d.Fault {
+		t.Fatalf("write faulted with no write probability")
+	}
+	if d := in.MediumAccess(false, 40, 4); d.Fault {
+		t.Fatalf("read still faults after repair write")
+	}
+	if in.LatentHits != 1 || in.LatentCleared != 1 || in.LatentCount() != 0 {
+		t.Fatalf("latent counters: hits=%d cleared=%d live=%d",
+			in.LatentHits, in.LatentCleared, in.LatentCount())
+	}
+}
+
+func TestLatentLatching(t *testing.T) {
+	plan := Plan{Seed: 9, LatentProb: 1.0}
+	plan.Sites[MediumRead] = SiteParams{OneShot: []int64{1}}
+	in := NewInjector(plan)
+	if d := in.MediumAccess(false, 7, 1); !d.Fault {
+		t.Fatalf("one-shot read did not fault")
+	}
+	if in.LatentAdded != 1 || in.LatentCount() != 1 {
+		t.Fatalf("fault with LatentProb=1 did not latch: added=%d live=%d",
+			in.LatentAdded, in.LatentCount())
+	}
+	// Subsequent reads of that sector keep failing with no probability.
+	if d := in.MediumAccess(false, 7, 1); !d.Fault {
+		t.Fatalf("latched sector read did not fault")
+	}
+}

@@ -54,6 +54,10 @@ type NescDriverConfig struct {
 	MemcpyBandwidth float64
 	// BlockSize is the device block size.
 	BlockSize int
+	// Timeout and RetryMax configure the queue pair's completion-timeout
+	// recovery (see QueuePair). Zero Timeout disables it.
+	Timeout  sim.Time
+	RetryMax int
 }
 
 // NewNescDriver programs the VF rings and reads the device geometry.
@@ -71,6 +75,8 @@ func NewNescDriver(p *sim.Proc, eng *sim.Engine, cfg NescDriverConfig) (*NescDri
 	if err != nil {
 		return nil, err
 	}
+	qp.Timeout = cfg.Timeout
+	qp.RetryMax = cfg.RetryMax
 	size, err := qp.DeviceSize(p)
 	if err != nil {
 		return nil, err

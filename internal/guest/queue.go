@@ -1,12 +1,21 @@
 package guest
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 
 	"nesc/internal/core"
 	"nesc/internal/hostmem"
 	"nesc/internal/pcie"
 	"nesc/internal/sim"
+)
+
+// ErrTimeout reports a request that got no completion within the retry
+// budget; ErrReset reports one killed by a function-level reset.
+var (
+	ErrTimeout = errors.New("nesc: request timed out")
+	ErrReset   = errors.New("nesc: request aborted by function reset")
 )
 
 // QueuePair is the NeSC ring-protocol client shared by the guest VF driver
@@ -34,13 +43,32 @@ type QueuePair struct {
 	// SubmitTime is the driver CPU cost per submission.
 	SubmitTime sim.Time
 
+	// Timeout, when positive, bounds each submission attempt: on expiry the
+	// driver first polls the completion ring (recovering completions whose
+	// MSI was lost), then resubmits with exponential backoff — attempt n
+	// waits Timeout<<n — up to RetryMax resubmissions before surfacing
+	// ErrTimeout. Zero (the default) waits forever, preserving the
+	// fault-free event schedule exactly.
+	Timeout  sim.Time
+	RetryMax int
+
 	// Submitted counts requests issued.
 	Submitted int64
+
+	// Recovery counters.
+	Timeouts          int64 // attempts that hit their deadline
+	Resubmits         int64 // requests reissued after a timeout or abort
+	PolledCompletions int64 // completions recovered by ring polling
+	StaleCompletions  int64 // ring entries whose id had no waiter
+	SeqGaps           int64 // sequence numbers skipped over by polling
+	Aborts            int64 // submissions killed by a function reset
+	Resets            int64 // Recover calls
 }
 
 type qpWaiter struct {
-	sig    *sim.Signal
-	status uint32
+	sig     *sim.Signal
+	status  uint32
+	aborted bool
 }
 
 // NewQueuePair allocates and programs rings for the function whose register
@@ -96,28 +124,55 @@ func (qp *QueuePair) DeviceSize(p *sim.Proc) (uint64, error) {
 }
 
 // Submit issues one request and blocks until its completion, returning the
-// device status code.
+// device status code. With Timeout set, a lost request is recovered by
+// polling and resubmission; past the retry budget Submit returns ErrTimeout
+// (or ErrReset when the request was killed by a function-level reset).
 func (qp *QueuePair) Submit(p *sim.Proc, op uint32, lba uint64, count uint32, bufAddr int64) (uint32, error) {
 	qp.slots.Acquire(p)
 	defer qp.slots.Release()
-	p.Sleep(qp.SubmitTime)
-	qp.nextID++
-	id := qp.nextID
-	var desc [core.DescBytes]byte
-	core.EncodeDescriptor(desc[:], op, id, lba, count, bufAddr)
-	slot := int64(qp.prod % qp.entries)
-	if err := qp.mem.Write(qp.ringBase+slot*core.DescBytes, desc[:]); err != nil {
-		return 0, err
+	for attempt := 0; ; attempt++ {
+		p.Sleep(qp.SubmitTime)
+		qp.nextID++
+		id := qp.nextID
+		var desc [core.DescBytes]byte
+		core.EncodeDescriptor(desc[:], op, id, lba, count, bufAddr)
+		slot := int64(qp.prod % qp.entries)
+		if err := qp.mem.Write(qp.ringBase+slot*core.DescBytes, desc[:]); err != nil {
+			return 0, err
+		}
+		qp.prod++
+		qp.Submitted++
+		w := &qpWaiter{sig: sim.NewSignal(qp.eng)}
+		qp.waiters[id] = w
+		if err := qp.fab.MMIOWrite(p, qp.pageBus+core.RegDoorbell, 4, uint64(qp.prod)); err != nil {
+			delete(qp.waiters, id) // the doorbell never rang; drop the waiter
+			return 0, err
+		}
+		if w.sig.AwaitTimeout(p, qp.Timeout<<uint(attempt)) {
+			if !w.aborted {
+				return w.status, nil
+			}
+		} else {
+			// Deadline hit: the completion MSI may have been lost while the
+			// entry landed. Poll the ring before declaring the request dead.
+			qp.Timeouts++
+			qp.pollRing()
+			if w.sig.Fired() && !w.aborted {
+				return w.status, nil
+			}
+		}
+		delete(qp.waiters, id) // a late completion for id becomes stale
+		if w.aborted {
+			qp.Aborts++
+		}
+		if attempt >= qp.RetryMax {
+			if w.aborted {
+				return 0, ErrReset
+			}
+			return 0, ErrTimeout
+		}
+		qp.Resubmits++
 	}
-	qp.prod++
-	qp.Submitted++
-	w := &qpWaiter{sig: sim.NewSignal(qp.eng)}
-	qp.waiters[id] = w
-	if err := qp.fab.MMIOWrite(p, qp.pageBus+core.RegDoorbell, 4, uint64(qp.prod)); err != nil {
-		return 0, err
-	}
-	w.sig.Await(p)
-	return w.status, nil
 }
 
 // OnInterrupt drains new completion entries and wakes their submitters. It
@@ -134,12 +189,89 @@ func (qp *QueuePair) OnInterrupt() {
 			return
 		}
 		qp.lastSeq = seq
-		if w, ok := qp.waiters[id]; ok {
-			delete(qp.waiters, id)
-			w.status = status
-			w.sig.Fire()
+		qp.deliver(id, status)
+	}
+}
+
+// deliver routes one completion to its waiter; a completion whose id has no
+// waiter (duplicate after a resubmit, or stale after a reset) is counted
+// instead of silently matching nothing.
+func (qp *QueuePair) deliver(id, status uint32) {
+	if w, ok := qp.waiters[id]; ok {
+		delete(qp.waiters, id)
+		w.status = status
+		w.sig.Fire()
+		return
+	}
+	qp.StaleCompletions++
+}
+
+// pollRing scans the completion ring for entries the interrupt path never
+// delivered. Unlike OnInterrupt it tolerates sequence gaps: a gap means a
+// completion DMA write was lost on the wire, and skipping it is the only way
+// the ring can make progress again. Only the timeout path pays this scan.
+func (qp *QueuePair) pollRing() {
+	entry := make([]byte, core.CplBytes)
+	for {
+		advanced := false
+		for k := uint32(1); k <= qp.entries; k++ {
+			slot := int64((qp.lastSeq + k - 1) % qp.entries)
+			if err := qp.mem.Read(qp.cplBase+slot*core.CplBytes, entry); err != nil {
+				return
+			}
+			id, status, seq := core.DecodeCompletion(entry)
+			if seq != qp.lastSeq+k {
+				continue
+			}
+			qp.SeqGaps += int64(k - 1)
+			qp.lastSeq = seq
+			qp.PolledCompletions++
+			qp.deliver(id, status)
+			advanced = true
+			break
+		}
+		if !advanced {
+			return
 		}
 	}
+}
+
+// Recover re-arms the queue pair after a function-level reset: it resets the
+// ring cursors, zeroes and re-programs both rings, and aborts every parked
+// submitter (each then resubmits into the fresh ring or surfaces ErrReset).
+// Call only after the device reports the function drained (RegReset reads 0).
+func (qp *QueuePair) Recover(p *sim.Proc) error {
+	qp.Resets++
+	qp.prod, qp.lastSeq = 0, 0
+	if err := qp.mem.Zero(qp.ringBase, int64(qp.entries)*core.DescBytes); err != nil {
+		return err
+	}
+	if err := qp.mem.Zero(qp.cplBase, int64(qp.entries)*core.CplBytes); err != nil {
+		return err
+	}
+	if err := qp.fab.MMIOWrite(p, qp.pageBus+core.RegRingBase, 8, uint64(qp.ringBase)); err != nil {
+		return err
+	}
+	if err := qp.fab.MMIOWrite(p, qp.pageBus+core.RegRingSize, 4, uint64(qp.entries)); err != nil {
+		return err
+	}
+	if err := qp.fab.MMIOWrite(p, qp.pageBus+core.RegCplBase, 8, uint64(qp.cplBase)); err != nil {
+		return err
+	}
+	// Abort parked submitters in sorted-id order — map iteration order must
+	// not leak into the event schedule, or seeded runs stop replaying.
+	ids := make([]uint32, 0, len(qp.waiters))
+	for id := range qp.waiters {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		w := qp.waiters[id]
+		delete(qp.waiters, id)
+		w.aborted = true
+		w.sig.Fire()
+	}
+	return nil
 }
 
 // StatusError converts a device status to an error (nil for StatusOK).
@@ -155,6 +287,10 @@ func StatusError(status uint32) error {
 		return fmt.Errorf("nesc: function disabled")
 	case core.StatusDMAFault:
 		return fmt.Errorf("nesc: DMA fault")
+	case core.StatusMediumError:
+		return fmt.Errorf("nesc: unrecoverable medium error")
+	case core.StatusAborted:
+		return fmt.Errorf("nesc: request aborted by reset")
 	default:
 		return fmt.Errorf("nesc: device status %d", status)
 	}

@@ -1,0 +1,280 @@
+package guest
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"nesc/internal/core"
+	"nesc/internal/hostmem"
+	"nesc/internal/pcie"
+	"nesc/internal/sim"
+)
+
+// fakeFn is a minimal BAR-mapped NeSC function for driving the QueuePair
+// protocol from the device side, with per-request misbehavior: "ok",
+// "silent" (request vanishes), "lostcpl" (sequence number consumed, entry
+// never written), "nomsi" (entry written, interrupt lost), "dup" (completed
+// twice).
+type fakeFn struct {
+	eng *sim.Engine
+	mem *hostmem.Memory
+	qp  *QueuePair
+
+	ringBase, cplBase int64
+	ringSize          uint32
+	consumed          uint32
+	cplSeq            uint32
+
+	mode func(id uint32) string
+}
+
+func (d *fakeFn) PCIeName() string                 { return "fake-nesc-fn" }
+func (d *fakeFn) MMIORead(off int64, _ int) uint64 { return 0 }
+
+func (d *fakeFn) MMIOWrite(off int64, _ int, val uint64) {
+	switch off {
+	case core.RegRingBase:
+		d.ringBase = int64(val)
+	case core.RegRingSize:
+		d.ringSize = uint32(val)
+		d.consumed, d.cplSeq = 0, 0
+	case core.RegCplBase:
+		d.cplBase = int64(val)
+	case core.RegDoorbell:
+		d.serve(uint32(val))
+	}
+}
+
+func (d *fakeFn) complete(id uint32) {
+	d.cplSeq++
+	entry := make([]byte, core.CplBytes)
+	core.EncodeCompletion(entry, id, core.StatusOK, d.cplSeq)
+	slot := int64((d.cplSeq - 1) % d.ringSize)
+	if err := d.mem.Write(d.cplBase+slot*core.CplBytes, entry); err != nil {
+		panic(err)
+	}
+}
+
+func (d *fakeFn) serve(prod uint32) {
+	for d.consumed != prod {
+		slot := int64(d.consumed % d.ringSize)
+		desc := make([]byte, core.DescBytes)
+		if err := d.mem.Read(d.ringBase+slot*core.DescBytes, desc); err != nil {
+			panic(err)
+		}
+		d.consumed++
+		id := binary.BigEndian.Uint32(desc[4:8])
+		mode := "ok"
+		if d.mode != nil {
+			mode = d.mode(id)
+		}
+		switch mode {
+		case "silent":
+		case "lostcpl":
+			d.cplSeq++
+		case "nomsi":
+			d.complete(id)
+		case "dup":
+			d.complete(id)
+			d.complete(id)
+			d.eng.After(sim.Microsecond, d.qp.OnInterrupt)
+		default:
+			d.complete(id)
+			d.eng.After(sim.Microsecond, d.qp.OnInterrupt)
+		}
+	}
+}
+
+func newQPRig(t *testing.T) (*sim.Engine, *QueuePair, *fakeFn) {
+	t.Helper()
+	eng := sim.NewEngine()
+	mem := hostmem.New(1 << 20)
+	fab := pcie.New(eng, mem, pcie.DefaultParams())
+	d := &fakeFn{eng: eng, mem: mem}
+	base := fab.MapBAR(d, 0x1000)
+	var qp *QueuePair
+	eng.Go("setup", func(p *sim.Proc) {
+		var err error
+		qp, err = NewQueuePair(p, eng, mem, fab, base, 8, sim.Microsecond)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		d.qp = qp
+	})
+	eng.Run()
+	if qp == nil {
+		t.Fatal("queue pair construction failed")
+	}
+	return eng, qp, d
+}
+
+// Regression: a doorbell MMIO error after waiter registration must not leak
+// the waiters[id] entry.
+func TestSubmitDoorbellErrorDropsWaiter(t *testing.T) {
+	eng := sim.NewEngine()
+	mem := hostmem.New(1 << 20)
+	fab := pcie.New(eng, mem, pcie.DefaultParams())
+	// Hand-built queue pair whose register page routes nowhere: the doorbell
+	// write fails after the descriptor is in the ring.
+	qp := &QueuePair{
+		eng: eng, mem: mem, fab: fab, pageBus: 0, entries: 8,
+		slots:    sim.NewSemaphore(eng, 8),
+		waiters:  make(map[uint32]*qpWaiter),
+		ringBase: mem.MustAlloc(8*core.DescBytes, 64),
+		cplBase:  mem.MustAlloc(8*core.CplBytes, 64),
+	}
+	eng.Go("submitter", func(p *sim.Proc) {
+		if _, err := qp.Submit(p, core.OpRead, 0, 1, 0); err == nil {
+			t.Error("doorbell write to unmapped page succeeded")
+		}
+		if len(qp.waiters) != 0 {
+			t.Errorf("%d waiters leaked after doorbell error", len(qp.waiters))
+		}
+	})
+	eng.Run()
+	eng.Shutdown()
+}
+
+// Regression: a completion whose id has no waiter (duplicate after a retry
+// or reset) is counted, not silently ignored.
+func TestStaleCompletionCounted(t *testing.T) {
+	eng, qp, d := newQPRig(t)
+	d.mode = func(uint32) string { return "dup" }
+	eng.Go("submitter", func(p *sim.Proc) {
+		st, err := qp.Submit(p, core.OpRead, 0, 1, 0)
+		if err != nil || st != core.StatusOK {
+			t.Errorf("submit: status %d err %v", st, err)
+		}
+	})
+	eng.Run()
+	eng.Shutdown()
+	if qp.StaleCompletions != 1 {
+		t.Fatalf("StaleCompletions = %d, want 1", qp.StaleCompletions)
+	}
+}
+
+func TestTimeoutPollRecoversLostMSI(t *testing.T) {
+	eng, qp, d := newQPRig(t)
+	qp.Timeout = 500 * sim.Microsecond
+	qp.RetryMax = 2
+	d.mode = func(uint32) string { return "nomsi" }
+	eng.Go("submitter", func(p *sim.Proc) {
+		st, err := qp.Submit(p, core.OpRead, 0, 1, 0)
+		if err != nil || st != core.StatusOK {
+			t.Errorf("submit: status %d err %v", st, err)
+		}
+	})
+	eng.Run()
+	eng.Shutdown()
+	if qp.Timeouts != 1 || qp.PolledCompletions != 1 || qp.Resubmits != 0 {
+		t.Fatalf("timeouts=%d polled=%d resubmits=%d, want 1/1/0",
+			qp.Timeouts, qp.PolledCompletions, qp.Resubmits)
+	}
+}
+
+func TestTimeoutResubmitRecoversLostRequest(t *testing.T) {
+	eng, qp, d := newQPRig(t)
+	qp.Timeout = 500 * sim.Microsecond
+	qp.RetryMax = 2
+	d.mode = func(id uint32) string {
+		if id == 1 {
+			return "silent"
+		}
+		return "ok"
+	}
+	eng.Go("submitter", func(p *sim.Proc) {
+		st, err := qp.Submit(p, core.OpRead, 0, 1, 0)
+		if err != nil || st != core.StatusOK {
+			t.Errorf("submit: status %d err %v", st, err)
+		}
+	})
+	eng.Run()
+	eng.Shutdown()
+	if qp.Resubmits != 1 {
+		t.Fatalf("Resubmits = %d, want 1", qp.Resubmits)
+	}
+	if len(qp.waiters) != 0 {
+		t.Fatalf("%d waiters left behind", len(qp.waiters))
+	}
+}
+
+func TestTimeoutBudgetExhausted(t *testing.T) {
+	eng, qp, d := newQPRig(t)
+	qp.Timeout = 500 * sim.Microsecond
+	qp.RetryMax = 1
+	d.mode = func(uint32) string { return "silent" }
+	eng.Go("submitter", func(p *sim.Proc) {
+		_, err := qp.Submit(p, core.OpRead, 0, 1, 0)
+		if !errors.Is(err, ErrTimeout) {
+			t.Errorf("submit returned %v, want ErrTimeout", err)
+		}
+	})
+	eng.Run()
+	eng.Shutdown()
+	if qp.Timeouts != 2 { // original + one resubmission
+		t.Fatalf("Timeouts = %d, want 2", qp.Timeouts)
+	}
+}
+
+// A lost completion-ring write leaves a permanent sequence gap; the poll
+// path must skip over it or the ring wedges forever.
+func TestSeqGapRecovery(t *testing.T) {
+	eng, qp, d := newQPRig(t)
+	qp.Timeout = 500 * sim.Microsecond
+	qp.RetryMax = 3
+	d.mode = func(id uint32) string {
+		if id == 1 {
+			return "lostcpl"
+		}
+		return "ok"
+	}
+	eng.Go("submitter", func(p *sim.Proc) {
+		st, err := qp.Submit(p, core.OpRead, 0, 1, 0)
+		if err != nil || st != core.StatusOK {
+			t.Errorf("submit: status %d err %v", st, err)
+		}
+	})
+	eng.Run()
+	eng.Shutdown()
+	if qp.SeqGaps != 1 || qp.PolledCompletions != 1 {
+		t.Fatalf("SeqGaps=%d Polled=%d, want 1/1", qp.SeqGaps, qp.PolledCompletions)
+	}
+}
+
+func TestRecoverAbortsAndRearms(t *testing.T) {
+	eng, qp, d := newQPRig(t)
+	d.mode = func(id uint32) string {
+		if id == 1 {
+			return "silent"
+		}
+		return "ok"
+	}
+	eng.Go("submitter", func(p *sim.Proc) {
+		_, err := qp.Submit(p, core.OpRead, 0, 1, 0)
+		if !errors.Is(err, ErrReset) {
+			t.Errorf("aborted submit returned %v, want ErrReset", err)
+		}
+	})
+	eng.Go("resetter", func(p *sim.Proc) {
+		p.Sleep(100 * sim.Microsecond)
+		if err := qp.Recover(p); err != nil {
+			t.Error(err)
+			return
+		}
+		// The recovered queue pair carries fresh I/O.
+		st, err := qp.Submit(p, core.OpRead, 0, 1, 0)
+		if err != nil || st != core.StatusOK {
+			t.Errorf("post-recover submit: status %d err %v", st, err)
+		}
+	})
+	eng.Run()
+	eng.Shutdown()
+	if qp.Resets != 1 || qp.Aborts != 1 {
+		t.Fatalf("resets=%d aborts=%d, want 1/1", qp.Resets, qp.Aborts)
+	}
+	if len(qp.waiters) != 0 {
+		t.Fatalf("%d waiters survived recovery", len(qp.waiters))
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"nesc/internal/core"
 	"nesc/internal/extent"
 	"nesc/internal/extfs"
+	"nesc/internal/fault"
 	"nesc/internal/guest"
 	"nesc/internal/hostmem"
 	"nesc/internal/pcie"
@@ -55,6 +56,12 @@ type Params struct {
 	// DriverSubmitTime is the per-request CPU cost of ring drivers (PF and
 	// guest VF alike).
 	DriverSubmitTime sim.Time
+	// VFRequestTimeout / VFRetryMax configure the completion-timeout recovery
+	// of every ring driver the hypervisor sets up (the PF driver and each
+	// direct-assigned VF driver). Zero timeout disables recovery, preserving
+	// the fault-free event schedule exactly.
+	VFRequestTimeout sim.Time
+	VFRetryMax       int
 }
 
 // DefaultParams returns costs representative of the paper's QEMU/KVM
@@ -115,24 +122,37 @@ type Hypervisor struct {
 	qps  map[pcie.FnID]*guest.QueuePair
 	vmOf map[pcie.FnID]*VM
 
+	// inj optionally perturbs the miss-service path (fault.MissHandler site).
+	inj *fault.Injector
+	// missBusy marks VFs whose latched miss is already being serviced, so
+	// duplicate miss interrupts (the device's resend timer fires while the
+	// handler is mid-allocation) are idempotent instead of spawning a second
+	// concurrent service of the same miss.
+	missBusy []bool
+
 	// MissInterrupts counts serviced NeSC miss interrupts.
 	MissInterrupts int64
 	// Injections counts guest interrupt injections.
 	Injections int64
+	// MissFaults counts misses the hypervisor failed by fault injection.
+	MissFaults int64
+	// VFResets counts function-level resets issued through ResetVF.
+	VFResets int64
 }
 
 // New wires a hypervisor to the controller and installs the MSI router.
 func New(eng *sim.Engine, mem *hostmem.Memory, fab *pcie.Fabric, ctl *core.Controller, p Params) *Hypervisor {
 	h := &Hypervisor{
-		Eng:   eng,
-		Mem:   mem,
-		Fab:   fab,
-		Ctl:   ctl,
-		P:     p,
-		vfs:   make([]*vfState, ctl.P.NumVFs),
-		trees: make(map[string]*sharedTree),
-		qps:   make(map[pcie.FnID]*guest.QueuePair),
-		vmOf:  make(map[pcie.FnID]*VM),
+		Eng:      eng,
+		Mem:      mem,
+		Fab:      fab,
+		Ctl:      ctl,
+		P:        p,
+		vfs:      make([]*vfState, ctl.P.NumVFs),
+		missBusy: make([]bool, ctl.P.NumVFs),
+		trees:    make(map[string]*sharedTree),
+		qps:      make(map[pcie.FnID]*guest.QueuePair),
+		vmOf:     make(map[pcie.FnID]*VM),
 	}
 	for i := range h.vfs {
 		h.vfs[i] = &vfState{}
@@ -145,6 +165,38 @@ func New(eng *sim.Engine, mem *hostmem.Memory, fab *pcie.Fabric, ctl *core.Contr
 		fab.IOMMU().Grant(ctl.PF().ID(), 0, mem.Size())
 	}
 	return h
+}
+
+// SetInjector installs a fault injector on the hypervisor's miss-service
+// path. Pass nil to disable.
+func (h *Hypervisor) SetInjector(inj *fault.Injector) { h.inj = inj }
+
+// DriverRecoveryStats aggregates the recovery counters of every ring client
+// the hypervisor routes interrupts to (the PF driver and all VF drivers).
+type DriverRecoveryStats struct {
+	Timeouts          int64
+	Resubmits         int64
+	PolledCompletions int64
+	StaleCompletions  int64
+	SeqGaps           int64
+	Aborts            int64
+	Resets            int64
+}
+
+// RecoveryStats sums driver recovery counters across all registered queue
+// pairs.
+func (h *Hypervisor) RecoveryStats() DriverRecoveryStats {
+	var st DriverRecoveryStats
+	for _, qp := range h.qps {
+		st.Timeouts += qp.Timeouts
+		st.Resubmits += qp.Resubmits
+		st.PolledCompletions += qp.PolledCompletions
+		st.StaleCompletions += qp.StaleCompletions
+		st.SeqGaps += qp.SeqGaps
+		st.Aborts += qp.Aborts
+		st.Resets += qp.Resets
+	}
+	return st
 }
 
 func (h *Hypervisor) handleMSI(from pcie.FnID, vec uint8) {
@@ -174,6 +226,11 @@ func (h *Hypervisor) Boot(p *sim.Proc, format bool, fsParams extfs.Params) error
 	if err != nil {
 		return err
 	}
+	// The PF driver needs the same timeout recovery as the guests: a dropped
+	// PF completion would otherwise wedge the host filesystem (and with it the
+	// miss handler) forever.
+	qp.Timeout = h.P.VFRequestTimeout
+	qp.RetryMax = h.P.VFRetryMax
 	h.pfQP = qp
 	h.qps[h.Ctl.PF().ID()] = qp
 	disk := h.PFDisk()
@@ -227,13 +284,23 @@ func (d *PFDisk) submit(ctx *sim.Proc, op uint32, lba int64, buf guest.Buffer) e
 		if n > maxB {
 			n = maxB
 		}
-		ctx.Sleep(h.P.HostStackTime)
-		st, err := h.pfQP.Submit(ctx, op, uint64(lba+int64(done)), uint32(n), buf.Addr+int64(done*bs))
-		if err != nil {
-			return err
+		// The host block layer retries transiently failed requests (a
+		// rejected DMA transfer, a reset abort) a bounded number of times,
+		// like a real kernel's; persistent errors propagate to the caller.
+		var serr error
+		for tries := 0; tries < 4; tries++ {
+			ctx.Sleep(h.P.HostStackTime)
+			st, err := h.pfQP.Submit(ctx, op, uint64(lba+int64(done)), uint32(n), buf.Addr+int64(done*bs))
+			if err != nil {
+				return err
+			}
+			serr = guest.StatusError(st)
+			if serr == nil || (st != core.StatusDMAFault && st != core.StatusAborted) {
+				break
+			}
 		}
-		if err := guest.StatusError(st); err != nil {
-			return err
+		if serr != nil {
+			return serr
 		}
 		done += n
 	}

@@ -6,6 +6,7 @@ import (
 	"nesc/internal/core"
 	"nesc/internal/extent"
 	"nesc/internal/extfs"
+	"nesc/internal/fault"
 	"nesc/internal/guest"
 	"nesc/internal/sim"
 )
@@ -184,35 +185,83 @@ func (h *Hypervisor) serviceMisses(p *sim.Proc) {
 		if pending&(1<<uint(idx)) == 0 {
 			continue
 		}
-		h.MissInterrupts++
-		mgmt := h.mgmtAddr(idx)
-		missAddr := h.mmioR(p, mgmt+core.MgmtMissAddr)
-		missSize := h.mmioR(p, mgmt+core.MgmtMissSize)
-		p.Sleep(h.P.MissHandlerTime)
-		st := h.vfs[idx]
-		if !st.inUse || st.identity {
-			// No backing file to extend: fail the write.
-			h.mmioW(p, mgmt+core.MgmtRewalk, core.RewalkFail)
+		if h.missBusy[idx] {
+			// This VF's miss is already mid-service: allocation runs through
+			// the PF rings and takes far longer than the device's miss-resend
+			// cadence, so resent MSIs routinely observe a still-pending bit.
+			// Servicing it twice would double-roll the injector and write a
+			// second, stale rewalk verdict onto whatever miss latches next.
 			continue
 		}
-		if err := h.HostFS.AllocateRange(p, st.path, missAddr, missSize); err != nil {
-			h.mmioW(p, mgmt+core.MgmtRewalk, core.RewalkFail)
-			continue
-		}
-		runs, _, err := h.HostFS.Runs(p, st.path)
-		if err != nil {
-			h.mmioW(p, mgmt+core.MgmtRewalk, core.RewalkFail)
-			continue
-		}
-		if err := st.shared.tree.Rebuild(runs); err != nil {
-			h.mmioW(p, mgmt+core.MgmtRewalk, core.RewalkFail)
-			continue
-		}
-		// Every sharer of the tree must see the new root before the walk
-		// resumes.
-		h.reprogramSharers(p, st.shared)
-		h.mmioW(p, mgmt+core.MgmtRewalk, core.RewalkRetry)
+		h.missBusy[idx] = true
+		h.serviceMiss(p, idx)
+		h.missBusy[idx] = false
 	}
+}
+
+// serviceMiss handles one VF's latched miss end to end and always releases
+// the stalled walk with exactly one rewalk verdict.
+func (h *Hypervisor) serviceMiss(p *sim.Proc, idx int) {
+	h.MissInterrupts++
+	mgmt := h.mgmtAddr(idx)
+	missAddr := h.mmioR(p, mgmt+core.MgmtMissAddr)
+	missSize := h.mmioR(p, mgmt+core.MgmtMissSize)
+	dec := h.inj.Decide(fault.MissHandler)
+	p.Sleep(h.P.MissHandlerTime + dec.Delay)
+	if dec.Fault {
+		// Injected allocation failure: the hypervisor cannot extend the
+		// backing file, so the stalled walk is released with a failure.
+		h.MissFaults++
+		h.mmioW(p, mgmt+core.MgmtRewalk, core.RewalkFail)
+		return
+	}
+	st := h.vfs[idx]
+	if !st.inUse || st.identity {
+		// No backing file to extend: fail the write.
+		h.mmioW(p, mgmt+core.MgmtRewalk, core.RewalkFail)
+		return
+	}
+	if err := h.HostFS.AllocateRange(p, st.path, missAddr, missSize); err != nil {
+		h.mmioW(p, mgmt+core.MgmtRewalk, core.RewalkFail)
+		return
+	}
+	runs, _, err := h.HostFS.Runs(p, st.path)
+	if err != nil {
+		h.mmioW(p, mgmt+core.MgmtRewalk, core.RewalkFail)
+		return
+	}
+	if err := st.shared.tree.Rebuild(runs); err != nil {
+		h.mmioW(p, mgmt+core.MgmtRewalk, core.RewalkFail)
+		return
+	}
+	// Every sharer of the tree must see the new root before the walk
+	// resumes.
+	h.reprogramSharers(p, st.shared)
+	h.mmioW(p, mgmt+core.MgmtRewalk, core.RewalkRetry)
+}
+
+// ResetVF performs a function-level reset of a VF and re-arms its ring
+// client: it writes the reset register, polls until the device reports every
+// in-flight chunk drained, then rebuilds the driver's rings through
+// QueuePair.Recover (which aborts parked submitters so they resubmit or
+// surface guest.ErrReset). Management state — the exported file and its
+// extent tree — survives; FLR recovers a wedged function, it does not
+// deprovision it.
+func (h *Hypervisor) ResetVF(p *sim.Proc, idx int) error {
+	st := h.vfs[idx]
+	if !st.inUse {
+		return fmt.Errorf("hypervisor: VF %d not in use", idx)
+	}
+	page := h.VFPageBus(idx)
+	h.mmioW(p, page+core.RegReset, 1)
+	for h.mmioR(p, page+core.RegReset) != 0 {
+		p.Sleep(5 * sim.Microsecond)
+	}
+	h.VFResets++
+	if qp := h.qps[h.Ctl.VF(idx).ID()]; qp != nil {
+		return qp.Recover(p)
+	}
+	return nil
 }
 
 // RegenerateVFTree rebuilds a VF's tree from the filesystem (used after

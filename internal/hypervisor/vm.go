@@ -108,6 +108,8 @@ func (h *Hypervisor) NewVM(p *sim.Proc, name string, cfg VMConfig) (*VM, error) 
 			UseTrampoline:   !h.P.UseIOMMU || cfg.ForceTrampoline,
 			MemcpyBandwidth: cfg.Guest.MemcpyBandwidth,
 			BlockSize:       h.Ctl.P.BlockSize,
+			Timeout:         h.P.VFRequestTimeout,
+			RetryMax:        h.P.VFRetryMax,
 		})
 		if err != nil {
 			return nil, err

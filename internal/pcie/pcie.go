@@ -16,6 +16,7 @@ package pcie
 import (
 	"fmt"
 
+	"nesc/internal/fault"
 	"nesc/internal/hostmem"
 	"nesc/internal/sim"
 )
@@ -121,12 +122,19 @@ type Fabric struct {
 
 	msiHandler MSIHandler
 
+	inj *fault.Injector
+
 	// Counters for tests and reporting.
 	DMAReads, DMAWrites   int64
 	DMAReadBytes          int64
 	DMAWriteBytes         int64
 	MSIs                  int64
 	MMIOReads, MMIOWrites int64
+	// Fault-injection counters: TLP-level DMA rejections, MSIs dropped on the
+	// wire, and MSIs delivered late.
+	DMAFaultsInjected int64
+	DroppedMSIs       int64
+	DelayedMSIs       int64
 }
 
 // New creates a fabric over the given engine and host memory.
@@ -145,6 +153,10 @@ func New(eng *sim.Engine, mem *hostmem.Memory, p Params) *Fabric {
 // IOMMU returns the fabric's IOMMU (disabled by default, as in the paper's
 // prototype).
 func (f *Fabric) IOMMU() *IOMMU { return f.iommu }
+
+// SetInjector installs a fault injector on the fabric (nil disables
+// injection).
+func (f *Fabric) SetInjector(inj *fault.Injector) { f.inj = inj }
 
 // RegisterFunction assigns the next routing ID to a named function and
 // returns it. The first registered function of a device conventionally is
@@ -232,11 +244,16 @@ func (f *Fabric) DMARead(from FnID, addr hostmem.Addr, p []byte, done func()) er
 	if err := f.iommu.Check(from, addr, int64(len(p))); err != nil {
 		return err
 	}
+	dec := f.inj.Decide(fault.DMARead)
+	if dec.Fault {
+		f.DMAFaultsInjected++
+		return fmt.Errorf("pcie: injected DMA read fault: fn %d addr %#x", from, addr)
+	}
 	f.DMAReads++
 	f.DMAReadBytes += int64(len(p))
 	n := int64(len(p))
 	wire := n + f.tlpCount(n)*f.Params.TLPOverheadBytes
-	f.Eng.After(f.Params.DMARequestLatency, func() {
+	f.Eng.After(f.Params.DMARequestLatency+dec.Delay, func() {
 		f.toDev.Transfer(wire, func() {
 			// Snapshot memory at completion time: DMA sees the bytes present
 			// when the data phase finishes.
@@ -255,6 +272,11 @@ func (f *Fabric) DMAWrite(from FnID, addr hostmem.Addr, p []byte, done func()) e
 	if err := f.iommu.Check(from, addr, int64(len(p))); err != nil {
 		return err
 	}
+	dec := f.inj.Decide(fault.DMAWrite)
+	if dec.Fault {
+		f.DMAFaultsInjected++
+		return fmt.Errorf("pcie: injected DMA write fault: fn %d addr %#x", from, addr)
+	}
 	f.DMAWrites++
 	f.DMAWriteBytes += int64(len(p))
 	n := int64(len(p))
@@ -262,10 +284,12 @@ func (f *Fabric) DMAWrite(from FnID, addr hostmem.Addr, p []byte, done func()) e
 	data := make([]byte, len(p))
 	copy(data, p)
 	f.toHost.Transfer(wire, func() {
-		if err := f.Mem.Write(addr, data); err != nil {
-			panic(err)
-		}
-		done()
+		f.after(dec.Delay, func() {
+			if err := f.Mem.Write(addr, data); err != nil {
+				panic(err)
+			}
+			done()
+		})
 	})
 	return nil
 }
@@ -277,14 +301,21 @@ func (f *Fabric) DMAZero(from FnID, addr hostmem.Addr, n int64, done func()) err
 	if err := f.iommu.Check(from, addr, n); err != nil {
 		return err
 	}
+	dec := f.inj.Decide(fault.DMAWrite)
+	if dec.Fault {
+		f.DMAFaultsInjected++
+		return fmt.Errorf("pcie: injected DMA write fault: fn %d addr %#x", from, addr)
+	}
 	f.DMAWrites++
 	f.DMAWriteBytes += n
 	wire := n + f.tlpCount(n)*f.Params.TLPOverheadBytes
 	f.toHost.Transfer(wire, func() {
-		if err := f.Mem.Zero(addr, n); err != nil {
-			panic(err)
-		}
-		done()
+		f.after(dec.Delay, func() {
+			if err := f.Mem.Zero(addr, n); err != nil {
+				panic(err)
+			}
+			done()
+		})
 	})
 	return nil
 }
@@ -292,11 +323,29 @@ func (f *Fabric) DMAZero(from FnID, addr hostmem.Addr, n int64, done func()) err
 // SetMSIHandler installs the host-side interrupt dispatcher.
 func (f *Fabric) SetMSIHandler(h MSIHandler) { f.msiHandler = h }
 
+// after invokes fn now or after an injected extra delay.
+func (f *Fabric) after(delay sim.Time, fn func()) {
+	if delay > 0 {
+		f.Eng.After(delay, fn)
+		return
+	}
+	fn()
+}
+
 // RaiseMSI delivers a message-signaled interrupt from a function to the
-// host.
+// host. An injected fault silently drops the interrupt on the wire — the
+// raising function believes it was delivered.
 func (f *Fabric) RaiseMSI(from FnID, vector uint8) {
+	dec := f.inj.Decide(fault.MSI)
+	if dec.Fault {
+		f.DroppedMSIs++
+		return
+	}
+	if dec.Delay > 0 {
+		f.DelayedMSIs++
+	}
 	f.MSIs++
-	f.Eng.After(f.Params.MSILatency, func() {
+	f.Eng.After(f.Params.MSILatency+dec.Delay, func() {
 		if f.msiHandler != nil {
 			f.msiHandler(from, vector)
 		}

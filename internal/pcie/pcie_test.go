@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"nesc/internal/fault"
 	"nesc/internal/hostmem"
 	"nesc/internal/sim"
 )
@@ -324,5 +325,61 @@ func TestConcurrentDMAsSerializeOnLink(t *testing.T) {
 	eng.Run()
 	if t2 < t1+(t1-DefaultParams().PropagationLatency)*9/10 {
 		t.Fatalf("second DMA (%v) did not serialize behind first (%v)", t2, t1)
+	}
+}
+
+func TestDMAFaultInjection(t *testing.T) {
+	f, eng, _ := newFabric()
+	plan := fault.Plan{Seed: 2}
+	plan.Sites[fault.DMARead] = fault.SiteParams{OneShot: []int64{1}}
+	plan.Sites[fault.DMAWrite] = fault.SiteParams{OneShot: []int64{2}}
+	f.SetInjector(fault.NewInjector(plan))
+
+	buf := make([]byte, 512)
+	if err := f.DMARead(1, 0x1000, buf, func() {}); err == nil {
+		t.Fatal("injected DMA read fault not surfaced")
+	}
+	if err := f.DMARead(1, 0x1000, buf, func() {}); err != nil {
+		t.Fatalf("second DMA read failed: %v", err)
+	}
+	if err := f.DMAWrite(1, 0x2000, buf, func() {}); err != nil {
+		t.Fatalf("first DMA write failed: %v", err)
+	}
+	if err := f.DMAWrite(1, 0x2000, buf, func() {}); err == nil {
+		t.Fatal("injected DMA write fault not surfaced")
+	}
+	eng.Run()
+	if f.DMAFaultsInjected != 2 {
+		t.Fatalf("DMAFaultsInjected = %d, want 2", f.DMAFaultsInjected)
+	}
+	// Rejected transfers must not count as performed DMA.
+	if f.DMAReads != 1 || f.DMAWrites != 1 {
+		t.Fatalf("op counters: reads=%d writes=%d, want 1/1", f.DMAReads, f.DMAWrites)
+	}
+}
+
+func TestMSIDropAndDelay(t *testing.T) {
+	f, eng, _ := newFabric()
+	plan := fault.Plan{Seed: 4}
+	plan.Sites[fault.MSI] = fault.SiteParams{OneShot: []int64{1}, DelayProb: 1.0, Delay: 7 * sim.Microsecond}
+	f.SetInjector(fault.NewInjector(plan))
+
+	var deliveries []sim.Time
+	f.SetMSIHandler(func(from FnID, vector uint8) {
+		deliveries = append(deliveries, eng.Now())
+	})
+	f.RaiseMSI(3, 0) // dropped (one-shot)
+	f.RaiseMSI(3, 0) // delivered with injected delay
+	eng.Run()
+	if len(deliveries) != 1 {
+		t.Fatalf("delivered %d MSIs, want 1", len(deliveries))
+	}
+	want := f.Params.MSILatency + 7*sim.Microsecond
+	if deliveries[0] != want {
+		t.Fatalf("delayed MSI arrived at %v, want %v", deliveries[0], want)
+	}
+	if f.DroppedMSIs != 1 || f.DelayedMSIs != 1 || f.MSIs != 1 {
+		t.Fatalf("counters: dropped=%d delayed=%d delivered=%d",
+			f.DroppedMSIs, f.DelayedMSIs, f.MSIs)
 	}
 }

@@ -543,3 +543,68 @@ func TestWaitGroupAddAfterZero(t *testing.T) {
 		t.Fatal("waiter stuck after WaitGroup reuse")
 	}
 }
+
+func TestSignalAwaitTimeout(t *testing.T) {
+	// Signal fires before the deadline: AwaitTimeout reports true and the
+	// process resumes at fire time.
+	e := NewEngine()
+	s := NewSignal(e)
+	var fired bool
+	var at Time
+	e.Go("waiter", func(p *Proc) {
+		fired = s.AwaitTimeout(p, 100*Microsecond)
+		at = p.Now()
+	})
+	e.After(10*Microsecond, s.Fire)
+	e.Run()
+	if !fired || at != 10*Microsecond {
+		t.Fatalf("fired=%v at %v, want true at 10us", fired, at)
+	}
+
+	// Deadline expires first: AwaitTimeout reports false at the deadline.
+	e = NewEngine()
+	s = NewSignal(e)
+	e.Go("waiter", func(p *Proc) {
+		fired = s.AwaitTimeout(p, 20*Microsecond)
+		at = p.Now()
+	})
+	e.Run()
+	if fired || at != 20*Microsecond {
+		t.Fatalf("fired=%v at %v, want false at 20us", fired, at)
+	}
+
+	// Already-fired signal returns immediately; non-positive d means no
+	// deadline.
+	e = NewEngine()
+	s = NewSignal(e)
+	s.Fire()
+	e.Go("waiter", func(p *Proc) {
+		if !s.AwaitTimeout(p, Microsecond) {
+			t.Error("AwaitTimeout on fired signal reported false")
+		}
+	})
+	s2 := NewSignal(e)
+	e.Go("nodeadline", func(p *Proc) {
+		if !s2.AwaitTimeout(p, 0) {
+			t.Error("AwaitTimeout without deadline reported false")
+		}
+	})
+	e.After(5*Microsecond, s2.Fire)
+	e.Run()
+
+	// A fire after the timeout must not resume the process twice (the stale
+	// waiter callback is a no-op).
+	e = NewEngine()
+	s = NewSignal(e)
+	resumes := 0
+	e.Go("waiter", func(p *Proc) {
+		s.AwaitTimeout(p, 5*Microsecond)
+		resumes++
+		p.Sleep(30 * Microsecond)
+	})
+	e.After(15*Microsecond, s.Fire)
+	e.Run()
+	if resumes != 1 {
+		t.Fatalf("process resumed %d times, want 1", resumes)
+	}
+}

@@ -163,6 +163,34 @@ func (s *Signal) Await(p *Proc) {
 	})
 }
 
+// AwaitTimeout blocks the process until the signal fires or d elapses,
+// reporting whether the signal had fired by the time the process resumed.
+// A non-positive d waits without a deadline. The deadline event stays in the
+// engine's queue until it expires (a no-op if the signal won), so timeouts
+// should be armed only where recovery genuinely needs them.
+func (s *Signal) AwaitTimeout(p *Proc, d Time) bool {
+	if s.fired {
+		return true
+	}
+	if d <= 0 {
+		s.Await(p)
+		return true
+	}
+	p.Wait(func(done func()) {
+		resumed := false
+		wake := func() {
+			if resumed {
+				return
+			}
+			resumed = true
+			s.eng.After(0, done)
+		}
+		s.wait = append(s.wait, wake)
+		s.eng.After(d, wake)
+	})
+	return s.fired
+}
+
 // WaitGroup counts outstanding operations and wakes waiters at zero, like
 // sync.WaitGroup but in virtual time.
 type WaitGroup struct {

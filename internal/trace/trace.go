@@ -23,6 +23,9 @@ const (
 	KindRewalk                // host released a stalled walk
 	KindTransfer              // chunk moved to/from the medium
 	KindComplete              // request completion written
+	KindFault                 // injected/observed fault (medium, DMA)
+	KindDrop                  // request or completion silently lost
+	KindReset                 // function-level reset
 )
 
 func (k Kind) String() string {
@@ -39,6 +42,12 @@ func (k Kind) String() string {
 		return "transfer"
 	case KindComplete:
 		return "complete"
+	case KindFault:
+		return "fault"
+	case KindDrop:
+		return "drop"
+	case KindReset:
+		return "reset"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}

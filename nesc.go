@@ -40,6 +40,8 @@ import (
 
 	"nesc/internal/bench"
 	"nesc/internal/extfs"
+	"nesc/internal/fault"
+	"nesc/internal/guest"
 	"nesc/internal/sim"
 	"nesc/internal/trace"
 )
@@ -75,7 +77,49 @@ type Config struct {
 	// TraceEvents, when positive, keeps a ring of that many recent device
 	// events (see Simulation.TraceDump).
 	TraceEvents int
+	// Fault, when set, arms a seeded deterministic fault injector across the
+	// medium, the PCIe fabric, and the hypervisor miss handler. The same plan
+	// (same seed) always produces the identical fault sequence.
+	Fault *FaultPlan
+	// DriverTimeout bounds each ring-driver request attempt: on expiry the
+	// driver polls the completion ring (recovering lost interrupts) and then
+	// resubmits with exponential backoff, up to DriverRetryMax resubmissions
+	// before surfacing ErrTimeout. Zero disables timeout recovery and
+	// preserves the fault-free event schedule exactly.
+	DriverTimeout time.Duration
+	// DriverRetryMax is the per-request resubmission budget.
+	DriverRetryMax int
 }
+
+// Fault-injection vocabulary, re-exported from the internal engine so plans
+// can be written against the public API alone.
+type (
+	// FaultPlan is a complete, reproducible fault schedule.
+	FaultPlan = fault.Plan
+	// FaultSiteParams configures one injection site.
+	FaultSiteParams = fault.SiteParams
+	// FaultSite identifies one injection point.
+	FaultSite = fault.Site
+)
+
+// Sentinel errors a guest I/O call can surface under fault injection.
+var (
+	// ErrTimeout reports a request that got no completion within the
+	// driver's retry budget.
+	ErrTimeout = guest.ErrTimeout
+	// ErrReset reports a request aborted by a function-level reset.
+	ErrReset = guest.ErrReset
+)
+
+// The injection sites.
+const (
+	FaultMediumRead  = fault.MediumRead  // transient medium read errors
+	FaultMediumWrite = fault.MediumWrite // transient medium write errors
+	FaultDMARead     = fault.DMARead     // device DMA reads rejected on the wire
+	FaultDMAWrite    = fault.DMAWrite    // device DMA writes rejected on the wire
+	FaultMSI         = fault.MSI         // interrupts dropped or delayed
+	FaultMissHandler = fault.MissHandler // hypervisor lazy allocation fails
+)
 
 // DefaultConfig returns the calibrated platform.
 func DefaultConfig() Config {
@@ -105,6 +149,9 @@ func New(cfg Config) *Simulation {
 	bcfg.Core.NumVFs = cfg.NumVFs
 	bcfg.Core.BTLBEntries = cfg.BTLBEntries
 	bcfg.Hyp.UseIOMMU = cfg.UseIOMMU
+	bcfg.Hyp.VFRequestTimeout = sim.Time(cfg.DriverTimeout)
+	bcfg.Hyp.VFRetryMax = cfg.DriverRetryMax
+	bcfg.Fault = cfg.Fault
 	switch cfg.HostJournal {
 	case "", "metadata":
 		bcfg.HostFS.Mode = extfs.JournalMetadata
@@ -197,11 +244,43 @@ type Stats struct {
 	DMAReadBytes, DMAWriteBytes int64
 	// VirtualTime is the simulation clock.
 	VirtualTime time.Duration
+
+	// Fault-injection and recovery counters (all zero without a fault plan).
+
+	// InjectedFaults is the total fault count across all injection sites.
+	InjectedFaults int64
+	// MediumErrors counts requests latched StatusMediumError after the DTU
+	// exhausted its retries; MediumRetries counts the retries themselves.
+	MediumErrors, MediumRetries int64
+	// DMAFaultsInjected counts DMA transfers rejected by injection;
+	// DroppedMSIs counts interrupts lost on the wire.
+	DMAFaultsInjected, DroppedMSIs int64
+	// FetchDrops / CplDrops count descriptor fetches and completion writes
+	// the device dropped (observable, not silent).
+	FetchDrops, CplDrops int64
+	// DriverTimeouts counts request attempts that hit their deadline;
+	// DriverResubmits counts requests reissued after a timeout or abort.
+	DriverTimeouts, DriverResubmits int64
+	// PolledCompletions counts completions recovered by ring polling;
+	// StaleCompletions counts ring entries whose id had no waiter; SeqGaps
+	// counts sequence numbers skipped over lost completion writes.
+	PolledCompletions, StaleCompletions, SeqGaps int64
+	// VFResets counts hypervisor-issued function-level resets; MissFaults
+	// counts translation misses failed by injection.
+	VFResets, MissFaults int64
+	// LatentHits counts reads failed on latent bad sectors; LatentRepaired
+	// counts latent sectors cleared by a successful rewrite.
+	LatentHits, LatentRepaired int64
 }
 
 // Stats snapshots the platform counters.
 func (s *Simulation) Stats() Stats {
 	ctl := s.pl.Ctl
+	drv := s.pl.Hyp.RecoveryStats()
+	var latentHits, latentRepaired int64
+	if inj := s.pl.Inj; inj != nil {
+		latentHits, latentRepaired = inj.LatentHits, inj.LatentCleared
+	}
 	return Stats{
 		BTLBHitRate:      ctl.BTLBStats.Rate(),
 		BTLBHits:         ctl.BTLBStats.Hits,
@@ -213,5 +292,27 @@ func (s *Simulation) Stats() Stats {
 		DMAReadBytes:     s.pl.Fab.DMAReadBytes,
 		DMAWriteBytes:    s.pl.Fab.DMAWriteBytes,
 		VirtualTime:      time.Duration(s.pl.Eng.Now()),
+
+		InjectedFaults:    s.pl.Inj.TotalFaults(),
+		MediumErrors:      ctl.MediumErrors,
+		MediumRetries:     ctl.MediumRetries,
+		DMAFaultsInjected: s.pl.Fab.DMAFaultsInjected,
+		DroppedMSIs:       s.pl.Fab.DroppedMSIs,
+		FetchDrops:        ctl.FetchDrops,
+		CplDrops:          ctl.CplDrops,
+		DriverTimeouts:    drv.Timeouts,
+		DriverResubmits:   drv.Resubmits,
+		PolledCompletions: drv.PolledCompletions,
+		StaleCompletions:  drv.StaleCompletions,
+		SeqGaps:           drv.SeqGaps,
+		VFResets:          s.pl.Hyp.VFResets,
+		MissFaults:        s.pl.Hyp.MissFaults,
+		LatentHits:        latentHits,
+		LatentRepaired:    latentRepaired,
 	}
 }
+
+// FaultSummary renders the injector's per-site counters, one deterministic
+// line per site — two runs with the same plan must produce identical
+// summaries. Without a fault plan it reports "fault: no plan".
+func (s *Simulation) FaultSummary() string { return s.pl.Inj.Summary() }

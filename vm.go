@@ -104,6 +104,18 @@ func (vm *VM) SetIOWeight(c *Ctx, weight int) {
 	}
 }
 
+// Reset performs a function-level reset of the VM's virtual function: the
+// device aborts and drains the function's in-flight work, and the guest
+// driver re-arms its rings. Parked submitters see their requests aborted and
+// either resubmit (with a driver timeout configured) or fail with ErrReset.
+// Only meaningful for BackendNeSC VMs.
+func (vm *VM) Reset(c *Ctx) error {
+	if vm.vm.VFIdx < 0 {
+		return fmt.Errorf("nesc: VM %q has no virtual function to reset", vm.name)
+	}
+	return vm.s.pl.Hyp.ResetVF(c.proc, vm.vm.VFIdx)
+}
+
 // Stop tears the VM down, releasing its virtual function (if any).
 func (vm *VM) Stop(c *Ctx) { vm.vm.Teardown(c.proc) }
 
