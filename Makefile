@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 ci vet build test race chaos bench
+.PHONY: tier1 ci vet fmt-check build test race chaos bench
 
 # tier1 is the seed acceptance gate: everything must build and pass.
 tier1: build test
@@ -8,10 +8,15 @@ tier1: build test
 # ci is the full hygiene gate. The race run uses -short so the full-size
 # chaos soak (seconds of virtual time, minutes under the race detector)
 # stays out of the fast path; run `make chaos` for the big one.
-ci: vet build race
+ci: vet fmt-check build race
 
 vet:
 	$(GO) vet ./...
+
+# fmt-check fails when any tracked Go file is not gofmt-clean.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...

@@ -58,8 +58,10 @@ type chaosResult struct {
 	vtime   time.Duration
 }
 
-// runChaos executes one full chaos run and returns its fingerprint.
-func runChaos(t *testing.T, seed uint64, numVMs, rounds, stripeBlocks int) chaosResult {
+// runChaos executes one full chaos run and returns its fingerprint. queues
+// sets Config.QueuesPerVF: every tenant then drives its VF through that many
+// queue pairs, each with its own sequence space and recovery state.
+func runChaos(t *testing.T, seed uint64, numVMs, rounds, stripeBlocks, queues int) chaosResult {
 	t.Helper()
 	const blockSize = 1024
 	cfg := DefaultConfig()
@@ -67,6 +69,7 @@ func runChaos(t *testing.T, seed uint64, numVMs, rounds, stripeBlocks int) chaos
 	cfg.Fault = chaosPlan(seed)
 	cfg.DriverTimeout = 3 * time.Millisecond
 	cfg.DriverRetryMax = 8
+	cfg.QueuesPerVF = queues
 	s := New(cfg)
 
 	diskBlocks := uint64(rounds * stripeBlocks * 2) // headroom past the stripes
@@ -203,7 +206,7 @@ func TestChaosSoak(t *testing.T) {
 	if !testing.Short() {
 		numVMs, rounds, stripeBlocks = 4, 16, 16
 	}
-	a := runChaos(t, 0xC0FFEE, numVMs, rounds, stripeBlocks)
+	a := runChaos(t, 0xC0FFEE, numVMs, rounds, stripeBlocks, 1)
 
 	// The run must actually have hurt: an injector that never fired proves
 	// nothing about recovery.
@@ -238,7 +241,7 @@ func TestChaosSoak(t *testing.T) {
 
 	// Determinism: a second run with the same seed must replay the identical
 	// fault sequence and land on the identical final state.
-	b := runChaos(t, 0xC0FFEE, numVMs, rounds, stripeBlocks)
+	b := runChaos(t, 0xC0FFEE, numVMs, rounds, stripeBlocks, 1)
 	if a.summary != b.summary {
 		t.Errorf("fault summaries diverge across same-seed runs:\n--- run A\n%s--- run B\n%s", a.summary, b.summary)
 	}
@@ -251,8 +254,49 @@ func TestChaosSoak(t *testing.T) {
 
 	// A different seed must produce a different fault sequence (the seed is
 	// real, not decorative).
-	cres := runChaos(t, 0xBEEF, numVMs, rounds, stripeBlocks)
+	cres := runChaos(t, 0xBEEF, numVMs, rounds, stripeBlocks, 1)
 	if cres.summary == a.summary {
 		t.Error("different seeds produced identical fault summaries")
+	}
+}
+
+// TestChaosSoakMultiQueue repeats the soak with four queue pairs per VF:
+// the same fault plan now lands on a multi-queue data path, where each
+// queue's sequence numbering, timeout polling, and FLR re-arming must hold
+// independently. Integrity (bit-exact readback inside runChaos), liveness,
+// and same-seed determinism are asserted exactly as in the single-queue
+// soak.
+func TestChaosSoakMultiQueue(t *testing.T) {
+	numVMs, rounds, stripeBlocks := 2, 6, 8
+	if !testing.Short() {
+		numVMs, rounds, stripeBlocks = 4, 12, 16
+	}
+	a := runChaos(t, 0xC0FFEE, numVMs, rounds, stripeBlocks, 4)
+
+	st := a.stats
+	if st.InjectedFaults == 0 {
+		t.Fatal("no faults injected; the chaos plan is inert")
+	}
+	if st.DriverTimeouts == 0 {
+		t.Error("no driver timeouts: completion-timeout path not exercised")
+	}
+	if want := int64(numVMs + 1); st.VFResets != want {
+		t.Errorf("VFResets = %d, want %d (one forced FLR per VF)", st.VFResets, want)
+	}
+	if st.CplDrops > 0 && st.PolledCompletions == 0 {
+		t.Error("completion writes were dropped but no queue ever polled one back")
+	}
+	t.Logf("mq chaos stats: faults=%d droppedMSIs=%d timeouts=%d resubmits=%d "+
+		"polled=%d stale=%d gaps=%d resets=%d fetchDrops=%d cplDrops=%d vtime=%v",
+		st.InjectedFaults, st.DroppedMSIs, st.DriverTimeouts, st.DriverResubmits,
+		st.PolledCompletions, st.StaleCompletions, st.SeqGaps, st.VFResets,
+		st.FetchDrops, st.CplDrops, st.VirtualTime)
+
+	b := runChaos(t, 0xC0FFEE, numVMs, rounds, stripeBlocks, 4)
+	if a.summary != b.summary {
+		t.Errorf("fault summaries diverge across same-seed runs:\n--- run A\n%s--- run B\n%s", a.summary, b.summary)
+	}
+	if a.stats != b.stats {
+		t.Errorf("stats diverge across same-seed runs:\nA: %+v\nB: %+v", a.stats, b.stats)
 	}
 }

@@ -7,21 +7,26 @@
 //	nescbench -list
 //	nescbench -exp fig9
 //	nescbench -exp all [-csv]
+//	nescbench -exp mq -json results
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"nesc/internal/bench"
+	"nesc/internal/stats"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (see -list), or 'all'")
 	list := flag.Bool("list", false, "list available experiments")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	jsonDir := flag.String("json", "", "also write <dir>/<exp>.json per experiment (empty: disabled)")
 	flag.Parse()
 
 	if *list {
@@ -58,6 +63,43 @@ func main() {
 				fmt.Println(t.String())
 			}
 		}
+		if *jsonDir != "" {
+			if err := writeJSON(*jsonDir, e.Name, tables); err != nil {
+				fmt.Fprintf(os.Stderr, "experiment %s: %v\n", e.Name, err)
+				os.Exit(1)
+			}
+		}
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n\n", e.Name, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// writeJSON stores an experiment's tables as <dir>/<name>.json: a single
+// table is written as one object, several as an array.
+func writeJSON(dir, name string, tables []*stats.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var out []byte
+	if len(tables) == 1 {
+		b, err := tables[0].JSON()
+		if err != nil {
+			return err
+		}
+		out = b
+	} else {
+		raws := make([]json.RawMessage, len(tables))
+		for i, t := range tables {
+			b, err := t.JSON()
+			if err != nil {
+				return err
+			}
+			raws[i] = b
+		}
+		b, err := json.MarshalIndent(raws, "", "  ")
+		if err != nil {
+			return err
+		}
+		out = append(b, '\n')
+	}
+	return os.WriteFile(filepath.Join(dir, name+".json"), out, 0o644)
 }

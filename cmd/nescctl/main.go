@@ -19,9 +19,10 @@ func main() {
 	tenants := flag.Int("tenants", 3, "number of tenant VMs to demo")
 	imageMB := flag.Int("image-mb", 8, "per-tenant image size in MiB")
 	traceN := flag.Int("trace", 0, "dump the last N device events at the end")
+	queues := flag.Int("queues", 0, "queue pairs per VF (0 = device default of 1)")
 	flag.Parse()
 
-	sim := nesc.New(nesc.Config{MediumMB: *mediumMB, TraceEvents: *traceN})
+	sim := nesc.New(nesc.Config{MediumMB: *mediumMB, TraceEvents: *traceN, QueuesPerVF: *queues})
 	step := 0
 	say := func(format string, args ...any) {
 		step++

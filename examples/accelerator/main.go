@@ -50,14 +50,15 @@ func main() {
 		// the VF's registers itself and DMAs storage blocks straight into
 		// its buffer — offset 0 of the VF is offset 0 of the file.
 		accelFn := pl.Fab.RegisterFunction("accelerator")
-		qp, err := guest.NewQueuePair(p, pl.Eng, pl.Mem, pl.Fab,
-			pl.Hyp.VFPageBus(vfIdx), 64, 300*sim.Nanosecond)
+		mq, err := guest.NewMultiQueue(p, pl.Eng, pl.Mem, pl.Fab,
+			pl.Hyp.VFPageBus(vfIdx), 1, 64, 300*sim.Nanosecond)
 		if err != nil {
 			return err
 		}
+		qp := mq.Queue(0)
 		// Route the VF's completion interrupts to the accelerator's queue
 		// logic (on real hardware the MSI would target the peer device).
-		pl.Hyp.RouteVFInterrupts(vfIdx, qp)
+		pl.Hyp.RouteVFInterrupts(vfIdx, mq)
 
 		// On-card staging buffer (in host memory for this model).
 		const chunk = 64 << 10

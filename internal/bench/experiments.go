@@ -30,6 +30,7 @@ var registry = []Experiment{
 	{"qos", "Ablation: QoS weights across competing VFs", AblationQoS},
 	{"oob", "Ablation: PF out-of-band channel under VF load", AblationOOB},
 	{"lazyalloc", "Ablation: lazy allocation (write-miss) cost", AblationLazyAlloc},
+	{"mq", "Ablation: multi-queue scaling (queues per VF x queue depth)", AblationMQ},
 	{"breakdown", "Analysis: latency breakdown inside the NeSC pipeline", Breakdown},
 	{"qdepth", "Analysis: queue-depth scaling, NeSC vs virtio", QDepth},
 }

@@ -30,6 +30,7 @@ import (
 	"nesc/internal/blockdev"
 	"nesc/internal/extent"
 	"nesc/internal/pcie"
+	"nesc/internal/ring"
 	"nesc/internal/sim"
 	"nesc/internal/stats"
 	"nesc/internal/trace"
@@ -56,6 +57,11 @@ type Params struct {
 	DTUChannels int
 	// TreeFanout is the extent-tree node fanout the walker expects.
 	TreeFanout int
+	// QueuesPerVF is the number of queue pairs each function exposes
+	// (default 1, the paper's prototype; clamped to MaxQueuesPerFn). The
+	// hypervisor may program an individual VF down from this capability
+	// through the MgmtQueues management register.
+	QueuesPerVF int
 
 	// Queue depths (backpressure points).
 	ReqQueueDepth  int
@@ -96,6 +102,7 @@ func DefaultParams() Params {
 		Walkers:             2,
 		DTUChannels:         4,
 		TreeFanout:          extent.DefaultFanout,
+		QueuesPerVF:         1,
 		ReqQueueDepth:       64,
 		VLBAQueueDepth:      64,
 		PLBAQueueDepth:      64,
@@ -109,31 +116,56 @@ func DefaultParams() Params {
 	}
 }
 
-// Operation codes in request descriptors.
+// Operation codes in request descriptors (defined by internal/ring).
 const (
-	OpRead  = 1
-	OpWrite = 2
+	OpRead  = ring.OpRead
+	OpWrite = ring.OpWrite
 )
 
-// Completion status codes. (StatusDMAFault = 4 lives in pipeline.go.)
+// Completion status codes (defined by internal/ring; StatusDMAFault = 4
+// lives in pipeline.go).
 const (
-	StatusOK          = 0
-	StatusOutOfRange  = 1 // request exceeds the virtual device
-	StatusNoSpace     = 2 // hypervisor denied allocation (quota/space)
-	StatusDisabled    = 3 // function not enabled
-	StatusMediumError = 5 // medium error persisted through all retries
-	StatusAborted     = 6 // request killed by a function-level reset
+	StatusOK          = ring.StatusOK
+	StatusOutOfRange  = ring.StatusOutOfRange  // request exceeds the virtual device
+	StatusNoSpace     = ring.StatusNoSpace     // hypervisor denied allocation (quota/space)
+	StatusDisabled    = ring.StatusDisabled    // function not enabled
+	StatusMediumError = ring.StatusMediumError // medium error persisted through all retries
+	StatusAborted     = ring.StatusAborted     // request killed by a function-level reset
 )
 
-// MSI vectors raised by the controller.
+// MSI vectors raised by the controller. Queue 0's completions keep the
+// legacy vector 0; queue q > 0 completes on vector 1+q, skipping the miss
+// vector. A function therefore needs 1+numQueues vectors (at least 2).
 const (
-	VecCompletion = 0 // request completion (raised from the owning function)
+	VecCompletion = 0 // queue 0 completion (raised from the owning function)
 	VecMiss       = 1 // translation miss (always raised from the PF)
 )
+
+// CompletionVector reports the MSI vector carrying queue q's completions.
+func CompletionVector(q int) uint8 {
+	if q == 0 {
+		return VecCompletion
+	}
+	return uint8(1 + q)
+}
+
+// QueueOfVector inverts CompletionVector; ok is false for VecMiss (not a
+// completion vector).
+func QueueOfVector(v uint8) (q int, ok bool) {
+	switch {
+	case v == VecCompletion:
+		return 0, true
+	case v == VecMiss:
+		return 0, false
+	default:
+		return int(v) - 1, true
+	}
+}
 
 // Request is one descriptor fetched from a function's request ring.
 type Request struct {
 	fn     *Function
+	q      *fnQueue // queue the descriptor was fetched from (completion routing)
 	Op     uint32
 	ID     uint32
 	LBA    uint64 // vLBA for VFs, pLBA for the PF
@@ -202,6 +234,8 @@ type Controller struct {
 	FLRs          int64 // function-level resets performed
 	AbortedChunks int64 // chunks killed by a reset
 	MissResends   int64 // miss MSIs re-raised by the resend timer
+	BadRingSizes  int64 // rejected ring-size register writes
+	BadDoorbells  int64 // ignored incoherent doorbell writes
 
 	// Breakdown holds per-stage chunk latencies in microseconds (populated
 	// only when Params.CollectBreakdown is set).
@@ -219,6 +253,12 @@ type Controller struct {
 func New(eng *sim.Engine, fab *pcie.Fabric, medium *blockdev.Medium, p Params) (*Controller, error) {
 	if p.BlockSize != medium.Store().BlockSize() {
 		return nil, fmt.Errorf("core: controller block size %d != medium block size %d", p.BlockSize, medium.Store().BlockSize())
+	}
+	if p.QueuesPerVF < 1 {
+		p.QueuesPerVF = 1
+	}
+	if p.QueuesPerVF > MaxQueuesPerFn {
+		return nil, fmt.Errorf("core: QueuesPerVF %d exceeds the register-file limit %d", p.QueuesPerVF, MaxQueuesPerFn)
 	}
 	c := &Controller{
 		Eng:    eng,
@@ -242,6 +282,17 @@ func New(eng *sim.Engine, fab *pcie.Fabric, medium *blockdev.Medium, p Params) (
 		c.vfs = append(c.vfs, c.newFunction(i, fab.RegisterFunction(fmt.Sprintf("nesc-vf%d", i-1))))
 	}
 	c.barBase = fab.MapBAR(c, c.BARSize())
+	// Program each function's MSI capability: one completion vector per
+	// queue plus the miss vector (vector 1, raised only from the PF but
+	// reserved in every function's numbering).
+	nVec := p.QueuesPerVF + 1
+	if nVec < 2 {
+		nVec = 2
+	}
+	fab.AllocMSIVectors(c.pf.id, nVec)
+	for _, vf := range c.vfs {
+		fab.AllocMSIVectors(vf.id, nVec)
+	}
 
 	// Pipeline processes.
 	eng.Go("nesc-mux", c.muxLoop)
@@ -267,18 +318,22 @@ func (c *Controller) VF(idx int) *Function { return c.vfs[idx] }
 func (c *Controller) SRIOV() *pcie.SRIOVCap { return &c.sriov }
 
 // Function is one facet of the controller: the PF or a VF. Each has its own
-// register file and request ring, exactly as each SR-IOV function has its
+// register file and queue-pair array, exactly as each SR-IOV function has its
 // own PCIe identity.
 type Function struct {
 	c   *Controller
 	idx int // 0 = PF, 1..NumVFs = VFs
 	id  pcie.FnID
 
-	// Guest-programmable I/O registers.
-	ringBase int64
-	ringSize uint32
-	cplBase  int64
-	consumed uint32 // ring consumer index (device side)
+	// Queue pairs (guest-programmable). numQueues is the active count the
+	// hypervisor programmed through MgmtQueues; queues beyond it exist in
+	// the register file but reject traffic.
+	queues    []*fnQueue
+	numQueues int
+	// fetchW counts pending doorbells across all of the function's queues;
+	// fetchRR is the intra-function round-robin cursor of the fetch stage.
+	fetchW  *sim.Semaphore
+	fetchRR int
 
 	// Hypervisor-programmable management registers.
 	enabled    bool
@@ -301,9 +356,7 @@ type Function struct {
 	resetEpoch uint32
 	inflight   int64
 
-	doorbells *sim.FIFO[uint32]
-	reqQ      *sim.FIFO[*Request]
-	cplSeq    uint32
+	reqQ *sim.FIFO[*Request]
 
 	// QoS: the multiplexer serves up to `weight` requests — and the DMA
 	// engine up to `weight` chunks — per VF per scheduling round (deficit
@@ -323,21 +376,59 @@ type Function struct {
 	Resets        int64
 	FetchDrops    int64
 	CplDrops      int64
+	BadRingSizes  int64
+	BadDoorbells  int64
+}
+
+// fnQueue is one of a function's queue pairs: the guest-programmable ring
+// registers plus the device-side cursors and doorbell FIFO.
+type fnQueue struct {
+	f   *Function
+	idx int
+
+	ringBase int64
+	ringSize uint32
+	cplBase  int64
+	consumed uint32 // SQ consumer index (device side)
+	cplSeq   uint32 // CQ sequence counter
+
+	doorbells *sim.FIFO[uint32]
+
+	// Reqs counts requests fetched from this queue (intra-VF fairness
+	// accounting).
+	Reqs int64
+}
+
+// clear wipes the queue's guest-programmable state and cursors (FLR,
+// disable).
+func (q *fnQueue) clear() {
+	q.ringBase, q.ringSize, q.cplBase = 0, 0, 0
+	q.consumed, q.cplSeq = 0, 0
 }
 
 func (c *Controller) newFunction(idx int, id pcie.FnID) *Function {
 	f := &Function{
-		c:         c,
-		idx:       idx,
-		id:        id,
-		doorbells: sim.NewFIFO[uint32](c.Eng, 0),
-		reqQ:      sim.NewFIFO[*Request](c.Eng, c.P.ReqQueueDepth),
-		rewalk:    sim.NewSignal(c.Eng),
-		weight:    1,
+		c:      c,
+		idx:    idx,
+		id:     id,
+		fetchW: sim.NewSemaphore(c.Eng, 0),
+		reqQ:   sim.NewFIFO[*Request](c.Eng, c.P.ReqQueueDepth),
+		rewalk: sim.NewSignal(c.Eng),
+		weight: 1,
 	}
+	for q := 0; q < c.P.QueuesPerVF; q++ {
+		f.queues = append(f.queues, &fnQueue{f: f, idx: q, doorbells: sim.NewFIFO[uint32](c.Eng, 0)})
+	}
+	f.numQueues = len(f.queues)
 	c.Eng.Go(fmt.Sprintf("nesc-fetch%d", idx), f.fetchLoop)
 	return f
 }
+
+// NumQueues reports the function's active queue-pair count.
+func (f *Function) NumQueues() int { return f.numQueues }
+
+// QueueReqs reports how many requests were fetched from queue q.
+func (f *Function) QueueReqs(q int) int64 { return f.queues[q].Reqs }
 
 // ID reports the function's PCIe routing ID.
 func (f *Function) ID() pcie.FnID { return f.id }
@@ -367,11 +458,16 @@ func (c *Controller) resetFunction(f *Function) {
 	f.Resets++
 	c.FLRs++
 	f.resetEpoch++
-	f.ringBase, f.ringSize, f.cplBase = 0, 0, 0
-	f.consumed, f.cplSeq = 0, 0
-	for {
-		if _, ok := f.doorbells.TryPop(); !ok {
-			break
+	// Drain every queue in index order: ring state, cursors, and queued
+	// doorbells all go. (Leftover fetch-semaphore credits for the discarded
+	// doorbells make the fetch loop scan and find nothing — harmless and
+	// deterministic.)
+	for _, q := range f.queues {
+		q.clear()
+		for {
+			if _, ok := q.doorbells.TryPop(); !ok {
+				break
+			}
 		}
 	}
 	c.btlb.flushFn(f.idx)

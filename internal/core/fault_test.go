@@ -113,8 +113,10 @@ func TestFLRAbortsWedgedFunction(t *testing.T) {
 	if vf.missPending {
 		t.Fatal("miss latch survived the reset")
 	}
-	if vf.ringSize != 0 || vf.ringBase != 0 || vf.cplBase != 0 {
-		t.Fatal("ring state survived the reset")
+	for _, q := range vf.queues {
+		if q.ringSize != 0 || q.ringBase != 0 || q.cplBase != 0 {
+			t.Fatal("ring state survived the reset")
+		}
 	}
 	// The function stays provisioned: FLR recovers, it does not deprovision.
 	if !vf.Enabled() || vf.SizeBlocks() != 64 {

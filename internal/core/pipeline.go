@@ -4,6 +4,7 @@ import (
 	"nesc/internal/blockdev"
 	"nesc/internal/extent"
 	"nesc/internal/pcie"
+	"nesc/internal/ring"
 	"nesc/internal/sim"
 	"nesc/internal/trace"
 )
@@ -15,22 +16,39 @@ import (
 // except the PF's out-of-band path, which bypasses translation entirely.
 
 // StatusDMAFault reports a request whose buffer DMA faulted in the IOMMU.
-const StatusDMAFault = 4
+const StatusDMAFault = ring.StatusDMAFault
 
-// fetchLoop services a function's doorbell: it DMAs new request descriptors
-// from the ring in host memory, validates them, and hands them to the VF
-// multiplexer (or, for the PF, splits them straight into the OOB queue).
+// fetchLoop services a function's doorbells: it round-robins across the
+// function's queue pairs, DMAs new request descriptors from the chosen
+// queue's submission ring in host memory, validates them, and hands them to the VF multiplexer
+// (or, for the PF, splits them straight into the OOB queue). This intra-
+// function scheduler sits underneath the inter-VF deficit-round-robin
+// multiplexer: queues of one function share that function's fetch bandwidth
+// fairly, while VFs compete with each other exactly as before.
 func (f *Function) fetchLoop(p *sim.Proc) {
 	c := f.c
 	desc := make([]byte, DescBytes)
 	for {
-		prod := f.doorbells.Pop(p)
-		for f.consumed != prod {
-			if f.ringSize == 0 {
-				break // unprogrammed ring: drop the doorbell
+		f.fetchW.Acquire(p)
+		// Pick the next queue with a pending doorbell, round-robin.
+		var q *fnQueue
+		var prod uint32
+		for scanned := 0; scanned < len(f.queues); scanned++ {
+			cand := f.queues[f.fetchRR]
+			f.fetchRR = (f.fetchRR + 1) % len(f.queues)
+			if v, ok := cand.doorbells.TryPop(); ok {
+				q, prod = cand, v
+				break
 			}
-			slot := int64(f.consumed % f.ringSize)
-			if err := c.dmaReadP(p, c.pf.id, f.ringBase+slot*DescBytes, desc); err != nil {
+		}
+		if q == nil {
+			continue // doorbell drained by a reset; the semaphore over-counts
+		}
+		for q.consumed != prod {
+			if q.ringSize == 0 {
+				break // ring torn down after the doorbell was accepted
+			}
+			if err := c.dmaReadP(p, c.pf.id, ring.DescSlot(q.ringBase, q.consumed, q.ringSize), desc); err != nil {
 				// Descriptor fetch failed: the doorbell's remaining requests
 				// are lost. The driver's completion timeout recovers them.
 				f.FetchDrops++
@@ -39,11 +57,12 @@ func (f *Function) fetchLoop(p *sim.Proc) {
 				break
 			}
 			p.Sleep(c.P.DescriptorFetchTime)
-			f.consumed++
-			op, id, lba, count, buf := decodeDescriptor(desc)
-			req := &Request{fn: f, Op: op, ID: id, LBA: lba, Count: count, Buf: buf, left: int(count), epoch: f.resetEpoch}
+			q.consumed++
+			op, id, lba, count, buf := ring.DecodeDescriptor(desc)
+			req := &Request{fn: f, q: q, Op: op, ID: id, LBA: lba, Count: count, Buf: buf, left: int(count), epoch: f.resetEpoch}
 			c.Tracer.Emit(trace.Event{At: p.Now(), Kind: trace.KindFetch, Fn: f.idx, LBA: lba, Arg: uint64(id)})
 			f.Reqs++
+			q.Reqs++
 			f.Blocks += int64(count)
 			f.inflight++
 			switch {
@@ -391,23 +410,23 @@ func (c *Controller) completeChunk(p *sim.Proc, ch *chunk, status uint32) {
 	}
 }
 
-// sendCompletion DMA-writes the completion entry into the function's
-// completion ring and raises the completion MSI.
+// sendCompletion DMA-writes the completion entry into the originating
+// queue's completion ring and raises that queue's completion MSI vector.
 func (c *Controller) sendCompletion(p *sim.Proc, r *Request) {
 	f := r.fn
+	q := r.q
 	c.ReqsDone++
 	if f.inflight > 0 {
 		f.inflight--
 	}
 	c.Tracer.Emit(trace.Event{At: p.Now(), Kind: trace.KindComplete, Fn: f.idx, LBA: r.LBA, Arg: uint64(r.status)})
-	if f.cplBase == 0 || f.ringSize == 0 {
+	if q == nil || q.cplBase == 0 || q.ringSize == 0 {
 		return // no completion ring programmed (management-only function)
 	}
-	f.cplSeq++
+	q.cplSeq++
 	entry := make([]byte, CplBytes)
-	EncodeCompletion(entry, r.ID, r.status, f.cplSeq)
-	slot := int64((f.cplSeq - 1) % f.ringSize)
-	if err := c.dmaWriteP(p, c.pf.id, f.cplBase+slot*CplBytes, entry); err != nil {
+	EncodeCompletion(entry, r.ID, r.status, q.cplSeq)
+	if err := c.dmaWriteP(p, c.pf.id, ring.CplSlot(q.cplBase, q.cplSeq, q.ringSize), entry); err != nil {
 		// The completion entry never reached host memory: the guest will
 		// only learn of this request through its timeout path.
 		f.CplDrops++
@@ -415,7 +434,7 @@ func (c *Controller) sendCompletion(p *sim.Proc, r *Request) {
 		c.Tracer.Emit(trace.Event{At: p.Now(), Kind: trace.KindDrop, Fn: f.idx, LBA: r.LBA, Arg: uint64(r.ID)})
 		return
 	}
-	c.Fab.RaiseMSI(f.id, VecCompletion)
+	c.Fab.RaiseMSI(f.id, CompletionVector(q.idx))
 }
 
 // Process-style DMA helpers that surface errors instead of deadlocking.

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"encoding/binary"
+	"nesc/internal/ring"
 )
 
 // BAR layout. Following the paper's prototype (§VI), the device's BAR is
@@ -11,11 +11,17 @@ import (
 // The hypervisor maps page 0 and the management page into its own address
 // space and maps exactly one VF page into each guest, which is what makes a
 // guest unable to touch another function's state.
+//
+// Each function owns up to MaxQueuesPerFn queue pairs. Queue q's registers
+// live in a fixed-stride block at QueueRegBase + q*QueueRegStride; the legacy
+// single-ring offsets (RegRingBase..RegCplSeq) alias queue 0's block, so a
+// single-queue driver is oblivious to the extension.
 const (
 	// PageSize is the BAR page granularity.
 	PageSize = 4096
 
-	// Per-function I/O registers (offsets within a function page).
+	// Per-function I/O registers (offsets within a function page). These
+	// alias queue 0 of the function's queue-pair array.
 	RegRingBase   = 0x00 // request ring base address (8B)
 	RegRingSize   = 0x08 // ring entry count (4B)
 	RegCplBase    = 0x10 // completion ring base address (8B)
@@ -25,10 +31,27 @@ const (
 	RegReset      = 0x30 // write 1: function-level reset; reads 1 while draining (4B)
 
 	// AER-style per-function error counters (RO).
-	RegErrDMAFaults = 0x38 // chunks failed by data-buffer DMA faults (8B)
-	RegErrMedium    = 0x40 // chunks that exhausted medium retries (8B)
-	RegErrRetries   = 0x48 // medium retry attempts (8B)
-	RegErrResets    = 0x50 // function-level resets performed (8B)
+	RegErrDMAFaults   = 0x38 // chunks failed by data-buffer DMA faults (8B)
+	RegErrMedium      = 0x40 // chunks that exhausted medium retries (8B)
+	RegErrRetries     = 0x48 // medium retry attempts (8B)
+	RegErrResets      = 0x50 // function-level resets performed (8B)
+	RegNumQueues      = 0x58 // RO: active queue-pair count (4B)
+	RegErrBadRing     = 0x60 // RO: rejected ring-size writes (8B)
+	RegErrBadDoorbell = 0x68 // RO: ignored incoherent doorbell writes (8B)
+
+	// Per-queue register blocks. Queue q's block sits at
+	// QueueRegBase + q*QueueRegStride; offsets within a block below.
+	QueueRegBase   = 0x100
+	QueueRegStride = 0x40
+	QRegRingBase   = 0x00 // request ring base address (8B)
+	QRegRingSize   = 0x08 // ring entry count (4B)
+	QRegCplBase    = 0x10 // completion ring base address (8B)
+	QRegDoorbell   = 0x18 // write: new producer index (4B)
+	QRegCplSeq     = 0x20 // RO: completion sequence counter (4B)
+
+	// MaxQueuesPerFn bounds the queue pairs a function can expose (the block
+	// array must stay clear of the PF global registers at 0x800).
+	MaxQueuesPerFn = 16
 
 	// PF-page global registers.
 	PFRegBTLBFlush   = 0x800 // write: flush the BTLB (4B)
@@ -45,14 +68,15 @@ const (
 	MgmtDeviceSize  = 0x20 // virtual device size in blocks (8B)
 	MgmtMissIsWrite = 0x28 // RO: 1 when the latched miss is a write (4B)
 	MgmtWeight      = 0x2C // QoS weight for the VF multiplexer, 1..255 (4B)
+	MgmtQueues      = 0x30 // active queue-pair count, 1..QueuesPerVF (4B)
 
 	// RewalkTree verdicts.
 	RewalkRetry = 1
 	RewalkFail  = 2
 
-	// Wire sizes.
-	DescBytes = 32
-	CplBytes  = 16
+	// Wire sizes (the protocol definition lives in internal/ring).
+	DescBytes = ring.DescBytes
+	CplBytes  = ring.CplBytes
 )
 
 // BARSize reports the device BAR size: PF page + VF pages + management page.
@@ -76,6 +100,15 @@ func (c *Controller) funcByPage(page int) *Function {
 		return c.vfs[page-1]
 	}
 	return nil
+}
+
+// queueReg decomposes a function-page offset into (queue, in-block offset)
+// when it falls inside the per-queue block array.
+func queueReg(reg int64) (q int, qreg int64, ok bool) {
+	if reg < QueueRegBase || reg >= QueueRegBase+MaxQueuesPerFn*QueueRegStride {
+		return 0, 0, false
+	}
+	return int((reg - QueueRegBase) / QueueRegStride), (reg - QueueRegBase) % QueueRegStride, true
 }
 
 // MMIORead implements pcie.Device.
@@ -103,17 +136,20 @@ func (c *Controller) MMIORead(off int64, size int) uint64 {
 			return uint64(c.P.NumVFs)
 		}
 	}
+	if q, qreg, ok := queueReg(reg); ok {
+		return f.queueRead(q, qreg)
+	}
 	switch reg {
 	case RegRingBase:
-		return uint64(f.ringBase)
+		return f.queueRead(0, QRegRingBase)
 	case RegRingSize:
-		return uint64(f.ringSize)
+		return f.queueRead(0, QRegRingSize)
 	case RegCplBase:
-		return uint64(f.cplBase)
+		return f.queueRead(0, QRegCplBase)
+	case RegCplSeq:
+		return f.queueRead(0, QRegCplSeq)
 	case RegDeviceSize:
 		return f.sizeBlocks
-	case RegCplSeq:
-		return uint64(f.cplSeq)
 	case RegReset:
 		if f.inflight > 0 {
 			return 1
@@ -127,6 +163,31 @@ func (c *Controller) MMIORead(off int64, size int) uint64 {
 		return uint64(f.MediumRetries)
 	case RegErrResets:
 		return uint64(f.Resets)
+	case RegNumQueues:
+		return uint64(f.numQueues)
+	case RegErrBadRing:
+		return uint64(f.BadRingSizes)
+	case RegErrBadDoorbell:
+		return uint64(f.BadDoorbells)
+	}
+	return 0
+}
+
+// queueRead services a read of queue q's register block.
+func (f *Function) queueRead(q int, qreg int64) uint64 {
+	if q >= f.numQueues {
+		return 0
+	}
+	fq := f.queues[q]
+	switch qreg {
+	case QRegRingBase:
+		return uint64(fq.ringBase)
+	case QRegRingSize:
+		return uint64(fq.ringSize)
+	case QRegCplBase:
+		return uint64(fq.cplBase)
+	case QRegCplSeq:
+		return uint64(fq.cplSeq)
 	}
 	return 0
 }
@@ -149,26 +210,68 @@ func (c *Controller) MMIOWrite(off int64, size int, val uint64) {
 		c.btlb.flush()
 		return
 	}
+	if q, qreg, ok := queueReg(reg); ok {
+		f.queueWrite(q, qreg, val)
+		return
+	}
 	switch reg {
 	case RegRingBase:
-		f.ringBase = int64(val)
+		f.queueWrite(0, QRegRingBase, val)
 	case RegRingSize:
-		if val > 0 && val <= 1<<16 {
-			f.ringSize = uint32(val)
-			// (Re)programming the ring resets the queue cursors, so a new
-			// owner of the function starts from a clean producer/consumer
-			// state.
-			f.consumed = 0
-			f.cplSeq = 0
-		}
+		f.queueWrite(0, QRegRingSize, val)
 	case RegCplBase:
-		f.cplBase = int64(val)
+		f.queueWrite(0, QRegCplBase, val)
 	case RegDoorbell:
-		f.doorbells.TryPush(uint32(val))
+		f.queueWrite(0, QRegDoorbell, val)
 	case RegReset:
 		if val == 1 {
 			c.resetFunction(f)
 		}
+	}
+}
+
+// queueWrite services a write to queue q's register block, validating ring
+// sizes and doorbell coherence (the AER-style counters make rejections
+// observable instead of silent).
+func (f *Function) queueWrite(q int, qreg int64, val uint64) {
+	if q >= f.numQueues {
+		if qreg == QRegDoorbell {
+			f.BadDoorbells++
+			f.c.BadDoorbells++
+		}
+		return
+	}
+	fq := f.queues[q]
+	switch qreg {
+	case QRegRingBase:
+		fq.ringBase = int64(val)
+	case QRegRingSize:
+		if !ring.ValidSize(val) {
+			// Zero or non-power-of-two sizes would corrupt the free-running
+			// index arithmetic; reject and count.
+			f.BadRingSizes++
+			f.c.BadRingSizes++
+			return
+		}
+		fq.ringSize = uint32(val)
+		// (Re)programming the ring resets the queue cursors, so a new
+		// owner of the function starts from a clean producer/consumer
+		// state.
+		fq.consumed = 0
+		fq.cplSeq = 0
+	case QRegCplBase:
+		fq.cplBase = int64(val)
+	case QRegDoorbell:
+		if fq.ringSize == 0 || !ring.DoorbellValid(uint32(val), fq.consumed, fq.ringSize) {
+			// Unprogrammed ring, or a producer index claiming more new
+			// descriptors than the ring holds: honoring it would silently
+			// wrap live descriptors.
+			f.BadDoorbells++
+			f.c.BadDoorbells++
+			return
+		}
+		fq.doorbells.TryPush(uint32(val))
+		f.fetchW.Release()
 	}
 }
 
@@ -206,6 +309,8 @@ func (c *Controller) mgmtRead(reg int64) uint64 {
 		return 0
 	case MgmtWeight:
 		return uint64(f.weight)
+	case MgmtQueues:
+		return uint64(f.numQueues)
 	}
 	return 0
 }
@@ -229,8 +334,9 @@ func (c *Controller) mgmtWrite(reg int64, val uint64) {
 			// Disabling a VF drops its cached translations and ring state;
 			// the hypervisor quiesces the function before disabling it.
 			c.btlb.flushFn(f.idx)
-			f.ringBase, f.ringSize, f.cplBase = 0, 0, 0
-			f.consumed, f.cplSeq = 0, 0
+			for _, fq := range f.queues {
+				fq.clear()
+			}
 		}
 	case MgmtDeviceSize:
 		f.sizeBlocks = val
@@ -238,39 +344,28 @@ func (c *Controller) mgmtWrite(reg int64, val uint64) {
 		if val >= 1 && val <= 255 {
 			f.weight = uint32(val)
 		}
+	case MgmtQueues:
+		// The hypervisor programs the VF's active queue-pair count at
+		// creation, bounded by the device capability.
+		if val >= 1 && val <= uint64(len(f.queues)) {
+			f.numQueues = int(val)
+		}
 	}
 }
 
-// EncodeDescriptor writes a request descriptor in the device wire format.
-// Drivers and the device share this layout.
+// EncodeDescriptor writes a request descriptor in the device wire format
+// (re-exported from internal/ring; drivers and the device share one layout).
 func EncodeDescriptor(b []byte, op, id uint32, lba uint64, count uint32, buf int64) {
-	binary.BigEndian.PutUint32(b[0:], op)
-	binary.BigEndian.PutUint32(b[4:], id)
-	binary.BigEndian.PutUint64(b[8:], lba)
-	binary.BigEndian.PutUint32(b[16:], count)
-	binary.BigEndian.PutUint32(b[20:], 0)
-	binary.BigEndian.PutUint64(b[24:], uint64(buf))
-}
-
-func decodeDescriptor(b []byte) (op, id uint32, lba uint64, count uint32, buf int64) {
-	op = binary.BigEndian.Uint32(b[0:])
-	id = binary.BigEndian.Uint32(b[4:])
-	lba = binary.BigEndian.Uint64(b[8:])
-	count = binary.BigEndian.Uint32(b[16:])
-	buf = int64(binary.BigEndian.Uint64(b[24:]))
-	return
+	ring.EncodeDescriptor(b, op, id, lba, count, buf)
 }
 
 // EncodeCompletion writes a completion entry (used by the device; exported
 // for driver-side tests).
 func EncodeCompletion(b []byte, id, status, seq uint32) {
-	binary.BigEndian.PutUint32(b[0:], id)
-	binary.BigEndian.PutUint32(b[4:], status)
-	binary.BigEndian.PutUint32(b[8:], seq)
-	binary.BigEndian.PutUint32(b[12:], 0)
+	ring.EncodeCompletion(b, id, status, seq)
 }
 
 // DecodeCompletion parses a completion entry.
 func DecodeCompletion(b []byte) (id, status, seq uint32) {
-	return binary.BigEndian.Uint32(b[0:]), binary.BigEndian.Uint32(b[4:]), binary.BigEndian.Uint32(b[8:])
+	return ring.DecodeCompletion(b)
 }

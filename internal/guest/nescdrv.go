@@ -19,7 +19,7 @@ import (
 // copies data through them around each DMA; with a real SR-IOV device the
 // driver DMAs guest buffers directly. Both modes are supported.
 type NescDriver struct {
-	qp   *QueuePair
+	mq   *MultiQueue
 	mem  *hostmem.Memory
 	bs   int
 	cap  int64
@@ -54,10 +54,16 @@ type NescDriverConfig struct {
 	MemcpyBandwidth float64
 	// BlockSize is the device block size.
 	BlockSize int
-	// Timeout and RetryMax configure the queue pair's completion-timeout
+	// Timeout and RetryMax configure each queue pair's completion-timeout
 	// recovery (see QueuePair). Zero Timeout disables it.
 	Timeout  sim.Time
 	RetryMax int
+	// Queues is the number of queue pairs to drive (0 means 1). The
+	// hypervisor tells the guest how many queues its VF exposes; it must not
+	// exceed the device's programmed per-function queue count.
+	Queues int
+	// Policy steers submissions across queues (default PolicyHash).
+	Policy Policy
 }
 
 // NewNescDriver programs the VF rings and reads the device geometry.
@@ -71,18 +77,21 @@ func NewNescDriver(p *sim.Proc, eng *sim.Engine, cfg NescDriverConfig) (*NescDri
 	if cfg.BlockSize == 0 {
 		cfg.BlockSize = 1024
 	}
-	qp, err := NewQueuePair(p, eng, cfg.Mem, cfg.Fab, cfg.PageBus, cfg.RingEntries, cfg.SubmitTime)
+	if cfg.Queues == 0 {
+		cfg.Queues = 1
+	}
+	mq, err := NewMultiQueue(p, eng, cfg.Mem, cfg.Fab, cfg.PageBus, cfg.Queues, cfg.RingEntries, cfg.SubmitTime)
 	if err != nil {
 		return nil, err
 	}
-	qp.Timeout = cfg.Timeout
-	qp.RetryMax = cfg.RetryMax
-	size, err := qp.DeviceSize(p)
+	mq.SetPolicy(cfg.Policy)
+	mq.SetRecovery(cfg.Timeout, cfg.RetryMax)
+	size, err := mq.DeviceSize(p)
 	if err != nil {
 		return nil, err
 	}
 	d := &NescDriver{
-		qp:            qp,
+		mq:            mq,
 		mem:           cfg.Mem,
 		bs:            cfg.BlockSize,
 		cap:           int64(size),
@@ -106,9 +115,12 @@ func NewNescDriver(p *sim.Proc, eng *sim.Engine, cfg NescDriverConfig) (*NescDri
 	return d, nil
 }
 
-// QueuePair exposes the ring client (for interrupt routing and IOMMU
-// grants).
-func (d *NescDriver) QueuePair() *QueuePair { return d.qp }
+// QueuePair exposes queue 0's ring client (single-queue compatibility
+// accessor; use MQ for the full set).
+func (d *NescDriver) QueuePair() *QueuePair { return d.mq.Queue(0) }
+
+// MQ exposes the multi-queue mux (for interrupt routing and IOMMU grants).
+func (d *NescDriver) MQ() *MultiQueue { return d.mq }
 
 // Name implements BlockDriver.
 func (d *NescDriver) Name() string { return "nesc-vf" }
@@ -133,7 +145,7 @@ func (d *NescDriver) Submit(p *sim.Proc, write bool, lba int64, buf Buffer) erro
 		op = core.OpWrite
 	}
 	if !d.useTrampoline {
-		st, err := d.qp.Submit(p, op, uint64(lba), count, buf.Addr)
+		st, err := d.mq.Submit(p, op, uint64(lba), count, buf.Addr)
 		if err != nil {
 			return err
 		}
@@ -154,7 +166,7 @@ func (d *NescDriver) Submit(p *sim.Proc, write bool, lba int64, buf Buffer) erro
 		d.TrampolineCopies++
 		p.Sleep(sim.BytesTime(int64(len(buf.Data)), d.memcpyBW))
 	}
-	st, err := d.qp.Submit(p, op, uint64(lba), count, slot.Addr)
+	st, err := d.mq.Submit(p, op, uint64(lba), count, slot.Addr)
 	if err != nil {
 		return err
 	}

@@ -2,12 +2,12 @@ package guest
 
 import (
 	"errors"
-	"fmt"
 	"sort"
 
 	"nesc/internal/core"
 	"nesc/internal/hostmem"
 	"nesc/internal/pcie"
+	"nesc/internal/ring"
 	"nesc/internal/sim"
 )
 
@@ -29,7 +29,13 @@ type QueuePair struct {
 	mem     *hostmem.Memory
 	fab     *pcie.Fabric
 	pageBus int64 // bus address of the function's register page
+	queue   int   // queue-pair index within the function
 	entries uint32
+
+	// Bus addresses of this queue's register block (queue 0 uses the
+	// function's legacy register aliases, higher queues their per-queue
+	// block).
+	ringBaseReg, ringSizeReg, cplBaseReg, doorbellReg int64
 
 	ringBase hostmem.Addr
 	cplBase  hostmem.Addr
@@ -71,50 +77,81 @@ type qpWaiter struct {
 	aborted bool
 }
 
-// NewQueuePair allocates and programs rings for the function whose register
-// page sits at pageBus.
+// NewQueuePair allocates and programs rings on queue 0 of the function whose
+// register page sits at pageBus. Multi-queue drivers use NewMultiQueue.
 func NewQueuePair(p *sim.Proc, eng *sim.Engine, mem *hostmem.Memory, fab *pcie.Fabric, pageBus int64, entries int, submitTime sim.Time) (*QueuePair, error) {
+	return newQueuePair(p, eng, mem, fab, pageBus, 0, entries, submitTime)
+}
+
+// newQueuePair allocates and programs rings for one queue pair of a function.
+func newQueuePair(p *sim.Proc, eng *sim.Engine, mem *hostmem.Memory, fab *pcie.Fabric, pageBus int64, queue, entries int, submitTime sim.Time) (*QueuePair, error) {
 	qp := &QueuePair{
 		eng:        eng,
 		mem:        mem,
 		fab:        fab,
 		pageBus:    pageBus,
+		queue:      queue,
 		entries:    uint32(entries),
 		slots:      sim.NewSemaphore(eng, entries),
 		waiters:    make(map[uint32]*qpWaiter),
 		SubmitTime: submitTime,
 	}
+	if queue == 0 {
+		// Queue 0 keeps the function's legacy single-queue register layout.
+		qp.ringBaseReg = pageBus + core.RegRingBase
+		qp.ringSizeReg = pageBus + core.RegRingSize
+		qp.cplBaseReg = pageBus + core.RegCplBase
+		qp.doorbellReg = pageBus + core.RegDoorbell
+	} else {
+		block := pageBus + core.QueueRegBase + int64(queue)*core.QueueRegStride
+		qp.ringBaseReg = block + core.QRegRingBase
+		qp.ringSizeReg = block + core.QRegRingSize
+		qp.cplBaseReg = block + core.QRegCplBase
+		qp.doorbellReg = block + core.QRegDoorbell
+	}
 	var err error
-	if qp.ringBase, err = mem.Alloc(int64(entries)*core.DescBytes, 64); err != nil {
+	if qp.ringBase, err = mem.Alloc(int64(entries)*ring.DescBytes, 64); err != nil {
 		return nil, err
 	}
-	if qp.cplBase, err = mem.Alloc(int64(entries)*core.CplBytes, 64); err != nil {
+	if qp.cplBase, err = mem.Alloc(int64(entries)*ring.CplBytes, 64); err != nil {
 		return nil, err
 	}
-	if err := mem.Zero(qp.ringBase, int64(entries)*core.DescBytes); err != nil {
+	if err := mem.Zero(qp.ringBase, int64(entries)*ring.DescBytes); err != nil {
 		return nil, err
 	}
-	if err := mem.Zero(qp.cplBase, int64(entries)*core.CplBytes); err != nil {
+	if err := mem.Zero(qp.cplBase, int64(entries)*ring.CplBytes); err != nil {
 		return nil, err
 	}
-	if err := fab.MMIOWrite(p, pageBus+core.RegRingBase, 8, uint64(qp.ringBase)); err != nil {
-		return nil, err
-	}
-	if err := fab.MMIOWrite(p, pageBus+core.RegRingSize, 4, uint64(entries)); err != nil {
-		return nil, err
-	}
-	if err := fab.MMIOWrite(p, pageBus+core.RegCplBase, 8, uint64(qp.cplBase)); err != nil {
+	if err := qp.program(p); err != nil {
 		return nil, err
 	}
 	return qp, nil
 }
 
+// program writes the queue's ring registers over MMIO.
+func (qp *QueuePair) program(p *sim.Proc) error {
+	if err := qp.fab.MMIOWrite(p, qp.ringBaseReg, 8, uint64(qp.ringBase)); err != nil {
+		return err
+	}
+	if err := qp.fab.MMIOWrite(p, qp.ringSizeReg, 4, uint64(qp.entries)); err != nil {
+		return err
+	}
+	return qp.fab.MMIOWrite(p, qp.cplBaseReg, 8, uint64(qp.cplBase))
+}
+
+// Queue reports the queue-pair index this driver owns within its function.
+func (qp *QueuePair) Queue() int { return qp.queue }
+
+// FreeSlots reports how many submission slots are currently unclaimed; the
+// least-occupied multi-queue policy steers by it.
+func (qp *QueuePair) FreeSlots() int { return qp.slots.Available() }
+
 // DMARanges reports the ring memory the hypervisor must grant to the device
 // when the IOMMU is enabled.
 func (qp *QueuePair) DMARanges() [][2]int64 {
 	return [][2]int64{
-		{qp.ringBase, int64(qp.entries) * core.DescBytes},
-		{qp.cplBase, int64(qp.entries) * core.CplBytes},
+		{qp.ringBase, int64(qp.entries) * ring.DescBytes},
+		{qp.cplBase, int64(qp.entries) * ring.CplBytes},
 	}
 }
 
@@ -134,17 +171,16 @@ func (qp *QueuePair) Submit(p *sim.Proc, op uint32, lba uint64, count uint32, bu
 		p.Sleep(qp.SubmitTime)
 		qp.nextID++
 		id := qp.nextID
-		var desc [core.DescBytes]byte
-		core.EncodeDescriptor(desc[:], op, id, lba, count, bufAddr)
-		slot := int64(qp.prod % qp.entries)
-		if err := qp.mem.Write(qp.ringBase+slot*core.DescBytes, desc[:]); err != nil {
+		var desc [ring.DescBytes]byte
+		ring.EncodeDescriptor(desc[:], op, id, lba, count, bufAddr)
+		if err := qp.mem.Write(ring.DescSlot(qp.ringBase, qp.prod, qp.entries), desc[:]); err != nil {
 			return 0, err
 		}
 		qp.prod++
 		qp.Submitted++
 		w := &qpWaiter{sig: sim.NewSignal(qp.eng)}
 		qp.waiters[id] = w
-		if err := qp.fab.MMIOWrite(p, qp.pageBus+core.RegDoorbell, 4, uint64(qp.prod)); err != nil {
+		if err := qp.fab.MMIOWrite(p, qp.doorbellReg, 4, uint64(qp.prod)); err != nil {
 			delete(qp.waiters, id) // the doorbell never rang; drop the waiter
 			return 0, err
 		}
@@ -178,13 +214,12 @@ func (qp *QueuePair) Submit(p *sim.Proc, op uint32, lba uint64, count uint32, bu
 // OnInterrupt drains new completion entries and wakes their submitters. It
 // runs in engine (interrupt) context.
 func (qp *QueuePair) OnInterrupt() {
-	entry := make([]byte, core.CplBytes)
+	entry := make([]byte, ring.CplBytes)
 	for {
-		slot := int64(qp.lastSeq % qp.entries)
-		if err := qp.mem.Read(qp.cplBase+slot*core.CplBytes, entry); err != nil {
+		if err := qp.mem.Read(ring.CplSlot(qp.cplBase, qp.lastSeq+1, qp.entries), entry); err != nil {
 			return
 		}
-		id, status, seq := core.DecodeCompletion(entry)
+		id, status, seq := ring.DecodeCompletion(entry)
 		if seq != qp.lastSeq+1 {
 			return
 		}
@@ -211,15 +246,14 @@ func (qp *QueuePair) deliver(id, status uint32) {
 // completion DMA write was lost on the wire, and skipping it is the only way
 // the ring can make progress again. Only the timeout path pays this scan.
 func (qp *QueuePair) pollRing() {
-	entry := make([]byte, core.CplBytes)
+	entry := make([]byte, ring.CplBytes)
 	for {
 		advanced := false
 		for k := uint32(1); k <= qp.entries; k++ {
-			slot := int64((qp.lastSeq + k - 1) % qp.entries)
-			if err := qp.mem.Read(qp.cplBase+slot*core.CplBytes, entry); err != nil {
+			if err := qp.mem.Read(ring.CplSlot(qp.cplBase, qp.lastSeq+k, qp.entries), entry); err != nil {
 				return
 			}
-			id, status, seq := core.DecodeCompletion(entry)
+			id, status, seq := ring.DecodeCompletion(entry)
 			if seq != qp.lastSeq+k {
 				continue
 			}
@@ -243,19 +277,13 @@ func (qp *QueuePair) pollRing() {
 func (qp *QueuePair) Recover(p *sim.Proc) error {
 	qp.Resets++
 	qp.prod, qp.lastSeq = 0, 0
-	if err := qp.mem.Zero(qp.ringBase, int64(qp.entries)*core.DescBytes); err != nil {
+	if err := qp.mem.Zero(qp.ringBase, int64(qp.entries)*ring.DescBytes); err != nil {
 		return err
 	}
-	if err := qp.mem.Zero(qp.cplBase, int64(qp.entries)*core.CplBytes); err != nil {
+	if err := qp.mem.Zero(qp.cplBase, int64(qp.entries)*ring.CplBytes); err != nil {
 		return err
 	}
-	if err := qp.fab.MMIOWrite(p, qp.pageBus+core.RegRingBase, 8, uint64(qp.ringBase)); err != nil {
-		return err
-	}
-	if err := qp.fab.MMIOWrite(p, qp.pageBus+core.RegRingSize, 4, uint64(qp.entries)); err != nil {
-		return err
-	}
-	if err := qp.fab.MMIOWrite(p, qp.pageBus+core.RegCplBase, 8, uint64(qp.cplBase)); err != nil {
+	if err := qp.program(p); err != nil {
 		return err
 	}
 	// Abort parked submitters in sorted-id order — map iteration order must
@@ -274,24 +302,6 @@ func (qp *QueuePair) Recover(p *sim.Proc) error {
 	return nil
 }
 
-// StatusError converts a device status to an error (nil for StatusOK).
-func StatusError(status uint32) error {
-	switch status {
-	case core.StatusOK:
-		return nil
-	case core.StatusOutOfRange:
-		return fmt.Errorf("nesc: request out of device range")
-	case core.StatusNoSpace:
-		return fmt.Errorf("nesc: no space (hypervisor denied allocation)")
-	case core.StatusDisabled:
-		return fmt.Errorf("nesc: function disabled")
-	case core.StatusDMAFault:
-		return fmt.Errorf("nesc: DMA fault")
-	case core.StatusMediumError:
-		return fmt.Errorf("nesc: unrecoverable medium error")
-	case core.StatusAborted:
-		return fmt.Errorf("nesc: request aborted by reset")
-	default:
-		return fmt.Errorf("nesc: device status %d", status)
-	}
-}
+// StatusError converts a device status to an error (nil for StatusOK). It is
+// the shared ring-protocol status table; see ring.StatusError.
+func StatusError(status uint32) error { return ring.StatusError(status) }

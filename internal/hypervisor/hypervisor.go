@@ -112,14 +112,14 @@ type Hypervisor struct {
 	Ctl *core.Controller
 	P   Params
 
-	pfQP   *guest.QueuePair
+	pfQP   *guest.MultiQueue
 	HostFS *extfs.FS
 
 	vfs   []*vfState
 	trees map[string]*sharedTree
 	// qps routes completion MSIs to ring clients; vmOf marks VF-owned ones
 	// for interrupt-injection cost.
-	qps  map[pcie.FnID]*guest.QueuePair
+	qps  map[pcie.FnID]*guest.MultiQueue
 	vmOf map[pcie.FnID]*VM
 
 	// inj optionally perturbs the miss-service path (fault.MissHandler site).
@@ -151,7 +151,7 @@ func New(eng *sim.Engine, mem *hostmem.Memory, fab *pcie.Fabric, ctl *core.Contr
 		vfs:      make([]*vfState, ctl.P.NumVFs),
 		missBusy: make([]bool, ctl.P.NumVFs),
 		trees:    make(map[string]*sharedTree),
-		qps:      make(map[pcie.FnID]*guest.QueuePair),
+		qps:      make(map[pcie.FnID]*guest.MultiQueue),
 		vmOf:     make(map[pcie.FnID]*VM),
 	}
 	for i := range h.vfs {
@@ -187,52 +187,56 @@ type DriverRecoveryStats struct {
 // pairs.
 func (h *Hypervisor) RecoveryStats() DriverRecoveryStats {
 	var st DriverRecoveryStats
-	for _, qp := range h.qps {
-		st.Timeouts += qp.Timeouts
-		st.Resubmits += qp.Resubmits
-		st.PolledCompletions += qp.PolledCompletions
-		st.StaleCompletions += qp.StaleCompletions
-		st.SeqGaps += qp.SeqGaps
-		st.Aborts += qp.Aborts
-		st.Resets += qp.Resets
+	for _, mq := range h.qps {
+		for _, qp := range mq.Queues() {
+			st.Timeouts += qp.Timeouts
+			st.Resubmits += qp.Resubmits
+			st.PolledCompletions += qp.PolledCompletions
+			st.StaleCompletions += qp.StaleCompletions
+			st.SeqGaps += qp.SeqGaps
+			st.Aborts += qp.Aborts
+			st.Resets += qp.Resets
+		}
 	}
 	return st
 }
 
 func (h *Hypervisor) handleMSI(from pcie.FnID, vec uint8) {
-	switch vec {
-	case core.VecCompletion:
-		qp := h.qps[from]
-		if qp == nil {
-			return
-		}
-		if vm := h.vmOf[from]; vm != nil {
-			// VF completions are delivered to the guest: charge injection.
-			h.Injections++
-			h.Eng.After(h.P.InjectTime, qp.OnInterrupt)
-			return
-		}
-		qp.OnInterrupt()
-	case core.VecMiss:
+	if vec == core.VecMiss {
 		h.Eng.Go("nesc-miss-handler", h.serviceMisses)
+		return
 	}
+	q, ok := core.QueueOfVector(vec)
+	if !ok {
+		return
+	}
+	mq := h.qps[from]
+	if mq == nil {
+		return
+	}
+	if vm := h.vmOf[from]; vm != nil {
+		// VF completions are delivered to the guest: charge injection.
+		h.Injections++
+		h.Eng.After(h.P.InjectTime, func() { mq.OnInterrupt(q) })
+		return
+	}
+	mq.OnInterrupt(q)
 }
 
 // Boot programs the PF rings and formats (or mounts) the host filesystem on
 // the physical device.
 func (h *Hypervisor) Boot(p *sim.Proc, format bool, fsParams extfs.Params) error {
-	qp, err := guest.NewQueuePair(p, h.Eng, h.Mem, h.Fab,
-		h.Ctl.BARBase()+h.Ctl.FunctionPageOffset(0), h.P.PFRingEntries, h.P.DriverSubmitTime)
+	mq, err := guest.NewMultiQueue(p, h.Eng, h.Mem, h.Fab,
+		h.Ctl.BARBase()+h.Ctl.FunctionPageOffset(0), 1, h.P.PFRingEntries, h.P.DriverSubmitTime)
 	if err != nil {
 		return err
 	}
 	// The PF driver needs the same timeout recovery as the guests: a dropped
 	// PF completion would otherwise wedge the host filesystem (and with it the
 	// miss handler) forever.
-	qp.Timeout = h.P.VFRequestTimeout
-	qp.RetryMax = h.P.VFRetryMax
-	h.pfQP = qp
-	h.qps[h.Ctl.PF().ID()] = qp
+	mq.SetRecovery(h.P.VFRequestTimeout, h.P.VFRetryMax)
+	h.pfQP = mq
+	h.qps[h.Ctl.PF().ID()] = mq
 	disk := h.PFDisk()
 	fsParams.OpCost = h.P.HostFSOpCost
 	if format {

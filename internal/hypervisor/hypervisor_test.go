@@ -25,12 +25,21 @@ type world struct {
 }
 
 func newWorld(t *testing.T, mediumBlocks int64, mut func(*Params)) *world {
+	return newWorldCore(t, mediumBlocks, nil, mut)
+}
+
+// newWorldCore additionally lets a test mutate the device parameters (e.g.
+// QueuesPerVF).
+func newWorldCore(t *testing.T, mediumBlocks int64, coreMut func(*core.Params), mut func(*Params)) *world {
 	t.Helper()
 	eng := sim.NewEngine()
 	mem := hostmem.New(256 << 20)
 	fab := pcie.New(eng, mem, pcie.DefaultParams())
 	cp := core.DefaultParams()
 	cp.NumVFs = 8
+	if coreMut != nil {
+		coreMut(&cp)
+	}
 	store := blockdev.NewStore(cp.BlockSize, mediumBlocks)
 	medium := blockdev.NewMedium(eng, store, blockdev.DefaultMediumParams())
 	ctl, err := core.New(eng, fab, medium, cp)

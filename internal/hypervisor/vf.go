@@ -99,6 +99,12 @@ func (h *Hypervisor) programVF(p *sim.Proc, idx int, root int64, sizeBlocks uint
 	mgmt := h.mgmtAddr(idx)
 	h.mmioW(p, mgmt+core.MgmtTreeRoot, uint64(root))
 	h.mmioW(p, mgmt+core.MgmtDeviceSize, sizeBlocks)
+	if n := h.Ctl.P.QueuesPerVF; n > 1 {
+		// Program the VF's active queue count. Skipped at the single-queue
+		// default so the fault-free MMIO schedule is bit-identical to the
+		// pre-multi-queue device.
+		h.mmioW(p, mgmt+core.MgmtQueues, uint64(n))
+	}
 	h.mmioW(p, mgmt+core.MgmtEnable, 1)
 	if err := h.Ctl.SRIOV().EnableVFs(h.enabledVFs()); err != nil {
 		panic(err)
@@ -242,11 +248,11 @@ func (h *Hypervisor) serviceMiss(p *sim.Proc, idx int) {
 
 // ResetVF performs a function-level reset of a VF and re-arms its ring
 // client: it writes the reset register, polls until the device reports every
-// in-flight chunk drained, then rebuilds the driver's rings through
-// QueuePair.Recover (which aborts parked submitters so they resubmit or
-// surface guest.ErrReset). Management state — the exported file and its
-// extent tree — survives; FLR recovers a wedged function, it does not
-// deprovision it.
+// in-flight chunk drained (across all of the function's queues), then
+// rebuilds every queue of the driver through MultiQueue.Recover (which
+// aborts parked submitters so they resubmit or surface guest.ErrReset).
+// Management state — the exported file and its extent tree — survives; FLR
+// recovers a wedged function, it does not deprovision it.
 func (h *Hypervisor) ResetVF(p *sim.Proc, idx int) error {
 	st := h.vfs[idx]
 	if !st.inUse {
@@ -258,8 +264,8 @@ func (h *Hypervisor) ResetVF(p *sim.Proc, idx int) error {
 		p.Sleep(5 * sim.Microsecond)
 	}
 	h.VFResets++
-	if qp := h.qps[h.Ctl.VF(idx).ID()]; qp != nil {
-		return qp.Recover(p)
+	if mq := h.qps[h.Ctl.VF(idx).ID()]; mq != nil {
+		return mq.Recover(p)
 	}
 	return nil
 }
@@ -323,8 +329,8 @@ func (h *Hypervisor) SetVFWeight(p *sim.Proc, idx int, weight int) {
 // given ring client with no injection cost — the peer-to-peer delivery an
 // accelerator directly attached to a VF would get (paper §IV-D "direct
 // storage accesses from accelerators").
-func (h *Hypervisor) RouteVFInterrupts(idx int, qp *guest.QueuePair) {
-	h.qps[h.Ctl.VF(idx).ID()] = qp
+func (h *Hypervisor) RouteVFInterrupts(idx int, mq *guest.MultiQueue) {
+	h.qps[h.Ctl.VF(idx).ID()] = mq
 }
 
 // FlushBTLB invalidates the device's translation cache (required around

@@ -58,6 +58,13 @@ type VMConfig struct {
 	// IOWeight is the VF's QoS weight (0 = device default of 1). Only
 	// meaningful for BackendDirect.
 	IOWeight int
+	// VFQueues is the number of queue pairs the guest driver runs (0 =
+	// every queue the device exposes, core.Params.QueuesPerVF). Only
+	// meaningful for BackendDirect.
+	VFQueues int
+	// VFQueuePolicy steers submissions across the VF's queues (default
+	// guest.PolicyHash). Only meaningful for BackendDirect.
+	VFQueuePolicy guest.Policy
 }
 
 // VM is a running guest.
@@ -99,6 +106,10 @@ func (h *Hypervisor) NewVM(p *sim.Proc, name string, cfg VMConfig) (*VM, error) 
 		if cfg.IOWeight > 0 {
 			h.SetVFWeight(p, idx, cfg.IOWeight)
 		}
+		queues := cfg.VFQueues
+		if queues == 0 {
+			queues = h.Ctl.P.QueuesPerVF
+		}
 		drv, err := guest.NewNescDriver(p, h.Eng, guest.NescDriverConfig{
 			Fab:             h.Fab,
 			Mem:             h.Mem,
@@ -110,13 +121,15 @@ func (h *Hypervisor) NewVM(p *sim.Proc, name string, cfg VMConfig) (*VM, error) 
 			BlockSize:       h.Ctl.P.BlockSize,
 			Timeout:         h.P.VFRequestTimeout,
 			RetryMax:        h.P.VFRetryMax,
+			Queues:          queues,
+			Policy:          cfg.VFQueuePolicy,
 		})
 		if err != nil {
 			return nil, err
 		}
 		vm.NescDrv = drv
 		fnID := h.Ctl.VF(idx).ID()
-		h.qps[fnID] = drv.QueuePair()
+		h.qps[fnID] = drv.MQ()
 		h.vmOf[fnID] = vm
 		if h.P.UseIOMMU {
 			// Stand-in for mapping the guest's RAM at the IOMMU: the VF may

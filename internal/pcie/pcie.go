@@ -122,6 +122,11 @@ type Fabric struct {
 
 	msiHandler MSIHandler
 
+	// msiVectors records how many MSI vectors each function allocated. A
+	// function with no entry is unconstrained (legacy single-vector devices
+	// never call AllocMSIVectors).
+	msiVectors map[FnID]int
+
 	inj *fault.Injector
 
 	// Counters for tests and reporting.
@@ -135,18 +140,23 @@ type Fabric struct {
 	DMAFaultsInjected int64
 	DroppedMSIs       int64
 	DelayedMSIs       int64
+	// BadMSIVectors counts interrupts raised on a vector beyond the
+	// function's allocated range; they are dropped, as real MSI hardware
+	// would.
+	BadMSIVectors int64
 }
 
 // New creates a fabric over the given engine and host memory.
 func New(eng *sim.Engine, mem *hostmem.Memory, p Params) *Fabric {
 	return &Fabric{
-		Eng:     eng,
-		Mem:     mem,
-		Params:  p,
-		toHost:  sim.NewLink(eng, p.LinkBandwidth, p.PropagationLatency, 0),
-		toDev:   sim.NewLink(eng, p.LinkBandwidth, p.PropagationLatency, 0),
-		nextBar: 0x1000, // leave page zero unmapped to catch stray accesses
-		iommu:   &IOMMU{grants: make(map[FnID][]span)},
+		Eng:        eng,
+		Mem:        mem,
+		Params:     p,
+		toHost:     sim.NewLink(eng, p.LinkBandwidth, p.PropagationLatency, 0),
+		toDev:      sim.NewLink(eng, p.LinkBandwidth, p.PropagationLatency, 0),
+		nextBar:    0x1000, // leave page zero unmapped to catch stray accesses
+		iommu:      &IOMMU{grants: make(map[FnID][]span)},
+		msiVectors: make(map[FnID]int),
 	}
 }
 
@@ -323,6 +333,17 @@ func (f *Fabric) DMAZero(from FnID, addr hostmem.Addr, n int64, done func()) err
 // SetMSIHandler installs the host-side interrupt dispatcher.
 func (f *Fabric) SetMSIHandler(h MSIHandler) { f.msiHandler = h }
 
+// AllocMSIVectors records that function id enabled n MSI vectors (the MSI
+// capability's multiple-message enable). Interrupts raised on vectors >= n
+// are dropped and counted in BadMSIVectors.
+func (f *Fabric) AllocMSIVectors(id FnID, n int) {
+	f.msiVectors[id] = n
+}
+
+// MSIVectors reports how many MSI vectors id allocated (0 if it never
+// called AllocMSIVectors, in which case delivery is unconstrained).
+func (f *Fabric) MSIVectors(id FnID) int { return f.msiVectors[id] }
+
 // after invokes fn now or after an injected extra delay.
 func (f *Fabric) after(delay sim.Time, fn func()) {
 	if delay > 0 {
@@ -336,6 +357,10 @@ func (f *Fabric) after(delay sim.Time, fn func()) {
 // host. An injected fault silently drops the interrupt on the wire — the
 // raising function believes it was delivered.
 func (f *Fabric) RaiseMSI(from FnID, vector uint8) {
+	if n, ok := f.msiVectors[from]; ok && int(vector) >= n {
+		f.BadMSIVectors++
+		return
+	}
 	dec := f.inj.Decide(fault.MSI)
 	if dec.Fault {
 		f.DroppedMSIs++

@@ -1,0 +1,140 @@
+// Package ring defines the NeSC queue-pair protocol: the submission/completion
+// wire format, the producer/consumer index arithmetic, the doorbell coherence
+// rule, and the completion-status vocabulary. The device (internal/core), the
+// guest VF driver, and the hypervisor's PF driver (internal/guest, shared) all
+// consume this one definition, so the two sides of the wire cannot drift.
+//
+// Protocol summary (paper §IV-C, Fig. 6, generalized to N queue pairs per
+// function):
+//
+//   - A queue pair is a submission ring of DescBytes descriptors and a
+//     completion ring of CplBytes entries, both resident in host memory and
+//     DMAed by the device.
+//   - Producer and consumer indices free-run over uint32 and are reduced to a
+//     ring slot modulo the entry count; ring sizes are powers of two so the
+//     reduction is well defined across wraparound.
+//   - A doorbell write announces a new producer index. It is coherent only if
+//     it claims at most `entries` not-yet-consumed descriptors; anything else
+//     would silently wrap live descriptors and is dropped (with an AER-style
+//     error counter on the device).
+//   - Completions carry a sequence number that starts at 1 and increments per
+//     completion; entry seq occupies slot (seq-1) % entries. The driver's
+//     interrupt path consumes strictly in sequence, and its timeout path may
+//     skip over gaps left by lost completion writes.
+package ring
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire sizes.
+const (
+	// DescBytes is the submission descriptor size.
+	DescBytes = 32
+	// CplBytes is the completion entry size.
+	CplBytes = 16
+)
+
+// Operation codes in request descriptors.
+const (
+	OpRead  = 1
+	OpWrite = 2
+)
+
+// Completion status codes.
+const (
+	StatusOK          = 0
+	StatusOutOfRange  = 1 // request exceeds the virtual device
+	StatusNoSpace     = 2 // hypervisor denied allocation (quota/space)
+	StatusDisabled    = 3 // function not enabled
+	StatusDMAFault    = 4 // data-buffer DMA faulted in the IOMMU
+	StatusMediumError = 5 // medium error persisted through all retries
+	StatusAborted     = 6 // request killed by a function-level reset
+)
+
+// MaxEntries bounds a ring's entry count.
+const MaxEntries = 1 << 16
+
+// ValidSize reports whether n is an acceptable ring size: a nonzero power of
+// two no larger than MaxEntries. Power-of-two sizes keep the free-running
+// index arithmetic exact across uint32 wraparound.
+func ValidSize(n uint64) bool {
+	return n > 0 && n <= MaxEntries && n&(n-1) == 0
+}
+
+// DoorbellValid reports whether a doorbell announcing producer index prod is
+// coherent with the device's consumer index cons on a ring of `entries`
+// slots: the write may claim at most one full ring of not-yet-consumed
+// descriptors. Indices free-run, so the distance is computed modulo 2^32.
+func DoorbellValid(prod, cons, entries uint32) bool {
+	return prod-cons <= entries
+}
+
+// DescSlot locates the submission-ring slot of free-running producer/consumer
+// index idx.
+func DescSlot(base int64, idx, entries uint32) int64 {
+	return base + int64(idx%entries)*DescBytes
+}
+
+// CplSlot locates the completion-ring slot carrying sequence number seq
+// (sequences start at 1; entry seq lives in slot (seq-1) % entries).
+func CplSlot(base int64, seq, entries uint32) int64 {
+	return base + int64((seq-1)%entries)*CplBytes
+}
+
+// EncodeDescriptor writes a request descriptor in the device wire format.
+func EncodeDescriptor(b []byte, op, id uint32, lba uint64, count uint32, buf int64) {
+	binary.BigEndian.PutUint32(b[0:], op)
+	binary.BigEndian.PutUint32(b[4:], id)
+	binary.BigEndian.PutUint64(b[8:], lba)
+	binary.BigEndian.PutUint32(b[16:], count)
+	binary.BigEndian.PutUint32(b[20:], 0)
+	binary.BigEndian.PutUint64(b[24:], uint64(buf))
+}
+
+// DecodeDescriptor parses a request descriptor.
+func DecodeDescriptor(b []byte) (op, id uint32, lba uint64, count uint32, buf int64) {
+	op = binary.BigEndian.Uint32(b[0:])
+	id = binary.BigEndian.Uint32(b[4:])
+	lba = binary.BigEndian.Uint64(b[8:])
+	count = binary.BigEndian.Uint32(b[16:])
+	buf = int64(binary.BigEndian.Uint64(b[24:]))
+	return
+}
+
+// EncodeCompletion writes a completion entry.
+func EncodeCompletion(b []byte, id, status, seq uint32) {
+	binary.BigEndian.PutUint32(b[0:], id)
+	binary.BigEndian.PutUint32(b[4:], status)
+	binary.BigEndian.PutUint32(b[8:], seq)
+	binary.BigEndian.PutUint32(b[12:], 0)
+}
+
+// DecodeCompletion parses a completion entry.
+func DecodeCompletion(b []byte) (id, status, seq uint32) {
+	return binary.BigEndian.Uint32(b[0:]), binary.BigEndian.Uint32(b[4:]), binary.BigEndian.Uint32(b[8:])
+}
+
+// StatusError converts a device status to an error (nil for StatusOK). Every
+// ring driver maps completions through this one table.
+func StatusError(status uint32) error {
+	switch status {
+	case StatusOK:
+		return nil
+	case StatusOutOfRange:
+		return fmt.Errorf("nesc: request out of device range")
+	case StatusNoSpace:
+		return fmt.Errorf("nesc: no space (hypervisor denied allocation)")
+	case StatusDisabled:
+		return fmt.Errorf("nesc: function disabled")
+	case StatusDMAFault:
+		return fmt.Errorf("nesc: DMA fault")
+	case StatusMediumError:
+		return fmt.Errorf("nesc: unrecoverable medium error")
+	case StatusAborted:
+		return fmt.Errorf("nesc: request aborted by reset")
+	default:
+		return fmt.Errorf("nesc: device status %d", status)
+	}
+}

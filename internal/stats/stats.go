@@ -4,6 +4,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -304,6 +305,46 @@ func (t *Table) CSV() string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// jsonTable is the machine-readable form of a Table. Cells are keyed by
+// column name; absent cells are omitted rather than zeroed.
+type jsonTable struct {
+	Title   string    `json:"title"`
+	XLabel  string    `json:"x_label"`
+	Unit    string    `json:"unit,omitempty"`
+	Columns []string  `json:"columns"`
+	Rows    []jsonRow `json:"rows"`
+	Notes   []string  `json:"notes,omitempty"`
+}
+
+type jsonRow struct {
+	X     string             `json:"x"`
+	Cells map[string]float64 `json:"cells"`
+}
+
+// JSON renders the table as an indented JSON document (trailing newline
+// included), the form nescbench writes into results/.
+func (t *Table) JSON() ([]byte, error) {
+	jt := jsonTable{
+		Title:   t.Title,
+		XLabel:  t.XLabel,
+		Unit:    t.Unit,
+		Columns: append([]string(nil), t.Columns...),
+		Notes:   append([]string(nil), t.Notes...),
+	}
+	for _, r := range t.rows {
+		cells := make(map[string]float64, len(r.cells))
+		for c, v := range r.cells {
+			cells[c] = v
+		}
+		jt.Rows = append(jt.Rows, jsonRow{X: r.X, Cells: cells})
+	}
+	b, err := json.MarshalIndent(jt, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
 }
 
 func formatCell(v float64) string {

@@ -89,6 +89,12 @@ type Config struct {
 	DriverTimeout time.Duration
 	// DriverRetryMax is the per-request resubmission budget.
 	DriverRetryMax int
+	// QueuesPerVF sets how many queue pairs each function exposes (default
+	// 1, the paper's layout). Guests with a directly assigned VF run one
+	// thin ring driver per queue behind a multi-queue mux; the device
+	// round-robins fetch bandwidth across a function's queues underneath
+	// the inter-VF QoS multiplexer.
+	QueuesPerVF int
 }
 
 // Fault-injection vocabulary, re-exported from the internal engine so plans
@@ -148,6 +154,9 @@ func New(cfg Config) *Simulation {
 	bcfg.MediumBlocks = int64(cfg.MediumMB) << 10 // MiB -> 1KB blocks
 	bcfg.Core.NumVFs = cfg.NumVFs
 	bcfg.Core.BTLBEntries = cfg.BTLBEntries
+	if cfg.QueuesPerVF > 0 {
+		bcfg.Core.QueuesPerVF = cfg.QueuesPerVF
+	}
 	bcfg.Hyp.UseIOMMU = cfg.UseIOMMU
 	bcfg.Hyp.VFRequestTimeout = sim.Time(cfg.DriverTimeout)
 	bcfg.Hyp.VFRetryMax = cfg.DriverRetryMax
@@ -268,6 +277,11 @@ type Stats struct {
 	// VFResets counts hypervisor-issued function-level resets; MissFaults
 	// counts translation misses failed by injection.
 	VFResets, MissFaults int64
+	// BadRingWrites counts rejected ring-size programmings (zero or
+	// non-power-of-two); BadDoorbells counts doorbell writes dropped as
+	// incoherent (producer index further than one ring ahead of the
+	// consumer, or rung on an inactive queue).
+	BadRingWrites, BadDoorbells int64
 	// LatentHits counts reads failed on latent bad sectors; LatentRepaired
 	// counts latent sectors cleared by a successful rewrite.
 	LatentHits, LatentRepaired int64
@@ -307,6 +321,8 @@ func (s *Simulation) Stats() Stats {
 		SeqGaps:           drv.SeqGaps,
 		VFResets:          s.pl.Hyp.VFResets,
 		MissFaults:        s.pl.Hyp.MissFaults,
+		BadRingWrites:     ctl.BadRingSizes,
+		BadDoorbells:      ctl.BadDoorbells,
 		LatentHits:        latentHits,
 		LatentRepaired:    latentRepaired,
 	}
