@@ -1,14 +1,16 @@
 GO ?= go
 
-.PHONY: tier1 ci vet fmt-check build test race chaos bench
+.PHONY: tier1 ci vet fmt-check build test race chaos crash bench
 
 # tier1 is the seed acceptance gate: everything must build and pass.
 tier1: build test
 
 # ci is the full hygiene gate. The race run uses -short so the full-size
 # chaos soak (seconds of virtual time, minutes under the race detector)
-# stays out of the fast path; run `make chaos` for the big one.
-ci: vet fmt-check build race
+# stays out of the fast path; run `make chaos` for the big one. crash runs
+# the full 64-point crash-recovery harness plus the exhaustive journal
+# crash-point sweep.
+ci: vet fmt-check build race crash
 
 vet:
 	$(GO) vet ./...
@@ -27,10 +29,16 @@ test:
 race:
 	$(GO) test -race -short ./...
 
-# chaos runs the full-size chaos soak (4 VMs x 16 rounds x 16-block
-# stripes, plus the same-seed determinism replay).
+# chaos runs the full-size chaos soaks (loud faults and silent-corruption
+# injection, each with a same-seed determinism replay).
 chaos:
 	$(GO) test -run TestChaosSoak -v .
+
+# crash runs the crash-recovery harness (64 seeded power-cut points over the
+# public API) and the exhaustive extfs journal crash-point sweep.
+crash:
+	$(GO) test -run 'TestCrash' -v .
+	$(GO) test -run 'TestJournalCrashSweep' -v ./internal/extfs
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -2,6 +2,7 @@ package nesc
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"testing"
 	"time"
@@ -299,4 +300,276 @@ func TestChaosSoakMultiQueue(t *testing.T) {
 	if a.stats != b.stats {
 		t.Errorf("stats diverge across same-seed runs:\nA: %+v\nB: %+v", a.stats, b.stats)
 	}
+}
+
+// corruptRegionLBA is the raw tenant's base on the corruption soak's smaller
+// (16 MB) medium — small enough that full-device scrub passes stay cheap.
+const corruptRegionLBA = 8000
+
+// corruptionPlan extends the chaos schedule with the silent half: latched
+// corrupt sectors in the raw tenant's region, probabilistic corrupt
+// reads/writes at the medium, and payload flips on the DMA path. None of
+// these fail an operation — only guard tags and end-to-end PI can see them.
+// The write-latch probability is kept low enough that the scrubber's own
+// repair writes stop latching fresh corruptions and the drain loop converges.
+func corruptionPlan(seed uint64) *FaultPlan {
+	plan := &FaultPlan{
+		Seed: seed,
+		// Latent (loud) sectors live past the first stripe so the probe read
+		// below sees the corrupt sectors' integrity failure, not a medium
+		// error. The +5000 latches sit in a region no workload ever touches:
+		// only the scrubber can heal those, so the drain assertion genuinely
+		// tests it.
+		LatentSectors:  []int64{corruptRegionLBA + 33, corruptRegionLBA + 41, corruptRegionLBA + 5000, corruptRegionLBA + 5003},
+		CorruptSectors: []int64{corruptRegionLBA + 1, corruptRegionLBA + 5, corruptRegionLBA + 17, corruptRegionLBA + 5001, corruptRegionLBA + 5007},
+	}
+	plan.Sites[FaultMediumRead] = FaultSiteParams{Prob: 0.004}
+	plan.Sites[FaultMediumCorruptRead] = FaultSiteParams{Prob: 0.005}
+	plan.Sites[FaultMediumCorruptWrite] = FaultSiteParams{Prob: 0.002}
+	plan.Sites[FaultDMACorrupt] = FaultSiteParams{Prob: 0.01}
+	return plan
+}
+
+// runChaosCorruption is the integrity soak: every payload the fault plan
+// silently flips must be repaired by a retry, healed by a rewrite, or
+// surfaced as ErrIntegrity — never handed to the guest as clean data. The
+// in-test oracle (bit-exact stripe patterns) is the silent-escape detector.
+func runChaosCorruption(t *testing.T, seed uint64, numVMs, rounds, stripeBlocks int) chaosResult {
+	t.Helper()
+	const blockSize = 1024
+	cfg := DefaultConfig()
+	cfg.MediumMB = 16 // full-device scrub passes stay cheap
+	cfg.UseIOMMU = true
+	cfg.Fault = corruptionPlan(seed)
+	cfg.DriverTimeout = 3 * time.Millisecond
+	cfg.DriverRetryMax = 8
+	s := New(cfg)
+
+	diskBlocks := uint64(rounds * stripeBlocks * 2)
+	stripe := int64(stripeBlocks * blockSize)
+
+	err := s.Run(func(ctx *Ctx) error {
+		vms := make([]*VM, numVMs+1)
+		base := make([]int64, numVMs+1)
+		for i := 0; i < numVMs; i++ {
+			path := fmt.Sprintf("/tenant%d.img", i)
+			if err := ctx.CreateImage(path, uint32(100+i), int64(diskBlocks)*blockSize, true); err != nil {
+				return err
+			}
+			vm, err := ctx.StartVM(fmt.Sprintf("vm%d", i), BackendNeSC, path, uint32(100+i))
+			if err != nil {
+				return err
+			}
+			vms[i] = vm
+		}
+		raw, err := ctx.StartRawVM("raw", BackendNeSC)
+		if err != nil {
+			return err
+		}
+		vms[numVMs] = raw
+		base[numVMs] = corruptRegionLBA * blockSize
+
+		// A read across the seeded corrupt sectors must fail loudly with
+		// ErrIntegrity — the guard tags latch it, the retries cannot clear a
+		// persistently corrupt sector, and PI forbids returning the payload.
+		if err := raw.ReadAt(ctx, make([]byte, stripe), base[numVMs]); !errors.Is(err, ErrIntegrity) {
+			return fmt.Errorf("read across seeded corrupt sectors: got %v, want ErrIntegrity", err)
+		}
+
+		tasks := make([]*Task, len(vms))
+		for i := range vms {
+			i, vm, off0 := i, vms[i], base[i]
+			tasks[i] = ctx.Go(fmt.Sprintf("corrupt-worker-%d", i), func(c *Ctx) error {
+				want := make([]byte, stripe)
+				got := make([]byte, stripe)
+				for round := 0; round < rounds; round++ {
+					off := off0 + int64(round)*stripe
+					stripePattern(want, i, round)
+					if err := writeStripe(c, vm, want, off); err != nil {
+						return err
+					}
+					vr := round / 2
+					stripePattern(want, i, vr)
+					if err := readVerified(c, vm, want, got, off0+int64(vr)*stripe); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		}
+		for _, tk := range tasks {
+			if err := tk.Wait(ctx); err != nil {
+				return err
+			}
+		}
+
+		// Final full readback through the guards: bit-exact or loud, never
+		// silently wrong.
+		want := make([]byte, stripe)
+		got := make([]byte, stripe)
+		for i, vm := range vms {
+			for round := 0; round < rounds; round++ {
+				stripePattern(want, i, round)
+				if err := readVerified(ctx, vm, want, got, base[i]+int64(round)*stripe); err != nil {
+					return fmt.Errorf("final readback vm%d round %d: %w", i, round, err)
+				}
+			}
+		}
+
+		// The untouched-region latches must still be live: nothing but the
+		// scrubber can have healed them.
+		if st := s.Stats(); st.LatentOutstanding == 0 || st.CorruptOutstanding == 0 {
+			return fmt.Errorf("expected live latches before the scrub drain (latent=%d corrupt=%d)",
+				st.LatentOutstanding, st.CorruptOutstanding)
+		}
+
+		// Scrub until the latch sets drain: a scrub pass repairs latent and
+		// corrupt sectors, but its own repair writes can (rarely) latch fresh
+		// corruptions under FaultMediumCorruptWrite, so allow a few passes.
+		for pass := 0; pass < 10; pass++ {
+			st := s.Stats()
+			if st.LatentOutstanding == 0 && st.CorruptOutstanding == 0 {
+				break
+			}
+			ctx.Scrub()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("corruption soak (seed %d): %v", seed, err)
+	}
+	return chaosResult{stats: s.Stats(), summary: s.FaultSummary(), vtime: s.Stats().VirtualTime}
+}
+
+// TestChaosSoakCorruption drives the silent-corruption sites against the
+// whole integrity stack — medium guard tags, the DTU retry ladder, driver
+// PI, and the scrubber — and asserts zero silent escapes, full latch
+// drainage, and same-seed determinism.
+func TestChaosSoakCorruption(t *testing.T) {
+	numVMs, rounds, stripeBlocks := 2, 6, 8
+	if !testing.Short() {
+		numVMs, rounds, stripeBlocks = 3, 12, 16
+	}
+	a := runChaosCorruption(t, 0xDEC0DE, numVMs, rounds, stripeBlocks)
+
+	st := a.stats
+	if st.CorruptionsInjected == 0 {
+		t.Fatal("no corruptions injected; the plan is inert")
+	}
+	if st.CorruptionsDetected == 0 {
+		t.Fatal("corruptions injected but none detected: the guards are blind")
+	}
+	if st.MediumGuardErrors == 0 {
+		t.Error("no medium guard-tag failures: per-block CRC path not exercised")
+	}
+	if st.IntegrityRepairs == 0 {
+		t.Error("no integrity repairs: retry/rewrite healing never fired")
+	}
+	if st.PIWriteErrors == 0 {
+		t.Error("no PI write errors observed: device-side end-to-end check not exercised")
+	}
+	if st.LatentOutstanding != 0 {
+		t.Errorf("LatentOutstanding = %d after scrub, want 0", st.LatentOutstanding)
+	}
+	if st.CorruptOutstanding != 0 {
+		t.Errorf("CorruptOutstanding = %d after scrub, want 0", st.CorruptOutstanding)
+	}
+	if st.ScrubChunks == 0 {
+		t.Error("no verify chunks serviced: the scrub drain never ran")
+	}
+	if st.RecoveryReads == 0 {
+		t.Error("no recovery reads: scrub repaired nothing")
+	}
+	t.Logf("corruption stats: injected=%d detected=%d guardErrs=%d integrityErrs=%d repairs=%d "+
+		"piMismatch=%d piWriteErrs=%d recoveryReads=%d scrubChunks=%d vtime=%v",
+		st.CorruptionsInjected, st.CorruptionsDetected, st.MediumGuardErrors, st.IntegrityErrors,
+		st.IntegrityRepairs, st.PIMismatches, st.PIWriteErrors, st.RecoveryReads, st.ScrubChunks, st.VirtualTime)
+
+	// Same-seed determinism: identical fault sequence, stats, and end time.
+	b := runChaosCorruption(t, 0xDEC0DE, numVMs, rounds, stripeBlocks)
+	if a.summary != b.summary {
+		t.Errorf("fault summaries diverge across same-seed runs:\n--- run A\n%s--- run B\n%s", a.summary, b.summary)
+	}
+	if a.stats != b.stats {
+		t.Errorf("stats diverge across same-seed runs:\nA: %+v\nB: %+v", a.stats, b.stats)
+	}
+	if a.vtime != b.vtime {
+		t.Errorf("virtual end time diverges: %v vs %v", a.vtime, b.vtime)
+	}
+}
+
+// TestChaosSoakCorruptionWithScrubber repeats the soak with the background
+// scrubber running the whole time: scavenger-priority verify traffic must
+// not break integrity, liveness, or determinism while it heals latches
+// behind the workload.
+func TestChaosSoakCorruptionWithScrubber(t *testing.T) {
+	const blockSize = 1024
+	numVMs, rounds, stripeBlocks := 2, 6, 8
+	cfg := DefaultConfig()
+	cfg.UseIOMMU = true
+	cfg.MediumMB = 8 // small device so background passes complete mid-run
+	cfg.Fault = corruptionPlan(0xFEED)
+	cfg.Fault.LatentSectors = nil // raw region of the small device stays in range
+	cfg.Fault.CorruptSectors = []int64{100, 300, 7000}
+	cfg.DriverTimeout = 3 * time.Millisecond
+	cfg.DriverRetryMax = 8
+	cfg.Scrub = true
+	cfg.ScrubInterval = 50 * time.Microsecond
+	s := New(cfg)
+
+	diskBlocks := uint64(rounds * stripeBlocks * 2)
+	stripe := int64(stripeBlocks * blockSize)
+	err := s.Run(func(ctx *Ctx) error {
+		vms := make([]*VM, numVMs)
+		for i := range vms {
+			path := fmt.Sprintf("/tenant%d.img", i)
+			if err := ctx.CreateImage(path, uint32(100+i), int64(diskBlocks)*blockSize, true); err != nil {
+				return err
+			}
+			vm, err := ctx.StartVM(fmt.Sprintf("vm%d", i), BackendNeSC, path, uint32(100+i))
+			if err != nil {
+				return err
+			}
+			vms[i] = vm
+		}
+		tasks := make([]*Task, len(vms))
+		for i := range vms {
+			i, vm := i, vms[i]
+			tasks[i] = ctx.Go(fmt.Sprintf("scrub-soak-%d", i), func(c *Ctx) error {
+				want := make([]byte, stripe)
+				got := make([]byte, stripe)
+				for round := 0; round < rounds; round++ {
+					stripePattern(want, i, round)
+					if err := writeStripe(c, vm, want, int64(round)*stripe); err != nil {
+						return err
+					}
+					vr := round / 2
+					stripePattern(want, i, vr)
+					if err := readVerified(c, vm, want, got, int64(vr)*stripe); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		}
+		for _, tk := range tasks {
+			if err := tk.Wait(ctx); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("scrubber soak: %v", err)
+	}
+	st := s.Stats()
+	if st.ScrubChunks == 0 {
+		t.Error("background scrubber serviced no verify chunks")
+	}
+	if st.ScrubBlocks == 0 {
+		t.Error("background scrubber verified no blocks")
+	}
+	t.Logf("scrubber soak: passes=%d blocks=%d repairs=%d chunks=%d injected=%d detected=%d vtime=%v",
+		st.ScrubPasses, st.ScrubBlocks, st.ScrubRepairs, st.ScrubChunks,
+		st.CorruptionsInjected, st.CorruptionsDetected, st.VirtualTime)
 }

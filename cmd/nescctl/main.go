@@ -20,6 +20,7 @@ func main() {
 	imageMB := flag.Int("image-mb", 8, "per-tenant image size in MiB")
 	traceN := flag.Int("trace", 0, "dump the last N device events at the end")
 	queues := flag.Int("queues", 0, "queue pairs per VF (0 = device default of 1)")
+	scrub := flag.Bool("scrub", false, "run a synchronous full-device scrub pass before teardown")
 	flag.Parse()
 
 	sim := nesc.New(nesc.Config{MediumMB: *mediumMB, TraceEvents: *traceN, QueuesPerVF: *queues})
@@ -119,6 +120,14 @@ func main() {
 		ctx.FlushBTLB()
 		say("BTLB flushed (host-side block optimization barrier)")
 
+		// Optional integrity scrub: walk the whole device through the PF,
+		// verifying every block's guard tag.
+		if *scrub {
+			rep := ctx.Scrub()
+			say("scrub pass: %d blocks verified in %d requests, %d integrity errors, %d repairs",
+				rep.Blocks, rep.Requests, rep.Errors, rep.Repairs)
+		}
+
 		// Teardown.
 		for i, t := range ts {
 			t.vm.Stop(ctx)
@@ -136,6 +145,8 @@ func main() {
 	final := sim.Stats()
 	fmt.Printf("\nfinal device counters: %d tree-node DMA fetches, %d/%d MB medium read/write, %d MSIs serviced\n",
 		final.WalkNodeReads, final.MediumReadBytes>>20, final.MediumWriteBytes>>20, final.MissInterrupts)
+	fmt.Printf("integrity counters: %d guard errors, %d repairs, %d corruptions detected, %d latent outstanding\n",
+		final.IntegrityErrors, final.IntegrityRepairs, final.CorruptionsDetected, final.LatentOutstanding)
 	if *traceN > 0 {
 		fmt.Printf("\nlast device events:\n%s", sim.TraceDump())
 	}

@@ -31,6 +31,7 @@ var registry = []Experiment{
 	{"oob", "Ablation: PF out-of-band channel under VF load", AblationOOB},
 	{"lazyalloc", "Ablation: lazy allocation (write-miss) cost", AblationLazyAlloc},
 	{"mq", "Ablation: multi-queue scaling (queues per VF x queue depth)", AblationMQ},
+	{"integrity", "Ablation: guard tags x background scrubber vs raw throughput", AblationIntegrity},
 	{"breakdown", "Analysis: latency breakdown inside the NeSC pipeline", Breakdown},
 	{"qdepth", "Analysis: queue-depth scaling, NeSC vs virtio", QDepth},
 }

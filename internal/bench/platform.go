@@ -31,6 +31,12 @@ type Config struct {
 	// Fault, when set, arms a seeded fault injector across the medium, the
 	// PCIe fabric, and the hypervisor's miss-service path.
 	Fault *fault.Plan
+	// SeedStore, when set, backs the medium with an existing store instead of
+	// a fresh zeroed one — the surviving durable state of a crashed platform.
+	SeedStore *blockdev.Store
+	// MountExisting makes Boot mount the host filesystem already on the
+	// medium (journal replay included) instead of formatting a new one.
+	MountExisting bool
 }
 
 // DefaultConfig is the calibrated model of the paper's platform (Table I):
@@ -75,7 +81,10 @@ func NewPlatform(cfg Config) *Platform {
 	eng := sim.NewEngine()
 	mem := hostmem.New(cfg.HostMemBytes)
 	fab := pcie.New(eng, mem, cfg.PCIe)
-	store := blockdev.NewStore(cfg.Core.BlockSize, cfg.MediumBlocks)
+	store := cfg.SeedStore
+	if store == nil {
+		store = blockdev.NewStore(cfg.Core.BlockSize, cfg.MediumBlocks)
+	}
 	medium := blockdev.NewMedium(eng, store, cfg.Medium)
 	ctl, err := core.New(eng, fab, medium, cfg.Core)
 	if err != nil {
@@ -86,6 +95,7 @@ func NewPlatform(cfg Config) *Platform {
 	if cfg.Fault != nil {
 		pl.Inj = fault.NewInjector(*cfg.Fault)
 		medium.SetInjector(pl.Inj)
+		ctl.Inj = pl.Inj
 		fab.SetInjector(pl.Inj)
 		h.SetInjector(pl.Inj)
 	}
@@ -110,9 +120,21 @@ func (pl *Platform) Run(fn func(p *sim.Proc) error) error {
 	return ferr
 }
 
-// Boot formats the host filesystem on the physical function.
+// Boot formats the host filesystem on the physical function — or, on a
+// platform adopting a crashed store (Config.MountExisting), remounts it,
+// replaying the journal.
 func (pl *Platform) Boot(p *sim.Proc) error {
-	return pl.Hyp.Boot(p, true, pl.Cfg.HostFS)
+	return pl.Hyp.Boot(p, !pl.Cfg.MountExisting, pl.Cfg.HostFS)
+}
+
+// RunUntil is Run with a power cut: the simulation stops dead at virtual
+// time t, in-flight work and all. No error is returned — a "deadlocked" main
+// process is exactly what a crash looks like. The medium's Store (and its
+// write log, if enabled) is the only state that survives.
+func (pl *Platform) RunUntil(t sim.Time, fn func(p *sim.Proc) error) {
+	pl.Eng.Go("bench-main", func(p *sim.Proc) { _ = fn(p) })
+	pl.Eng.RunUntil(t)
+	pl.Eng.Shutdown()
 }
 
 // MkImage creates a disk image on the host filesystem, preallocated unless

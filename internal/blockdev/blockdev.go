@@ -16,16 +16,37 @@ package blockdev
 import (
 	"errors"
 	"fmt"
+	"hash/crc32"
 
 	"nesc/internal/fault"
 	"nesc/internal/sim"
 )
 
-// Store is the functional block space: numBlocks blocks of blockSize bytes.
+// castagnoli is the CRC-32C polynomial table used for T10 DIF-style guard
+// tags (the same polynomial real protection-information formats use).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// BlockGuard computes the guard tag of one block image.
+func BlockGuard(p []byte) uint32 { return crc32.Checksum(p, castagnoli) }
+
+// writeRecord is one block's pre-image, captured when write logging is on so
+// a crash harness can roll the store back to an earlier consistent point.
+type writeRecord struct {
+	lba   int64
+	data  []byte
+	guard uint32
+}
+
+// Store is the functional block space: numBlocks blocks of blockSize bytes,
+// each carrying an out-of-band CRC-32C guard tag maintained on write.
 type Store struct {
 	blockSize int
 	numBlocks int64
 	data      []byte
+	guards    []uint32
+
+	logging  bool
+	writeLog []writeRecord
 }
 
 // NewStore allocates a zeroed block space.
@@ -33,11 +54,17 @@ func NewStore(blockSize int, numBlocks int64) *Store {
 	if blockSize <= 0 || numBlocks <= 0 {
 		panic("blockdev: invalid geometry")
 	}
-	return &Store{
+	s := &Store{
 		blockSize: blockSize,
 		numBlocks: numBlocks,
 		data:      make([]byte, int64(blockSize)*numBlocks),
+		guards:    make([]uint32, numBlocks),
 	}
+	zero := BlockGuard(s.data[:blockSize])
+	for i := range s.guards {
+		s.guards[i] = zero
+	}
+	return s
 }
 
 // BlockSize reports the block size in bytes.
@@ -67,13 +94,73 @@ func (s *Store) ReadBlocks(lba int64, p []byte) error {
 	return nil
 }
 
-// WriteBlocks copies whole blocks from p to the store starting at lba.
+// WriteBlocks copies whole blocks from p to the store starting at lba,
+// recomputing each block's guard tag (and logging pre-images when the crash
+// write log is enabled).
 func (s *Store) WriteBlocks(lba int64, p []byte) error {
 	if err := s.checkRange(lba, len(p)); err != nil {
 		return err
 	}
-	copy(s.data[lba*int64(s.blockSize):], p)
+	bs := int64(s.blockSize)
+	blocks := int64(len(p)) / bs
+	if s.logging {
+		for i := int64(0); i < blocks; i++ {
+			b := lba + i
+			pre := make([]byte, bs)
+			copy(pre, s.data[b*bs:])
+			s.writeLog = append(s.writeLog, writeRecord{lba: b, data: pre, guard: s.guards[b]})
+		}
+	}
+	copy(s.data[lba*bs:], p)
+	for i := int64(0); i < blocks; i++ {
+		s.guards[lba+i] = BlockGuard(p[i*bs : (i+1)*bs])
+	}
 	return nil
+}
+
+// Guard returns the stored guard tag for one block.
+func (s *Store) Guard(lba int64) uint32 { return s.guards[lba] }
+
+// VerifyGuards recomputes every block's guard and returns the LBAs whose
+// stored tag no longer matches the data — the full-device scrub/fsck check
+// used by the crash harness. A clean device returns an empty slice.
+func (s *Store) VerifyGuards() []int64 {
+	var bad []int64
+	bs := int64(s.blockSize)
+	for b := int64(0); b < s.numBlocks; b++ {
+		if BlockGuard(s.data[b*bs:(b+1)*bs]) != s.guards[b] {
+			bad = append(bad, b)
+		}
+	}
+	return bad
+}
+
+// EnableWriteLog starts recording per-block pre-images on every write. The
+// log models the device's completion-ordered write stream: a crash that
+// loses the last j block writes is simulated by Rollback(j).
+func (s *Store) EnableWriteLog() {
+	s.logging = true
+	s.writeLog = s.writeLog[:0]
+}
+
+// WriteLogLen reports how many block writes the log currently holds.
+func (s *Store) WriteLogLen() int { return len(s.writeLog) }
+
+// Rollback undoes the last n logged block writes (restoring data and guard
+// pre-images) and truncates them from the log. It returns how many writes
+// were actually undone (capped by the log length).
+func (s *Store) Rollback(n int) int {
+	if n > len(s.writeLog) {
+		n = len(s.writeLog)
+	}
+	bs := int64(s.blockSize)
+	for i := 0; i < n; i++ {
+		rec := s.writeLog[len(s.writeLog)-1-i]
+		copy(s.data[rec.lba*bs:], rec.data)
+		s.guards[rec.lba] = rec.guard
+	}
+	s.writeLog = s.writeLog[:len(s.writeLog)-n]
+	return n
 }
 
 // Slice exposes the live bytes of a block range for zero-copy device paths.
@@ -116,6 +203,16 @@ var ErrMedium = errors.New("blockdev: medium error")
 // IsMediumError reports whether err is a (possibly wrapped) medium error.
 func IsMediumError(err error) bool { return errors.Is(err, ErrMedium) }
 
+// ErrIntegrity marks a read whose payload failed guard-tag verification: the
+// medium returned data, but the data is wrong. Like medium errors it is
+// retryable (a transient flip won't recur), and like them it is distinct
+// from range/programming errors.
+var ErrIntegrity = errors.New("blockdev: integrity error")
+
+// IsIntegrityError reports whether err is a (possibly wrapped) guard-tag
+// verification failure.
+func IsIntegrityError(err error) bool { return errors.Is(err, ErrIntegrity) }
+
 // Medium is the timed access port to a Store.
 type Medium struct {
 	eng       *sim.Engine
@@ -124,12 +221,16 @@ type Medium struct {
 	writePort *sim.Link
 	params    MediumParams
 	inj       *fault.Injector
+	noGuard   bool
 
 	// Reads/Writes count operations; ReadBytes/WriteBytes count payloads.
 	Reads, Writes         int64
 	ReadBytes, WriteBytes int64
 	// ReadFaults/WriteFaults count operations failed by fault injection.
 	ReadFaults, WriteFaults int64
+	// IntegrityErrors counts reads that failed guard verification;
+	// RecoveryReads counts slow-path ECC recovery reads.
+	IntegrityErrors, RecoveryReads int64
 }
 
 // NewMedium wraps store with a timed port on engine eng.
@@ -146,6 +247,10 @@ func NewMedium(eng *sim.Engine, store *Store, p MediumParams) *Medium {
 // SetInjector installs a fault injector on the access port (nil disables
 // injection).
 func (m *Medium) SetInjector(inj *fault.Injector) { m.inj = inj }
+
+// SetGuardCheck enables or disables read-side guard verification (on by
+// default; the integrity ablation bench turns it off).
+func (m *Medium) SetGuardCheck(on bool) { m.noGuard = !on }
 
 // Store returns the functional content behind the port.
 func (m *Medium) Store() *Store { return m.store }
@@ -191,6 +296,20 @@ func (m *Medium) Read(lba int64, p []byte, done func(error)) error {
 			}
 			if err := m.store.ReadBlocks(lba, p); err != nil {
 				panic(err)
+			}
+			bs := m.store.blockSize
+			for _, b := range dec.CorruptBlocks {
+				off := int(b-lba) * bs
+				fault.Flip(p[off:off+bs], uint64(b))
+			}
+			if !m.noGuard {
+				for i := 0; i*bs < len(p); i++ {
+					if BlockGuard(p[i*bs:(i+1)*bs]) != m.store.guards[lba+int64(i)] {
+						m.IntegrityErrors++
+						done(fmt.Errorf("%w: guard mismatch at lba %d", ErrIntegrity, lba+int64(i)))
+						return
+					}
+				}
 			}
 			done(nil)
 		})
@@ -256,4 +375,30 @@ func (m *Medium) WriteP(p *sim.Proc, lba int64, buf []byte) error {
 		}
 	})
 	return err
+}
+
+// recoveryPenalty is the extra per-operation latency of a heroic recovery
+// read relative to a normal one (drive-internal ECC retries, read-retry with
+// shifted thresholds, ...).
+const recoveryPenalty = 8
+
+// RecoverP performs a slow-path recovery read: the medium's internal ECC
+// machinery reconstructs the true sector contents, bypassing whatever made
+// the fast-path read come back corrupted. It costs recoveryPenalty times the
+// normal read latency plus the transfer time, consults no fault injector,
+// and always returns the store's true bytes. Scrubbers use it to source the
+// repair data for a rewrite.
+func (m *Medium) RecoverP(p *sim.Proc, lba int64, buf []byte) error {
+	if err := m.store.checkRange(lba, len(buf)); err != nil {
+		return err
+	}
+	m.Reads++
+	m.RecoveryReads++
+	m.ReadBytes += int64(len(buf))
+	p.Wait(func(done func()) {
+		m.readPort.Transfer(int64(len(buf)), func() {
+			m.eng.After(recoveryPenalty*m.params.ReadLatency, done)
+		})
+	})
+	return m.store.ReadBlocks(lba, buf)
 }

@@ -29,6 +29,7 @@ import (
 
 	"nesc/internal/blockdev"
 	"nesc/internal/extent"
+	"nesc/internal/fault"
 	"nesc/internal/pcie"
 	"nesc/internal/ring"
 	"nesc/internal/sim"
@@ -118,19 +119,21 @@ func DefaultParams() Params {
 
 // Operation codes in request descriptors (defined by internal/ring).
 const (
-	OpRead  = ring.OpRead
-	OpWrite = ring.OpWrite
+	OpRead   = ring.OpRead
+	OpWrite  = ring.OpWrite
+	OpVerify = ring.OpVerify
 )
 
 // Completion status codes (defined by internal/ring; StatusDMAFault = 4
 // lives in pipeline.go).
 const (
-	StatusOK          = ring.StatusOK
-	StatusOutOfRange  = ring.StatusOutOfRange  // request exceeds the virtual device
-	StatusNoSpace     = ring.StatusNoSpace     // hypervisor denied allocation (quota/space)
-	StatusDisabled    = ring.StatusDisabled    // function not enabled
-	StatusMediumError = ring.StatusMediumError // medium error persisted through all retries
-	StatusAborted     = ring.StatusAborted     // request killed by a function-level reset
+	StatusOK             = ring.StatusOK
+	StatusOutOfRange     = ring.StatusOutOfRange  // request exceeds the virtual device
+	StatusNoSpace        = ring.StatusNoSpace     // hypervisor denied allocation (quota/space)
+	StatusDisabled       = ring.StatusDisabled    // function not enabled
+	StatusMediumError    = ring.StatusMediumError // medium error persisted through all retries
+	StatusAborted        = ring.StatusAborted     // request killed by a function-level reset
+	StatusIntegrityError = ring.StatusIntegrityError
 )
 
 // MSI vectors raised by the controller. Queue 0's completions keep the
@@ -166,7 +169,7 @@ func QueueOfVector(v uint8) (q int, ok bool) {
 type Request struct {
 	fn     *Function
 	q      *fnQueue // queue the descriptor was fetched from (completion routing)
-	Op     uint32
+	Op     uint32   // opcode with flag bits stripped
 	ID     uint32
 	LBA    uint64 // vLBA for VFs, pLBA for the PF
 	Count  uint32 // blocks
@@ -174,6 +177,14 @@ type Request struct {
 	status uint32
 	left   int    // chunks outstanding
 	epoch  uint32 // function reset epoch at fetch time; stale = aborted
+
+	// Protection information (OpFlagPI). piGuard is the submitter's XOR of
+	// per-block CRCs from the descriptor; piAccum is the device-side
+	// accumulator, XORed per chunk so it is order-independent across DMA
+	// channels.
+	pi      bool
+	piGuard uint32
+	piAccum uint32
 }
 
 // chunk is the unit of translation and data transfer (one block).
@@ -206,11 +217,23 @@ type Controller struct {
 	// paper §IV-D lives in the DMA engine.
 	plbaQs []*sim.FIFO[*chunk]
 	oobQ   *sim.FIFO[*chunk]
-	dtuW   *sim.Semaphore // counts items across plbaQs+oobQ
+	// scrubQ holds verify (OpVerify) chunks. The DTU drains it only when the
+	// OOB and every VF queue are empty — scavenger priority, so background
+	// scrubbing provably never delays foreground chunks at the pick point.
+	scrubQ *sim.FIFO[*chunk]
+	dtuW   *sim.Semaphore // counts items across plbaQs+oobQ+scrubQ
 	muxW   *sim.Semaphore // counts requests across all VF request queues
 	dtuRR  int            // DTU scheduling cursor
 
 	btlb *btlb
+
+	// Inj, when non-nil, is consulted for DMA payload corruption (the
+	// DMACorrupt site); medium-side sites are handled inside the Medium.
+	Inj *fault.Injector
+
+	// zeroCRC is the CRC of an all-zero block, accumulated for hole chunks
+	// of PI reads.
+	zeroCRC uint32
 
 	// Tracer, when non-nil, records device events (nil = zero cost).
 	Tracer *trace.Ring
@@ -236,6 +259,11 @@ type Controller struct {
 	MissResends   int64 // miss MSIs re-raised by the resend timer
 	BadRingSizes  int64 // rejected ring-size register writes
 	BadDoorbells  int64 // ignored incoherent doorbell writes
+
+	// Integrity stats.
+	IntegrityErrors  int64 // requests latched StatusIntegrityError
+	IntegrityRepairs int64 // integrity failures healed by retry or scrub rewrite
+	ScrubChunks      int64 // verify chunks processed
 
 	// Breakdown holds per-stage chunk latencies in microseconds (populated
 	// only when Params.CollectBreakdown is set).
@@ -267,11 +295,13 @@ func New(eng *sim.Engine, fab *pcie.Fabric, medium *blockdev.Medium, p Params) (
 		P:      p,
 		vlbaQ:  sim.NewFIFO[*chunk](eng, p.VLBAQueueDepth),
 		oobQ:   sim.NewFIFO[*chunk](eng, 0),
+		scrubQ: sim.NewFIFO[*chunk](eng, 0),
 		dtuW:   sim.NewSemaphore(eng, 0),
 		muxW:   sim.NewSemaphore(eng, 0),
 		btlb:   newBTLB(p.BTLBEntries),
 		sriov:  pcie.SRIOVCap{TotalVFs: p.NumVFs},
 	}
+	c.zeroCRC = ring.BlockCRC(make([]byte, p.BlockSize))
 	for i := 0; i < p.NumVFs; i++ {
 		c.plbaQs = append(c.plbaQs, sim.NewFIFO[*chunk](eng, p.PLBAQueueDepth))
 	}
@@ -370,14 +400,16 @@ type Function struct {
 
 	// AER-style per-function error counters, exposed through the RegErr*
 	// registers.
-	DMAFaults     int64
-	MediumErrors  int64
-	MediumRetries int64
-	Resets        int64
-	FetchDrops    int64
-	CplDrops      int64
-	BadRingSizes  int64
-	BadDoorbells  int64
+	DMAFaults        int64
+	MediumErrors     int64
+	MediumRetries    int64
+	Resets           int64
+	FetchDrops       int64
+	CplDrops         int64
+	BadRingSizes     int64
+	BadDoorbells     int64
+	IntegrityErrors  int64
+	IntegrityRepairs int64
 }
 
 // fnQueue is one of a function's queue pairs: the guest-programmable ring

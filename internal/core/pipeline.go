@@ -3,6 +3,7 @@ package core
 import (
 	"nesc/internal/blockdev"
 	"nesc/internal/extent"
+	"nesc/internal/fault"
 	"nesc/internal/pcie"
 	"nesc/internal/ring"
 	"nesc/internal/sim"
@@ -58,8 +59,10 @@ func (f *Function) fetchLoop(p *sim.Proc) {
 			}
 			p.Sleep(c.P.DescriptorFetchTime)
 			q.consumed++
-			op, id, lba, count, buf := ring.DecodeDescriptor(desc)
-			req := &Request{fn: f, q: q, Op: op, ID: id, LBA: lba, Count: count, Buf: buf, left: int(count), epoch: f.resetEpoch}
+			rawOp, id, lba, count, buf, guard := ring.DecodeDescriptorPI(desc)
+			op := ring.OpCode(rawOp)
+			req := &Request{fn: f, q: q, Op: op, ID: id, LBA: lba, Count: count, Buf: buf, left: int(count), epoch: f.resetEpoch,
+				pi: rawOp&ring.OpFlagPI != 0, piGuard: guard}
 			c.Tracer.Emit(trace.Event{At: p.Now(), Kind: trace.KindFetch, Fn: f.idx, LBA: lba, Arg: uint64(id)})
 			f.Reqs++
 			q.Reqs++
@@ -69,17 +72,23 @@ func (f *Function) fetchLoop(p *sim.Proc) {
 			case !f.enabled:
 				req.status = StatusDisabled
 				c.sendCompletion(p, req)
-			case lba+uint64(count) > f.sizeBlocks || (op != OpRead && op != OpWrite):
+			case lba+uint64(count) > f.sizeBlocks || (op != OpRead && op != OpWrite && op != OpVerify):
 				req.status = StatusOutOfRange
 				c.sendCompletion(p, req)
 			case count == 0:
 				c.sendCompletion(p, req)
 			case f.idx == 0:
-				// PF out-of-band channel: pLBAs, no translation.
+				// PF out-of-band channel: pLBAs, no translation. Verify
+				// chunks take the scavenger-priority scrub queue instead of
+				// the OOB fast path.
 				bs := int64(c.P.BlockSize)
 				for i := uint32(0); i < count; i++ {
 					ch := &chunk{req: req, lba: lba + uint64(i), buf: buf + int64(i)*bs}
-					c.oobQ.Push(p, ch)
+					if op == OpVerify {
+						c.scrubQ.Push(p, ch)
+					} else {
+						c.oobQ.Push(p, ch)
+					}
 					c.dtuW.Release()
 				}
 			default:
@@ -264,7 +273,11 @@ func (c *Controller) pushPLBA(p *sim.Proc, f *Function, ch *chunk) {
 		c.Breakdown.Translate.Add((ch.tTransOut - ch.tTransIn).Micros())
 	}
 	c.Tracer.Emit(trace.Event{At: p.Now(), Kind: trace.KindTranslate, Fn: f.idx, LBA: ch.lba, Arg: uint64(ch.req.ID)})
-	c.plbaQs[f.idx-1].Push(p, ch)
+	if ch.req.Op == OpVerify {
+		c.scrubQ.Push(p, ch)
+	} else {
+		c.plbaQs[f.idx-1].Push(p, ch)
+	}
 	c.dtuW.Release()
 }
 
@@ -292,6 +305,10 @@ func (c *Controller) dtuPick() (*chunk, bool) {
 			f.dtuCredit = f.weight
 		}
 	}
+	// Scrub traffic is served only when every foreground queue is empty.
+	if ch, ok := c.scrubQ.TryPop(); ok {
+		return ch, true
+	}
 	return nil, false
 }
 
@@ -318,21 +335,46 @@ func (c *Controller) dtuLoop(p *sim.Proc) {
 		p.Sleep(c.P.DTUChunkOverhead)
 		status := uint32(StatusOK)
 		switch {
+		case ch.req.Op == OpVerify:
+			c.ScrubChunks++
+			if !ch.zero { // a hole has no media blocks to check
+				status = c.verifyChunk(p, ch, buf)
+			}
 		case ch.req.Op == OpRead && ch.zero:
+			if ch.req.pi {
+				ch.req.piAccum ^= c.zeroCRC
+			}
 			if err := c.dmaZeroP(p, ch.req.fn.id, ch.buf, int64(bs)); err != nil {
 				status = StatusDMAFault
 			}
 		case ch.req.Op == OpRead:
 			if st := c.mediumOp(p, ch, buf, false); st != StatusOK {
 				status = st
-			} else if err := c.dmaWriteP(p, ch.req.fn.id, ch.buf, buf); err != nil {
-				status = StatusDMAFault
+			} else {
+				if ch.req.pi {
+					ch.req.piAccum ^= ring.BlockCRC(buf)
+				}
+				// A DMA flip here corrupts the payload after the device
+				// computed its guard — exactly what end-to-end PI catches.
+				c.maybeCorruptDMA(ch, buf)
+				if err := c.dmaWriteP(p, ch.req.fn.id, ch.buf, buf); err != nil {
+					status = StatusDMAFault
+				}
 			}
 		default: // OpWrite
 			if err := c.dmaReadP(p, ch.req.fn.id, ch.buf, buf); err != nil {
 				status = StatusDMAFault
-			} else if st := c.mediumOp(p, ch, buf, true); st != StatusOK {
-				status = st
+			} else {
+				// A DMA flip here lands corrupted data on the medium under a
+				// matching medium guard; only the request-level PI check at
+				// completion time can see it.
+				c.maybeCorruptDMA(ch, buf)
+				if ch.req.pi {
+					ch.req.piAccum ^= ring.BlockCRC(buf)
+				}
+				if st := c.mediumOp(p, ch, buf, true); st != StatusOK {
+					status = st
+				}
 			}
 		}
 		c.ChunksDone++
@@ -345,11 +387,13 @@ func (c *Controller) dtuLoop(p *sim.Proc) {
 }
 
 // mediumOp performs one chunk's medium access, retrying transient medium
-// errors up to MediumRetryMax with a per-retry latency cost before latching
-// StatusMediumError. A non-medium failure (range/programming) maps to
-// StatusOutOfRange as before.
+// errors — and guard-tag mismatches, which a re-read of a transiently
+// flipped sector heals — up to MediumRetryMax with a per-retry latency cost
+// before latching StatusMediumError or StatusIntegrityError. A non-medium
+// failure (range/programming) maps to StatusOutOfRange as before.
 func (c *Controller) mediumOp(p *sim.Proc, ch *chunk, buf []byte, write bool) uint32 {
 	f := ch.req.fn
+	sawIntegrity := false
 	for attempt := 0; ; attempt++ {
 		var err error
 		if write {
@@ -358,12 +402,65 @@ func (c *Controller) mediumOp(p *sim.Proc, ch *chunk, buf []byte, write bool) ui
 			err = c.Medium.ReadP(p, int64(ch.lba), buf)
 		}
 		if err == nil {
+			if sawIntegrity {
+				// An earlier attempt failed its guard check and this re-read
+				// came back clean: the flip was transient.
+				f.IntegrityRepairs++
+				c.IntegrityRepairs++
+			}
 			return StatusOK
 		}
-		if !blockdev.IsMediumError(err) {
+		integrity := blockdev.IsIntegrityError(err)
+		if !integrity && !blockdev.IsMediumError(err) {
 			return StatusOutOfRange
 		}
+		sawIntegrity = sawIntegrity || integrity
 		c.Tracer.Emit(trace.Event{At: p.Now(), Kind: trace.KindFault, Fn: f.idx, LBA: ch.lba, Arg: uint64(ch.req.ID)})
+		if attempt >= c.P.MediumRetryMax {
+			if integrity {
+				f.IntegrityErrors++
+				c.IntegrityErrors++
+				return StatusIntegrityError
+			}
+			f.MediumErrors++
+			c.MediumErrors++
+			return StatusMediumError
+		}
+		f.MediumRetries++
+		c.MediumRetries++
+		p.Sleep(c.P.MediumRetryDelay)
+	}
+}
+
+// verifyChunk is the DTU's scrub path: read the block with guard checking
+// and, when the fast-path read keeps coming back bad (unreadable latent
+// sector or latched corruption), reconstruct the true contents through the
+// medium's slow recovery read and rewrite them — which clears the underlying
+// defect. Foreground traffic never waits on this: verify chunks are only
+// picked when every other queue is empty.
+func (c *Controller) verifyChunk(p *sim.Proc, ch *chunk, buf []byte) uint32 {
+	f := ch.req.fn
+	err := c.Medium.ReadP(p, int64(ch.lba), buf)
+	if err == nil {
+		return StatusOK
+	}
+	if !blockdev.IsMediumError(err) && !blockdev.IsIntegrityError(err) {
+		return StatusOutOfRange
+	}
+	c.Tracer.Emit(trace.Event{At: p.Now(), Kind: trace.KindFault, Fn: f.idx, LBA: ch.lba, Arg: uint64(ch.req.ID)})
+	if e := c.Medium.RecoverP(p, int64(ch.lba), buf); e != nil {
+		return StatusOutOfRange
+	}
+	for attempt := 0; ; attempt++ {
+		e := c.Medium.WriteP(p, int64(ch.lba), buf)
+		if e == nil {
+			f.IntegrityRepairs++
+			c.IntegrityRepairs++
+			return StatusOK
+		}
+		if !blockdev.IsMediumError(e) {
+			return StatusOutOfRange
+		}
 		if attempt >= c.P.MediumRetryMax {
 			f.MediumErrors++
 			c.MediumErrors++
@@ -372,6 +469,15 @@ func (c *Controller) mediumOp(p *sim.Proc, ch *chunk, buf []byte, write bool) ui
 		f.MediumRetries++
 		c.MediumRetries++
 		p.Sleep(c.P.MediumRetryDelay)
+	}
+}
+
+// maybeCorruptDMA consults the DMACorrupt fault site and, when it fires,
+// flips one payload bit in flight — silently, exactly like a bad cable or a
+// bridge with flaky SRAM would.
+func (c *Controller) maybeCorruptDMA(ch *chunk, buf []byte) {
+	if c.Inj.Decide(fault.DMACorrupt).Fault {
+		fault.Flip(buf, uint64(ch.lba)^(uint64(ch.req.ID)<<20))
 	}
 }
 
@@ -419,13 +525,28 @@ func (c *Controller) sendCompletion(p *sim.Proc, r *Request) {
 	if f.inflight > 0 {
 		f.inflight--
 	}
+	if r.pi && r.Op == OpWrite && r.status == StatusOK && r.piAccum != r.piGuard {
+		// The device's accumulated guard disagrees with what the submitter
+		// computed over the source buffer: the payload was corrupted between
+		// the submitter's memory and the medium (e.g. a DMA flip). The data
+		// is already on the medium under a self-consistent medium guard, so
+		// this end-to-end check is the only detector; fail the request so
+		// the driver rewrites.
+		r.status = StatusIntegrityError
+		f.IntegrityErrors++
+		c.IntegrityErrors++
+	}
 	c.Tracer.Emit(trace.Event{At: p.Now(), Kind: trace.KindComplete, Fn: f.idx, LBA: r.LBA, Arg: uint64(r.status)})
 	if q == nil || q.cplBase == 0 || q.ringSize == 0 {
 		return // no completion ring programmed (management-only function)
 	}
 	q.cplSeq++
+	var guard uint32
+	if r.pi && r.Op == OpRead && r.status == StatusOK {
+		guard = r.piAccum
+	}
 	entry := make([]byte, CplBytes)
-	EncodeCompletion(entry, r.ID, r.status, q.cplSeq)
+	ring.EncodeCompletionPI(entry, r.ID, r.status, q.cplSeq, guard)
 	if err := c.dmaWriteP(p, c.pf.id, ring.CplSlot(q.cplBase, q.cplSeq, q.ringSize), entry); err != nil {
 		// The completion entry never reached host memory: the guest will
 		// only learn of this request through its timeout path.

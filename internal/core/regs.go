@@ -38,6 +38,8 @@ const (
 	RegNumQueues      = 0x58 // RO: active queue-pair count (4B)
 	RegErrBadRing     = 0x60 // RO: rejected ring-size writes (8B)
 	RegErrBadDoorbell = 0x68 // RO: ignored incoherent doorbell writes (8B)
+	RegErrIntegrity   = 0x70 // RO: requests latched StatusIntegrityError (8B)
+	RegIntegrityFixes = 0x78 // RO: integrity failures healed by retry/scrub (8B)
 
 	// Per-queue register blocks. Queue q's block sits at
 	// QueueRegBase + q*QueueRegStride; offsets within a block below.
@@ -169,6 +171,10 @@ func (c *Controller) MMIORead(off int64, size int) uint64 {
 		return uint64(f.BadRingSizes)
 	case RegErrBadDoorbell:
 		return uint64(f.BadDoorbells)
+	case RegErrIntegrity:
+		return uint64(f.IntegrityErrors)
+	case RegIntegrityFixes:
+		return uint64(f.IntegrityRepairs)
 	}
 	return 0
 }

@@ -1,0 +1,129 @@
+package fault
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCorruptSectorsLatchAndClear(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1, CorruptSectors: []int64{5, 9}})
+	if got := in.CorruptCount(); got != 2 {
+		t.Fatalf("seeded corrupt count = %d, want 2", got)
+	}
+
+	d := in.MediumAccess(false, 0, 16)
+	if d.Fault {
+		t.Fatal("corrupt sectors must not fail the read loudly")
+	}
+	if len(d.CorruptBlocks) != 2 || d.CorruptBlocks[0] != 5 || d.CorruptBlocks[1] != 9 {
+		t.Fatalf("CorruptBlocks = %v, want [5 9]", d.CorruptBlocks)
+	}
+	if in.CorruptHits != 2 {
+		t.Fatalf("CorruptHits = %d, want 2", in.CorruptHits)
+	}
+
+	// A successful write over sector 5 heals it; 9 stays latched.
+	if d := in.MediumAccess(true, 4, 4); d.Fault {
+		t.Fatal("write faulted with no write sites armed")
+	}
+	if in.CorruptCleared != 1 {
+		t.Fatalf("CorruptCleared = %d, want 1", in.CorruptCleared)
+	}
+	d = in.MediumAccess(false, 0, 16)
+	if len(d.CorruptBlocks) != 1 || d.CorruptBlocks[0] != 9 {
+		t.Fatalf("after heal CorruptBlocks = %v, want [9]", d.CorruptBlocks)
+	}
+}
+
+func TestCorruptWriteLatchesFirstLBA(t *testing.T) {
+	var plan Plan
+	plan.Seed = 7
+	plan.Sites[MediumCorruptWrite].Prob = 1
+	in := NewInjector(plan)
+
+	// The write itself succeeds — that is the whole point of the site.
+	if d := in.MediumAccess(true, 40, 4); d.Fault {
+		t.Fatal("corrupt-write must not fail the write")
+	}
+	if in.CorruptAdded != 1 || in.CorruptCount() != 1 {
+		t.Fatalf("CorruptAdded=%d CorruptCount=%d, want 1/1", in.CorruptAdded, in.CorruptCount())
+	}
+	d := in.MediumAccess(false, 40, 4)
+	if len(d.CorruptBlocks) != 1 || d.CorruptBlocks[0] != 40 {
+		t.Fatalf("CorruptBlocks = %v, want [40]", d.CorruptBlocks)
+	}
+}
+
+func TestCorruptReadIsTransient(t *testing.T) {
+	var plan Plan
+	plan.Seed = 7
+	plan.Sites[MediumCorruptRead].Prob = 1
+	in := NewInjector(plan)
+
+	d := in.MediumAccess(false, 12, 2)
+	if d.Fault {
+		t.Fatal("corrupt-read must not fail the read")
+	}
+	if len(d.CorruptBlocks) != 1 || d.CorruptBlocks[0] != 12 {
+		t.Fatalf("CorruptBlocks = %v, want [12]", d.CorruptBlocks)
+	}
+	// Nothing latched: the sector itself is fine.
+	if in.CorruptCount() != 0 {
+		t.Fatalf("transient flip latched a sector: CorruptCount = %d", in.CorruptCount())
+	}
+}
+
+func TestFlipDeterministicSingleBit(t *testing.T) {
+	orig := []byte("the quick brown fox jumps over the lazy dog, padded to a block")
+	a := append([]byte(nil), orig...)
+	b := append([]byte(nil), orig...)
+	Flip(a, 42)
+	Flip(b, 42)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same salt produced different flips")
+	}
+	diff := 0
+	for i := range a {
+		for bit := 0; bit < 8; bit++ {
+			if (a[i]^orig[i])>>bit&1 == 1 {
+				diff++
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("flip changed %d bits, want exactly 1", diff)
+	}
+	// Flipping again with the same salt restores the original.
+	Flip(a, 42)
+	if !bytes.Equal(a, orig) {
+		t.Fatal("double flip did not restore the payload")
+	}
+}
+
+// TestCorruptSitesPreserveLoudSchedule is the replay-compatibility
+// guarantee: arming the corruption sites must not perturb the loud sites'
+// PRNG draws, so a pre-corruption fault schedule stays bit-identical.
+func TestCorruptSitesPreserveLoudSchedule(t *testing.T) {
+	var loud Plan
+	loud.Seed = 99
+	loud.Sites[MediumRead].Prob = 0.3
+	loud.Sites[MediumWrite].Prob = 0.2
+
+	armed := loud
+	armed.Sites[MediumCorruptRead].Prob = 0.5
+	armed.Sites[MediumCorruptWrite].Prob = 0.5
+	armed.Sites[DMACorrupt].Prob = 0.5
+
+	a, b := NewInjector(loud), NewInjector(armed)
+	for i := 0; i < 4096; i++ {
+		write := i%3 == 0
+		da := a.MediumAccess(write, int64(i%64), 4)
+		db := b.MediumAccess(write, int64(i%64), 4)
+		if da.Fault != db.Fault {
+			t.Fatalf("op %d: loud verdict diverged (%v vs %v) once corruption sites armed", i, da.Fault, db.Fault)
+		}
+	}
+	if a.Faults(MediumRead) != b.Faults(MediumRead) || a.Faults(MediumWrite) != b.Faults(MediumWrite) {
+		t.Fatal("loud fault counts diverged with corruption sites armed")
+	}
+}

@@ -40,6 +40,11 @@ const (
 	DMAWrite
 	MSI
 	MissHandler
+	// Silent-corruption sites: instead of failing the operation these
+	// bit-flip its payload, so only integrity metadata can catch them.
+	MediumCorruptRead
+	MediumCorruptWrite
+	DMACorrupt
 	NumSites
 )
 
@@ -57,6 +62,12 @@ func (s Site) String() string {
 		return "msi"
 	case MissHandler:
 		return "miss-handler"
+	case MediumCorruptRead:
+		return "corrupt-read"
+	case MediumCorruptWrite:
+		return "corrupt-write"
+	case DMACorrupt:
+		return "dma-corrupt"
 	default:
 		return fmt.Sprintf("Site(%d)", int(s))
 	}
@@ -88,6 +99,10 @@ type Plan struct {
 	// LatentProb is the probability that a faulted medium read latches the
 	// first LBA of the access as a latent bad sector.
 	LatentProb float64
+	// CorruptSectors are medium LBAs that hold silently corrupted data from
+	// the start: reads return bit-flipped payloads (no error) until the
+	// sector is successfully rewritten. Only integrity metadata detects them.
+	CorruptSectors []int64
 }
 
 // Decision is the injector's verdict for one operation.
@@ -96,6 +111,17 @@ type Decision struct {
 	Fault bool
 	// Delay is extra latency to add (independently of Fault).
 	Delay sim.Time
+}
+
+// MediumDecision is the verdict for one medium access: the loud half
+// (Decision) plus the silent half — blocks whose payload must be returned
+// bit-flipped. The store keeps the true bytes; corruption is applied on the
+// way out, which is what lets a later scrub recover the sector.
+type MediumDecision struct {
+	Decision
+	// CorruptBlocks lists LBAs within the access whose read payload must be
+	// bit-flipped (persistently latched sectors plus transient read flips).
+	CorruptBlocks []int64
 }
 
 // Injector executes a Plan. Not safe for concurrent use — like the rest of
@@ -107,16 +133,25 @@ type Injector struct {
 	faults  [NumSites]int64
 	delays  [NumSites]int64
 	latent  map[int64]struct{}
+	corrupt map[int64]struct{}
 
 	// LatentHits counts reads that failed on a latent sector; LatentAdded
 	// counts sectors latched latent by a faulted read; LatentCleared counts
 	// sectors repaired by a successful rewrite.
 	LatentHits, LatentAdded, LatentCleared int64
+	// CorruptHits counts read blocks returned corrupted from a latched
+	// sector; CorruptAdded counts sectors latched corrupt by a corrupt-write
+	// fault; CorruptCleared counts sectors healed by a successful rewrite.
+	CorruptHits, CorruptAdded, CorruptCleared int64
 }
 
 // NewInjector compiles a plan into a ready injector.
 func NewInjector(plan Plan) *Injector {
-	in := &Injector{plan: plan, latent: make(map[int64]struct{})}
+	in := &Injector{
+		plan:    plan,
+		latent:  make(map[int64]struct{}),
+		corrupt: make(map[int64]struct{}),
+	}
 	for s := Site(0); s < NumSites; s++ {
 		// Distinct, seed-derived stream per site so decisions at one site
 		// never perturb another site's sequence.
@@ -124,6 +159,9 @@ func NewInjector(plan Plan) *Injector {
 	}
 	for _, lba := range plan.LatentSectors {
 		in.latent[lba] = struct{}{}
+	}
+	for _, lba := range plan.CorruptSectors {
+		in.corrupt[lba] = struct{}{}
 	}
 	return in
 }
@@ -172,22 +210,38 @@ func (in *Injector) Decide(s Site) Decision {
 
 // MediumAccess decides one medium operation covering blocks [lba,
 // lba+blocks). Reads additionally fail on latent sectors; a successful write
-// repairs any latent sectors it covers. Safe on a nil receiver.
-func (in *Injector) MediumAccess(write bool, lba, blocks int64) Decision {
+// repairs any latent (and silently corrupt) sectors it covers. Reads of
+// latched-corrupt sectors, and reads hit by a transient corrupt-read fault,
+// report those blocks in CorruptBlocks — the operation itself succeeds.
+// A corrupt-write fault lets the operation "succeed" but latches its first
+// LBA as persistently corrupt. Safe on a nil receiver.
+func (in *Injector) MediumAccess(write bool, lba, blocks int64) MediumDecision {
 	if in == nil {
-		return Decision{}
+		return MediumDecision{}
 	}
 	site := MediumRead
 	if write {
 		site = MediumWrite
 	}
-	d := in.Decide(site)
+	// The loud half draws exactly as before the corruption sites existed, so
+	// pre-existing fault schedules replay bit-identically.
+	d := MediumDecision{Decision: in.Decide(site)}
 	if write {
 		if !d.Fault {
 			for b := lba; b < lba+blocks; b++ {
 				if _, ok := in.latent[b]; ok {
 					delete(in.latent, b)
 					in.LatentCleared++
+				}
+				if _, ok := in.corrupt[b]; ok {
+					delete(in.corrupt, b)
+					in.CorruptCleared++
+				}
+			}
+			if cd := in.Decide(MediumCorruptWrite); cd.Fault {
+				if _, ok := in.corrupt[lba]; !ok {
+					in.corrupt[lba] = struct{}{}
+					in.CorruptAdded++
 				}
 			}
 		}
@@ -204,6 +258,19 @@ func (in *Injector) MediumAccess(write bool, lba, blocks int64) Decision {
 		if _, ok := in.latent[lba]; !ok {
 			in.latent[lba] = struct{}{}
 			in.LatentAdded++
+		}
+	}
+	if !d.Fault {
+		for b := lba; b < lba+blocks; b++ {
+			if _, ok := in.corrupt[b]; ok {
+				d.CorruptBlocks = append(d.CorruptBlocks, b)
+				in.CorruptHits++
+			}
+		}
+		if cd := in.Decide(MediumCorruptRead); cd.Fault && len(d.CorruptBlocks) == 0 {
+			// Transient flip: this read of the first block comes back wrong,
+			// but the sector itself is fine (a retry sees clean data).
+			d.CorruptBlocks = append(d.CorruptBlocks, lba)
 		}
 	}
 	return d
@@ -245,6 +312,74 @@ func (in *Injector) LatentCount() int {
 	return len(in.latent)
 }
 
+// CorruptCount reports the number of currently latched-corrupt sectors.
+func (in *Injector) CorruptCount() int {
+	if in == nil {
+		return 0
+	}
+	return len(in.corrupt)
+}
+
+// LatentList returns the currently latent sector LBAs in ascending order
+// (for scrubbers that target known-bad sectors deterministically).
+func (in *Injector) LatentList() []int64 {
+	if in == nil {
+		return nil
+	}
+	out := make([]int64, 0, len(in.latent))
+	for lba := range in.latent {
+		out = append(out, lba)
+	}
+	sortInt64s(out)
+	return out
+}
+
+// CorruptList returns the currently latched-corrupt sector LBAs in
+// ascending order.
+func (in *Injector) CorruptList() []int64 {
+	if in == nil {
+		return nil
+	}
+	out := make([]int64, 0, len(in.corrupt))
+	for lba := range in.corrupt {
+		out = append(out, lba)
+	}
+	sortInt64s(out)
+	return out
+}
+
+// CorruptionsInjected totals the silent corruptions the plan has inflicted:
+// latched-sector read hits plus transient read flips plus DMA flips.
+func (in *Injector) CorruptionsInjected() int64 {
+	if in == nil {
+		return 0
+	}
+	return in.CorruptHits + in.faults[MediumCorruptRead] + in.faults[DMACorrupt]
+}
+
+// Flip corrupts p in place by flipping one bit at a position derived
+// deterministically from salt. The same salt always flips the same bit, so a
+// latched-corrupt sector returns the same wrong bytes on every read.
+func Flip(p []byte, salt uint64) {
+	if len(p) == 0 {
+		return
+	}
+	z := salt + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	p[z%uint64(len(p))] ^= 1 << ((z >> 8) % 8)
+}
+
+func sortInt64s(a []int64) {
+	// Insertion sort: the latch sets are tiny and this avoids an import.
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
 // Summary renders the per-site counters as one deterministic line per site —
 // chaos tests compare summaries across runs to prove seed reproducibility.
 func (in *Injector) Summary() string {
@@ -259,5 +394,7 @@ func (in *Injector) Summary() string {
 	}
 	fmt.Fprintf(&b, "  latent: hits=%d added=%d cleared=%d live=%d\n",
 		in.LatentHits, in.LatentAdded, in.LatentCleared, len(in.latent))
+	fmt.Fprintf(&b, "  corrupt: hits=%d added=%d cleared=%d live=%d\n",
+		in.CorruptHits, in.CorruptAdded, in.CorruptCleared, len(in.corrupt))
 	return b.String()
 }

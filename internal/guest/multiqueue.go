@@ -79,6 +79,13 @@ func (mq *MultiQueue) SetRecovery(timeout sim.Time, retryMax int) {
 	}
 }
 
+// SetPI enables end-to-end protection information on every queue.
+func (mq *MultiQueue) SetPI(blockBytes int) {
+	for _, qp := range mq.queues {
+		qp.SetPI(blockBytes)
+	}
+}
+
 // DMARanges reports the ring memory of every queue, for IOMMU grants.
 func (mq *MultiQueue) DMARanges() [][2]int64 {
 	var rs [][2]int64

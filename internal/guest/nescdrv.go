@@ -64,6 +64,10 @@ type NescDriverConfig struct {
 	Queues int
 	// Policy steers submissions across queues (default PolicyHash).
 	Policy Policy
+	// DisablePI turns off end-to-end protection information (guard tags in
+	// descriptors and completions). On by default: PI is pure arithmetic and
+	// does not alter the event schedule.
+	DisablePI bool
 }
 
 // NewNescDriver programs the VF rings and reads the device geometry.
@@ -86,6 +90,9 @@ func NewNescDriver(p *sim.Proc, eng *sim.Engine, cfg NescDriverConfig) (*NescDri
 	}
 	mq.SetPolicy(cfg.Policy)
 	mq.SetRecovery(cfg.Timeout, cfg.RetryMax)
+	if !cfg.DisablePI {
+		mq.SetPI(cfg.BlockSize)
+	}
 	size, err := mq.DeviceSize(p)
 	if err != nil {
 		return nil, err

@@ -58,6 +58,13 @@ type QueuePair struct {
 	Timeout  sim.Time
 	RetryMax int
 
+	// piBlock, when positive, enables end-to-end protection information at
+	// that block granularity: writes carry a driver-computed guard in the
+	// descriptor, and read completions return a device-computed guard the
+	// driver verifies against the received payload. Guard math is timeless,
+	// so enabling PI never perturbs the event schedule.
+	piBlock int
+
 	// Submitted counts requests issued.
 	Submitted int64
 
@@ -69,11 +76,14 @@ type QueuePair struct {
 	SeqGaps           int64 // sequence numbers skipped over by polling
 	Aborts            int64 // submissions killed by a function reset
 	Resets            int64 // Recover calls
+	PIMismatches      int64 // read payloads that failed driver-side PI verification
+	PIWriteErrors     int64 // StatusIntegrityError completions (device-side PI check)
 }
 
 type qpWaiter struct {
 	sig     *sim.Signal
 	status  uint32
+	guard   uint32
 	aborted bool
 }
 
@@ -142,6 +152,19 @@ func (qp *QueuePair) program(p *sim.Proc) error {
 // Queue reports the queue-pair index this driver owns within its function.
 func (qp *QueuePair) Queue() int { return qp.queue }
 
+// SetPI enables end-to-end protection information on read/write submissions,
+// at the given device block size. Zero disables it.
+func (qp *QueuePair) SetPI(blockBytes int) { qp.piBlock = blockBytes }
+
+// piGuard computes the request-level PI guard over the payload at bufAddr.
+func (qp *QueuePair) piGuard(count uint32, bufAddr int64) (uint32, error) {
+	data, err := qp.mem.Slice(bufAddr, int64(count)*int64(qp.piBlock))
+	if err != nil {
+		return 0, err
+	}
+	return ring.PIGuard(data, qp.piBlock), nil
+}
+
 // FreeSlots reports how many submission slots are currently unclaimed; the
 // least-occupied multi-queue policy steers by it.
 func (qp *QueuePair) FreeSlots() int { return qp.slots.Available() }
@@ -164,15 +187,31 @@ func (qp *QueuePair) DeviceSize(p *sim.Proc) (uint64, error) {
 // device status code. With Timeout set, a lost request is recovered by
 // polling and resubmission; past the retry budget Submit returns ErrTimeout
 // (or ErrReset when the request was killed by a function-level reset).
+// Integrity failures — a StatusIntegrityError completion or a driver-side PI
+// mismatch on a read payload — are retried by resubmission the same way; a
+// mismatch that outlives the budget surfaces ring.ErrIntegrity, never the
+// corrupted data as a clean success.
 func (qp *QueuePair) Submit(p *sim.Proc, op uint32, lba uint64, count uint32, bufAddr int64) (uint32, error) {
 	qp.slots.Acquire(p)
 	defer qp.slots.Release()
+	wireOp := op
+	var guard uint32
+	if qp.piBlock > 0 && (ring.OpCode(op) == ring.OpRead || ring.OpCode(op) == ring.OpWrite) {
+		wireOp |= ring.OpFlagPI
+		if ring.OpCode(op) == ring.OpWrite {
+			g, err := qp.piGuard(count, bufAddr)
+			if err != nil {
+				return 0, err
+			}
+			guard = g
+		}
+	}
 	for attempt := 0; ; attempt++ {
 		p.Sleep(qp.SubmitTime)
 		qp.nextID++
 		id := qp.nextID
 		var desc [ring.DescBytes]byte
-		ring.EncodeDescriptor(desc[:], op, id, lba, count, bufAddr)
+		ring.EncodeDescriptorPI(desc[:], wireOp, id, lba, count, bufAddr, guard)
 		if err := qp.mem.Write(ring.DescSlot(qp.ringBase, qp.prod, qp.entries), desc[:]); err != nil {
 			return 0, err
 		}
@@ -184,9 +223,13 @@ func (qp *QueuePair) Submit(p *sim.Proc, op uint32, lba uint64, count uint32, bu
 			delete(qp.waiters, id) // the doorbell never rang; drop the waiter
 			return 0, err
 		}
+		piBad := false
 		if w.sig.AwaitTimeout(p, qp.Timeout<<uint(attempt)) {
 			if !w.aborted {
-				return w.status, nil
+				if qp.completionOK(op, w, count, bufAddr) {
+					return w.status, nil
+				}
+				piBad = true
 			}
 		} else {
 			// Deadline hit: the completion MSI may have been lost while the
@@ -194,7 +237,10 @@ func (qp *QueuePair) Submit(p *sim.Proc, op uint32, lba uint64, count uint32, bu
 			qp.Timeouts++
 			qp.pollRing()
 			if w.sig.Fired() && !w.aborted {
-				return w.status, nil
+				if qp.completionOK(op, w, count, bufAddr) {
+					return w.status, nil
+				}
+				piBad = true
 			}
 		}
 		delete(qp.waiters, id) // a late completion for id becomes stale
@@ -202,13 +248,39 @@ func (qp *QueuePair) Submit(p *sim.Proc, op uint32, lba uint64, count uint32, bu
 			qp.Aborts++
 		}
 		if attempt >= qp.RetryMax {
-			if w.aborted {
+			switch {
+			case w.aborted:
 				return 0, ErrReset
+			case piBad && w.status == ring.StatusIntegrityError:
+				// The device's own check kept failing the request.
+				return w.status, nil
+			case piBad:
+				// Status said OK but the payload never verified.
+				return 0, ring.ErrIntegrity
+			default:
+				return 0, ErrTimeout
 			}
-			return 0, ErrTimeout
 		}
 		qp.Resubmits++
 	}
+}
+
+// completionOK decides whether a delivered completion ends the submission:
+// integrity statuses and PI payload mismatches are resubmitted like
+// timeouts, everything else (including other error statuses, which the
+// caller maps through StatusError) is final.
+func (qp *QueuePair) completionOK(op uint32, w *qpWaiter, count uint32, bufAddr int64) bool {
+	if w.status == ring.StatusIntegrityError {
+		qp.PIWriteErrors++
+		return false
+	}
+	if qp.piBlock > 0 && ring.OpCode(op) == ring.OpRead && w.status == ring.StatusOK {
+		if g, err := qp.piGuard(count, bufAddr); err == nil && g != w.guard {
+			qp.PIMismatches++
+			return false
+		}
+	}
+	return true
 }
 
 // OnInterrupt drains new completion entries and wakes their submitters. It
@@ -219,22 +291,23 @@ func (qp *QueuePair) OnInterrupt() {
 		if err := qp.mem.Read(ring.CplSlot(qp.cplBase, qp.lastSeq+1, qp.entries), entry); err != nil {
 			return
 		}
-		id, status, seq := ring.DecodeCompletion(entry)
+		id, status, seq, guard := ring.DecodeCompletionPI(entry)
 		if seq != qp.lastSeq+1 {
 			return
 		}
 		qp.lastSeq = seq
-		qp.deliver(id, status)
+		qp.deliver(id, status, guard)
 	}
 }
 
 // deliver routes one completion to its waiter; a completion whose id has no
 // waiter (duplicate after a resubmit, or stale after a reset) is counted
 // instead of silently matching nothing.
-func (qp *QueuePair) deliver(id, status uint32) {
+func (qp *QueuePair) deliver(id, status, guard uint32) {
 	if w, ok := qp.waiters[id]; ok {
 		delete(qp.waiters, id)
 		w.status = status
+		w.guard = guard
 		w.sig.Fire()
 		return
 	}
@@ -253,14 +326,14 @@ func (qp *QueuePair) pollRing() {
 			if err := qp.mem.Read(ring.CplSlot(qp.cplBase, qp.lastSeq+k, qp.entries), entry); err != nil {
 				return
 			}
-			id, status, seq := ring.DecodeCompletion(entry)
+			id, status, seq, guard := ring.DecodeCompletionPI(entry)
 			if seq != qp.lastSeq+k {
 				continue
 			}
 			qp.SeqGaps += int64(k - 1)
 			qp.lastSeq = seq
 			qp.PolledCompletions++
-			qp.deliver(id, status)
+			qp.deliver(id, status, guard)
 			advanced = true
 			break
 		}

@@ -62,6 +62,11 @@ type Params struct {
 	// the fault-free event schedule exactly.
 	VFRequestTimeout sim.Time
 	VFRetryMax       int
+	// DisablePI turns off end-to-end protection information on every ring
+	// driver the hypervisor sets up (the integrity-ablation knob). PI is
+	// timeless — pure guard arithmetic — so either setting yields the same
+	// virtual-time schedule on a healthy device.
+	DisablePI bool
 }
 
 // DefaultParams returns costs representative of the paper's QEMU/KVM
@@ -138,6 +143,16 @@ type Hypervisor struct {
 	MissFaults int64
 	// VFResets counts function-level resets issued through ResetVF.
 	VFResets int64
+
+	// Background scrubber state and lifetime counters (see scrub.go).
+	scrubOn     bool
+	scrubStop   bool
+	ScrubPasses int64
+	ScrubBlocks int64
+	ScrubErrors int64
+	// ScrubRepairs counts device integrity repairs observed during scrub
+	// passes (a subset of the controller's IntegrityRepairs).
+	ScrubRepairs int64
 }
 
 // New wires a hypervisor to the controller and installs the MSI router.
@@ -181,6 +196,8 @@ type DriverRecoveryStats struct {
 	SeqGaps           int64
 	Aborts            int64
 	Resets            int64
+	PIMismatches      int64
+	PIWriteErrors     int64
 }
 
 // RecoveryStats sums driver recovery counters across all registered queue
@@ -196,6 +213,8 @@ func (h *Hypervisor) RecoveryStats() DriverRecoveryStats {
 			st.SeqGaps += qp.SeqGaps
 			st.Aborts += qp.Aborts
 			st.Resets += qp.Resets
+			st.PIMismatches += qp.PIMismatches
+			st.PIWriteErrors += qp.PIWriteErrors
 		}
 	}
 	return st
@@ -235,6 +254,9 @@ func (h *Hypervisor) Boot(p *sim.Proc, format bool, fsParams extfs.Params) error
 	// PF completion would otherwise wedge the host filesystem (and with it the
 	// miss handler) forever.
 	mq.SetRecovery(h.P.VFRequestTimeout, h.P.VFRetryMax)
+	if !h.P.DisablePI {
+		mq.SetPI(h.Ctl.P.BlockSize)
+	}
 	h.pfQP = mq
 	h.qps[h.Ctl.PF().ID()] = mq
 	disk := h.PFDisk()

@@ -123,6 +123,7 @@ func (h *Hypervisor) NewVM(p *sim.Proc, name string, cfg VMConfig) (*VM, error) 
 			RetryMax:        h.P.VFRetryMax,
 			Queues:          queues,
 			Policy:          cfg.VFQueuePolicy,
+			DisablePI:       h.P.DisablePI,
 		})
 		if err != nil {
 			return nil, err

@@ -1,0 +1,82 @@
+package ring
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestPIDescriptorRoundTrip(t *testing.T) {
+	b := make([]byte, DescBytes)
+	EncodeDescriptorPI(b, OpWrite|OpFlagPI, 42, 1000, 8, 0x4000, 0xDEADBEEF)
+	op, id, lba, count, buf, guard := DecodeDescriptorPI(b)
+	if op != OpWrite|OpFlagPI || id != 42 || lba != 1000 || count != 8 || buf != 0x4000 || guard != 0xDEADBEEF {
+		t.Fatalf("round trip: op=%#x id=%d lba=%d count=%d buf=%#x guard=%#x", op, id, lba, count, buf, guard)
+	}
+	if OpCode(op) != OpWrite {
+		t.Fatalf("OpCode(%#x) = %#x, want OpWrite", op, OpCode(op))
+	}
+}
+
+func TestPICompletionRoundTrip(t *testing.T) {
+	b := make([]byte, CplBytes)
+	EncodeCompletionPI(b, 7, StatusOK, 99, 0xCAFEF00D)
+	id, status, seq, guard := DecodeCompletionPI(b)
+	if id != 7 || status != StatusOK || seq != 99 || guard != 0xCAFEF00D {
+		t.Fatalf("round trip: id=%d status=%d seq=%d guard=%#x", id, status, seq, guard)
+	}
+}
+
+// TestPIWordsOccupyReservedFields pins the compatibility contract: non-PI
+// encodes must produce the exact wire image of a PI encode with guard 0, so
+// pre-PI traffic is bit-identical on the wire.
+func TestPIWordsOccupyReservedFields(t *testing.T) {
+	legacy := make([]byte, DescBytes)
+	pi := make([]byte, DescBytes)
+	EncodeDescriptor(legacy, OpRead, 1, 2, 3, 4)
+	EncodeDescriptorPI(pi, OpRead, 1, 2, 3, 4, 0)
+	if !bytes.Equal(legacy, pi) {
+		t.Fatal("legacy descriptor differs from PI descriptor with zero guard")
+	}
+	lc := make([]byte, CplBytes)
+	pc := make([]byte, CplBytes)
+	EncodeCompletion(lc, 1, 2, 3)
+	EncodeCompletionPI(pc, 1, 2, 3, 0)
+	if !bytes.Equal(lc, pc) {
+		t.Fatal("legacy completion differs from PI completion with zero guard")
+	}
+}
+
+// TestPIGuardOrderIndependent verifies the XOR-accumulation property the
+// device relies on: chunks folded in any order yield the request guard.
+func TestPIGuardOrderIndependent(t *testing.T) {
+	const bs = 64
+	payload := make([]byte, 4*bs)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	want := PIGuard(payload, bs)
+	// Fold per-block CRCs in reverse order.
+	var got uint32
+	for b := 3; b >= 0; b-- {
+		got ^= BlockCRC(payload[b*bs : (b+1)*bs])
+	}
+	if got != want {
+		t.Fatalf("reverse accumulation %#x != request guard %#x", got, want)
+	}
+	// A single flipped bit anywhere must move the guard.
+	payload[137] ^= 1
+	if PIGuard(payload, bs) == want {
+		t.Fatal("guard did not change after a bit flip")
+	}
+}
+
+func TestStatusIntegrityErrorMapsToSentinel(t *testing.T) {
+	err := StatusError(StatusIntegrityError)
+	if !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("StatusError(StatusIntegrityError) = %v, not ErrIntegrity", err)
+	}
+	if StatusError(StatusOK) != nil {
+		t.Fatal("StatusOK produced an error")
+	}
+}

@@ -25,8 +25,34 @@ package ring
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 )
+
+// piTable is the CRC-32C (Castagnoli) table shared by both ends of the PI
+// protocol — the same polynomial T10 DIF guard tags use.
+var piTable = crc32.MakeTable(crc32.Castagnoli)
+
+// BlockCRC computes the protection-information CRC of one block image.
+func BlockCRC(p []byte) uint32 { return crc32.Checksum(p, piTable) }
+
+// PIGuard computes a request-level guard over a multi-block payload: the XOR
+// of each block's CRC-32C. XOR is order-independent, so the device can
+// accumulate it chunk by chunk even when chunks complete out of order across
+// DMA channels.
+func PIGuard(p []byte, blockBytes int) uint32 {
+	var g uint32
+	for off := 0; off+blockBytes <= len(p); off += blockBytes {
+		g ^= crc32.Checksum(p[off:off+blockBytes], piTable)
+	}
+	return g
+}
+
+// ErrIntegrity is the driver-visible sentinel for a guard-tag mismatch that
+// survived the device's retry ladder (StatusIntegrityError) or was caught by
+// the driver's own end-to-end PI verification. Match with errors.Is.
+var ErrIntegrity = errors.New("nesc: data integrity error (guard mismatch)")
 
 // Wire sizes.
 const (
@@ -36,21 +62,36 @@ const (
 	CplBytes = 16
 )
 
-// Operation codes in request descriptors.
+// Operation codes in request descriptors. The low byte is the opcode; the
+// bits above it are per-request flags.
 const (
-	OpRead  = 1
-	OpWrite = 2
+	OpRead   = 1
+	OpWrite  = 2
+	OpVerify = 3 // read and guard-check, no data DMA (scrub traffic)
+
+	// OpFlagPI marks a request carrying end-to-end protection information:
+	// the descriptor guard field holds the submitter-computed XOR of the
+	// payload's per-block CRC-32C tags on writes, and the completion guard
+	// field returns the device-computed XOR on reads.
+	OpFlagPI = 0x100
+
+	// OpCodeMask extracts the opcode from an op field.
+	OpCodeMask = 0xFF
 )
+
+// OpCode strips the flag bits from an op field.
+func OpCode(op uint32) uint32 { return op & OpCodeMask }
 
 // Completion status codes.
 const (
-	StatusOK          = 0
-	StatusOutOfRange  = 1 // request exceeds the virtual device
-	StatusNoSpace     = 2 // hypervisor denied allocation (quota/space)
-	StatusDisabled    = 3 // function not enabled
-	StatusDMAFault    = 4 // data-buffer DMA faulted in the IOMMU
-	StatusMediumError = 5 // medium error persisted through all retries
-	StatusAborted     = 6 // request killed by a function-level reset
+	StatusOK             = 0
+	StatusOutOfRange     = 1 // request exceeds the virtual device
+	StatusNoSpace        = 2 // hypervisor denied allocation (quota/space)
+	StatusDisabled       = 3 // function not enabled
+	StatusDMAFault       = 4 // data-buffer DMA faulted in the IOMMU
+	StatusMediumError    = 5 // medium error persisted through all retries
+	StatusAborted        = 6 // request killed by a function-level reset
+	StatusIntegrityError = 7 // guard-tag mismatch persisted through all retries
 )
 
 // MaxEntries bounds a ring's entry count.
@@ -84,36 +125,66 @@ func CplSlot(base int64, seq, entries uint32) int64 {
 }
 
 // EncodeDescriptor writes a request descriptor in the device wire format.
+// The word at offset 20 — reserved (always zero) before protection
+// information existed — carries the write-direction PI guard; requests
+// without OpFlagPI still encode zero there, so the wire image is unchanged
+// for non-PI traffic.
 func EncodeDescriptor(b []byte, op, id uint32, lba uint64, count uint32, buf int64) {
+	EncodeDescriptorPI(b, op, id, lba, count, buf, 0)
+}
+
+// EncodeDescriptorPI is EncodeDescriptor with an explicit guard word.
+func EncodeDescriptorPI(b []byte, op, id uint32, lba uint64, count uint32, buf int64, guard uint32) {
 	binary.BigEndian.PutUint32(b[0:], op)
 	binary.BigEndian.PutUint32(b[4:], id)
 	binary.BigEndian.PutUint64(b[8:], lba)
 	binary.BigEndian.PutUint32(b[16:], count)
-	binary.BigEndian.PutUint32(b[20:], 0)
+	binary.BigEndian.PutUint32(b[20:], guard)
 	binary.BigEndian.PutUint64(b[24:], uint64(buf))
 }
 
 // DecodeDescriptor parses a request descriptor.
 func DecodeDescriptor(b []byte) (op, id uint32, lba uint64, count uint32, buf int64) {
+	op, id, lba, count, buf, _ = DecodeDescriptorPI(b)
+	return
+}
+
+// DecodeDescriptorPI parses a request descriptor including its guard word.
+func DecodeDescriptorPI(b []byte) (op, id uint32, lba uint64, count uint32, buf int64, guard uint32) {
 	op = binary.BigEndian.Uint32(b[0:])
 	id = binary.BigEndian.Uint32(b[4:])
 	lba = binary.BigEndian.Uint64(b[8:])
 	count = binary.BigEndian.Uint32(b[16:])
+	guard = binary.BigEndian.Uint32(b[20:])
 	buf = int64(binary.BigEndian.Uint64(b[24:]))
 	return
 }
 
-// EncodeCompletion writes a completion entry.
+// EncodeCompletion writes a completion entry. The word at offset 12 —
+// formerly reserved — carries the read-direction PI guard (zero for non-PI
+// traffic, keeping the wire image unchanged).
 func EncodeCompletion(b []byte, id, status, seq uint32) {
+	EncodeCompletionPI(b, id, status, seq, 0)
+}
+
+// EncodeCompletionPI is EncodeCompletion with an explicit guard word.
+func EncodeCompletionPI(b []byte, id, status, seq, guard uint32) {
 	binary.BigEndian.PutUint32(b[0:], id)
 	binary.BigEndian.PutUint32(b[4:], status)
 	binary.BigEndian.PutUint32(b[8:], seq)
-	binary.BigEndian.PutUint32(b[12:], 0)
+	binary.BigEndian.PutUint32(b[12:], guard)
 }
 
 // DecodeCompletion parses a completion entry.
 func DecodeCompletion(b []byte) (id, status, seq uint32) {
-	return binary.BigEndian.Uint32(b[0:]), binary.BigEndian.Uint32(b[4:]), binary.BigEndian.Uint32(b[8:])
+	id, status, seq, _ = DecodeCompletionPI(b)
+	return
+}
+
+// DecodeCompletionPI parses a completion entry including its guard word.
+func DecodeCompletionPI(b []byte) (id, status, seq, guard uint32) {
+	return binary.BigEndian.Uint32(b[0:]), binary.BigEndian.Uint32(b[4:]),
+		binary.BigEndian.Uint32(b[8:]), binary.BigEndian.Uint32(b[12:])
 }
 
 // StatusError converts a device status to an error (nil for StatusOK). Every
@@ -134,6 +205,8 @@ func StatusError(status uint32) error {
 		return fmt.Errorf("nesc: unrecoverable medium error")
 	case StatusAborted:
 		return fmt.Errorf("nesc: request aborted by reset")
+	case StatusIntegrityError:
+		return fmt.Errorf("%w (unrecovered by device retries)", ErrIntegrity)
 	default:
 		return fmt.Errorf("nesc: device status %d", status)
 	}

@@ -45,8 +45,11 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 		defer func() {
 			if r := recover(); r != nil {
 				if _, ok := r.(procKilled); ok {
-					// Engine shutdown: unwind silently. The killer does not
-					// wait for control back.
+					// Engine shutdown: the goroutine has finished unwinding
+					// (deferred cleanups included); hand control back so the
+					// killer can serialize unwinds — deferred handlers touch
+					// shared simulation state and must never run concurrently.
+					p.back <- struct{}{}
 					return
 				}
 				panic(r)
@@ -82,9 +85,12 @@ func (p *Proc) park() {
 	p.parked = false
 }
 
-// kill terminates a parked process. Engine context only.
+// kill terminates a parked process and waits for its goroutine to finish
+// unwinding, so two victims' deferred cleanups never run concurrently.
+// Engine context only.
 func (p *Proc) kill() {
 	p.wake <- wakeMsg{kill: true}
+	<-p.back
 }
 
 // Sleep suspends the process for d nanoseconds of virtual time.

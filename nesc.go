@@ -39,9 +39,12 @@ import (
 	"time"
 
 	"nesc/internal/bench"
+	"nesc/internal/blockdev"
 	"nesc/internal/extfs"
 	"nesc/internal/fault"
 	"nesc/internal/guest"
+	"nesc/internal/hypervisor"
+	"nesc/internal/ring"
 	"nesc/internal/sim"
 	"nesc/internal/trace"
 )
@@ -95,6 +98,22 @@ type Config struct {
 	// round-robins fetch bandwidth across a function's queues underneath
 	// the inter-VF QoS multiplexer.
 	QueuesPerVF int
+	// Scrub runs the hypervisor's background scrubber for the whole
+	// simulation: paced full-device verify passes through the PF that
+	// guard-check every block and rewrite-to-repair latent or corrupt
+	// sectors. Verify traffic is serviced only when the device is otherwise
+	// idle, so foreground latency is unaffected.
+	Scrub bool
+	// ScrubInterval paces the scrubber (default 200µs between requests).
+	ScrubInterval time.Duration
+	// DisableGuards turns off the medium's per-block guard-tag verification
+	// (integrity-ablation knob). Corruption then flows past the device
+	// undetected except by end-to-end PI.
+	DisableGuards bool
+	// DisablePI turns off end-to-end protection information in every ring
+	// driver (integrity-ablation knob). Corruption on the DMA path then goes
+	// entirely undetected.
+	DisablePI bool
 }
 
 // Fault-injection vocabulary, re-exported from the internal engine so plans
@@ -115,6 +134,9 @@ var (
 	ErrTimeout = guest.ErrTimeout
 	// ErrReset reports a request aborted by a function-level reset.
 	ErrReset = guest.ErrReset
+	// ErrIntegrity reports a guard-tag mismatch that survived every retry —
+	// detected corruption is never returned as clean data.
+	ErrIntegrity = ring.ErrIntegrity
 )
 
 // The injection sites.
@@ -125,6 +147,12 @@ const (
 	FaultDMAWrite    = fault.DMAWrite    // device DMA writes rejected on the wire
 	FaultMSI         = fault.MSI         // interrupts dropped or delayed
 	FaultMissHandler = fault.MissHandler // hypervisor lazy allocation fails
+
+	// Silent-corruption sites: the operation succeeds but its payload is
+	// bit-flipped, so only guard tags / PI can catch it.
+	FaultMediumCorruptRead  = fault.MediumCorruptRead  // read returns flipped bytes (transient)
+	FaultMediumCorruptWrite = fault.MediumCorruptWrite // write latches its sector corrupt
+	FaultDMACorrupt         = fault.DMACorrupt         // payload flipped on the DMA path
 )
 
 // DefaultConfig returns the calibrated platform.
@@ -139,7 +167,11 @@ type Simulation struct {
 }
 
 // New assembles a platform. The hypervisor is not booted until Run.
-func New(cfg Config) *Simulation {
+func New(cfg Config) *Simulation { return newSimulation(cfg, nil) }
+
+// newSimulation assembles a platform, optionally adopting the surviving
+// store of a crashed one (seed non-nil ⇒ Run remounts instead of formats).
+func newSimulation(cfg Config, seed *blockdev.Store) *Simulation {
 	def := DefaultConfig()
 	if cfg.MediumMB <= 0 {
 		cfg.MediumMB = def.MediumMB
@@ -160,7 +192,10 @@ func New(cfg Config) *Simulation {
 	bcfg.Hyp.UseIOMMU = cfg.UseIOMMU
 	bcfg.Hyp.VFRequestTimeout = sim.Time(cfg.DriverTimeout)
 	bcfg.Hyp.VFRetryMax = cfg.DriverRetryMax
+	bcfg.Hyp.DisablePI = cfg.DisablePI
 	bcfg.Fault = cfg.Fault
+	bcfg.SeedStore = seed
+	bcfg.MountExisting = seed != nil
 	switch cfg.HostJournal {
 	case "", "metadata":
 		bcfg.HostFS.Mode = extfs.JournalMetadata
@@ -174,6 +209,9 @@ func New(cfg Config) *Simulation {
 	s := &Simulation{pl: bench.NewPlatform(bcfg), cfg: cfg}
 	if cfg.TraceEvents > 0 {
 		s.pl.Ctl.Tracer = trace.NewRing(cfg.TraceEvents)
+	}
+	if cfg.DisableGuards {
+		s.pl.Ctl.Medium.SetGuardCheck(false)
 	}
 	return s
 }
@@ -196,9 +234,83 @@ func (s *Simulation) Run(fn func(ctx *Ctx) error) error {
 		if err := s.pl.Boot(p); err != nil {
 			return err
 		}
-		return fn(&Ctx{proc: p, s: s})
+		s.startScrubber()
+		err := fn(&Ctx{proc: p, s: s})
+		s.pl.Hyp.StopScrubber()
+		return err
 	})
 }
+
+func (s *Simulation) startScrubber() {
+	if s.cfg.Scrub {
+		s.pl.Hyp.StartScrubber(hypervisor.ScrubConfig{Interval: sim.Time(s.cfg.ScrubInterval)})
+	}
+}
+
+// ScrubReport summarizes one scrub pass.
+type ScrubReport = hypervisor.ScrubReport
+
+// Scrub synchronously verifies every block on the physical device through
+// the PF, repairing any guard failures it finds.
+func (c *Ctx) Scrub() ScrubReport { return c.s.pl.Hyp.ScrubPass(c.proc) }
+
+// CrashAt runs the workload like Run but cuts power at virtual time t: the
+// simulation stops dead, in-flight requests, ring state, page cache and all.
+// Only the medium's store survives, along with a write log recording every
+// block write that reached it (for tearing off an un-persisted tail). The
+// returned Crash restarts the platform against that surviving store.
+//
+// fn's error is deliberately discarded — a crashed workload did not finish,
+// and half its in-flight calls would report timeouts anyway.
+func (s *Simulation) CrashAt(t time.Duration, fn func(ctx *Ctx) error) *Crash {
+	store := s.pl.Ctl.Medium.Store()
+	store.EnableWriteLog()
+	s.pl.RunUntil(sim.Time(t), func(p *sim.Proc) error {
+		if err := s.pl.Boot(p); err != nil {
+			return err
+		}
+		s.startScrubber()
+		return fn(&Ctx{proc: p, s: s})
+	})
+	return &Crash{cfg: s.cfg, store: store}
+}
+
+// Crash is the durable wreckage of a simulation stopped by CrashAt.
+type Crash struct {
+	cfg   Config
+	store *blockdev.Store
+}
+
+// WriteLogLen reports how many block writes reached the medium before the
+// crash.
+func (c *Crash) WriteLogLen() int { return c.store.WriteLogLen() }
+
+// DropTail undoes the newest n block writes on the store, restoring each
+// block's pre-image (data and guard tag). This models writes that were
+// acknowledged by the simulated medium but had not yet left its volatile
+// cache — the torn tail a power cut leaves behind. Returns how many writes
+// were actually undone.
+func (c *Crash) DropTail(n int) int { return c.store.Rollback(n) }
+
+// VerifyGuards recomputes every block's guard tag against the stored one and
+// returns the mismatching LBAs (nil when the medium is fully consistent).
+func (c *Crash) VerifyGuards() []int64 { return c.store.VerifyGuards() }
+
+// Restart assembles a fresh platform — new controller, new hypervisor, new
+// guests, virtual time zero — around the surviving store. Its Run remounts
+// the host filesystem, replaying the journal, instead of formatting. The
+// original Config is reused; pass RestartWith a modified one to, say, drop
+// the fault plan for the recovery phase.
+func (c *Crash) Restart() *Simulation { return c.RestartWith(c.cfg) }
+
+// RestartWith is Restart with a different platform configuration.
+func (c *Crash) RestartWith(cfg Config) *Simulation { return newSimulation(cfg, c.store) }
+
+// VerifyGuards recomputes every medium block's guard tag against the stored
+// one and returns the mismatching LBAs (nil when fully consistent). This is
+// the crash harness's whole-device integrity check; unlike Ctx.Scrub it is
+// timeless and inspects the store directly.
+func (s *Simulation) VerifyGuards() []int64 { return s.pl.Ctl.Medium.Store().VerifyGuards() }
 
 // Ctx is the handle host-side code runs with: it carries the simulated
 // process (for virtual time) and reaches the whole platform.
@@ -285,6 +397,34 @@ type Stats struct {
 	// LatentHits counts reads failed on latent bad sectors; LatentRepaired
 	// counts latent sectors cleared by a successful rewrite.
 	LatentHits, LatentRepaired int64
+
+	// Data-integrity counters (the end-to-end guard-tag machinery).
+
+	// IntegrityErrors counts corruptions that survived the device's retry
+	// ladder (latched StatusIntegrityError) plus end-to-end PI failures the
+	// device caught on writes; IntegrityRepairs counts corruptions healed by
+	// a device retry or a scrub rewrite.
+	IntegrityErrors, IntegrityRepairs int64
+	// CorruptionsInjected totals silent payload corruptions inflicted by the
+	// fault plan; CorruptionsDetected totals guard/PI detections across the
+	// medium, the device, and the drivers. Detections can exceed injections
+	// (one latched sector trips every read) — what must never happen is an
+	// injection that shows up in neither CorruptionsDetected nor a repair.
+	CorruptionsInjected, CorruptionsDetected int64
+	// LatentOutstanding / CorruptOutstanding are the live latch counts —
+	// sectors still bad right now. A completed scrub pass drives both to 0.
+	LatentOutstanding, CorruptOutstanding int64
+	// PIMismatches counts driver-detected read-guard mismatches (corruption
+	// on the DMA path); PIWriteErrors counts StatusIntegrityError
+	// completions the drivers observed.
+	PIMismatches, PIWriteErrors int64
+	// MediumGuardErrors counts medium-level guard-check failures (each is a
+	// detected corrupt read, pre-retry); RecoveryReads counts the slow
+	// heroic-recovery reads the scrubber used to repair blocks.
+	MediumGuardErrors, RecoveryReads int64
+	// ScrubPasses / ScrubBlocks / ScrubRepairs summarize the background
+	// scrubber; ScrubChunks counts verify chunks the device serviced.
+	ScrubPasses, ScrubBlocks, ScrubRepairs, ScrubChunks int64
 }
 
 // Stats snapshots the platform counters.
@@ -325,6 +465,21 @@ func (s *Simulation) Stats() Stats {
 		BadDoorbells:      ctl.BadDoorbells,
 		LatentHits:        latentHits,
 		LatentRepaired:    latentRepaired,
+
+		IntegrityErrors:     ctl.IntegrityErrors,
+		IntegrityRepairs:    ctl.IntegrityRepairs,
+		CorruptionsInjected: s.pl.Inj.CorruptionsInjected(),
+		CorruptionsDetected: ctl.Medium.IntegrityErrors + drv.PIMismatches + drv.PIWriteErrors,
+		LatentOutstanding:   int64(s.pl.Inj.LatentCount()),
+		CorruptOutstanding:  int64(s.pl.Inj.CorruptCount()),
+		PIMismatches:        drv.PIMismatches,
+		PIWriteErrors:       drv.PIWriteErrors,
+		MediumGuardErrors:   ctl.Medium.IntegrityErrors,
+		RecoveryReads:       ctl.Medium.RecoveryReads,
+		ScrubPasses:         s.pl.Hyp.ScrubPasses,
+		ScrubBlocks:         s.pl.Hyp.ScrubBlocks,
+		ScrubRepairs:        s.pl.Hyp.ScrubRepairs,
+		ScrubChunks:         ctl.ScrubChunks,
 	}
 }
 
