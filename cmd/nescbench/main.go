@@ -14,12 +14,15 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
 
 	"nesc/internal/bench"
+	"nesc/internal/metrics"
 	"nesc/internal/stats"
+	"nesc/internal/trace"
 )
 
 func main() {
@@ -27,6 +30,9 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	jsonDir := flag.String("json", "", "also write <dir>/<exp>.json per experiment (empty: disabled)")
+	metricsOut := flag.String("metrics", "", "write Prometheus text-format metrics accumulated across the run to this file")
+	traceJSON := flag.String("trace-json", "", "write the last recorded request spans as Chrome trace-event JSON to this file")
+	spanN := flag.Int("spans", 4096, "request spans to retain for -trace-json")
 	flag.Parse()
 
 	if *list {
@@ -37,6 +43,19 @@ func main() {
 	}
 
 	cfg := bench.DefaultConfig()
+	// Telemetry sinks ride along in the config: every platform an experiment
+	// builds attaches to them. Counters and histograms accumulate across
+	// platforms; live gauges track the last platform built.
+	var reg *metrics.Registry
+	var spans *trace.SpanRecorder
+	if *metricsOut != "" {
+		reg = metrics.New()
+		cfg.Metrics = reg
+	}
+	if *traceJSON != "" {
+		spans = trace.NewSpanRecorder(*spanN)
+		cfg.Spans = spans
+	}
 	var exps []bench.Experiment
 	if *exp == "all" {
 		exps = bench.All()
@@ -71,6 +90,32 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n\n", e.Name, time.Since(start).Round(time.Millisecond))
 	}
+	if reg != nil {
+		if err := writeFile(*metricsOut, reg.WritePrometheus); err != nil {
+			fmt.Fprintf(os.Stderr, "-metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if spans != nil {
+		if err := writeFile(*traceJSON, spans.WriteChromeTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "-trace-json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d spans to %s (load at ui.perfetto.dev)\n", spans.Total, *traceJSON)
+	}
+}
+
+// writeFile streams fn's output into path.
+func writeFile(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeJSON stores an experiment's tables as <dir>/<name>.json: a single

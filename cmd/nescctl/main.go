@@ -9,7 +9,9 @@ import (
 	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"nesc"
 )
@@ -19,11 +21,20 @@ func main() {
 	tenants := flag.Int("tenants", 3, "number of tenant VMs to demo")
 	imageMB := flag.Int("image-mb", 8, "per-tenant image size in MiB")
 	traceN := flag.Int("trace", 0, "dump the last N device events at the end")
+	traceVF := flag.Int("trace-vf", -1, "restrict -trace output to one function index (0 = PF; -1 = all)")
 	queues := flag.Int("queues", 0, "queue pairs per VF (0 = device default of 1)")
 	scrub := flag.Bool("scrub", false, "run a synchronous full-device scrub pass before teardown")
+	metricsOut := flag.String("metrics", "", "write Prometheus text-format metrics to this file at the end ('-' = stdout)")
+	traceJSON := flag.String("trace-json", "", "write recorded request spans as Chrome trace-event JSON to this file (load in Perfetto)")
+	spanN := flag.Int("spans", 4096, "request spans to retain for -trace-json")
+	flight := flag.Bool("flight", false, "dump the device flight recorder (terminal-error diagnostics) at the end")
 	flag.Parse()
 
-	sim := nesc.New(nesc.Config{MediumMB: *mediumMB, TraceEvents: *traceN, QueuesPerVF: *queues})
+	cfg := nesc.Config{MediumMB: *mediumMB, TraceEvents: *traceN, QueuesPerVF: *queues, Metrics: *metricsOut != ""}
+	if *traceJSON != "" {
+		cfg.TraceSpans = *spanN
+	}
+	sim := nesc.New(cfg)
 	step := 0
 	say := func(format string, args ...any) {
 		step++
@@ -148,6 +159,40 @@ func main() {
 	fmt.Printf("integrity counters: %d guard errors, %d repairs, %d corruptions detected, %d latent outstanding\n",
 		final.IntegrityErrors, final.IntegrityRepairs, final.CorruptionsDetected, final.LatentOutstanding)
 	if *traceN > 0 {
-		fmt.Printf("\nlast device events:\n%s", sim.TraceDump())
+		if *traceVF >= 0 {
+			fmt.Printf("\nlast device events (fn %d):\n%s", *traceVF, sim.TraceDumpVF(*traceVF))
+		} else {
+			fmt.Printf("\nlast device events:\n%s", sim.TraceDump())
+		}
 	}
+	if *flight {
+		fmt.Printf("\n%s", sim.FlightDump())
+	}
+	if *metricsOut != "" {
+		if err := writeTo(*metricsOut, sim.WriteMetrics); err != nil {
+			log.Fatalf("-metrics: %v", err)
+		}
+	}
+	if *traceJSON != "" {
+		if err := writeTo(*traceJSON, sim.WriteTraceJSON); err != nil {
+			log.Fatalf("-trace-json: %v", err)
+		}
+		fmt.Printf("wrote %d spans to %s (load at ui.perfetto.dev)\n", sim.SpanCount(), *traceJSON)
+	}
+}
+
+// writeTo streams fn's output to path, with "-" meaning stdout.
+func writeTo(path string, fn func(io.Writer) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

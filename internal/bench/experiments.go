@@ -34,6 +34,7 @@ var registry = []Experiment{
 	{"integrity", "Ablation: guard tags x background scrubber vs raw throughput", AblationIntegrity},
 	{"breakdown", "Analysis: latency breakdown inside the NeSC pipeline", Breakdown},
 	{"qdepth", "Analysis: queue-depth scaling, NeSC vs virtio", QDepth},
+	{"spans", "Analysis: span-derived per-stage latency (BTLB hit vs walk vs miss)", Spans},
 }
 
 // All lists every registered experiment.

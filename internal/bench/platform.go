@@ -14,8 +14,10 @@ import (
 	"nesc/internal/guest"
 	"nesc/internal/hostmem"
 	"nesc/internal/hypervisor"
+	"nesc/internal/metrics"
 	"nesc/internal/pcie"
 	"nesc/internal/sim"
+	"nesc/internal/trace"
 )
 
 // Config fully describes one simulated platform.
@@ -37,6 +39,15 @@ type Config struct {
 	// MountExisting makes Boot mount the host filesystem already on the
 	// medium (journal replay included) instead of formatting a new one.
 	MountExisting bool
+	// Metrics, when set, receives the platform's telemetry: the controller's
+	// per-stage histograms and counter gauges, the hypervisor's derived
+	// gauges, and (under fault injection) the injector totals. Counters
+	// accumulate across platforms sharing one registry; gauge closures are
+	// replaced, so the last platform built wins the live gauges.
+	Metrics *metrics.Registry
+	// Spans, when set, records request-scoped spans through the controller
+	// pipeline (trace.SpanRecorder; exportable as a Chrome trace).
+	Spans *trace.SpanRecorder
 }
 
 // DefaultConfig is the calibrated model of the paper's platform (Table I):
@@ -99,7 +110,37 @@ func NewPlatform(cfg Config) *Platform {
 		fab.SetInjector(pl.Inj)
 		h.SetInjector(pl.Inj)
 	}
+	if cfg.Metrics != nil || cfg.Spans != nil {
+		ctl.AttachTelemetry(cfg.Metrics, cfg.Spans)
+		h.RegisterMetrics(cfg.Metrics)
+		pl.registerPlatformMetrics(cfg.Metrics)
+	}
 	return pl
+}
+
+// registerPlatformMetrics publishes platform-level gauges: medium and fabric
+// traffic, plus injector totals when a fault plan is armed.
+func (pl *Platform) registerPlatformMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	no := metrics.NoLabels
+	reg.GaugeFunc("nesc_medium_read_bytes_total", "bytes read from the medium", no,
+		func() float64 { return float64(pl.Ctl.Medium.ReadBytes) })
+	reg.GaugeFunc("nesc_medium_write_bytes_total", "bytes written to the medium", no,
+		func() float64 { return float64(pl.Ctl.Medium.WriteBytes) })
+	reg.GaugeFunc("nesc_medium_guard_errors_total", "medium-level guard-check failures", no,
+		func() float64 { return float64(pl.Ctl.Medium.IntegrityErrors) })
+	reg.GaugeFunc("nesc_fabric_dma_read_bytes_total", "device-initiated PCIe reads", no,
+		func() float64 { return float64(pl.Fab.DMAReadBytes) })
+	reg.GaugeFunc("nesc_fabric_dma_write_bytes_total", "device-initiated PCIe writes", no,
+		func() float64 { return float64(pl.Fab.DMAWriteBytes) })
+	if pl.Inj != nil {
+		reg.GaugeFunc("nesc_fault_injected_total", "faults injected across all sites", no,
+			func() float64 { return float64(pl.Inj.TotalFaults()) })
+		reg.GaugeFunc("nesc_fault_corruptions_total", "silent corruptions injected", no,
+			func() float64 { return float64(pl.Inj.CorruptionsInjected()) })
+	}
 }
 
 // Run executes fn as the platform's initial host process, drives the

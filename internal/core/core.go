@@ -30,6 +30,7 @@ import (
 	"nesc/internal/blockdev"
 	"nesc/internal/extent"
 	"nesc/internal/fault"
+	"nesc/internal/metrics"
 	"nesc/internal/pcie"
 	"nesc/internal/ring"
 	"nesc/internal/sim"
@@ -185,16 +186,28 @@ type Request struct {
 	pi      bool
 	piGuard uint32
 	piAccum uint32
+
+	// Telemetry. t0 is the virtual time the descriptor fetch began; span is
+	// the request's lifecycle record (nil when span recording is off); obs
+	// gates chunk stage-timestamping (breakdown collection or any telemetry
+	// sink attached).
+	t0   sim.Time
+	span *trace.Span
+	obs  bool
 }
 
 // chunk is the unit of translation and data transfer (one block).
 type chunk struct {
 	req  *Request
+	idx  int    // 0-based chunk index within the request
 	lba  uint64 // vLBA before translation, pLBA after
 	buf  int64
 	zero bool // hole read: DMA zeros, skip the medium
 
-	// Stage timestamps (only stamped when Params.CollectBreakdown).
+	// tag records the translation outcome (trace.TagHit/TagWalk/TagMiss).
+	tag string
+
+	// Stage timestamps (only stamped when req.obs).
 	tQueued   sim.Time // entered the vLBA queue
 	tTransIn  sim.Time // picked up by a walker
 	tTransOut sim.Time // translation done, entered the pLBA queue
@@ -237,6 +250,16 @@ type Controller struct {
 
 	// Tracer, when non-nil, records device events (nil = zero cost).
 	Tracer *trace.Ring
+
+	// Metrics and Spans are the telemetry sinks installed by
+	// AttachTelemetry (telemetry.go); both nil-safe and off by default.
+	Metrics *metrics.Registry
+	Spans   *trace.SpanRecorder
+
+	// Flight is the always-armed error diagnostics buffer (flight.go): on
+	// any terminal error completion or reset it snapshots the event-ring
+	// tail and the offending request's span.
+	Flight *FlightRecorder
 
 	barBase int64
 	sriov   pcie.SRIOVCap
@@ -300,6 +323,7 @@ func New(eng *sim.Engine, fab *pcie.Fabric, medium *blockdev.Medium, p Params) (
 		muxW:   sim.NewSemaphore(eng, 0),
 		btlb:   newBTLB(p.BTLBEntries),
 		sriov:  pcie.SRIOVCap{TotalVFs: p.NumVFs},
+		Flight: NewFlightRecorder(8, 32),
 	}
 	c.zeroCRC = ring.BlockCRC(make([]byte, p.BlockSize))
 	for i := 0; i < p.NumVFs; i++ {
@@ -511,4 +535,5 @@ func (c *Controller) resetFunction(f *Function) {
 		f.rewalk.Fire()
 	}
 	c.Tracer.Emit(trace.Event{At: c.Eng.Now(), Kind: trace.KindReset, Fn: f.idx, Arg: uint64(f.resetEpoch)})
+	c.captureFlight(c.Eng.Now(), f.idx, nil, "reset")
 }

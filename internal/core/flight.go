@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"nesc/internal/sim"
+	"nesc/internal/trace"
+)
+
+// Flight recorder: when a request retires with a terminal error status — a
+// medium error that exhausted retries, an integrity mismatch, a DMA fault, an
+// abort from a function-level reset — the controller snapshots the tail of
+// the device event ring plus the offending request's span into a small
+// diagnostics ring. The hypervisor reads the record count through
+// PFRegFlightRecords and pulls the dump off the device model directly
+// (nescctl -flight); like a real controller's crash log, the buffer survives
+// the error and costs nothing on the happy path (one status compare per
+// completion). Capture reads the simulated clock but never advances it.
+
+// FlightRecord is one captured error context.
+type FlightRecord struct {
+	Seq    int64    // 1-based capture sequence number
+	At     sim.Time // capture time
+	Reason string   // "completion-error" or "reset"
+
+	// Offending request (zeroed for reason "reset", which is not
+	// request-scoped).
+	Fn     int
+	Q      int
+	Op     string
+	ID     uint32
+	LBA    uint64
+	Count  uint32
+	Status uint32
+
+	// Events is the tail of the device event ring at capture time.
+	Events []trace.Event
+	// Span is the offending request's span (nil when span recording is off
+	// or the record is not request-scoped).
+	Span *trace.Span
+}
+
+// FlightRecorder retains the last few FlightRecords in a ring. A nil
+// *FlightRecorder is a valid disabled recorder.
+type FlightRecorder struct {
+	recs    []FlightRecord
+	next    int
+	wrapped bool
+	evTail  int
+	// Total counts all records ever captured (including overwritten ones);
+	// PFRegFlightRecords exposes it.
+	Total int64
+}
+
+// NewFlightRecorder returns a recorder holding the last records captures,
+// each carrying up to eventTail trailing ring events.
+func NewFlightRecorder(records, eventTail int) *FlightRecorder {
+	if records < 1 {
+		records = 1
+	}
+	return &FlightRecorder{recs: make([]FlightRecord, records), evTail: eventTail}
+}
+
+// capture stores one record, snapshotting the event ring's tail. Safe on a
+// nil receiver.
+func (fr *FlightRecorder) capture(rec FlightRecord, ring *trace.Ring) {
+	if fr == nil {
+		return
+	}
+	if fr.evTail > 0 {
+		evs := ring.Events()
+		if len(evs) > fr.evTail {
+			evs = evs[len(evs)-fr.evTail:]
+		}
+		rec.Events = evs
+	}
+	fr.Total++
+	rec.Seq = fr.Total
+	fr.recs[fr.next] = rec
+	fr.next++
+	if fr.next == len(fr.recs) {
+		fr.next = 0
+		fr.wrapped = true
+	}
+}
+
+// Records returns the held records in capture order.
+func (fr *FlightRecorder) Records() []FlightRecord {
+	if fr == nil {
+		return nil
+	}
+	if !fr.wrapped {
+		return append([]FlightRecord(nil), fr.recs[:fr.next]...)
+	}
+	out := make([]FlightRecord, 0, len(fr.recs))
+	out = append(out, fr.recs[fr.next:]...)
+	out = append(out, fr.recs[:fr.next]...)
+	return out
+}
+
+// Dump writes the held records human-readably, newest last.
+func (fr *FlightRecorder) Dump(w io.Writer) error {
+	recs := fr.Records()
+	if len(recs) == 0 {
+		_, err := fmt.Fprintln(w, "flight recorder: no records")
+		return err
+	}
+	for _, rec := range recs {
+		if _, err := fmt.Fprintf(w, "=== flight record %d: %s at %v ===\n", rec.Seq, rec.Reason, rec.At); err != nil {
+			return err
+		}
+		if rec.Reason != "reset" {
+			fmt.Fprintf(w, "fn=%d q=%d op=%s id=%d lba=%d n=%d status=%d\n",
+				rec.Fn, rec.Q, rec.Op, rec.ID, rec.LBA, rec.Count, rec.Status)
+		} else {
+			fmt.Fprintf(w, "fn=%d\n", rec.Fn)
+		}
+		if s := rec.Span; s != nil {
+			fmt.Fprintf(w, "span: start=%v end=%v retries=%d phases=%d\n", s.Start, s.End, s.Retries, len(s.Phases))
+			for _, ph := range s.Phases {
+				tag := ""
+				if ph.Tag != "" {
+					tag = "(" + ph.Tag + ")"
+				}
+				fmt.Fprintf(w, "  %-10s chunk=%-3d [%v .. %v] %v\n", ph.Name+tag, ph.Chunk, ph.Start, ph.End, ph.End-ph.Start)
+			}
+		}
+		if len(rec.Events) > 0 {
+			fmt.Fprintf(w, "last %d device events:\n", len(rec.Events))
+			for _, e := range rec.Events {
+				fmt.Fprintf(w, "  %s\n", e.String())
+			}
+		}
+	}
+	return nil
+}
+
+// captureFlight snapshots error context for a failed request (r non-nil) or
+// a function-level reset (r nil, fn the reset function's index).
+func (c *Controller) captureFlight(at sim.Time, fn int, r *Request, reason string) {
+	if c.Flight == nil {
+		return
+	}
+	rec := FlightRecord{At: at, Reason: reason, Fn: fn}
+	if r != nil {
+		if r.q != nil {
+			rec.Q = r.q.idx
+		}
+		rec.Op = opName(r.Op)
+		rec.ID = r.ID
+		rec.LBA = r.LBA
+		rec.Count = r.Count
+		rec.Status = r.status
+		rec.Span = r.span
+	}
+	c.Flight.capture(rec, c.Tracer)
+}

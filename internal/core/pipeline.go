@@ -49,6 +49,7 @@ func (f *Function) fetchLoop(p *sim.Proc) {
 			if q.ringSize == 0 {
 				break // ring torn down after the doorbell was accepted
 			}
+			tFetch := p.Now()
 			if err := c.dmaReadP(p, c.pf.id, ring.DescSlot(q.ringBase, q.consumed, q.ringSize), desc); err != nil {
 				// Descriptor fetch failed: the doorbell's remaining requests
 				// are lost. The driver's completion timeout recovers them.
@@ -62,7 +63,13 @@ func (f *Function) fetchLoop(p *sim.Proc) {
 			rawOp, id, lba, count, buf, guard := ring.DecodeDescriptorPI(desc)
 			op := ring.OpCode(rawOp)
 			req := &Request{fn: f, q: q, Op: op, ID: id, LBA: lba, Count: count, Buf: buf, left: int(count), epoch: f.resetEpoch,
-				pi: rawOp&ring.OpFlagPI != 0, piGuard: guard}
+				pi: rawOp&ring.OpFlagPI != 0, piGuard: guard, t0: tFetch}
+			req.obs = c.P.CollectBreakdown || c.instrumented()
+			if req.obs {
+				req.span = c.Spans.Start(f.idx, q.idx, opName(op), id, lba, count, tFetch)
+				req.span.Phase(trace.PhaseFetch, -1, tFetch, p.Now(), "")
+				c.observe(mFetchNs, req, p.Now()-tFetch)
+			}
 			c.Tracer.Emit(trace.Event{At: p.Now(), Kind: trace.KindFetch, Fn: f.idx, LBA: lba, Arg: uint64(id)})
 			f.Reqs++
 			q.Reqs++
@@ -83,7 +90,7 @@ func (f *Function) fetchLoop(p *sim.Proc) {
 				// the OOB fast path.
 				bs := int64(c.P.BlockSize)
 				for i := uint32(0); i < count; i++ {
-					ch := &chunk{req: req, lba: lba + uint64(i), buf: buf + int64(i)*bs}
+					ch := &chunk{req: req, idx: int(i), lba: lba + uint64(i), buf: buf + int64(i)*bs}
 					if op == OpVerify {
 						c.scrubQ.Push(p, ch)
 					} else {
@@ -141,8 +148,8 @@ func (c *Controller) muxLoop(p *sim.Proc) {
 		bs := int64(c.P.BlockSize)
 		for i := uint32(0); i < req.Count; i++ {
 			p.Sleep(c.P.MuxChunkTime)
-			ch := &chunk{req: req, lba: req.LBA + uint64(i), buf: req.Buf + int64(i)*bs}
-			if c.P.CollectBreakdown {
+			ch := &chunk{req: req, idx: int(i), lba: req.LBA + uint64(i), buf: req.Buf + int64(i)*bs}
+			if req.obs {
 				ch.tQueued = p.Now()
 			}
 			c.vlbaQ.Push(p, ch)
@@ -164,18 +171,24 @@ func (c *Controller) walkerLoop(p *sim.Proc) {
 			c.completeChunk(p, ch, StatusAborted)
 			continue
 		}
-		if c.P.CollectBreakdown {
+		if ch.req.obs {
 			ch.tTransIn = p.Now()
-			c.Breakdown.QueueWait.Add((ch.tTransIn - ch.tQueued).Micros())
+			if c.P.CollectBreakdown {
+				c.Breakdown.QueueWait.Add((ch.tTransIn - ch.tQueued).Micros())
+			}
+			c.observe(mQueueWaitNs, ch.req, ch.tTransIn-ch.tQueued)
+			ch.req.span.Phase(trace.PhaseQueue, ch.idx, ch.tQueued, ch.tTransIn, "")
 		}
 		p.Sleep(c.P.BTLBHitTime)
 		if plba, ok := c.btlb.lookup(f.idx, ch.lba); ok {
 			c.BTLBStats.Hit()
+			ch.tag = trace.TagHit
 			ch.lba = plba
 			c.pushPLBA(p, f, ch)
 			continue
 		}
 		c.BTLBStats.Miss()
+		ch.tag = trace.TagWalk
 
 	walk:
 		for {
@@ -200,6 +213,7 @@ func (c *Controller) walkerLoop(p *sim.Proc) {
 				// Hole on a write, or a pruned subtree on either op: the
 				// hypervisor must allocate/regenerate mappings.
 				c.Misses++
+				ch.tag = trace.TagMiss
 				if !f.missPending {
 					f.missPending = true
 					f.missGen++
@@ -268,9 +282,13 @@ func (c *Controller) walkTree(p *sim.Proc, f *Function, vlba uint64, nodeImg []b
 // pushPLBA hands a translated chunk to the data-transfer stage's per-VF
 // queue.
 func (c *Controller) pushPLBA(p *sim.Proc, f *Function, ch *chunk) {
-	if c.P.CollectBreakdown {
+	if ch.req.obs {
 		ch.tTransOut = p.Now()
-		c.Breakdown.Translate.Add((ch.tTransOut - ch.tTransIn).Micros())
+		if c.P.CollectBreakdown {
+			c.Breakdown.Translate.Add((ch.tTransOut - ch.tTransIn).Micros())
+		}
+		c.observe(translateFamily(ch.tag), ch.req, ch.tTransOut-ch.tTransIn)
+		ch.req.span.Phase(trace.PhaseTransIn, ch.idx, ch.tTransIn, ch.tTransOut, ch.tag)
 	}
 	c.Tracer.Emit(trace.Event{At: p.Now(), Kind: trace.KindTranslate, Fn: f.idx, LBA: ch.lba, Arg: uint64(ch.req.ID)})
 	if ch.req.Op == OpVerify {
@@ -326,10 +344,14 @@ func (c *Controller) dtuLoop(p *sim.Proc) {
 			c.completeChunk(p, ch, StatusAborted)
 			continue
 		}
-		if c.P.CollectBreakdown {
+		if ch.req.obs {
 			ch.tDTUIn = p.Now()
 			if ch.tTransOut != 0 { // OOB chunks skip translation
-				c.Breakdown.DTUWait.Add((ch.tDTUIn - ch.tTransOut).Micros())
+				if c.P.CollectBreakdown {
+					c.Breakdown.DTUWait.Add((ch.tDTUIn - ch.tTransOut).Micros())
+				}
+				c.observe(mDTUWaitNs, ch.req, ch.tDTUIn-ch.tTransOut)
+				ch.req.span.Phase(trace.PhaseDTUWait, ch.idx, ch.tTransOut, ch.tDTUIn, "")
 			}
 		}
 		p.Sleep(c.P.DTUChunkOverhead)
@@ -378,10 +400,23 @@ func (c *Controller) dtuLoop(p *sim.Proc) {
 			}
 		}
 		c.ChunksDone++
-		if c.P.CollectBreakdown {
-			c.Breakdown.Transfer.Add((p.Now() - ch.tDTUIn).Micros())
+		kind := trace.KindTransfer
+		if ch.req.Op == OpVerify {
+			kind = trace.KindVerify
 		}
-		c.Tracer.Emit(trace.Event{At: p.Now(), Kind: trace.KindTransfer, Fn: ch.req.fn.idx, LBA: ch.lba, Arg: uint64(status)})
+		if ch.req.obs {
+			now := p.Now()
+			if c.P.CollectBreakdown {
+				c.Breakdown.Transfer.Add((now - ch.tDTUIn).Micros())
+			}
+			phase, fam := trace.PhaseTransfer, mTransferNs
+			if ch.req.Op == OpVerify {
+				phase, fam = trace.PhaseVerify, mVerifyNs
+			}
+			c.observe(fam, ch.req, now-ch.tDTUIn)
+			ch.req.span.Phase(phase, ch.idx, ch.tDTUIn, now, "")
+		}
+		c.Tracer.Emit(trace.Event{At: p.Now(), Kind: kind, Fn: ch.req.fn.idx, LBA: ch.lba, Arg: uint64(status)})
 		c.completeChunk(p, ch, status)
 	}
 }
@@ -428,7 +463,18 @@ func (c *Controller) mediumOp(p *sim.Proc, ch *chunk, buf []byte, write bool) ui
 		}
 		f.MediumRetries++
 		c.MediumRetries++
+		c.noteRetry(ch.req)
 		p.Sleep(c.P.MediumRetryDelay)
+	}
+}
+
+// noteRetry attributes one retry round to the request's telemetry.
+func (c *Controller) noteRetry(r *Request) {
+	if r.span != nil {
+		r.span.Retries++
+	}
+	if c.Metrics != nil {
+		c.Metrics.Counter(mMediumRetryTot, familyHelp[mMediumRetryTot], reqLabels(r)).Inc()
 	}
 }
 
@@ -468,6 +514,7 @@ func (c *Controller) verifyChunk(p *sim.Proc, ch *chunk, buf []byte) uint32 {
 		}
 		f.MediumRetries++
 		c.MediumRetries++
+		c.noteRetry(ch.req)
 		p.Sleep(c.P.MediumRetryDelay)
 	}
 }
@@ -535,6 +582,20 @@ func (c *Controller) sendCompletion(p *sim.Proc, r *Request) {
 		r.status = StatusIntegrityError
 		f.IntegrityErrors++
 		c.IntegrityErrors++
+	}
+	if c.Metrics != nil {
+		l := reqLabels(r)
+		c.Metrics.Counter(mRequestsTotal, familyHelp[mRequestsTotal], l).Inc()
+		if r.status != StatusOK {
+			c.Metrics.Counter(mRequestErrors, familyHelp[mRequestErrors], l).Inc()
+		}
+		c.Metrics.Histogram(mRequestNs, familyHelp[mRequestNs], l).Observe(int64(p.Now() - r.t0))
+	}
+	c.Spans.Finish(r.span, p.Now(), r.status)
+	if r.status != StatusOK {
+		// Terminal error: snapshot the event-ring tail and this request's
+		// span for post-mortem retrieval through the PF.
+		c.captureFlight(p.Now(), f.idx, r, "completion-error")
 	}
 	c.Tracer.Emit(trace.Event{At: p.Now(), Kind: trace.KindComplete, Fn: f.idx, LBA: r.LBA, Arg: uint64(r.status)})
 	if q == nil || q.cplBase == 0 || q.ringSize == 0 {

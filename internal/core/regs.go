@@ -56,9 +56,10 @@ const (
 	MaxQueuesPerFn = 16
 
 	// PF-page global registers.
-	PFRegBTLBFlush   = 0x800 // write: flush the BTLB (4B)
-	PFRegMissPending = 0x808 // RO: bitmap of VFs with latched misses (8B)
-	PFRegNumVFs      = 0x810 // RO: supported VF count (4B)
+	PFRegBTLBFlush     = 0x800 // write: flush the BTLB (4B)
+	PFRegMissPending   = 0x808 // RO: bitmap of VFs with latched misses (8B)
+	PFRegNumVFs        = 0x810 // RO: supported VF count (4B)
+	PFRegFlightRecords = 0x818 // RO: flight-recorder captures to date (8B)
 
 	// Management page: one 64-byte block per VF, indexed by VF number - 1.
 	MgmtStride      = 64
@@ -136,6 +137,11 @@ func (c *Controller) MMIORead(off int64, size int) uint64 {
 			return bits
 		case PFRegNumVFs:
 			return uint64(c.P.NumVFs)
+		case PFRegFlightRecords:
+			if c.Flight == nil {
+				return 0
+			}
+			return uint64(c.Flight.Total)
 		}
 	}
 	if q, qreg, ok := queueReg(reg); ok {

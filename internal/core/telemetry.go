@@ -1,0 +1,189 @@
+package core
+
+import (
+	"nesc/internal/metrics"
+	"nesc/internal/sim"
+	"nesc/internal/trace"
+)
+
+// Telemetry glue: the controller publishes its counters into a
+// metrics.Registry and threads request-scoped spans through the pipeline.
+// Everything here only READS the simulated clock — no instrumented path ever
+// sleeps or schedules — so enabling telemetry cannot perturb virtual time,
+// and every experiment output stays byte-identical with it on or off.
+//
+// Two mechanisms with different hot-path costs:
+//
+//   - The scattered int64 Stats fields (also served by the MMIO error
+//     registers) stay the single source of truth; the registry absorbs them
+//     as GaugeFunc closures sampled at export time. Zero hot-path change.
+//   - Per-stage latency histograms and per-request counters are fed from the
+//     pipeline as requests flow, keyed {vf, q, op}. Each observation is one
+//     mutex-guarded map lookup with a comparable struct key — no allocation.
+
+// Histogram/counter family names. The naming scheme is
+// nesc_<subsystem>_<name> with unit suffixes (_ns, _total); DESIGN.md §10
+// documents the full catalogue.
+const (
+	mFetchNs        = "nesc_pipeline_fetch_ns"
+	mQueueWaitNs    = "nesc_pipeline_queue_wait_ns"
+	mTransHitNs     = "nesc_pipeline_translate_hit_ns"
+	mTransWalkNs    = "nesc_pipeline_translate_walk_ns"
+	mTransMissNs    = "nesc_pipeline_translate_miss_ns"
+	mDTUWaitNs      = "nesc_pipeline_dtu_wait_ns"
+	mTransferNs     = "nesc_pipeline_transfer_ns"
+	mVerifyNs       = "nesc_pipeline_verify_ns"
+	mRequestNs      = "nesc_request_ns"
+	mRequestsTotal  = "nesc_requests_total"
+	mRequestErrors  = "nesc_request_errors_total"
+	mMediumRetryTot = "nesc_medium_retries_total"
+)
+
+var familyHelp = map[string]string{
+	mFetchNs:        "descriptor fetch + decode latency",
+	mQueueWaitNs:    "vLBA queue residence per chunk",
+	mTransHitNs:     "translation latency, BTLB hit",
+	mTransWalkNs:    "translation latency, extent-tree walk",
+	mTransMissNs:    "translation latency, hypervisor-serviced miss",
+	mDTUWaitNs:      "pLBA queue residence per chunk",
+	mTransferNs:     "DMA channel service per chunk (medium + PCIe)",
+	mVerifyNs:       "scrub verify service per chunk",
+	mRequestNs:      "end-to-end request latency (fetch to completion)",
+	mRequestsTotal:  "requests completed (any status)",
+	mRequestErrors:  "requests completed with a non-OK status",
+	mMediumRetryTot: "medium/integrity retry rounds",
+}
+
+// opName renders an opcode as a metric label value.
+func opName(op uint32) string {
+	switch op {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpVerify:
+		return "verify"
+	}
+	return "other"
+}
+
+// translateFamily maps a translation outcome tag to its histogram family.
+func translateFamily(tag string) string {
+	switch tag {
+	case trace.TagWalk:
+		return mTransWalkNs
+	case trace.TagMiss:
+		return mTransMissNs
+	}
+	return mTransHitNs
+}
+
+// instrumented reports whether any per-request telemetry sink is attached.
+func (c *Controller) instrumented() bool { return c.Metrics != nil || c.Spans != nil }
+
+// reqLabels builds the {vf, q, op} label set for a request.
+func reqLabels(r *Request) metrics.Labels {
+	q := 0
+	if r.q != nil {
+		q = r.q.idx
+	}
+	return metrics.VFQOp(r.fn.idx, q, opName(r.Op))
+}
+
+// observe feeds one stage duration into the named histogram family.
+func (c *Controller) observe(name string, r *Request, d sim.Time) {
+	if c.Metrics == nil {
+		return
+	}
+	c.Metrics.Histogram(name, familyHelp[name], reqLabels(r)).Observe(int64(d))
+}
+
+// AttachTelemetry hands the controller its telemetry sinks. Either may be
+// nil; with both nil the controller behaves exactly as before. Must be
+// called before traffic flows (registration takes the registry lock). The
+// device's counter fields are registered as export-time gauge closures;
+// re-attaching a controller to the same registry replaces them (last
+// controller wins), which is what a multi-platform benchmark run wants.
+func (c *Controller) AttachTelemetry(reg *metrics.Registry, spans *trace.SpanRecorder) {
+	c.Metrics = reg
+	c.Spans = spans
+	if reg == nil {
+		return
+	}
+	no := metrics.NoLabels
+	counters := []struct {
+		name, help string
+		v          *int64
+	}{
+		{"nesc_device_btlb_hits_total", "BTLB lookup hits", &c.BTLBStats.Hits},
+		{"nesc_device_btlb_misses_total", "BTLB lookup misses", &c.BTLBStats.Misses},
+		{"nesc_device_walk_node_reads_total", "extent-tree node DMA reads", &c.WalkNodeReads},
+		{"nesc_device_misses_total", "translation misses latched", &c.Misses},
+		{"nesc_device_reqs_done_total", "requests retired", &c.ReqsDone},
+		{"nesc_device_chunks_done_total", "chunks retired", &c.ChunksDone},
+		{"nesc_device_fetch_drops_total", "doorbells lost to descriptor-fetch DMA errors", &c.FetchDrops},
+		{"nesc_device_cpl_drops_total", "completions lost to completion-ring DMA errors", &c.CplDrops},
+		{"nesc_device_medium_errors_total", "chunks that exhausted medium retries", &c.MediumErrors},
+		{"nesc_device_medium_retries_total", "medium retry attempts", &c.MediumRetries},
+		{"nesc_device_dma_faults_total", "chunks failed by data-buffer DMA faults", &c.DMAFaults},
+		{"nesc_device_flrs_total", "function-level resets performed", &c.FLRs},
+		{"nesc_device_aborted_chunks_total", "chunks killed by a reset", &c.AbortedChunks},
+		{"nesc_device_miss_resends_total", "miss MSIs re-raised by the resend timer", &c.MissResends},
+		{"nesc_device_bad_ring_writes_total", "rejected ring-size register writes", &c.BadRingSizes},
+		{"nesc_device_bad_doorbells_total", "ignored incoherent doorbell writes", &c.BadDoorbells},
+		{"nesc_device_integrity_errors_total", "requests latched StatusIntegrityError", &c.IntegrityErrors},
+		{"nesc_device_integrity_repairs_total", "integrity failures healed by retry or scrub", &c.IntegrityRepairs},
+		{"nesc_device_scrub_chunks_total", "verify chunks processed", &c.ScrubChunks},
+	}
+	for _, ct := range counters {
+		v := ct.v
+		reg.GaugeFunc(ct.name, ct.help, no, func() float64 { return float64(*v) })
+	}
+	reg.GaugeFunc("nesc_device_btlb_hit_rate", "BTLB hits / lookups", no, c.BTLBStats.Rate)
+	reg.GaugeFunc("nesc_device_flight_records_total", "flight-recorder captures", no,
+		func() float64 {
+			if c.Flight == nil {
+				return 0
+			}
+			return float64(c.Flight.Total)
+		})
+	// DRR fairness: Jain's index over per-VF block counts, restricted to VFs
+	// that moved traffic (1 = perfectly fair, 1/n = maximally skewed).
+	reg.GaugeFunc("nesc_device_drr_fairness", "Jain fairness index over per-VF blocks served", no,
+		func() float64 { return jainIndex(c.vfs) })
+	// Per-function series (PF + every VF fits well under the cardinality
+	// cap at the paper's 64-VF geometry).
+	fns := append([]*Function{c.pf}, c.vfs...)
+	for _, f := range fns {
+		f := f
+		l := metrics.VFLabel(f.idx)
+		reg.GaugeFunc("nesc_fn_inflight", "fetched-but-uncompleted requests", l,
+			func() float64 { return float64(f.inflight) })
+		reg.GaugeFunc("nesc_fn_reqs_total", "requests fetched", l,
+			func() float64 { return float64(f.Reqs) })
+		reg.GaugeFunc("nesc_fn_blocks_total", "blocks requested", l,
+			func() float64 { return float64(f.Blocks) })
+		reg.GaugeFunc("nesc_fn_resets_total", "function-level resets", l,
+			func() float64 { return float64(f.Resets) })
+	}
+}
+
+// jainIndex computes Jain's fairness index (Σx)²/(n·Σx²) over the block
+// counts of VFs that served any traffic; 1 when idle.
+func jainIndex(vfs []*Function) float64 {
+	var sum, sumSq float64
+	n := 0
+	for _, f := range vfs {
+		if f.Blocks == 0 {
+			continue
+		}
+		x := float64(f.Blocks)
+		sum += x
+		sumSq += x * x
+		n++
+	}
+	if n == 0 || sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(n) * sumSq)
+}

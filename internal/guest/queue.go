@@ -169,6 +169,13 @@ func (qp *QueuePair) piGuard(count uint32, bufAddr int64) (uint32, error) {
 // least-occupied multi-queue policy steers by it.
 func (qp *QueuePair) FreeSlots() int { return qp.slots.Available() }
 
+// Entries reports the queue's submission-ring capacity.
+func (qp *QueuePair) Entries() int { return int(qp.entries) }
+
+// Depth reports how many submissions are currently in flight on this queue
+// (claimed slots); the per-queue depth gauge exports it.
+func (qp *QueuePair) Depth() int { return int(qp.entries) - qp.slots.Available() }
+
 // DMARanges reports the ring memory the hypervisor must grant to the device
 // when the IOMMU is enabled.
 func (qp *QueuePair) DMARanges() [][2]int64 {

@@ -16,6 +16,7 @@ import (
 	"nesc/internal/fault"
 	"nesc/internal/guest"
 	"nesc/internal/hostmem"
+	"nesc/internal/metrics"
 	"nesc/internal/pcie"
 	"nesc/internal/sim"
 )
@@ -153,6 +154,10 @@ type Hypervisor struct {
 	// ScrubRepairs counts device integrity repairs observed during scrub
 	// passes (a subset of the controller's IntegrityRepairs).
 	ScrubRepairs int64
+
+	// Metrics, when non-nil, receives the hypervisor-side derived gauges
+	// (telemetry.go); installed by RegisterMetrics.
+	Metrics *metrics.Registry
 }
 
 // New wires a hypervisor to the controller and installs the MSI router.
@@ -259,6 +264,7 @@ func (h *Hypervisor) Boot(p *sim.Proc, format bool, fsParams extfs.Params) error
 	}
 	h.pfQP = mq
 	h.qps[h.Ctl.PF().ID()] = mq
+	h.registerQueueGauges(h.Ctl.PF().ID(), mq)
 	disk := h.PFDisk()
 	fsParams.OpCost = h.P.HostFSOpCost
 	if format {

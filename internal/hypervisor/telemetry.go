@@ -1,0 +1,99 @@
+package hypervisor
+
+import (
+	"nesc/internal/guest"
+	"nesc/internal/metrics"
+	"nesc/internal/pcie"
+)
+
+// Hypervisor-side telemetry: derived gauges the device cannot compute alone —
+// driver-observed recovery counters, background-scrub progress, and per-queue
+// driver depth for every attached ring client. Everything registers
+// export-time closures over existing counters; nothing here touches the hot
+// path or the virtual clock.
+
+// RegisterMetrics publishes the hypervisor's counters into reg. Safe to call
+// with nil (no-op). Queue-depth gauges for ring drivers attach as VMs are
+// created (registerQueueGauges); a VF reused by a later VM replaces the
+// earlier VM's closures.
+func (h *Hypervisor) RegisterMetrics(reg *metrics.Registry) {
+	h.Metrics = reg
+	if reg == nil {
+		return
+	}
+	no := metrics.NoLabels
+	counters := []struct {
+		name, help string
+		v          *int64
+	}{
+		{"nesc_hyp_miss_interrupts_total", "serviced translation-miss interrupts", &h.MissInterrupts},
+		{"nesc_hyp_injections_total", "guest interrupt injections", &h.Injections},
+		{"nesc_hyp_miss_faults_total", "misses failed by fault injection", &h.MissFaults},
+		{"nesc_hyp_vf_resets_total", "function-level resets issued", &h.VFResets},
+		{"nesc_scrub_passes_total", "completed background scrub passes", &h.ScrubPasses},
+		{"nesc_scrub_blocks_total", "blocks verified by the scrubber", &h.ScrubBlocks},
+		{"nesc_scrub_errors_total", "scrub requests completed non-OK", &h.ScrubErrors},
+		{"nesc_scrub_repairs_total", "device repairs observed during scrub passes", &h.ScrubRepairs},
+	}
+	for _, ct := range counters {
+		v := ct.v
+		reg.GaugeFunc(ct.name, ct.help, no, func() float64 { return float64(*v) })
+	}
+	reg.GaugeFunc("nesc_scrub_progress", "fraction of the current scrub pass completed", no,
+		func() float64 {
+			total := h.Ctl.Medium.Store().NumBlocks()
+			if total == 0 {
+				return 0
+			}
+			return float64(h.ScrubBlocks%total) / float64(total)
+		})
+	// Driver recovery totals, aggregated across every attached ring client.
+	recovery := []struct {
+		name, help string
+		get        func(DriverRecoveryStats) int64
+	}{
+		{"nesc_driver_timeouts_total", "request attempts that hit their deadline", func(s DriverRecoveryStats) int64 { return s.Timeouts }},
+		{"nesc_driver_resubmits_total", "requests reissued after timeout or abort", func(s DriverRecoveryStats) int64 { return s.Resubmits }},
+		{"nesc_driver_polled_cpls_total", "completions recovered by ring polling", func(s DriverRecoveryStats) int64 { return s.PolledCompletions }},
+		{"nesc_driver_seq_gaps_total", "completion sequence gaps observed", func(s DriverRecoveryStats) int64 { return s.SeqGaps }},
+		{"nesc_driver_pi_mismatches_total", "driver-detected read-guard mismatches", func(s DriverRecoveryStats) int64 { return s.PIMismatches }},
+	}
+	for _, rc := range recovery {
+		get := rc.get
+		reg.GaugeFunc(rc.name, rc.help, no, func() float64 { return float64(get(h.RecoveryStats())) })
+	}
+}
+
+// registerQueueGauges publishes per-queue depth/submission gauges for one
+// attached ring client (PF driver or a VM's VF driver).
+func (h *Hypervisor) registerQueueGauges(id pcie.FnID, mq *guest.MultiQueue) {
+	if h.Metrics == nil || mq == nil {
+		return
+	}
+	fnIdx := h.fnIndexOf(id)
+	if fnIdx < 0 {
+		return
+	}
+	for q, qp := range mq.Queues() {
+		qp := qp
+		l := metrics.Labels{VF: fnIdx, Q: q}
+		h.Metrics.GaugeFunc("nesc_driver_queue_depth", "in-flight submissions on this driver queue", l,
+			func() float64 { return float64(qp.Depth()) })
+		h.Metrics.GaugeFunc("nesc_driver_queue_submitted_total", "requests submitted on this driver queue", l,
+			func() float64 { return float64(qp.Submitted) })
+	}
+}
+
+// fnIndexOf maps a PCIe routing ID back to the controller's function index
+// (0 = PF, 1.. = VFs); -1 when the ID is not one of the controller's.
+func (h *Hypervisor) fnIndexOf(id pcie.FnID) int {
+	if id == h.Ctl.PF().ID() {
+		return 0
+	}
+	for i := 0; i < h.Ctl.P.NumVFs; i++ {
+		if h.Ctl.VF(i).ID() == id {
+			return i + 1
+		}
+	}
+	return -1
+}

@@ -331,6 +331,7 @@ func (h *Hypervisor) SetVFWeight(p *sim.Proc, idx int, weight int) {
 // storage accesses from accelerators").
 func (h *Hypervisor) RouteVFInterrupts(idx int, mq *guest.MultiQueue) {
 	h.qps[h.Ctl.VF(idx).ID()] = mq
+	h.registerQueueGauges(h.Ctl.VF(idx).ID(), mq)
 }
 
 // FlushBTLB invalidates the device's translation cache (required around

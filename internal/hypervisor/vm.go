@@ -132,6 +132,7 @@ func (h *Hypervisor) NewVM(p *sim.Proc, name string, cfg VMConfig) (*VM, error) 
 		fnID := h.Ctl.VF(idx).ID()
 		h.qps[fnID] = drv.MQ()
 		h.vmOf[fnID] = vm
+		h.registerQueueGauges(fnID, drv.MQ())
 		if h.P.UseIOMMU {
 			// Stand-in for mapping the guest's RAM at the IOMMU: the VF may
 			// DMA anywhere in the VM's (shared, in this model) memory.

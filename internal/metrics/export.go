@@ -1,0 +1,181 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format and JSON snapshot exporters. Both walk the same
+// frozen, deterministically ordered snapshot, so two exports of an idle
+// registry are byte-identical.
+
+// promLabels renders the label triple in Prometheus brace syntax, omitting
+// unset members; a fully unset triple renders as no braces at all.
+func promLabels(l Labels) string {
+	var parts []string
+	if l.VF >= 0 {
+		parts = append(parts, `vf="`+strconv.Itoa(l.VF)+`"`)
+	}
+	if l.Q >= 0 {
+		parts = append(parts, `q="`+strconv.Itoa(l.Q)+`"`)
+	}
+	if l.Op != "" {
+		parts = append(parts, `op="`+l.Op+`"`)
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// promLabelsExtra is promLabels with one extra pair appended (histogram
+// "le" bounds).
+func promLabelsExtra(l Labels, k, v string) string {
+	base := promLabels(l)
+	pair := k + `="` + v + `"`
+	if base == "" {
+		return "{" + pair + "}"
+	}
+	return base[:len(base)-1] + "," + pair + "}"
+}
+
+// promValue formats a sample the way Prometheus expects: integral values
+// without an exponent, everything else in Go's shortest form.
+func promValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (v0.0.4): # HELP / # TYPE headers followed by one sample line per
+// series; histograms expand into cumulative _bucket{le=...} lines plus
+// _sum and _count. Safe on a nil registry (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.snapshots() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			if f.kind != kindHistogram {
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, promLabels(s.labels), promValue(s.value)); err != nil {
+					return err
+				}
+				continue
+			}
+			h := s.hist
+			var cum int64
+			for i := 0; i < HistogramBuckets; i++ {
+				cum += h.buckets[i]
+				// Suppress interior empty buckets to keep dumps readable,
+				// but always emit the first and last finite bound so the
+				// cumulative contract stays visible.
+				if h.buckets[i] == 0 && i != 0 && i != HistogramBuckets-1 {
+					continue
+				}
+				le := strconv.FormatInt(UpperBound(i), 10)
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, promLabelsExtra(s.labels, "le", le), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, promLabelsExtra(s.labels, "le", "+Inf"), h.count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, promLabels(s.labels), promValue(h.sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, promLabels(s.labels), h.count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// JSON snapshot schema.
+
+type jsonSeries struct {
+	VF    *int              `json:"vf,omitempty"`
+	Q     *int              `json:"q,omitempty"`
+	Op    string            `json:"op,omitempty"`
+	Value *float64          `json:"value,omitempty"`
+	Hist  *jsonHistSnapshot `json:"histogram,omitempty"`
+}
+
+type jsonHistSnapshot struct {
+	Count    int64   `json:"count"`
+	Sum      float64 `json:"sum"`
+	Mean     float64 `json:"mean"`
+	P50      float64 `json:"p50"`
+	P99      float64 `json:"p99"`
+	Overflow int64   `json:"overflow,omitempty"`
+	// Buckets maps the inclusive upper bound to the (non-cumulative) count;
+	// empty buckets are omitted.
+	Buckets map[string]int64 `json:"buckets,omitempty"`
+}
+
+type jsonFamily struct {
+	Name    string       `json:"name"`
+	Help    string       `json:"help,omitempty"`
+	Kind    string       `json:"kind"`
+	Series  []jsonSeries `json:"series"`
+	Dropped int64        `json:"dropped_series,omitempty"`
+}
+
+// WriteJSON renders the registry as an indented JSON array of families
+// (trailing newline included). Safe on a nil registry (writes "[]").
+func (r *Registry) WriteJSON(w io.Writer) error {
+	fams := []jsonFamily{}
+	for _, f := range r.snapshots() {
+		jf := jsonFamily{Name: f.name, Help: f.help, Kind: f.kind.String(), Dropped: f.dropped}
+		for _, s := range f.series {
+			js := jsonSeries{Op: s.labels.Op}
+			if s.labels.VF >= 0 {
+				vf := s.labels.VF
+				js.VF = &vf
+			}
+			if s.labels.Q >= 0 {
+				q := s.labels.Q
+				js.Q = &q
+			}
+			if f.kind == kindHistogram {
+				h := s.hist
+				jh := &jsonHistSnapshot{
+					Count: h.Count(), Sum: h.Sum(), Mean: h.Mean(),
+					P50: h.Quantile(0.50), P99: h.Quantile(0.99), Overflow: h.Overflow(),
+				}
+				if h.Count() > 0 {
+					jh.Buckets = make(map[string]int64)
+					for i := 0; i < HistogramBuckets; i++ {
+						if h.buckets[i] > 0 {
+							jh.Buckets[strconv.FormatInt(UpperBound(i), 10)] = h.buckets[i]
+						}
+					}
+				}
+				js.Hist = jh
+			} else {
+				v := s.value
+				js.Value = &v
+			}
+			jf.Series = append(jf.Series, js)
+		}
+		fams = append(fams, jf)
+	}
+	b, err := json.MarshalIndent(fams, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

@@ -26,6 +26,19 @@ func (s *Sampler) Add(v float64) {
 	s.sum += v
 }
 
+// Merge folds every sample of o into s. o is unchanged; merging s into
+// itself doubles its contents. Summary statistics after a merge are
+// identical to having Added both sample streams into one Sampler, in any
+// interleaving.
+func (s *Sampler) Merge(o *Sampler) {
+	if o == nil || len(o.samples) == 0 {
+		return
+	}
+	s.samples = append(s.samples, o.samples...)
+	s.sorted = false
+	s.sum += o.sum
+}
+
 // N reports the number of samples.
 func (s *Sampler) N() int { return len(s.samples) }
 

@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -95,6 +96,147 @@ func TestSamplerOrderInvariance(t *testing.T) {
 		if a.Percentile(p) != b.Percentile(p) {
 			t.Fatalf("P%v differs between insertion orders", p)
 		}
+	}
+}
+
+// Property: merging any partition of a sample stream, in any order, yields
+// the same statistics as one sampler that saw every sample directly.
+func TestSamplerMergeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	vals := make([]float64, 500)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 100
+	}
+	var whole Sampler
+	for _, v := range vals {
+		whole.Add(v)
+	}
+
+	// Adversarial orderings: sorted ascending, descending, interleaved
+	// extremes, and random shuffles — each split into uneven shards that are
+	// merged in a different order than they were filled.
+	orderings := map[string]func([]float64) []float64{
+		"ascending": func(v []float64) []float64 {
+			out := append([]float64(nil), v...)
+			sort.Float64s(out)
+			return out
+		},
+		"descending": func(v []float64) []float64 {
+			out := append([]float64(nil), v...)
+			sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+			return out
+		},
+		"extremes-first": func(v []float64) []float64 {
+			s := append([]float64(nil), v...)
+			sort.Float64s(s)
+			out := make([]float64, 0, len(s))
+			for lo, hi := 0, len(s)-1; lo <= hi; lo, hi = lo+1, hi-1 {
+				out = append(out, s[hi])
+				if lo < hi {
+					out = append(out, s[lo])
+				}
+			}
+			return out
+		},
+		"shuffled": func(v []float64) []float64 {
+			out := append([]float64(nil), v...)
+			rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+			return out
+		},
+	}
+	splits := [][]int{{500}, {1, 499}, {250, 250}, {3, 7, 490}, {100, 200, 150, 50}}
+
+	for name, reorder := range orderings {
+		stream := reorder(vals)
+		for _, split := range splits {
+			shards := make([]*Sampler, len(split))
+			off := 0
+			for i, n := range split {
+				shards[i] = &Sampler{}
+				for _, v := range stream[off : off+n] {
+					shards[i].Add(v)
+				}
+				// Exercise the sorted fast paths before merging: a shard
+				// that has answered a query must still merge correctly.
+				shards[i].Median()
+				off += n
+			}
+			// Merge shards back-to-front into a fresh sampler.
+			var m Sampler
+			for i := len(shards) - 1; i >= 0; i-- {
+				m.Merge(shards[i])
+			}
+			if m.N() != whole.N() {
+				t.Fatalf("%s %v: N = %d, want %d", name, split, m.N(), whole.N())
+			}
+			if math.Abs(m.Sum()-whole.Sum()) > 1e-6 {
+				t.Fatalf("%s %v: Sum = %v, want %v", name, split, m.Sum(), whole.Sum())
+			}
+			if m.Min() != whole.Min() || m.Max() != whole.Max() {
+				t.Fatalf("%s %v: Min/Max = %v/%v, want %v/%v",
+					name, split, m.Min(), m.Max(), whole.Min(), whole.Max())
+			}
+			for _, p := range []float64{0, 1, 25, 50, 75, 99, 100} {
+				if got, want := m.Percentile(p), whole.Percentile(p); got != want {
+					t.Fatalf("%s %v: P%v = %v, want %v", name, split, p, got, want)
+				}
+			}
+			if math.Abs(m.Stddev()-whole.Stddev()) > 1e-9 {
+				t.Fatalf("%s %v: Stddev = %v, want %v", name, split, m.Stddev(), whole.Stddev())
+			}
+		}
+	}
+}
+
+func TestSamplerMergeEdgeCases(t *testing.T) {
+	var s Sampler
+	s.Add(1)
+	s.Merge(nil) // no-op
+	var empty Sampler
+	s.Merge(&empty) // no-op
+	if s.N() != 1 || s.Sum() != 1 {
+		t.Fatalf("merge of nil/empty changed sampler: N=%d Sum=%v", s.N(), s.Sum())
+	}
+	var dst Sampler
+	dst.Merge(&s)
+	dst.Merge(&s) // same source twice
+	if dst.N() != 2 || dst.Mean() != 1 {
+		t.Fatalf("double merge: N=%d Mean=%v", dst.N(), dst.Mean())
+	}
+	// Self-merge doubles the contents.
+	dst.Merge(&dst)
+	if dst.N() != 4 || dst.Sum() != 4 {
+		t.Fatalf("self-merge: N=%d Sum=%v", dst.N(), dst.Sum())
+	}
+	// The source must be unchanged by merges out of it.
+	if s.N() != 1 || s.Median() != 1 {
+		t.Fatalf("source mutated by merge: N=%d", s.N())
+	}
+}
+
+// Property: for any two sample sets, merge(a,b) answers quantiles exactly as
+// a single sampler over the concatenation does.
+func TestSamplerMergeQuantileProperty(t *testing.T) {
+	f := func(a, b []uint16) bool {
+		var sa, sb, whole Sampler
+		for _, v := range a {
+			sa.Add(float64(v))
+			whole.Add(float64(v))
+		}
+		for _, v := range b {
+			sb.Add(float64(v))
+			whole.Add(float64(v))
+		}
+		sa.Merge(&sb)
+		for p := 0.0; p <= 100; p += 12.5 {
+			if sa.Percentile(p) != whole.Percentile(p) {
+				return false
+			}
+		}
+		return sa.N() == whole.N() && sa.Mean() == whole.Mean()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
 	}
 }
 

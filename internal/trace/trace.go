@@ -26,31 +26,32 @@ const (
 	KindFault                 // injected/observed fault (medium, DMA)
 	KindDrop                  // request or completion silently lost
 	KindReset                 // function-level reset
+	KindVerify                // scrubber OpVerify chunk serviced by the DTU
 )
 
+// kindNames must cover every kind above; TestKindStringsExhaustive walks the
+// table so an unnamed kind cannot silently render as "".
+var kindNames = [...]string{
+	KindFetch:     "fetch",
+	KindTranslate: "translate",
+	KindMiss:      "miss",
+	KindRewalk:    "rewalk",
+	KindTransfer:  "transfer",
+	KindComplete:  "complete",
+	KindFault:     "fault",
+	KindDrop:      "drop",
+	KindReset:     "reset",
+	KindVerify:    "verify",
+}
+
+// NumKinds is the number of defined event kinds.
+const NumKinds = len(kindNames)
+
 func (k Kind) String() string {
-	switch k {
-	case KindFetch:
-		return "fetch"
-	case KindTranslate:
-		return "translate"
-	case KindMiss:
-		return "miss"
-	case KindRewalk:
-		return "rewalk"
-	case KindTransfer:
-		return "transfer"
-	case KindComplete:
-		return "complete"
-	case KindFault:
-		return "fault"
-	case KindDrop:
-		return "drop"
-	case KindReset:
-		return "reset"
-	default:
-		return fmt.Sprintf("Kind(%d)", uint8(k))
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
 	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
 
 // Event is one traced occurrence.
@@ -129,7 +130,17 @@ func (r *Ring) Events() []Event {
 
 // Dump writes the held events, one per line.
 func (r *Ring) Dump(w io.Writer) error {
+	return r.DumpIf(w, nil)
+}
+
+// DumpIf writes the held events that satisfy keep (nil = all), one per line.
+// It is the -trace-vf filter's backend: multi-tenant dumps interleave every
+// function's events, and keep lets a caller carve out one function's view.
+func (r *Ring) DumpIf(w io.Writer, keep func(Event) bool) error {
 	for _, e := range r.Events() {
+		if keep != nil && !keep(e) {
+			continue
+		}
 		if _, err := fmt.Fprintln(w, e.String()); err != nil {
 			return err
 		}

@@ -35,6 +35,7 @@ package nesc
 
 import (
 	"fmt"
+	"io"
 	"strings"
 	"time"
 
@@ -44,6 +45,7 @@ import (
 	"nesc/internal/fault"
 	"nesc/internal/guest"
 	"nesc/internal/hypervisor"
+	"nesc/internal/metrics"
 	"nesc/internal/ring"
 	"nesc/internal/sim"
 	"nesc/internal/trace"
@@ -80,6 +82,18 @@ type Config struct {
 	// TraceEvents, when positive, keeps a ring of that many recent device
 	// events (see Simulation.TraceDump).
 	TraceEvents int
+	// Metrics enables the platform metrics registry: per-stage latency
+	// histograms keyed {vf, queue, op}, device/hypervisor counter gauges,
+	// and derived gauges (BTLB hit rate, queue depths, DRR fairness, scrub
+	// progress). Export with WriteMetrics (Prometheus text) or
+	// WriteMetricsJSON. Instrumentation only reads the virtual clock, so
+	// results are byte-identical with it on or off.
+	Metrics bool
+	// TraceSpans, when positive, records the last N request-scoped spans —
+	// each request's timestamped walk through fetch, translate (BTLB
+	// hit/walk/miss), transfer, and completion. Export with WriteTraceJSON
+	// as a Chrome trace-event file loadable in Perfetto.
+	TraceSpans int
 	// Fault, when set, arms a seeded deterministic fault injector across the
 	// medium, the PCIe fabric, and the hypervisor miss handler. The same plan
 	// (same seed) always produces the identical fault sequence.
@@ -164,6 +178,9 @@ func DefaultConfig() Config {
 type Simulation struct {
 	pl  *bench.Platform
 	cfg Config
+
+	metrics *metrics.Registry
+	spans   *trace.SpanRecorder
 }
 
 // New assembles a platform. The hypervisor is not booted until Run.
@@ -206,7 +223,17 @@ func newSimulation(cfg Config, seed *blockdev.Store) *Simulation {
 	default:
 		panic(fmt.Sprintf("nesc: unknown journal mode %q", cfg.HostJournal))
 	}
-	s := &Simulation{pl: bench.NewPlatform(bcfg), cfg: cfg}
+	var reg *metrics.Registry
+	var spans *trace.SpanRecorder
+	if cfg.Metrics {
+		reg = metrics.New()
+	}
+	if cfg.TraceSpans > 0 {
+		spans = trace.NewSpanRecorder(cfg.TraceSpans)
+	}
+	bcfg.Metrics = reg
+	bcfg.Spans = spans
+	s := &Simulation{pl: bench.NewPlatform(bcfg), cfg: cfg, metrics: reg, spans: spans}
 	if cfg.TraceEvents > 0 {
 		s.pl.Ctl.Tracer = trace.NewRing(cfg.TraceEvents)
 	}
@@ -224,6 +251,60 @@ func (s *Simulation) TraceDump() string {
 		return "trace: " + err.Error()
 	}
 	return b.String()
+}
+
+// TraceDumpVF renders the retained device events of one function (0 = PF,
+// 1.. = VFs), oldest first — a single tenant's view of an interleaved
+// multi-tenant trace. Requires Config.TraceEvents > 0.
+func (s *Simulation) TraceDumpVF(fn int) string {
+	var b strings.Builder
+	if err := s.pl.Ctl.Tracer.DumpIf(&b, func(e trace.Event) bool { return e.Fn == fn }); err != nil {
+		return "trace: " + err.Error()
+	}
+	return b.String()
+}
+
+// WriteMetrics exports the metrics registry in Prometheus text exposition
+// format (requires Config.Metrics; no-op otherwise).
+func (s *Simulation) WriteMetrics(w io.Writer) error { return s.metrics.WritePrometheus(w) }
+
+// WriteMetricsJSON exports the metrics registry as a JSON snapshot
+// (requires Config.Metrics; writes "[]" otherwise).
+func (s *Simulation) WriteMetricsJSON(w io.Writer) error { return s.metrics.WriteJSON(w) }
+
+// WriteTraceJSON exports the recorded request spans as a Chrome trace-event
+// JSON document — load it at ui.perfetto.dev or chrome://tracing. One
+// "process" track per function, one "thread" track per queue, request slices
+// with their pipeline phases nested inside (requires Config.TraceSpans > 0;
+// writes an empty but loadable trace otherwise).
+func (s *Simulation) WriteTraceJSON(w io.Writer) error { return s.spans.WriteChromeTrace(w) }
+
+// SpanCount reports how many request spans have been recorded in total.
+func (s *Simulation) SpanCount() int64 {
+	if s.spans == nil {
+		return 0
+	}
+	return s.spans.Total
+}
+
+// FlightDump renders the device's flight recorder: for every terminal error
+// completion or function-level reset, the event-ring tail and the offending
+// request's span captured at the moment of failure. Always armed.
+func (s *Simulation) FlightDump() string {
+	var b strings.Builder
+	if err := s.pl.Ctl.Flight.Dump(&b); err != nil {
+		return "flight: " + err.Error()
+	}
+	return b.String()
+}
+
+// FlightRecords reports how many flight records have been captured (the
+// value the PF's PFRegFlightRecords register exposes).
+func (s *Simulation) FlightRecords() int64 {
+	if s.pl.Ctl.Flight == nil {
+		return 0
+	}
+	return s.pl.Ctl.Flight.Total
 }
 
 // Run boots the hypervisor and executes fn as the initial host process,

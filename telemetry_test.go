@@ -1,0 +1,288 @@
+package nesc
+
+// Telemetry acceptance tests: the Prometheus exporter must emit parseable
+// text exposition format, the Chrome trace exporter must emit loadable
+// trace-event JSON, and — the cardinal rule — instrumentation must be
+// virtual-time-neutral: enabling it cannot move a single event, so every
+// counter and the final clock match an uninstrumented run exactly. The
+// golden test at the bottom extends that guarantee to the full experiment
+// suite: an instrumentation-off run reproduces results/all_experiments.txt
+// byte for byte.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"nesc/internal/bench"
+)
+
+// telemetryWorkload drives a deterministic mixed workload: a dense image
+// (BTLB hits), a sparse image (hypervisor misses via lazy allocation), and a
+// read-back pass (warmed-cache hits).
+func telemetryWorkload(sim *Simulation) error {
+	return sim.Run(func(ctx *Ctx) error {
+		if err := ctx.CreateImage("/dense.img", 7, 4<<20, false); err != nil {
+			return err
+		}
+		if err := ctx.CreateImage("/sparse.img", 7, 4<<20, true); err != nil {
+			return err
+		}
+		dense, err := ctx.StartVM("dense", BackendNeSC, "/dense.img", 7)
+		if err != nil {
+			return err
+		}
+		sparse, err := ctx.StartVM("sparse", BackendNeSC, "/sparse.img", 7)
+		if err != nil {
+			return err
+		}
+		buf := bytes.Repeat([]byte{0x5A}, 64<<10)
+		for _, vm := range []*VM{dense, sparse} {
+			for off := int64(0); off < 512<<10; off += int64(len(buf)) {
+				if err := vm.WriteAt(ctx, buf, off); err != nil {
+					return err
+				}
+			}
+			got := make([]byte, len(buf))
+			if err := vm.ReadAt(ctx, got, 0); err != nil {
+				return err
+			}
+			if !bytes.Equal(got, buf) {
+				return fmt.Errorf("round-trip mismatch")
+			}
+		}
+		return nil
+	})
+}
+
+var (
+	promHelpRe   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*)( .*)?$`)
+	promTypeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*")(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*")*\})? (\S+)$`)
+)
+
+// parsePrometheus validates Prometheus text exposition format line by line
+// and returns the set of sample metric names (with _bucket/_sum/_count
+// suffixes intact) plus the set of TYPE-declared families.
+func parsePrometheus(t *testing.T, text string) (samples map[string]int, families map[string]string) {
+	t.Helper()
+	samples = make(map[string]int)
+	families = make(map[string]string)
+	typed := ""
+	for i, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if m := promHelpRe.FindStringSubmatch(line); m != nil {
+			continue
+		} else if m := promTypeRe.FindStringSubmatch(line); m != nil {
+			families[m[1]] = m[2]
+			typed = m[1]
+			continue
+		} else if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: malformed comment %q", i+1, line)
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: malformed sample %q", i+1, line)
+		}
+		name := m[1]
+		if _, err := strconv.ParseFloat(m[len(m)-1], 64); err != nil && m[len(m)-1] != "+Inf" {
+			t.Fatalf("line %d: bad value in %q: %v", i+1, line, err)
+		}
+		// Every sample must follow a TYPE declaration for its family.
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if typed != base && typed != name {
+			t.Fatalf("line %d: sample %q outside its TYPE block (last TYPE %q)", i+1, name, typed)
+		}
+		samples[name]++
+	}
+	return samples, families
+}
+
+func TestTelemetryExports(t *testing.T) {
+	sim := New(Config{MediumMB: 32, Metrics: true, TraceSpans: 2048, TraceEvents: 64})
+	if err := telemetryWorkload(sim); err != nil {
+		t.Fatal(err)
+	}
+
+	// --- Prometheus text format ---
+	var prom bytes.Buffer
+	if err := sim.WriteMetrics(&prom); err != nil {
+		t.Fatal(err)
+	}
+	samples, families := parsePrometheus(t, prom.String())
+	if len(samples) == 0 {
+		t.Fatal("no samples exported")
+	}
+	for fam, kind := range map[string]string{
+		"nesc_request_ns":                 "histogram",
+		"nesc_pipeline_fetch_ns":          "histogram",
+		"nesc_pipeline_translate_hit_ns":  "histogram",
+		"nesc_pipeline_translate_miss_ns": "histogram",
+		"nesc_pipeline_transfer_ns":       "histogram",
+		"nesc_device_btlb_hit_rate":       "gauge",
+		"nesc_device_reqs_done_total":     "gauge",
+		"nesc_hyp_miss_interrupts_total":  "gauge",
+		"nesc_fn_inflight":                "gauge",
+		"nesc_driver_queue_depth":         "gauge",
+		"nesc_medium_write_bytes_total":   "gauge",
+		"nesc_requests_total":             "counter",
+	} {
+		if got, ok := families[fam]; !ok {
+			t.Errorf("family %s missing from export", fam)
+		} else if got != kind {
+			t.Errorf("family %s has type %s, want %s", fam, got, kind)
+		}
+	}
+	// Histograms decompose into _bucket/_sum/_count sample lines.
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if samples["nesc_request_ns"+suffix] == 0 {
+			t.Errorf("nesc_request_ns%s samples missing", suffix)
+		}
+	}
+	// The sparse image forces hypervisor-serviced misses; the dense read-back
+	// rides the BTLB — both translate outcomes must carry samples.
+	for _, fam := range []string{"nesc_pipeline_translate_hit_ns_count", "nesc_pipeline_translate_miss_ns_count"} {
+		if samples[fam] == 0 {
+			t.Errorf("%s: no samples — hit/miss separation lost", fam)
+		}
+	}
+
+	// --- JSON snapshot ---
+	var snap bytes.Buffer
+	if err := sim.WriteMetricsJSON(&snap); err != nil {
+		t.Fatal(err)
+	}
+	var anyJSON any
+	if err := json.Unmarshal(snap.Bytes(), &anyJSON); err != nil {
+		t.Fatalf("metrics JSON snapshot invalid: %v", err)
+	}
+
+	// --- Chrome trace-event JSON ---
+	if sim.SpanCount() == 0 {
+		t.Fatal("no spans recorded")
+	}
+	var tj bytes.Buffer
+	if err := sim.WriteTraceJSON(&tj); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  *float64       `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(tj.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON invalid: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace JSON has no events")
+	}
+	var meta, slices, hits, misses int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+		case "X":
+			slices++
+			if e.Dur == nil || *e.Dur < 0 {
+				t.Fatalf("slice %q has no/negative duration", e.Name)
+			}
+			if strings.Contains(e.Name, "(hit)") {
+				hits++
+			}
+			if strings.Contains(e.Name, "(miss)") {
+				misses++
+			}
+		default:
+			t.Fatalf("unexpected event phase %q", e.Ph)
+		}
+	}
+	if meta == 0 || slices == 0 {
+		t.Fatalf("trace JSON missing track metadata (%d) or slices (%d)", meta, slices)
+	}
+	if hits == 0 || misses == 0 {
+		t.Errorf("translate slices lack hit (%d) / miss (%d) tags", hits, misses)
+	}
+
+	// --- flight recorder: clean run captures nothing ---
+	if n := sim.FlightRecords(); n != 0 {
+		t.Errorf("clean run captured %d flight records:\n%s", n, sim.FlightDump())
+	}
+	if !strings.Contains(sim.FlightDump(), "no records") {
+		t.Errorf("FlightDump on a clean run: %q", sim.FlightDump())
+	}
+}
+
+// TestInstrumentationNeutrality runs the same workload bare and fully
+// instrumented; every counter — above all the virtual clock — must match.
+func TestInstrumentationNeutrality(t *testing.T) {
+	bare := New(Config{MediumMB: 32})
+	if err := telemetryWorkload(bare); err != nil {
+		t.Fatal(err)
+	}
+	instr := New(Config{MediumMB: 32, Metrics: true, TraceSpans: 4096, TraceEvents: 128})
+	if err := telemetryWorkload(instr); err != nil {
+		t.Fatal(err)
+	}
+	if a, b := bare.Stats(), instr.Stats(); a != b {
+		t.Fatalf("instrumentation perturbed the simulation:\nbare:  %+v\ninstr: %+v", a, b)
+	}
+}
+
+// TestGoldenExperimentOutputs is the tier-1 guard: an instrumentation-off run
+// of the full experiment suite must reproduce results/all_experiments.txt
+// byte for byte. Regenerate with:
+//
+//	go run ./cmd/nescbench -exp all > results/all_experiments.txt
+func TestGoldenExperimentOutputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite (~1 min) skipped in -short mode")
+	}
+	golden, err := os.ReadFile("results/all_experiments.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := bench.DefaultConfig()
+	var got strings.Builder
+	for _, e := range bench.All() {
+		tables, err := e.Run(cfg)
+		if err != nil {
+			t.Fatalf("experiment %s: %v", e.Name, err)
+		}
+		for _, tb := range tables {
+			got.WriteString(tb.String())
+			got.WriteByte('\n')
+		}
+	}
+	if got.String() == string(golden) {
+		return
+	}
+	gotLines := strings.Split(got.String(), "\n")
+	wantLines := strings.Split(string(golden), "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Fatalf("experiment output drifted from results/all_experiments.txt at line %d:\n got: %q\nwant: %q\n(regenerate the golden file only for intentional output changes)", i+1, g, w)
+		}
+	}
+	t.Fatal("experiment output differs from results/all_experiments.txt (length only?)")
+}
