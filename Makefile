@@ -9,8 +9,9 @@ tier1: build test
 # chaos soak (seconds of virtual time, minutes under the race detector)
 # stays out of the fast path; run `make chaos` for the big one. crash runs
 # the full 64-point crash-recovery harness plus the exhaustive journal
-# crash-point sweep.
-ci: vet fmt-check build race crash
+# crash-point sweep; test runs the whole suite without the race detector
+# (including the long tests -short skips, e.g. the golden experiment run).
+ci: vet fmt-check build test race crash
 
 vet:
 	$(GO) vet ./...
@@ -41,4 +42,4 @@ crash:
 	$(GO) test -run 'TestJournalCrashSweep' -v ./internal/extfs
 
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -bench=. -benchmem ./...

@@ -150,6 +150,55 @@ func runChaos(t *testing.T, seed uint64, numVMs, rounds, stripeBlocks, queues in
 			}
 		}
 
+		// Snapshot churn: every file-backed tenant takes a snapshot, forks a
+		// writable clone, diverges the clone, re-writes a now-shared stripe
+		// on the parent (a CoW break under the same fault plan), then tears
+		// both down again. The fork's divergence uses its own pattern and
+		// the parent's re-write uses the oracle bytes, so the final readback
+		// below doubles as the no-leak check.
+		for i := 0; i < numVMs; i++ {
+			vm, uid := vms[i], uint32(100+i)
+			snapPath := fmt.Sprintf("/tenant%d.snap", i)
+			clonePath := fmt.Sprintf("/tenant%d.clone", i)
+			if err := vm.Snapshot(ctx, snapPath, uid); err != nil {
+				return fmt.Errorf("churn snapshot vm%d: %w", i, err)
+			}
+			fork, err := ctx.CloneVM(vm, fmt.Sprintf("fork%d", i), clonePath, uid)
+			if err != nil {
+				return fmt.Errorf("churn clone vm%d: %w", i, err)
+			}
+			want := make([]byte, stripe)
+			got := make([]byte, stripe)
+			stripePattern(want, numVMs+1+i, 0)
+			if err := writeStripe(ctx, fork, want, 0); err != nil {
+				return fmt.Errorf("churn fork%d divergence: %w", i, err)
+			}
+			if err := readVerified(ctx, fork, want, got, 0); err != nil {
+				return fmt.Errorf("churn fork%d readback: %w", i, err)
+			}
+			stripePattern(want, i, 1)
+			if err := writeStripe(ctx, vm, want, stripe); err != nil {
+				return fmt.Errorf("churn vm%d CoW re-write: %w", i, err)
+			}
+			stripePattern(want, i, 0)
+			if err := readVerified(ctx, vm, want, got, 0); err != nil {
+				return fmt.Errorf("churn vm%d stripe 0 after fork divergence: %w", i, err)
+			}
+			fork.Stop(ctx)
+			if err := ctx.DeleteSnapshot(clonePath, uid); err != nil {
+				return fmt.Errorf("churn delete %s: %w", clonePath, err)
+			}
+			if err := ctx.DeleteSnapshot(snapPath, uid); err != nil {
+				return fmt.Errorf("churn delete %s: %w", snapPath, err)
+			}
+		}
+		if sb := ctx.SharedBlocks(); sb != 0 {
+			return fmt.Errorf("snapshot churn left %d shared blocks", sb)
+		}
+		if err := ctx.CheckHostFS(); err != nil {
+			return fmt.Errorf("fsck after snapshot churn: %w", err)
+		}
+
 		// Final full readback: every stripe of every tenant, bit-exact.
 		want := make([]byte, stripe)
 		got := make([]byte, stripe)
@@ -233,6 +282,20 @@ func TestChaosSoak(t *testing.T) {
 	if st.LatentRepaired == 0 {
 		t.Error("no latent sectors repaired: scrub path not exercised")
 	}
+	if want := int64(2 * numVMs); st.Snapshots != want {
+		t.Errorf("Snapshots = %d, want %d (one direct + one clone-implied per tenant)", st.Snapshots, want)
+	}
+	if want := int64(numVMs); st.Clones != want {
+		t.Errorf("Clones = %d, want %d", st.Clones, want)
+	}
+	if st.CowFaults == 0 || st.CowBreaks == 0 {
+		t.Errorf("snapshot churn raised no CoW activity (faults=%d breaks=%d)", st.CowFaults, st.CowBreaks)
+	}
+	if st.SharedBlocks != 0 {
+		t.Errorf("SharedBlocks = %d after churn teardown, want 0", st.SharedBlocks)
+	}
+	t.Logf("chaos snapshot churn: snapshots=%d clones=%d cowFaults=%d cowBreaks=%d",
+		st.Snapshots, st.Clones, st.CowFaults, st.CowBreaks)
 	t.Logf("chaos stats: faults=%d mediumRetries=%d mediumErrors=%d droppedMSIs=%d "+
 		"timeouts=%d resubmits=%d polled=%d stale=%d gaps=%d resets=%d missFaults=%d "+
 		"fetchDrops=%d cplDrops=%d vtime=%v",

@@ -121,6 +121,27 @@ func (c *Ctx) PruneExtentTrees(maxNodes int) int {
 // host-side block remapping (e.g. deduplication).
 func (c *Ctx) FlushBTLB() { c.s.pl.Hyp.FlushBTLB(c.proc) }
 
+// SnapshotImage captures a copy-on-write snapshot of a host file at
+// snapPath on behalf of uid: the snapshot shares every data block with the
+// source until one side writes it. If the source is currently exported
+// through a NeSC VF, the device mapping is refreshed so guest writes to
+// shared extents take the CoW fault path.
+func (c *Ctx) SnapshotImage(path, snapPath string, uid uint32) error {
+	return c.s.pl.Hyp.SnapshotFile(c.proc, path, snapPath, uid)
+}
+
+// DeleteSnapshot removes a snapshot (or any image) file and reclaims its
+// space: blocks still shared just drop one reference, private blocks return
+// to the free pool. Refuses while the file is exported through a VF — stop
+// the VM first.
+func (c *Ctx) DeleteSnapshot(path string, uid uint32) error {
+	return c.s.pl.Hyp.DeleteSnapshot(c.proc, path, uid)
+}
+
+// SharedBlocks reports how many host-filesystem data blocks are currently
+// shared between snapshot/clone images (blocks with extra references).
+func (c *Ctx) SharedBlocks() int64 { return c.s.pl.Hyp.HostFS.SharedBlocks() }
+
 // MigrateImage relocates the physical blocks behind a VM's disk image (a
 // stand-in for host-side deduplication or defragmentation), rebuilds the
 // device extent tree, and flushes the BTLB — the full §V-B flow. The VM

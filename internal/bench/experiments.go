@@ -35,6 +35,7 @@ var registry = []Experiment{
 	{"breakdown", "Analysis: latency breakdown inside the NeSC pipeline", Breakdown},
 	{"qdepth", "Analysis: queue-depth scaling, NeSC vs virtio", QDepth},
 	{"spans", "Analysis: span-derived per-stage latency (BTLB hit vs walk vs miss)", Spans},
+	{"snapshot", "Analysis: CoW snapshot cost (first-write fault latency, clone-fanout space)", Snapshot},
 }
 
 // All lists every registered experiment.

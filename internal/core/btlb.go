@@ -27,15 +27,17 @@ func newBTLB(n int) *btlb {
 }
 
 // lookup translates vlba for function fnIdx, reporting a miss when no valid
-// entry covers it.
-func (b *btlb) lookup(fnIdx int, vlba uint64) (uint64, bool) {
+// entry covers it. protected reports whether the covering extent is marked
+// write-protected (CoW shared): a write hitting such an entry must take the
+// fault path instead of using the cached translation.
+func (b *btlb) lookup(fnIdx int, vlba uint64) (plba uint64, protected, ok bool) {
 	for i := range b.entries {
 		e := &b.entries[i]
 		if e.valid && e.fnIdx == fnIdx && vlba >= e.run.Logical && vlba < e.run.End() {
-			return e.run.Physical + (vlba - e.run.Logical), true
+			return e.run.Physical + (vlba - e.run.Logical), e.run.Protected(), true
 		}
 	}
-	return 0, false
+	return 0, false, false
 }
 
 // insert caches an extent, evicting the oldest entry.
@@ -69,4 +71,23 @@ func (b *btlb) flushFn(fnIdx int) {
 			b.entries[i].valid = false
 		}
 	}
+}
+
+// invalidateRange invalidates a function's entries overlapping the vLBA
+// range [vlba, vlba+count). The hypervisor issues this after a CoW break so
+// stale protected (or stale-translation) entries cannot serve the retried
+// write; count 0 degenerates to flushFn. Returns entries invalidated.
+func (b *btlb) invalidateRange(fnIdx int, vlba, count uint64) int {
+	n := 0
+	for i := range b.entries {
+		e := &b.entries[i]
+		if !e.valid || e.fnIdx != fnIdx {
+			continue
+		}
+		if count == 0 || (vlba < e.run.End() && e.run.Logical < vlba+count) {
+			e.valid = false
+			n++
+		}
+	}
+	return n
 }

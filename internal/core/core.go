@@ -271,6 +271,15 @@ type Controller struct {
 	ChunksDone    int64
 	ReqsDone      int64
 
+	// CoW stats: writes that trapped on a write-protected extent, and BTLB
+	// entries dropped by the targeted invalidation command.
+	CowFaults         int64
+	BTLBInvalidations int64
+
+	// Latches for the PF targeted-invalidation command (PFRegInvVLBA/Count).
+	invVLBA  uint64
+	invCount uint64
+
 	// Error/recovery stats, aggregated across functions.
 	FetchDrops    int64 // doorbells lost to descriptor-fetch DMA errors
 	CplDrops      int64 // completions lost to completion-ring DMA errors
@@ -398,6 +407,7 @@ type Function struct {
 	missAddr      uint64
 	missSize      uint32
 	missIsWrite   bool
+	missReason    uint32 // MissReason* code for the latched miss
 	missPending   bool
 	missGen       uint64 // bumped per latch; guards the resend timer
 	rewalk        *sim.Signal
@@ -531,6 +541,7 @@ func (c *Controller) resetFunction(f *Function) {
 		// A walker is parked on this miss; fail the walk so the chunk drains
 		// (it will be aborted as stale before any completion is attempted).
 		f.missPending = false
+		f.missReason = MissReasonTranslate
 		f.rewalkVerdict = RewalkFail
 		f.rewalk.Fire()
 	}

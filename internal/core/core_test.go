@@ -755,19 +755,19 @@ func TestRandomIOModelProperty(t *testing.T) {
 func TestBTLBUnit(t *testing.T) {
 	b := newBTLB(2)
 	b.insert(1, extent.Run{Logical: 0, Physical: 100, Count: 10})
-	if p, ok := b.lookup(1, 5); !ok || p != 105 {
+	if p, _, ok := b.lookup(1, 5); !ok || p != 105 {
 		t.Fatalf("lookup = %d, %v", p, ok)
 	}
-	if _, ok := b.lookup(2, 5); ok {
+	if _, _, ok := b.lookup(2, 5); ok {
 		t.Fatal("cross-function BTLB hit")
 	}
-	if _, ok := b.lookup(1, 10); ok {
+	if _, _, ok := b.lookup(1, 10); ok {
 		t.Fatal("hit past extent end")
 	}
 	// FIFO eviction.
 	b.insert(1, extent.Run{Logical: 100, Physical: 500, Count: 1})
 	b.insert(1, extent.Run{Logical: 200, Physical: 600, Count: 1})
-	if _, ok := b.lookup(1, 5); ok {
+	if _, _, ok := b.lookup(1, 5); ok {
 		t.Fatal("oldest entry not evicted")
 	}
 	// Duplicate insert does not evict.
@@ -776,19 +776,19 @@ func TestBTLBUnit(t *testing.T) {
 	b2.insert(3, run)
 	b2.insert(3, extent.Run{Logical: 5, Physical: 9, Count: 1})
 	b2.insert(3, run) // duplicate
-	if _, ok := b2.lookup(3, 5); !ok {
+	if _, _, ok := b2.lookup(3, 5); !ok {
 		t.Fatal("duplicate insert evicted a live entry")
 	}
 	// flushFn only clears one function.
 	b2.insert(4, extent.Run{Logical: 0, Physical: 7, Count: 1})
 	b2.flushFn(3)
-	if _, ok := b2.lookup(3, 0); ok {
+	if _, _, ok := b2.lookup(3, 0); ok {
 		t.Fatal("flushFn left entries")
 	}
 	// Zero-entry BTLB never hits and never crashes.
 	b0 := newBTLB(0)
 	b0.insert(1, run)
-	if _, ok := b0.lookup(1, 0); ok {
+	if _, _, ok := b0.lookup(1, 0); ok {
 		t.Fatal("zero-entry BTLB hit")
 	}
 }

@@ -180,13 +180,16 @@ func (c *Controller) walkerLoop(p *sim.Proc) {
 			ch.req.span.Phase(trace.PhaseQueue, ch.idx, ch.tQueued, ch.tTransIn, "")
 		}
 		p.Sleep(c.P.BTLBHitTime)
-		if plba, ok := c.btlb.lookup(f.idx, ch.lba); ok {
+		if plba, prot, ok := c.btlb.lookup(f.idx, ch.lba); ok && !(prot && ch.req.Op == OpWrite) {
 			c.BTLBStats.Hit()
 			ch.tag = trace.TagHit
 			ch.lba = plba
 			c.pushPLBA(p, f, ch)
 			continue
 		}
+		// A write hitting a cached protected extent cannot use the
+		// translation: it falls through to the walk, which re-finds the
+		// protected mapping and raises the CoW fault.
 		c.BTLBStats.Miss()
 		ch.tag = trace.TagWalk
 
@@ -197,8 +200,9 @@ func (c *Controller) walkerLoop(p *sim.Proc) {
 				c.completeChunk(p, ch, StatusDMAFault)
 				break walk
 			}
+			cowFault := res.Mapped && res.Protected && ch.req.Op == OpWrite
 			switch {
-			case res.Mapped:
+			case res.Mapped && !cowFault:
 				c.btlb.insert(f.idx, res.Extent)
 				ch.lba = res.PLBA
 				c.pushPLBA(p, f, ch)
@@ -210,18 +214,27 @@ func (c *Controller) walkerLoop(p *sim.Proc) {
 				c.pushPLBA(p, f, ch)
 				break walk
 			default:
-				// Hole on a write, or a pruned subtree on either op: the
-				// hypervisor must allocate/regenerate mappings.
+				// Hole on a write, a pruned subtree on either op, or a write
+				// hitting a write-protected (CoW shared) extent: the
+				// hypervisor must allocate/regenerate/unshare mappings.
 				c.Misses++
 				ch.tag = trace.TagMiss
+				if cowFault {
+					c.CowFaults++
+					ch.tag = trace.TagCow
+				}
 				if !f.missPending {
 					f.missPending = true
 					f.missGen++
 					f.missAddr = ch.lba
 					f.missSize = 1
 					f.missIsWrite = ch.req.Op == OpWrite
+					f.missReason = MissReasonTranslate
+					if cowFault {
+						f.missReason = MissReasonCoW
+					}
 					f.rewalk = sim.NewSignal(c.Eng)
-					c.Tracer.Emit(trace.Event{At: p.Now(), Kind: trace.KindMiss, Fn: f.idx, LBA: ch.lba})
+					c.Tracer.Emit(trace.Event{At: p.Now(), Kind: trace.KindMiss, Fn: f.idx, LBA: ch.lba, Arg: uint64(f.missReason)})
 					c.Fab.RaiseMSI(c.pf.id, VecMiss)
 					if c.P.MissResendInterval > 0 {
 						c.scheduleMissResend(f, f.missGen)
@@ -267,7 +280,8 @@ func (c *Controller) walkTree(p *sim.Proc, f *Function, vlba uint64, nodeImg []b
 		}
 		if node.Leaf() {
 			res.Mapped = true
-			res.Extent = extent.Run{Logical: e.FirstLogical, Physical: e.Ptr, Count: uint64(e.Count)}
+			res.Extent = extent.Run{Logical: e.FirstLogical, Physical: e.Ptr, Count: uint64(e.Count), Flags: e.Flags}
+			res.Protected = e.Flags&extent.FlagProtected != 0
 			res.PLBA = e.Ptr + (vlba - e.FirstLogical)
 			return res, nil
 		}

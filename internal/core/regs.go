@@ -61,17 +61,29 @@ const (
 	PFRegNumVFs        = 0x810 // RO: supported VF count (4B)
 	PFRegFlightRecords = 0x818 // RO: flight-recorder captures to date (8B)
 
+	// Targeted BTLB invalidation command (hypervisor-only, used after a CoW
+	// break): latch a vLBA range, then write the function index to fire the
+	// invalidation. Count 0 invalidates all of the function's entries.
+	PFRegInvVLBA  = 0x820 // latch: first vLBA of the range (8B)
+	PFRegInvCount = 0x828 // latch: block count, 0 = whole function (8B)
+	PFRegInvFn    = 0x830 // write: function index; fires the invalidation (4B)
+
 	// Management page: one 64-byte block per VF, indexed by VF number - 1.
 	MgmtStride      = 64
 	MgmtTreeRoot    = 0x00 // extent tree root address (8B)
 	MgmtMissAddr    = 0x08 // RO: missing vLBA (8B)
-	MgmtMissSize    = 0x10 // RO: missing block count (4B)
+	MgmtMissSize    = 0x10 // RO: missing block count; reason code in the high word (8B)
 	MgmtRewalk      = 0x14 // write RewalkRetry/RewalkFail (4B)
 	MgmtEnable      = 0x18 // 1 = VF enabled (4B)
 	MgmtDeviceSize  = 0x20 // virtual device size in blocks (8B)
 	MgmtMissIsWrite = 0x28 // RO: 1 when the latched miss is a write (4B)
 	MgmtWeight      = 0x2C // QoS weight for the VF multiplexer, 1..255 (4B)
 	MgmtQueues      = 0x30 // active queue-pair count, 1..QueuesPerVF (4B)
+	MgmtMissReason  = 0x34 // RO: reason code of the latched miss (4B)
+
+	// Miss reason codes (MgmtMissReason).
+	MissReasonTranslate = 0 // no mapping: hole or pruned subtree
+	MissReasonCoW       = 1 // write hit a write-protected (CoW shared) extent
 
 	// RewalkTree verdicts.
 	RewalkRetry = 1
@@ -218,9 +230,21 @@ func (c *Controller) MMIOWrite(off int64, size int, val uint64) {
 	if f == nil {
 		return
 	}
-	if page == 0 && reg == PFRegBTLBFlush {
-		c.btlb.flush()
-		return
+	if page == 0 {
+		switch reg {
+		case PFRegBTLBFlush:
+			c.btlb.flush()
+			return
+		case PFRegInvVLBA:
+			c.invVLBA = val
+			return
+		case PFRegInvCount:
+			c.invCount = val
+			return
+		case PFRegInvFn:
+			c.BTLBInvalidations += int64(c.btlb.invalidateRange(int(val), c.invVLBA, c.invCount))
+			return
+		}
 	}
 	if q, qreg, ok := queueReg(reg); ok {
 		f.queueWrite(q, qreg, val)
@@ -306,7 +330,10 @@ func (c *Controller) mgmtRead(reg int64) uint64 {
 	case MgmtMissAddr:
 		return f.missAddr
 	case MgmtMissSize:
-		return uint64(f.missSize)
+		// High word carries the reason code so the miss handler learns the
+		// size and the reason in one read (keeping the fault-free MMIO
+		// schedule identical to the pre-CoW device).
+		return uint64(f.missSize) | uint64(f.missReason)<<32
 	case MgmtEnable:
 		if f.enabled {
 			return 1
@@ -319,6 +346,8 @@ func (c *Controller) mgmtRead(reg int64) uint64 {
 			return 1
 		}
 		return 0
+	case MgmtMissReason:
+		return uint64(f.missReason)
 	case MgmtWeight:
 		return uint64(f.weight)
 	case MgmtQueues:

@@ -30,6 +30,7 @@ const (
 	mTransHitNs     = "nesc_pipeline_translate_hit_ns"
 	mTransWalkNs    = "nesc_pipeline_translate_walk_ns"
 	mTransMissNs    = "nesc_pipeline_translate_miss_ns"
+	mTransCowNs     = "nesc_pipeline_translate_cow_ns"
 	mDTUWaitNs      = "nesc_pipeline_dtu_wait_ns"
 	mTransferNs     = "nesc_pipeline_transfer_ns"
 	mVerifyNs       = "nesc_pipeline_verify_ns"
@@ -45,6 +46,7 @@ var familyHelp = map[string]string{
 	mTransHitNs:     "translation latency, BTLB hit",
 	mTransWalkNs:    "translation latency, extent-tree walk",
 	mTransMissNs:    "translation latency, hypervisor-serviced miss",
+	mTransCowNs:     "translation latency, hypervisor-serviced CoW break",
 	mDTUWaitNs:      "pLBA queue residence per chunk",
 	mTransferNs:     "DMA channel service per chunk (medium + PCIe)",
 	mVerifyNs:       "scrub verify service per chunk",
@@ -74,6 +76,8 @@ func translateFamily(tag string) string {
 		return mTransWalkNs
 	case trace.TagMiss:
 		return mTransMissNs
+	case trace.TagCow:
+		return mTransCowNs
 	}
 	return mTransHitNs
 }
@@ -119,6 +123,8 @@ func (c *Controller) AttachTelemetry(reg *metrics.Registry, spans *trace.SpanRec
 		{"nesc_device_btlb_misses_total", "BTLB lookup misses", &c.BTLBStats.Misses},
 		{"nesc_device_walk_node_reads_total", "extent-tree node DMA reads", &c.WalkNodeReads},
 		{"nesc_device_misses_total", "translation misses latched", &c.Misses},
+		{"nesc_device_cow_faults_total", "writes trapped on write-protected (CoW shared) extents", &c.CowFaults},
+		{"nesc_device_btlb_invalidations_total", "BTLB entries dropped by targeted invalidation", &c.BTLBInvalidations},
 		{"nesc_device_reqs_done_total", "requests retired", &c.ReqsDone},
 		{"nesc_device_chunks_done_total", "chunks retired", &c.ChunksDone},
 		{"nesc_device_fetch_drops_total", "doorbells lost to descriptor-fetch DMA errors", &c.FetchDrops},

@@ -13,7 +13,8 @@
 //	entries (24 bytes each):
 //	    firstLogical uint64  first vLBA covered by the entry
 //	    count        uint32  number of logical blocks covered
-//	    reserved     uint32
+//	    flags        uint32  leaf: bit 0 = write-protected (copy-on-write
+//	                         shared extent; device writes trap to the host)
 //	    pointer      uint64  leaf: first pLBA of the extent
 //	                         internal: host address of the child node,
 //	                                   0 (NULL) = subtree pruned by the host
@@ -43,27 +44,37 @@ const (
 	// DefaultFanout yields 248-byte nodes, close to the 256-byte fetch unit
 	// a hardware walker would use.
 	DefaultFanout = 10
+	// FlagProtected marks a leaf extent as write-protected: its physical
+	// blocks are shared (copy-on-write) and a device-side write must trap to
+	// the hypervisor instead of writing through.
+	FlagProtected = uint32(1) << 0
 )
 
 // NodeBytes reports the serialized size of a node with the given fanout.
 func NodeBytes(fanout int) int64 { return HeaderSize + int64(fanout)*EntrySize }
 
 // Run is one contiguous mapping of Count logical blocks starting at Logical
-// onto physical blocks starting at Physical.
+// onto physical blocks starting at Physical. Flags carries the on-wire entry
+// flags (FlagProtected); the zero value is an ordinary writable mapping.
 type Run struct {
 	Logical  uint64
 	Physical uint64
 	Count    uint64
+	Flags    uint32
 }
 
 // End reports the first logical block past the run.
 func (r Run) End() uint64 { return r.Logical + r.Count }
+
+// Protected reports whether the run is write-protected (CoW shared).
+func (r Run) Protected() bool { return r.Flags&FlagProtected != 0 }
 
 // Entry is a decoded node entry. For leaves Ptr is the first physical block;
 // for internal nodes it is the child node's host address (0 = pruned).
 type Entry struct {
 	FirstLogical uint64
 	Count        uint32
+	Flags        uint32
 	Ptr          uint64
 }
 
@@ -121,6 +132,7 @@ func ParseNode(b []byte) (*NodeView, error) {
 		n.Entries[i] = Entry{
 			FirstLogical: binary.BigEndian.Uint64(b[off:]),
 			Count:        binary.BigEndian.Uint32(b[off+8:]),
+			Flags:        binary.BigEndian.Uint32(b[off+12:]),
 			Ptr:          binary.BigEndian.Uint64(b[off+16:]),
 		}
 	}
@@ -136,7 +148,7 @@ func serializeNode(b []byte, depth, capacity int, entries []Entry) {
 		off := HeaderSize + i*EntrySize
 		binary.BigEndian.PutUint64(b[off:], e.FirstLogical)
 		binary.BigEndian.PutUint32(b[off+8:], e.Count)
-		binary.BigEndian.PutUint32(b[off+12:], 0)
+		binary.BigEndian.PutUint32(b[off+12:], e.Flags)
 		binary.BigEndian.PutUint64(b[off+16:], e.Ptr)
 	}
 }
@@ -186,7 +198,7 @@ func normalize(runs []Run) ([]Run, error) {
 		}
 		// Split runs exceeding the 32-bit on-wire count.
 		for r.Count > math.MaxUint32 {
-			out = append(out, Run{Logical: r.Logical, Physical: r.Physical, Count: math.MaxUint32})
+			out = append(out, Run{Logical: r.Logical, Physical: r.Physical, Count: math.MaxUint32, Flags: r.Flags})
 			r.Logical += math.MaxUint32
 			r.Physical += math.MaxUint32
 			r.Count -= math.MaxUint32
@@ -228,7 +240,7 @@ func (t *Tree) serialize() error {
 		return nil
 	}
 	for _, r := range t.runs {
-		entries = append(entries, Entry{FirstLogical: r.Logical, Count: uint32(r.Count), Ptr: r.Physical})
+		entries = append(entries, Entry{FirstLogical: r.Logical, Count: uint32(r.Count), Flags: r.Flags, Ptr: r.Physical})
 		if len(entries) == t.fanout {
 			if err := flushLeaf(); err != nil {
 				return err
@@ -453,6 +465,9 @@ type Resolution struct {
 	// Pruned: the walk hit a NULL child pointer; the host must regenerate
 	// the mapping.
 	Pruned bool
+	// Protected: the covering extent is write-protected (CoW shared); a
+	// write must trap to the host to break sharing before it may proceed.
+	Protected bool
 	// PLBA is the translated physical block address (valid when Mapped).
 	PLBA uint64
 	// Extent is the whole covering extent (valid when Mapped) — what the
@@ -488,7 +503,8 @@ func Lookup(mem *hostmem.Memory, root hostmem.Addr, fanout int, vlba uint64) (Re
 		}
 		if n.Leaf() {
 			res.Mapped = true
-			res.Extent = Run{Logical: e.FirstLogical, Physical: e.Ptr, Count: uint64(e.Count)}
+			res.Extent = Run{Logical: e.FirstLogical, Physical: e.Ptr, Count: uint64(e.Count), Flags: e.Flags}
+			res.Protected = e.Flags&FlagProtected != 0
 			res.PLBA = e.Ptr + (vlba - e.FirstLogical)
 			return res, nil
 		}
@@ -517,7 +533,7 @@ func CollectRuns(mem *hostmem.Memory, root hostmem.Addr, fanout int) ([]Run, err
 		}
 		if n.Leaf() {
 			for _, e := range n.Entries {
-				out = append(out, Run{Logical: e.FirstLogical, Physical: e.Ptr, Count: uint64(e.Count)})
+				out = append(out, Run{Logical: e.FirstLogical, Physical: e.Ptr, Count: uint64(e.Count), Flags: e.Flags})
 			}
 			return nil
 		}

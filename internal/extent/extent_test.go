@@ -99,13 +99,13 @@ func TestMultiLevelTree(t *testing.T) {
 
 func TestBuildRejectsOverlapsAndUnsorted(t *testing.T) {
 	mem := newMem()
-	if _, err := Build(mem, []Run{{0, 0, 10}, {5, 100, 10}}, DefaultFanout); err == nil {
+	if _, err := Build(mem, []Run{{Logical: 0, Physical: 0, Count: 10}, {Logical: 5, Physical: 100, Count: 10}}, DefaultFanout); err == nil {
 		t.Fatal("overlapping runs accepted")
 	}
-	if _, err := Build(mem, []Run{{10, 0, 5}, {0, 100, 5}}, DefaultFanout); err == nil {
+	if _, err := Build(mem, []Run{{Logical: 10, Physical: 0, Count: 5}, {Logical: 0, Physical: 100, Count: 5}}, DefaultFanout); err == nil {
 		t.Fatal("unsorted runs accepted")
 	}
-	if _, err := Build(mem, []Run{{math.MaxUint64 - 2, 0, 10}}, DefaultFanout); err == nil {
+	if _, err := Build(mem, []Run{{Logical: math.MaxUint64 - 2, Physical: 0, Count: 10}}, DefaultFanout); err == nil {
 		t.Fatal("logical overflow accepted")
 	}
 }
@@ -127,7 +127,7 @@ func TestBuildEmptyMapping(t *testing.T) {
 
 func TestZeroCountRunsSkipped(t *testing.T) {
 	mem := newMem()
-	tr := mustBuild(t, mem, []Run{{0, 5, 0}, {3, 30, 2}}, DefaultFanout)
+	tr := mustBuild(t, mem, []Run{{Logical: 0, Physical: 5, Count: 0}, {Logical: 3, Physical: 30, Count: 2}}, DefaultFanout)
 	res, _ := Lookup(mem, tr.Root(), tr.Fanout(), 0)
 	if !res.Hole {
 		t.Fatal("zero-count run produced a mapping")
@@ -172,9 +172,9 @@ func TestFreeReleasesAllMemory(t *testing.T) {
 
 func TestRebuildChangesMappingAndFreesOldNodes(t *testing.T) {
 	mem := newMem()
-	tr := mustBuild(t, mem, []Run{{0, 100, 10}}, DefaultFanout)
+	tr := mustBuild(t, mem, []Run{{Logical: 0, Physical: 100, Count: 10}}, DefaultFanout)
 	live := mem.AllocBytes
-	if err := tr.Rebuild([]Run{{0, 100, 10}, {10, 500, 10}}); err != nil {
+	if err := tr.Rebuild([]Run{{Logical: 0, Physical: 100, Count: 10}, {Logical: 10, Physical: 500, Count: 10}}); err != nil {
 		t.Fatal(err)
 	}
 	res, err := Lookup(mem, tr.Root(), tr.Fanout(), 15)
@@ -243,7 +243,7 @@ func TestPruneProducesPrunedResolution(t *testing.T) {
 
 func TestPruneLeafRootNoop(t *testing.T) {
 	mem := newMem()
-	tr := mustBuild(t, mem, []Run{{0, 0, 10}}, DefaultFanout)
+	tr := mustBuild(t, mem, []Run{{Logical: 0, Physical: 0, Count: 10}}, DefaultFanout)
 	freed, err := tr.Prune(100)
 	if err != nil {
 		t.Fatal(err)

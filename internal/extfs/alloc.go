@@ -68,11 +68,17 @@ func (fs *FS) allocRun(hint, want uint64) (uint64, uint64) {
 	return start, n
 }
 
-// freeRun releases a contiguous run of blocks.
+// freeRun releases one reference to a contiguous run of blocks. A block with
+// extra references (CoW shared) just loses one count; a sole-owner block
+// returns to the bitmap.
 func (fs *FS) freeRun(start, n uint64) {
 	for b := start; b < start+n; b++ {
 		if !fs.bitmapGet(b) {
 			panic("extfs: double free of block")
+		}
+		if fs.refGet(b) > 0 {
+			fs.refAdd(b, -1)
+			continue
 		}
 		fs.bitmapSet(b, false)
 	}

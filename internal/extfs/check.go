@@ -11,12 +11,17 @@ import (
 // violation found.
 //
 // Invariants:
-//  1. every metadata block is marked allocated in the bitmap;
+//  1. every metadata block (including the refcount table, if allocated) is
+//     marked allocated in the bitmap;
 //  2. every extent and overflow block of a used inode lies in the data
-//     region, is marked allocated, and is referenced exactly once;
-//  3. every allocated data block is referenced (no leaks);
-//  4. no extent extends past the file's size (rounded up to a block);
-//  5. directory entries reference used inodes, and directory link counts
+//     region, is marked allocated, and is referenced exactly 1 + its extra
+//     (CoW) reference count times;
+//  3. a block referenced more than once is reached only through
+//     write-protected extents;
+//  4. every allocated data block is referenced (no leaks), and no free
+//     block carries a reference count;
+//  5. no extent extends past the file's size (rounded up to a block);
+//  6. directory entries reference used inodes, and directory link counts
 //     are 2 + number of subdirectories.
 func (fs *FS) Check(ctx *sim.Proc) error {
 	if err := fs.begin(ctx); err != nil {
@@ -29,19 +34,26 @@ func (fs *FS) Check(ctx *sim.Proc) error {
 			return fmt.Errorf("extfs: metadata block %d not marked allocated", b)
 		}
 	}
+	inRefcntTable := func(b uint64) bool {
+		return fs.sb.refcntStart != 0 && b >= fs.sb.refcntStart && b < fs.sb.refcntStart+fs.sb.refcntBlocks
+	}
 
-	refs := make(map[uint64]uint32) // block -> referencing inode
-	ref := func(blk uint64, ino uint32) error {
+	refs := make(map[uint64][]uint32) // block -> referencing inodes
+	unprot := make(map[uint64]bool)   // block reached via an unprotected extent
+	ref := func(blk uint64, ino uint32, protected bool) error {
 		if blk < fs.sb.dataStart || blk >= fs.sb.numBlocks {
 			return fmt.Errorf("extfs: inode %d references block %d outside data region", ino, blk)
+		}
+		if inRefcntTable(blk) {
+			return fmt.Errorf("extfs: inode %d references refcount-table block %d", ino, blk)
 		}
 		if !fs.bitmapGet(blk) {
 			return fmt.Errorf("extfs: inode %d references free block %d", ino, blk)
 		}
-		if prev, dup := refs[blk]; dup {
-			return fmt.Errorf("extfs: block %d referenced by both inode %d and inode %d", blk, prev, ino)
+		refs[blk] = append(refs[blk], ino)
+		if !protected {
+			unprot[blk] = true
 		}
-		refs[blk] = ino
 		return nil
 	}
 
@@ -62,23 +74,39 @@ func (fs *FS) Check(ctx *sim.Proc) error {
 				return fmt.Errorf("extfs: inode %d extent [%d,%d) past size %d", ino, e.Logical, e.End(), in.size)
 			}
 			for b := e.Physical; b < e.Physical+e.Count; b++ {
-				if err := ref(b, ino); err != nil {
+				if err := ref(b, ino, e.Protected()); err != nil {
 					return err
 				}
 			}
 		}
 		for _, b := range in.overflow {
-			if err := ref(b, ino); err != nil {
+			if err := ref(b, ino, false); err != nil {
 				return err
 			}
 		}
 	}
 
 	for b := fs.sb.dataStart; b < fs.sb.numBlocks; b++ {
+		if inRefcntTable(b) {
+			if !fs.bitmapGet(b) {
+				return fmt.Errorf("extfs: refcount-table block %d not marked allocated", b)
+			}
+			continue
+		}
+		n := uint32(len(refs[b]))
+		extra := fs.refGet(b)
 		if fs.bitmapGet(b) {
-			if _, ok := refs[b]; !ok {
+			if n == 0 {
 				return fmt.Errorf("extfs: block %d allocated but unreferenced (leak)", b)
 			}
+			if n != 1+extra {
+				return fmt.Errorf("extfs: block %d has %d references but refcount says %d", b, n, 1+extra)
+			}
+			if n > 1 && unprot[b] {
+				return fmt.Errorf("extfs: shared block %d reached via unprotected extent (inodes %v)", b, refs[b])
+			}
+		} else if extra != 0 {
+			return fmt.Errorf("extfs: free block %d carries refcount %d", b, extra)
 		}
 	}
 

@@ -230,6 +230,115 @@ func TestJournalCrashSweepAppend(t *testing.T) {
 	}
 }
 
+// TestJournalCrashSweepSnapshot sweeps a snapshot: at every crash point the
+// snapshot either exists in full — sharing verified by fsck's refcount
+// cross-check — or not at all, and the first snapshot's lazily allocated
+// refcount table never leaks.
+func TestJournalCrashSweepSnapshot(t *testing.T) {
+	const fileBytes = 4 * crashBS
+	data := pattern(0x5A, fileBytes)
+	for _, mode := range []JournalMode{JournalMetadata, JournalFull} {
+		mode := mode
+		t.Run(fmt.Sprint(mode), func(t *testing.T) {
+			pre, writes := recordOp(t, mode,
+				func(t *testing.T, fs *FS) {
+					f, err := fs.Create(nil, "/src", 0, 0o644)
+					if err != nil {
+						t.Fatalf("create: %v", err)
+					}
+					if _, err := f.WriteAt(nil, data, 0); err != nil {
+						t.Fatalf("seed write: %v", err)
+					}
+				},
+				func(t *testing.T, fs *FS) {
+					if err := fs.Snapshot(nil, "/src", "/src.snap", 0); err != nil {
+						t.Fatalf("snapshot: %v", err)
+					}
+				})
+			sweep(t, pre, writes, func(t *testing.T, point int, fs *FS) {
+				if got := readAll(t, fs, "/src", fileBytes); !bytes.Equal(got, data) {
+					t.Fatalf("crash point %d: source data changed", point)
+				}
+				_, err := fs.Stat(nil, "/src.snap", 0)
+				switch {
+				case err == nil:
+					if got := readAll(t, fs, "/src.snap", fileBytes); !bytes.Equal(got, data) {
+						t.Fatalf("crash point %d: snapshot exists but content wrong", point)
+					}
+					if fs.SharedBlocks() == 0 {
+						t.Fatalf("crash point %d: snapshot exists with no shared refcounts", point)
+					}
+				case errors.Is(err, ErrNotExist):
+					if fs.SharedBlocks() != 0 {
+						t.Fatalf("crash point %d: no snapshot but %d refcounted blocks", point, fs.SharedBlocks())
+					}
+				default:
+					t.Fatalf("crash point %d: stat: %v", point, err)
+				}
+			})
+		})
+	}
+}
+
+// TestJournalCrashSweepCowBreak sweeps a write that breaks snapshot sharing
+// (the CoW copy path). A power cut mid-break must never leak a block,
+// double-free one, or corrupt the snapshot — fsck's refcount cross-check
+// inside sweep enforces the first two, the content checks the third.
+func TestJournalCrashSweepCowBreak(t *testing.T) {
+	const fileBytes = 4 * crashBS
+	oldData := pattern(0xAA, fileBytes)
+	newBlock := pattern(0x55, crashBS)
+	for _, mode := range []JournalMode{JournalMetadata, JournalFull} {
+		mode := mode
+		t.Run(fmt.Sprint(mode), func(t *testing.T) {
+			pre, writes := recordOp(t, mode,
+				func(t *testing.T, fs *FS) {
+					f, err := fs.Create(nil, "/c", 0, 0o644)
+					if err != nil {
+						t.Fatalf("create: %v", err)
+					}
+					if _, err := f.WriteAt(nil, oldData, 0); err != nil {
+						t.Fatalf("seed write: %v", err)
+					}
+					if err := fs.Snapshot(nil, "/c", "/c.snap", 0); err != nil {
+						t.Fatalf("snapshot: %v", err)
+					}
+				},
+				func(t *testing.T, fs *FS) {
+					f, err := fs.Open(nil, "/c", 0, PermRead|PermWrite)
+					if err != nil {
+						t.Fatalf("open: %v", err)
+					}
+					// Overwrite one shared block: copy-aside + extent splice.
+					if _, err := f.WriteAt(nil, newBlock, crashBS); err != nil {
+						t.Fatalf("cow write: %v", err)
+					}
+				})
+			if len(writes) == 0 {
+				t.Fatal("recorded CoW break issued no writes")
+			}
+			sweep(t, pre, writes, func(t *testing.T, point int, fs *FS) {
+				// The snapshot must read the pre-break image at every point.
+				if got := readAll(t, fs, "/c.snap", fileBytes); !bytes.Equal(got, oldData) {
+					t.Fatalf("crash point %d: CoW break leaked into snapshot", point)
+				}
+				// The parent's written block is all-old or all-new.
+				got := readAll(t, fs, "/c", fileBytes)
+				blk := got[crashBS : 2*crashBS]
+				if !bytes.Equal(blk, oldData[:crashBS]) && !bytes.Equal(blk, newBlock) {
+					t.Fatalf("crash point %d: parent block torn by CoW break", point)
+				}
+				// The untouched blocks stay shared and intact.
+				rest := append(append([]byte(nil), got[:crashBS]...), got[2*crashBS:]...)
+				want := append(append([]byte(nil), oldData[:crashBS]...), oldData[2*crashBS:]...)
+				if !bytes.Equal(rest, want) {
+					t.Fatalf("crash point %d: unwritten parent blocks changed", point)
+				}
+			})
+		})
+	}
+}
+
 // TestJournalCrashSweepCreate sweeps a file creation (pure metadata): the
 // file must exist fully linked or not at all at every crash point.
 func TestJournalCrashSweepCreate(t *testing.T) {

@@ -116,6 +116,11 @@ type superblock struct {
 	journalBlocks    uint64
 	dataStart        uint64
 	mode             JournalMode
+	// Snapshot support: the per-block reference-count table, allocated
+	// lazily from the data region on the first Snapshot (0 = no table, the
+	// state every freshly formatted volume is in).
+	refcntStart  uint64
+	refcntBlocks uint64
 }
 
 func (sb *superblock) encode(b []byte) {
@@ -133,6 +138,8 @@ func (sb *superblock) encode(b []byte) {
 	binary.BigEndian.PutUint64(b[64:], sb.journalBlocks)
 	binary.BigEndian.PutUint64(b[72:], sb.dataStart)
 	binary.BigEndian.PutUint32(b[80:], uint32(sb.mode))
+	binary.BigEndian.PutUint64(b[84:], sb.refcntStart)
+	binary.BigEndian.PutUint64(b[92:], sb.refcntBlocks)
 }
 
 func (sb *superblock) decode(b []byte) error {
@@ -153,6 +160,8 @@ func (sb *superblock) decode(b []byte) error {
 	sb.journalBlocks = binary.BigEndian.Uint64(b[64:])
 	sb.dataStart = binary.BigEndian.Uint64(b[72:])
 	sb.mode = JournalMode(binary.BigEndian.Uint32(b[80:]))
+	sb.refcntStart = binary.BigEndian.Uint64(b[84:])
+	sb.refcntBlocks = binary.BigEndian.Uint64(b[92:])
 	return nil
 }
 
@@ -188,6 +197,13 @@ type FS struct {
 	allocHint       uint64
 	allocSeq        uint64 // bumped on any allocator mutation
 
+	// Snapshot state: refcnt[i] counts EXTRA references to data block
+	// dataStart+i (0 = sole owner); nil until the first Snapshot allocates
+	// the on-disk table. Dirty table blocks are flushed with the bitmap so
+	// every transaction that moves a count journals it.
+	refcnt          []uint32
+	dirtyRefcntBlks map[uint64]struct{}
+
 	dead bool
 	// failAfterCommit, when set, crashes the filesystem after the journal
 	// commit record lands and before the home-location writes — the window
@@ -200,6 +216,9 @@ type FS struct {
 	JournalBlockWrites int64
 	DataBlockReads     int64
 	Ops                int64
+	// CowBreaks counts shared extents unshared (copied or unprotected in
+	// place) by BreakRange.
+	CowBreaks int64
 }
 
 // Format writes a fresh filesystem onto dev and returns it mounted.
@@ -299,6 +318,15 @@ func Mount(ctx *sim.Proc, dev BlockDev, opCost sim.Time) (*FS, error) {
 	if err := fs.replayJournal(ctx); err != nil {
 		return nil, err
 	}
+	// Replay may have rewritten the superblock (publishing the refcount
+	// table is a journaled block-0 update): re-read it.
+	if err := dev.ReadBlocks(ctx, 0, img); err != nil {
+		return nil, err
+	}
+	if err := fs.sb.decode(img); err != nil {
+		return nil, err
+	}
+	sb = fs.sb
 	// Load the bitmap.
 	fs.bitmap = make([]byte, (sb.numBlocks+7)/8)
 	for b := uint64(0); b < sb.bitmapBlocks; b++ {
@@ -311,6 +339,12 @@ func Mount(ctx *sim.Proc, dev BlockDev, opCost sim.Time) (*FS, error) {
 	fs.inodes = make([]inode, sb.inodeCount+1)
 	if err := fs.loadInodeTable(ctx); err != nil {
 		return nil, err
+	}
+	// Load the refcount table when a snapshot has ever been taken.
+	if sb.refcntStart != 0 {
+		if err := fs.loadRefcntTable(ctx); err != nil {
+			return nil, err
+		}
 	}
 	return fs, nil
 }

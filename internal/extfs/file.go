@@ -29,19 +29,21 @@ func mapLookup(in *inode, lblk uint64) (uint64, uint64, bool) {
 }
 
 // insertMapping adds a run to the inode's extent map, merging with adjacent
-// extents when both logical and physical spaces are contiguous.
+// extents when both logical and physical spaces are contiguous and the flag
+// bits match (a protected extent must never absorb unprotected blocks, or
+// the CoW break would copy too much — and vice versa).
 func insertMapping(in *inode, r extent.Run) {
 	exts := in.extents
 	i := sort.Search(len(exts), func(i int) bool { return exts[i].Logical > r.Logical })
 	// Try merging with the predecessor.
 	if i > 0 {
 		p := &exts[i-1]
-		if p.End() == r.Logical && p.Physical+p.Count == r.Physical {
+		if p.End() == r.Logical && p.Physical+p.Count == r.Physical && p.Flags == r.Flags {
 			p.Count += r.Count
 			// Try merging the successor too.
 			if i < len(exts) {
 				s := exts[i]
-				if p.End() == s.Logical && p.Physical+p.Count == s.Physical {
+				if p.End() == s.Logical && p.Physical+p.Count == s.Physical && p.Flags == s.Flags {
 					p.Count += s.Count
 					in.extents = append(exts[:i], exts[i+1:]...)
 				}
@@ -52,7 +54,7 @@ func insertMapping(in *inode, r extent.Run) {
 	// Try merging with the successor.
 	if i < len(exts) {
 		s := &exts[i]
-		if r.End() == s.Logical && r.Physical+r.Count == s.Physical {
+		if r.End() == s.Logical && r.Physical+r.Count == s.Physical && r.Flags == s.Flags {
 			s.Logical = r.Logical
 			s.Physical = r.Physical
 			s.Count += r.Count
@@ -296,13 +298,18 @@ func (fs *FS) truncateTo(ctx *sim.Proc, in *inode, size uint64) error {
 			fs.freeRun(e.Physical, e.Count)
 		default:
 			n := keep - e.Logical
-			kept = append(kept, extent.Run{Logical: e.Logical, Physical: e.Physical, Count: n})
+			kept = append(kept, extent.Run{Logical: e.Logical, Physical: e.Physical, Count: n, Flags: e.Flags})
 			fs.freeRun(e.Physical+n, e.Count-n)
 		}
 	}
 	in.extents = kept
 	in.size = size
 	if shrinking && size%bs != 0 {
+		// The last block is rewritten in place below, so it must not be
+		// shared with a snapshot.
+		if _, err := fs.breakShareLocked(ctx, in, size/bs, 1); err != nil {
+			return err
+		}
 		if pblk, _, ok := mapLookup(in, size/bs); ok {
 			img := make([]byte, bs)
 			fs.DataBlockReads++
@@ -376,12 +383,27 @@ func (f *File) WriteAt(ctx *sim.Proc, p []byte, off int64) (int, error) {
 	fs.txBegin()
 	in := &fs.inodes[f.ino]
 	sizeBefore, allocBefore := in.size, fs.allocSeq
+	// Unshare any CoW-protected blocks in the write range first: writeRange
+	// overwrites mapped blocks in place, which must never touch a block a
+	// snapshot still references.
+	broke := false
+	if len(p) > 0 {
+		bs := uint64(fs.bs)
+		first := uint64(off) / bs
+		last := (uint64(off) + uint64(len(p)) - 1) / bs
+		b, err := fs.breakShareLocked(ctx, in, first, last-first+1)
+		if err != nil {
+			fs.tx = nil
+			return 0, err
+		}
+		broke = b
+	}
 	if err := fs.writeRange(ctx, in, uint64(off), p, false); err != nil {
 		return 0, err
 	}
 	// Overwrites of already-allocated blocks change no metadata, so — like
 	// a real filesystem — they skip the inode write and its journaling.
-	if in.size != sizeBefore || fs.allocSeq != allocBefore {
+	if broke || in.size != sizeBefore || fs.allocSeq != allocBefore {
 		if err := fs.writeInode(ctx, f.ino); err != nil {
 			return 0, err
 		}

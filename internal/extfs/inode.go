@@ -25,7 +25,31 @@ const (
 	ovfMagic  = 0x584F5646 // "XOVF"
 	ovfHeader = 16
 	extEntry  = 20
+
+	// countProtectBit marks a write-protected (CoW shared) extent in the
+	// on-disk count word. The 20-byte entry has no spare bytes (5 inline
+	// entries + the 28-byte fixed header exactly fill the 128-byte inode),
+	// and extents never approach 2^31 blocks, so the top bit of count is
+	// free to carry the flag.
+	countProtectBit = uint32(1) << 31
 )
+
+// packExtCount encodes a run's block count and protect flag into the on-disk
+// count word; unpackExtCount is its inverse.
+func packExtCount(r extent.Run) uint32 {
+	c := uint32(r.Count)
+	if r.Flags&extent.FlagProtected != 0 {
+		c |= countProtectBit
+	}
+	return c
+}
+
+func unpackExtCount(raw uint32) (count uint64, flags uint32) {
+	if raw&countProtectBit != 0 {
+		return uint64(raw &^ countProtectBit), extent.FlagProtected
+	}
+	return uint64(raw), 0
+}
 
 func (fs *FS) ovfEntriesPerBlock() int { return (fs.bs - ovfHeader) / extEntry }
 
@@ -52,7 +76,7 @@ func encodeInode(b []byte, in *inode) {
 		off := 28 + i*extEntry
 		binary.BigEndian.PutUint64(b[off:], in.extents[i].Logical)
 		binary.BigEndian.PutUint64(b[off+8:], in.extents[i].Physical)
-		binary.BigEndian.PutUint32(b[off+16:], uint32(in.extents[i].Count))
+		binary.BigEndian.PutUint32(b[off+16:], packExtCount(in.extents[i]))
 	}
 }
 
@@ -73,10 +97,12 @@ func decodeInode(b []byte, in *inode) (extCount int, overflowBlk uint64) {
 	in.extents = make([]extent.Run, 0, extCount)
 	for i := 0; i < n; i++ {
 		off := 28 + i*extEntry
+		count, flags := unpackExtCount(binary.BigEndian.Uint32(b[off+16:]))
 		in.extents = append(in.extents, extent.Run{
 			Logical:  binary.BigEndian.Uint64(b[off:]),
 			Physical: binary.BigEndian.Uint64(b[off+8:]),
-			Count:    uint64(binary.BigEndian.Uint32(b[off+16:])),
+			Count:    count,
+			Flags:    flags,
 		})
 	}
 	return extCount, overflowBlk
@@ -153,7 +179,7 @@ func (fs *FS) syncOverflow(ctx *sim.Proc, in *inode) error {
 			off := ovfHeader + (i-lo)*extEntry
 			binary.BigEndian.PutUint64(img[off:], in.extents[i].Logical)
 			binary.BigEndian.PutUint64(img[off+8:], in.extents[i].Physical)
-			binary.BigEndian.PutUint32(img[off+16:], uint32(in.extents[i].Count))
+			binary.BigEndian.PutUint32(img[off+16:], packExtCount(in.extents[i]))
 		}
 		if err := fs.writeBlock(ctx, int64(in.overflow[bi]), img, true); err != nil {
 			return err
@@ -203,10 +229,12 @@ func (fs *FS) loadOverflow(ctx *sim.Proc, in *inode, extCount int, ovf uint64) e
 		next := binary.BigEndian.Uint64(img[8:])
 		for i := 0; i < count; i++ {
 			off := ovfHeader + i*extEntry
+			c, flags := unpackExtCount(binary.BigEndian.Uint32(img[off+16:]))
 			in.extents = append(in.extents, extent.Run{
 				Logical:  binary.BigEndian.Uint64(img[off:]),
 				Physical: binary.BigEndian.Uint64(img[off+8:]),
-				Count:    uint64(binary.BigEndian.Uint32(img[off+16:])),
+				Count:    c,
+				Flags:    flags,
 			})
 		}
 		ovf = next

@@ -238,33 +238,33 @@ func (fs *FS) replayJournal(ctx *sim.Proc) error {
 }
 
 // flushDirtyBitmap writes bitmap disk blocks touched since the last flush
-// into the current transaction.
+// into the current transaction, then does the same for dirty refcount-table
+// blocks so every existing commit point covers both.
 func (fs *FS) flushDirtyBitmap(ctx *sim.Proc) error {
-	if len(fs.dirtyBitmapBlks) == 0 {
-		return nil
-	}
-	img := make([]byte, fs.bs)
-	blks := make([]uint64, 0, len(fs.dirtyBitmapBlks))
-	for b := range fs.dirtyBitmapBlks {
-		blks = append(blks, b)
-	}
-	sort.Slice(blks, func(i, j int) bool { return blks[i] < blks[j] })
-	for _, b := range blks {
-		off := b * uint64(fs.bs)
-		clear(img)
-		end := off + uint64(fs.bs)
-		if end > uint64(len(fs.bitmap)) {
-			end = uint64(len(fs.bitmap))
+	if len(fs.dirtyBitmapBlks) > 0 {
+		img := make([]byte, fs.bs)
+		blks := make([]uint64, 0, len(fs.dirtyBitmapBlks))
+		for b := range fs.dirtyBitmapBlks {
+			blks = append(blks, b)
 		}
-		if off < end {
-			copy(img, fs.bitmap[off:end])
+		sort.Slice(blks, func(i, j int) bool { return blks[i] < blks[j] })
+		for _, b := range blks {
+			off := b * uint64(fs.bs)
+			clear(img)
+			end := off + uint64(fs.bs)
+			if end > uint64(len(fs.bitmap)) {
+				end = uint64(len(fs.bitmap))
+			}
+			if off < end {
+				copy(img, fs.bitmap[off:end])
+			}
+			if err := fs.writeBlock(ctx, int64(fs.sb.bitmapStart+b), img, true); err != nil {
+				return err
+			}
 		}
-		if err := fs.writeBlock(ctx, int64(fs.sb.bitmapStart+b), img, true); err != nil {
-			return err
-		}
+		fs.dirtyBitmapBlks = nil
 	}
-	fs.dirtyBitmapBlks = nil
-	return nil
+	return fs.flushDirtyRefcnt(ctx)
 }
 
 // flushBitmapAll writes the entire bitmap (mkfs path).

@@ -144,6 +144,15 @@ type Hypervisor struct {
 	MissFaults int64
 	// VFResets counts function-level resets issued through ResetVF.
 	VFResets int64
+	// Snapshots / Clones / CowBreaks count the CoW subsystem's operations:
+	// snapshots taken, clones exported through new VFs, and device CoW
+	// faults serviced end to end (see snapshot.go).
+	Snapshots int64
+	Clones    int64
+	CowBreaks int64
+	// cowBreakHist, when metrics are attached, times the CoW break service
+	// (fault read → sharing broken → BTLB invalidated).
+	cowBreakHist *metrics.Histogram
 
 	// Background scrubber state and lifetime counters (see scrub.go).
 	scrubOn     bool

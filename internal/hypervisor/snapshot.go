@@ -1,0 +1,129 @@
+package hypervisor
+
+import (
+	"fmt"
+
+	"nesc/internal/core"
+	"nesc/internal/sim"
+)
+
+// Snapshot and clone management. A snapshot is a copy-on-write image of a
+// VF's backing file taken through the host filesystem; a clone exports such
+// an image through a fresh VF, giving a tenant a writable fork that shares
+// every unmodified block with the parent. The device enforces the sharing:
+// the extent entries it walks carry the write-protect flag, so a guest
+// write to a shared extent raises a translation-miss interrupt with
+// MissReasonCoW and stalls until the hypervisor has broken the sharing
+// (serviceMiss), exactly like the lazy-allocation path.
+
+// invalidateVFRange drops BTLB entries of one function overlapping vLBA
+// range [vlba, vlba+count); count 0 invalidates the function's whole
+// footprint. Three-register MMIO command: latch the range, then writing the
+// function index fires the invalidation.
+func (h *Hypervisor) invalidateVFRange(p *sim.Proc, idx int, vlba, count uint64) {
+	base := h.Ctl.BARBase()
+	h.mmioW(p, base+core.PFRegInvVLBA, vlba)
+	h.mmioW(p, base+core.PFRegInvCount, count)
+	h.mmioW(p, base+core.PFRegInvFn, uint64(idx+1))
+}
+
+// refreshVFMapping re-reads a VF's file mapping, rebuilds the shared device
+// tree, reprograms every sharer's root, and drops the function's BTLB
+// entries (they may cache pre-snapshot, unprotected translations).
+func (h *Hypervisor) refreshVFMapping(p *sim.Proc, idx int) error {
+	st := h.vfs[idx]
+	runs, _, err := h.HostFS.Runs(p, st.path)
+	if err != nil {
+		return err
+	}
+	if err := st.shared.tree.Rebuild(runs); err != nil {
+		return err
+	}
+	h.reprogramSharers(p, st.shared)
+	h.invalidateVFRange(p, idx, 0, 0)
+	return nil
+}
+
+// SnapshotVF captures a copy-on-write snapshot of a VF's backing file at
+// dstPath on behalf of uid. The source VF keeps running: its extents become
+// write-protected, so the first guest write to each shared extent takes a
+// CoW fault and gets a private copy. The snapshot itself is an ordinary
+// host file — export it with CreateVF (or CloneToNewVF), or keep it as a
+// point-in-time backup.
+func (h *Hypervisor) SnapshotVF(p *sim.Proc, idx int, dstPath string, uid uint32) error {
+	st := h.vfs[idx]
+	if !st.inUse || st.identity {
+		return fmt.Errorf("hypervisor: VF %d has no backing file", idx)
+	}
+	if err := h.HostFS.Snapshot(p, st.path, dstPath, uid); err != nil {
+		return err
+	}
+	h.Snapshots++
+	return h.refreshVFMapping(p, idx)
+}
+
+// SnapshotFile captures a copy-on-write snapshot of an arbitrary host file.
+// If the file is currently exported through a VF the call is routed through
+// SnapshotVF so the device mapping picks up the write-protect flags;
+// otherwise it is a plain filesystem snapshot.
+func (h *Hypervisor) SnapshotFile(p *sim.Proc, path, dstPath string, uid uint32) error {
+	for idx, st := range h.vfs {
+		if st != nil && st.inUse && !st.identity && st.path == path {
+			return h.SnapshotVF(p, idx, dstPath, uid)
+		}
+	}
+	if err := h.HostFS.Snapshot(p, path, dstPath, uid); err != nil {
+		return err
+	}
+	h.Snapshots++
+	return nil
+}
+
+// CloneToNewVF snapshots a VF's disk and immediately exports the snapshot
+// through a fresh VF owned by uid — a writable fork sharing all unmodified
+// blocks with the parent. Returns the new VF's index.
+func (h *Hypervisor) CloneToNewVF(p *sim.Proc, idx int, clonePath string, uid uint32) (int, error) {
+	if err := h.SnapshotVF(p, idx, clonePath, uid); err != nil {
+		return 0, err
+	}
+	cloneIdx, err := h.CreateVF(p, clonePath, uid)
+	if err != nil {
+		return 0, err
+	}
+	h.Clones++
+	return cloneIdx, nil
+}
+
+// DeleteSnapshot removes a snapshot file and reclaims its space: blocks
+// still shared with the parent (or other clones) just drop one reference;
+// blocks private to the snapshot return to the free pool. Refuses while the
+// file is exported through a VF — destroy the VF first.
+func (h *Hypervisor) DeleteSnapshot(p *sim.Proc, path string, uid uint32) error {
+	if _, exported := h.trees[path]; exported {
+		return fmt.Errorf("hypervisor: %s is exported through a VF", path)
+	}
+	return h.HostFS.Remove(p, path, uid)
+}
+
+// SnapshotStats is the hypervisor's view of the CoW subsystem.
+type SnapshotStats struct {
+	Snapshots    int64 // snapshots taken (SnapshotVF, including clones)
+	Clones       int64 // clones exported through new VFs
+	CowBreaks    int64 // CoW faults serviced end to end
+	SharedBlocks int64 // data blocks currently shared (extra references > 0)
+	FSCowBreaks  int64 // filesystem-level share breaks (includes host writes)
+}
+
+// SnapshotStatsNow samples the snapshot counters.
+func (h *Hypervisor) SnapshotStatsNow() SnapshotStats {
+	s := SnapshotStats{
+		Snapshots: h.Snapshots,
+		Clones:    h.Clones,
+		CowBreaks: h.CowBreaks,
+	}
+	if h.HostFS != nil {
+		s.SharedBlocks = h.HostFS.SharedBlocks()
+		s.FSCowBreaks = h.HostFS.CowBreaks
+	}
+	return s
+}

@@ -30,6 +30,9 @@ func (h *Hypervisor) RegisterMetrics(reg *metrics.Registry) {
 		{"nesc_hyp_injections_total", "guest interrupt injections", &h.Injections},
 		{"nesc_hyp_miss_faults_total", "misses failed by fault injection", &h.MissFaults},
 		{"nesc_hyp_vf_resets_total", "function-level resets issued", &h.VFResets},
+		{"nesc_hyp_snapshots_total", "CoW snapshots taken", &h.Snapshots},
+		{"nesc_hyp_clones_total", "clones exported through new VFs", &h.Clones},
+		{"nesc_hyp_cow_breaks_total", "device CoW faults serviced end to end", &h.CowBreaks},
 		{"nesc_scrub_passes_total", "completed background scrub passes", &h.ScrubPasses},
 		{"nesc_scrub_blocks_total", "blocks verified by the scrubber", &h.ScrubBlocks},
 		{"nesc_scrub_errors_total", "scrub requests completed non-OK", &h.ScrubErrors},
@@ -39,6 +42,21 @@ func (h *Hypervisor) RegisterMetrics(reg *metrics.Registry) {
 		v := ct.v
 		reg.GaugeFunc(ct.name, ct.help, no, func() float64 { return float64(*v) })
 	}
+	h.cowBreakHist = reg.Histogram("nesc_hyp_cow_break_ns", "CoW break service latency (fault read to BTLB invalidated)", no)
+	reg.GaugeFunc("nesc_fs_shared_blocks", "data blocks currently CoW-shared (extra references > 0)", no,
+		func() float64 {
+			if h.HostFS == nil {
+				return 0
+			}
+			return float64(h.HostFS.SharedBlocks())
+		})
+	reg.GaugeFunc("nesc_fs_cow_breaks_total", "filesystem-level share breaks (device faults and host writes)", no,
+		func() float64 {
+			if h.HostFS == nil {
+				return 0
+			}
+			return float64(h.HostFS.CowBreaks)
+		})
 	reg.GaugeFunc("nesc_scrub_progress", "fraction of the current scrub pass completed", no,
 		func() float64 {
 			total := h.Ctl.Medium.Store().NumBlocks()

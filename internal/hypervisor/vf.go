@@ -206,12 +206,18 @@ func (h *Hypervisor) serviceMisses(p *sim.Proc) {
 }
 
 // serviceMiss handles one VF's latched miss end to end and always releases
-// the stalled walk with exactly one rewalk verdict.
+// the stalled walk with exactly one rewalk verdict. Two reasons reach here:
+// MissReasonTranslate (a hole — extend the file, the lazy-allocation path)
+// and MissReasonCoW (a write hit a write-protected extent — break the
+// snapshot sharing for the faulting blocks). Both end with a tree rebuild
+// and a retry, so the device re-walks and finds a writable mapping.
 func (h *Hypervisor) serviceMiss(p *sim.Proc, idx int) {
 	h.MissInterrupts++
 	mgmt := h.mgmtAddr(idx)
 	missAddr := h.mmioR(p, mgmt+core.MgmtMissAddr)
-	missSize := h.mmioR(p, mgmt+core.MgmtMissSize)
+	sizeReason := h.mmioR(p, mgmt+core.MgmtMissSize)
+	missSize := sizeReason & 0xFFFFFFFF
+	reason := uint32(sizeReason >> 32)
 	dec := h.inj.Decide(fault.MissHandler)
 	p.Sleep(h.P.MissHandlerTime + dec.Delay)
 	if dec.Fault {
@@ -227,7 +233,14 @@ func (h *Hypervisor) serviceMiss(p *sim.Proc, idx int) {
 		h.mmioW(p, mgmt+core.MgmtRewalk, core.RewalkFail)
 		return
 	}
-	if err := h.HostFS.AllocateRange(p, st.path, missAddr, missSize); err != nil {
+	cow := reason == core.MissReasonCoW
+	start := p.Now()
+	if cow {
+		if err := h.HostFS.BreakRange(p, st.path, missAddr, missSize); err != nil {
+			h.mmioW(p, mgmt+core.MgmtRewalk, core.RewalkFail)
+			return
+		}
+	} else if err := h.HostFS.AllocateRange(p, st.path, missAddr, missSize); err != nil {
 		h.mmioW(p, mgmt+core.MgmtRewalk, core.RewalkFail)
 		return
 	}
@@ -243,6 +256,16 @@ func (h *Hypervisor) serviceMiss(p *sim.Proc, idx int) {
 	// Every sharer of the tree must see the new root before the walk
 	// resumes.
 	h.reprogramSharers(p, st.shared)
+	if cow {
+		// The faulting blocks moved to a private copy: any BTLB entry still
+		// caching the old (shared, protected) mapping is stale. Invalidate
+		// before the retry so the re-walk's result is what gets cached.
+		h.invalidateVFRange(p, idx, missAddr, missSize)
+		h.CowBreaks++
+		if h.cowBreakHist != nil {
+			h.cowBreakHist.Observe(int64(p.Now() - start))
+		}
+	}
 	h.mmioW(p, mgmt+core.MgmtRewalk, core.RewalkRetry)
 }
 

@@ -27,6 +27,7 @@ const (
 	TagHit  = "hit"  // BTLB hit
 	TagWalk = "walk" // extent-tree walk satisfied in hardware
 	TagMiss = "miss" // walk parked; hypervisor serviced a miss
+	TagCow  = "cow"  // write trapped on a protected extent; hypervisor broke sharing
 )
 
 // Phase is one timestamped stage interval within a span. Chunk is the

@@ -506,6 +506,22 @@ type Stats struct {
 	// ScrubPasses / ScrubBlocks / ScrubRepairs summarize the background
 	// scrubber; ScrubChunks counts verify chunks the device serviced.
 	ScrubPasses, ScrubBlocks, ScrubRepairs, ScrubChunks int64
+
+	// Snapshot / clone counters (all zero until a snapshot is taken).
+
+	// Snapshots counts snapshots captured (clones included); Clones counts
+	// writable forks exported through fresh VFs.
+	Snapshots, Clones int64
+	// CowFaults counts guest writes the device trapped on write-protected
+	// (shared) extents; CowBreaks counts the hypervisor-serviced share
+	// breaks that resolved them.
+	CowFaults, CowBreaks int64
+	// BTLBInvalidations counts BTLB entries dropped by targeted
+	// invalidation after CoW breaks.
+	BTLBInvalidations int64
+	// SharedBlocks is the live count of host data blocks shared between
+	// images (blocks with extra references).
+	SharedBlocks int64
 }
 
 // Stats snapshots the platform counters.
@@ -561,6 +577,13 @@ func (s *Simulation) Stats() Stats {
 		ScrubBlocks:         s.pl.Hyp.ScrubBlocks,
 		ScrubRepairs:        s.pl.Hyp.ScrubRepairs,
 		ScrubChunks:         ctl.ScrubChunks,
+
+		Snapshots:         s.pl.Hyp.Snapshots,
+		Clones:            s.pl.Hyp.Clones,
+		CowFaults:         ctl.CowFaults,
+		CowBreaks:         s.pl.Hyp.CowBreaks,
+		BTLBInvalidations: ctl.BTLBInvalidations,
+		SharedBlocks:      s.pl.Hyp.HostFS.SharedBlocks(),
 	}
 }
 

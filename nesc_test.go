@@ -351,3 +351,92 @@ func TestConfigValidation(t *testing.T) {
 	}()
 	New(Config{HostJournal: "quantum"})
 }
+
+func TestSnapshotClonePublicAPI(t *testing.T) {
+	sim := New(DefaultConfig())
+	err := sim.Run(func(ctx *Ctx) error {
+		if err := ctx.CreateImage("/base.img", 100, 64<<10, false); err != nil {
+			return err
+		}
+		vm, err := ctx.StartVM("base", BackendNeSC, "/base.img", 100)
+		if err != nil {
+			return err
+		}
+		seed := bytes.Repeat([]byte("golden image "), 512)
+		if err := vm.WriteAt(ctx, seed, 0); err != nil {
+			return err
+		}
+
+		// Snapshot the running VM, then fork a clone VM from it.
+		if err := vm.Snapshot(ctx, "/base.snap", 100); err != nil {
+			return err
+		}
+		if ctx.SharedBlocks() == 0 {
+			t.Error("snapshot shares no blocks")
+		}
+		clone, err := ctx.CloneVM(vm, "fork", "/fork.img", 100)
+		if err != nil {
+			return err
+		}
+
+		// The clone reads the parent's snapshot-time bytes.
+		got := make([]byte, len(seed))
+		if err := clone.ReadAt(ctx, got, 0); err != nil {
+			return err
+		}
+		if !bytes.Equal(got, seed) {
+			t.Error("clone does not read the parent's image")
+		}
+
+		// Divergent writes stay private to each side.
+		if err := vm.WriteAt(ctx, []byte("parent-only"), 0); err != nil {
+			return err
+		}
+		if err := clone.WriteAt(ctx, []byte("clone-only"), 2048); err != nil {
+			return err
+		}
+		if err := clone.ReadAt(ctx, got[:len("parent-only")], 0); err != nil {
+			return err
+		}
+		if !bytes.Equal(got[:len("parent-only")], seed[:len("parent-only")]) {
+			t.Error("parent write leaked into clone")
+		}
+		pget := make([]byte, len("clone-only"))
+		if err := vm.ReadAt(ctx, pget, 2048); err != nil {
+			return err
+		}
+		if !bytes.Equal(pget, seed[2048:2048+int64(len(pget))]) {
+			t.Error("clone write leaked into parent")
+		}
+
+		// The pure snapshot file still holds the original image.
+		host := make([]byte, len(seed))
+		if _, err := ctx.ReadHostFile("/base.snap", host, 0); err != nil {
+			return err
+		}
+		if !bytes.Equal(host, seed) {
+			t.Error("snapshot drifted from snapshot-time bytes")
+		}
+
+		// Snapshot lifecycle: delete refuses on the exported clone image,
+		// succeeds on the plain snapshot file.
+		if err := ctx.DeleteSnapshot("/fork.img", 100); err == nil {
+			t.Error("deleted an image still exported through a VF")
+		}
+		if err := ctx.DeleteSnapshot("/base.snap", 100); err != nil {
+			return err
+		}
+		return ctx.CheckHostFS()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sim.Stats()
+	if st.Snapshots < 2 || st.Clones != 1 {
+		t.Errorf("Snapshots = %d, Clones = %d", st.Snapshots, st.Clones)
+	}
+	if st.CowFaults == 0 || st.CowBreaks == 0 || st.BTLBInvalidations == 0 {
+		t.Errorf("CoW path unused: faults %d breaks %d inval %d",
+			st.CowFaults, st.CowBreaks, st.BTLBInvalidations)
+	}
+}

@@ -116,6 +116,33 @@ func (vm *VM) Reset(c *Ctx) error {
 	return vm.s.pl.Hyp.ResetVF(c.proc, vm.vm.VFIdx)
 }
 
+// Snapshot captures a copy-on-write snapshot of the VM's virtual disk at
+// snapPath, owned by uid, while the VM keeps running. Unmodified blocks are
+// shared; the guest's first write to each shared extent takes a device CoW
+// fault that the hypervisor services transparently. Only meaningful for
+// BackendNeSC VMs.
+func (vm *VM) Snapshot(c *Ctx, snapPath string, uid uint32) error {
+	if vm.vm.VFIdx < 0 {
+		return fmt.Errorf("nesc: VM %q has no virtual function to snapshot", vm.name)
+	}
+	return vm.s.pl.Hyp.SnapshotVF(c.proc, vm.vm.VFIdx, snapPath, uid)
+}
+
+// CloneVM snapshots src's virtual disk to clonePath and boots a fresh guest
+// on the snapshot — a writable fork that shares every unmodified block with
+// the parent. Both VMs keep running; writes on either side trigger CoW
+// breaks and never leak across.
+func (c *Ctx) CloneVM(src *VM, name, clonePath string, uid uint32) (*VM, error) {
+	if src.vm.VFIdx < 0 {
+		return nil, fmt.Errorf("nesc: VM %q has no virtual function to clone", src.name)
+	}
+	if err := c.s.pl.Hyp.SnapshotVF(c.proc, src.vm.VFIdx, clonePath, uid); err != nil {
+		return nil, err
+	}
+	c.s.pl.Hyp.Clones++
+	return c.StartVM(name, BackendNeSC, clonePath, uid)
+}
+
 // Stop tears the VM down, releasing its virtual function (if any).
 func (vm *VM) Stop(c *Ctx) { vm.vm.Teardown(c.proc) }
 
