@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 ci vet fmt-check build test race chaos crash bench
+.PHONY: tier1 ci vet fmt-check build test race chaos crash bench fabric-det
 
 # tier1 is the seed acceptance gate: everything must build and pass.
 tier1: build test
@@ -11,7 +11,7 @@ tier1: build test
 # the full 64-point crash-recovery harness plus the exhaustive journal
 # crash-point sweep; test runs the whole suite without the race detector
 # (including the long tests -short skips, e.g. the golden experiment run).
-ci: vet fmt-check build test race crash
+ci: vet fmt-check build test race crash fabric-det
 
 vet:
 	$(GO) vet ./...
@@ -43,3 +43,15 @@ crash:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# fabric-det regenerates the fabric experiment twice in separate processes
+# and fails unless both runs and the checked-in results/fabric.json are
+# byte-identical (same seed => identical simulation).
+fabric-det:
+	@rm -rf .fabric-det && mkdir -p .fabric-det/a .fabric-det/b
+	@$(GO) run ./cmd/nescbench -exp fabric -json .fabric-det/a > /dev/null
+	@$(GO) run ./cmd/nescbench -exp fabric -json .fabric-det/b > /dev/null
+	@cmp .fabric-det/a/fabric.json .fabric-det/b/fabric.json
+	@cmp .fabric-det/a/fabric.json results/fabric.json
+	@rm -rf .fabric-det
+	@echo "results/fabric.json is deterministic and current"

@@ -12,6 +12,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"time"
 
 	"nesc"
 )
@@ -30,9 +31,20 @@ func main() {
 	traceJSON := flag.String("trace-json", "", "write recorded request spans as Chrome trace-event JSON to this file (load in Perfetto)")
 	spanN := flag.Int("spans", 4096, "request spans to retain for -trace-json")
 	flight := flag.Bool("flight", false, "dump the device flight recorder (terminal-error diagnostics) at the end")
+	fabricN := flag.Int("fabric", 0, "demo an N-device mirror fleet: synchronous replication, device kill, failover, resilver (needs N >= 2)")
+	migrate := flag.Bool("migrate", false, "demo a live VF migration between fleet devices (implies -fabric 2)")
 	flag.Parse()
 
+	if *migrate && *fabricN < 2 {
+		*fabricN = 2
+	}
 	cfg := nesc.Config{MediumMB: *mediumMB, TraceEvents: *traceN, QueuesPerVF: *queues, Metrics: *metricsOut != ""}
+	if *fabricN >= 2 {
+		cfg.Devices = *fabricN
+		// An empty plan arms no fault sites; it just supplies the injector
+		// whose device kill latch the walkthrough flips.
+		cfg.Fault = &nesc.FaultPlan{Seed: 1}
+	}
 	if *traceJSON != "" {
 		cfg.TraceSpans = *spanN
 	}
@@ -132,6 +144,91 @@ func main() {
 		// BTLB flush (e.g. before host-side dedup).
 		ctx.FlushBTLB()
 		say("BTLB flushed (host-side block optimization barrier)")
+
+		// Multi-device fabric: synchronous mirroring, failover, resilver,
+		// and (optionally) live VF migration.
+		if *fabricN >= 2 {
+			devs := make([]int, *fabricN)
+			for i := range devs {
+				devs[i] = i
+			}
+			const muid = 2000
+			for _, d := range devs {
+				if err := ctx.CreateImageOn(d, "/mirror.img", muid, 2<<20, false); err != nil {
+					return err
+				}
+			}
+			mvm, err := ctx.StartMirroredVM("mirror0", "/mirror.img", muid, devs, nesc.MirrorConfig{})
+			if err != nil {
+				return err
+			}
+			say("mirror0 attached: one VF on each of %d devices, writes acknowledged only when every live replica has them", *fabricN)
+			pattern := bytes.Repeat([]byte{0xAB}, 64<<10)
+			for off := int64(0); off < 512<<10; off += int64(len(pattern)) {
+				if err := mvm.WriteAt(ctx, pattern, off); err != nil {
+					return err
+				}
+			}
+			victim := *fabricN - 1
+			if err := ctx.KillDevice(victim); err != nil {
+				return err
+			}
+			say("device %d kill-latched under the running mirror", victim)
+			for off := int64(512) << 10; off < 1<<20; off += int64(len(pattern)) {
+				if err := mvm.WriteAt(ctx, pattern, off); err != nil {
+					return err
+				}
+			}
+			st := mvm.FabricStatus()
+			say("mirror continued degraded: device %d is %q with %d dirty region(s) to resilver", victim, st[victim].State, st[victim].DirtyRegions)
+			got := make([]byte, len(pattern))
+			if err := mvm.ReadAt(ctx, got, 768<<10); err != nil {
+				return err
+			}
+			if !bytes.Equal(got, pattern) {
+				return fmt.Errorf("degraded mirror lost an acknowledged write")
+			}
+			say("degraded-mode read-back verified: no acknowledged write lost")
+			if err := ctx.ReviveDevice(victim); err != nil {
+				return err
+			}
+			for i := 0; i < 400 && mvm.FabricStatus()[victim].State != "healthy"; i++ {
+				ctx.Sleep(100 * time.Microsecond)
+			}
+			fst := sim.FabricStats()
+			say("device %d revived; resilver copied %d blocks and restored full redundancy (state %q)",
+				victim, fst.ResilverBlocks, mvm.FabricStatus()[victim].State)
+			mvm.Stop(ctx)
+
+			if *migrate {
+				if err := ctx.CreateImageOn(0, "/mig.img", muid, 2<<20, false); err != nil {
+					return err
+				}
+				lvm, err := ctx.StartMirroredVM("mig0", "/mig.img", muid, []int{0}, nesc.MirrorConfig{})
+				if err != nil {
+					return err
+				}
+				for off := int64(0); off < 1<<20; off += int64(len(pattern)) {
+					if err := lvm.WriteAt(ctx, pattern, off); err != nil {
+						return err
+					}
+				}
+				rep, err := lvm.Migrate(ctx, 0, 1)
+				if err != nil {
+					return err
+				}
+				say("mig0 live-migrated device 0 -> 1: %d blocks bulk-copied, %d pre-copy pass(es), %v stop-and-copy pause",
+					rep.BulkBlocks, rep.Passes, time.Duration(rep.Pause))
+				if err := lvm.ReadAt(ctx, got, 512<<10); err != nil {
+					return err
+				}
+				if !bytes.Equal(got, pattern) {
+					return fmt.Errorf("migration lost data")
+				}
+				say("post-migration read-back verified on device 1")
+				lvm.Stop(ctx)
+			}
+		}
 
 		// Copy-on-write snapshots and clones (device-enforced sharing).
 		if *snapshot || *clone {

@@ -36,6 +36,7 @@ var registry = []Experiment{
 	{"qdepth", "Analysis: queue-depth scaling, NeSC vs virtio", QDepth},
 	{"spans", "Analysis: span-derived per-stage latency (BTLB hit vs walk vs miss)", Spans},
 	{"snapshot", "Analysis: CoW snapshot cost (first-write fault latency, clone-fanout space)", Snapshot},
+	{"fabric", "Robustness: multi-device mirroring, failover, resilver, and live VF migration", Fabric},
 }
 
 // All lists every registered experiment.

@@ -30,6 +30,12 @@ type Config struct {
 	Hyp          hypervisor.Params
 	Guest        guest.Params
 	HostFS       extfs.Params
+	// NumDevices sizes the NeSC fleet. Zero or one assembles the classic
+	// single-device platform, byte-identical to pre-fleet builds. Each
+	// extra device gets its own store, medium, and controller (DeviceID set
+	// so its pipelines and functions carry a distinguishing name) on the
+	// same PCIe fabric, managed by the one hypervisor.
+	NumDevices int
 	// Fault, when set, arms a seeded fault injector across the medium, the
 	// PCIe fabric, and the hypervisor's miss-service path.
 	Fault *fault.Plan
@@ -103,10 +109,24 @@ func NewPlatform(cfg Config) *Platform {
 	}
 	h := hypervisor.New(eng, mem, fab, ctl, cfg.Hyp)
 	pl := &Platform{Cfg: cfg, Eng: eng, Mem: mem, Fab: fab, Ctl: ctl, Hyp: h}
+	for i := 1; i < cfg.NumDevices; i++ {
+		st := blockdev.NewStore(cfg.Core.BlockSize, cfg.MediumBlocks)
+		med := blockdev.NewMedium(eng, st, cfg.Medium)
+		med.SetDeviceIndex(i)
+		params := cfg.Core
+		params.DeviceID = i
+		c, err := core.New(eng, fab, med, params)
+		if err != nil {
+			panic(err)
+		}
+		h.AddDevice(c)
+	}
 	if cfg.Fault != nil {
 		pl.Inj = fault.NewInjector(*cfg.Fault)
-		medium.SetInjector(pl.Inj)
-		ctl.Inj = pl.Inj
+		for _, d := range h.Devices() {
+			d.Ctl.Medium.SetInjector(pl.Inj)
+			d.Ctl.Inj = pl.Inj
+		}
 		fab.SetInjector(pl.Inj)
 		h.SetInjector(pl.Inj)
 	}

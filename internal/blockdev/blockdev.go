@@ -222,6 +222,9 @@ type Medium struct {
 	params    MediumParams
 	inj       *fault.Injector
 	noGuard   bool
+	// dev is this medium's device index within a multi-device fabric; the
+	// injector's DeviceAccess gate (kill/partition latches) keys on it.
+	dev int
 
 	// Reads/Writes count operations; ReadBytes/WriteBytes count payloads.
 	Reads, Writes         int64
@@ -251,6 +254,21 @@ func (m *Medium) SetInjector(inj *fault.Injector) { m.inj = inj }
 // SetGuardCheck enables or disables read-side guard verification (on by
 // default; the integrity ablation bench turns it off).
 func (m *Medium) SetGuardCheck(on bool) { m.noGuard = !on }
+
+// SetDeviceIndex assigns the medium's device identity within a multi-device
+// fabric (default 0). Device-kill and partition faults key on it.
+func (m *Medium) SetDeviceIndex(dev int) { m.dev = dev }
+
+// DeviceIndex reports the medium's device identity.
+func (m *Medium) DeviceIndex() int { return m.dev }
+
+// deviceGate consults the injector's device-level latches. A dead or
+// partitioned device fails every access loudly — the DTU's bounded retries
+// then surface StatusMediumError, which is what drives the fabric's health
+// state machine.
+func (m *Medium) deviceGate() bool {
+	return m.inj.DeviceAccess(m.dev, m.eng.Now()).Fault
+}
 
 // Store returns the functional content behind the port.
 func (m *Medium) Store() *Store { return m.store }
@@ -286,6 +304,15 @@ func (m *Medium) Read(lba int64, p []byte, done func(error)) error {
 	}
 	m.Reads++
 	m.ReadBytes += int64(len(p))
+	if m.deviceGate() {
+		// Dead or partitioned device: fail after the access latency without
+		// drawing from the per-site medium streams.
+		m.readPort.Transfer(int64(len(p)), func() {
+			m.ReadFaults++
+			done(fmt.Errorf("%w: device %d unreachable, read at lba %d", ErrMedium, m.dev, lba))
+		})
+		return nil
+	}
 	dec := m.inj.MediumAccess(false, lba, int64(len(p)/m.store.blockSize))
 	m.readPort.Transfer(int64(len(p)), func() {
 		m.finish(dec.Delay, func() {
@@ -326,6 +353,13 @@ func (m *Medium) Write(lba int64, p []byte, done func(error)) error {
 	}
 	m.Writes++
 	m.WriteBytes += int64(len(p))
+	if m.deviceGate() {
+		m.writePort.Transfer(int64(len(p)), func() {
+			m.WriteFaults++
+			done(fmt.Errorf("%w: device %d unreachable, write at lba %d", ErrMedium, m.dev, lba))
+		})
+		return nil
+	}
 	dec := m.inj.MediumAccess(true, lba, int64(len(p)/m.store.blockSize))
 	data := make([]byte, len(p))
 	copy(data, p)

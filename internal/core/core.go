@@ -92,6 +92,13 @@ type Params struct {
 	// function's miss stays latched (recovers a miss interrupt lost on the
 	// wire). Zero disables resending and leaves the event queue untouched.
 	MissResendInterval sim.Time
+
+	// DeviceID identifies this controller within a multi-device fabric
+	// (default 0, the primary). It prefixes the device's PCIe function and
+	// pipeline-process names, stamps flight-recorder captures, and keys the
+	// injector's device-kill/partition latches at the medium. Device 0 keeps
+	// the historical unprefixed names so single-device runs are bit-identical.
+	DeviceID int
 }
 
 // DefaultParams matches the paper's prototype.
@@ -338,11 +345,12 @@ func New(eng *sim.Engine, fab *pcie.Fabric, medium *blockdev.Medium, p Params) (
 	for i := 0; i < p.NumVFs; i++ {
 		c.plbaQs = append(c.plbaQs, sim.NewFIFO[*chunk](eng, p.PLBAQueueDepth))
 	}
-	c.pf = c.newFunction(0, fab.RegisterFunction("nesc-pf"))
+	medium.SetDeviceIndex(p.DeviceID)
+	c.pf = c.newFunction(0, fab.RegisterFunction(c.devName("nesc")+"-pf"))
 	c.pf.enabled = true
 	c.pf.sizeBlocks = uint64(medium.Store().NumBlocks())
 	for i := 1; i <= p.NumVFs; i++ {
-		c.vfs = append(c.vfs, c.newFunction(i, fab.RegisterFunction(fmt.Sprintf("nesc-vf%d", i-1))))
+		c.vfs = append(c.vfs, c.newFunction(i, fab.RegisterFunction(fmt.Sprintf("%s-vf%d", c.devName("nesc"), i-1))))
 	}
 	c.barBase = fab.MapBAR(c, c.BARSize())
 	// Program each function's MSI capability: one completion vector per
@@ -358,15 +366,28 @@ func New(eng *sim.Engine, fab *pcie.Fabric, medium *blockdev.Medium, p Params) (
 	}
 
 	// Pipeline processes.
-	eng.Go("nesc-mux", c.muxLoop)
+	eng.Go(c.devName("nesc")+"-mux", c.muxLoop)
 	for w := 0; w < p.Walkers; w++ {
-		eng.Go(fmt.Sprintf("nesc-walker%d", w), c.walkerLoop)
+		eng.Go(fmt.Sprintf("%s-walker%d", c.devName("nesc"), w), c.walkerLoop)
 	}
 	for d := 0; d < p.DTUChannels; d++ {
-		eng.Go(fmt.Sprintf("nesc-dtu%d", d), c.dtuLoop)
+		eng.Go(fmt.Sprintf("%s-dtu%d", c.devName("nesc"), d), c.dtuLoop)
 	}
 	return c, nil
 }
+
+// devName returns base for the primary device and base<ID> for replicas, so
+// a multi-device fabric's functions and pipeline processes are tellable
+// apart while single-device naming stays exactly historical.
+func (c *Controller) devName(base string) string {
+	if c.P.DeviceID == 0 {
+		return base
+	}
+	return fmt.Sprintf("%s%d", base, c.P.DeviceID)
+}
+
+// DeviceID reports this controller's identity within the device fleet.
+func (c *Controller) DeviceID() int { return c.P.DeviceID }
 
 // BARBase reports the device's bus address as enumerated on the fabric.
 func (c *Controller) BARBase() int64 { return c.barBase }

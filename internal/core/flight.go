@@ -23,6 +23,7 @@ type FlightRecord struct {
 	Seq    int64    // 1-based capture sequence number
 	At     sim.Time // capture time
 	Reason string   // "completion-error" or "reset"
+	Dev    int      // capturing controller's device ID within the fabric
 
 	// Offending request (zeroed for reason "reset", which is not
 	// request-scoped).
@@ -110,11 +111,15 @@ func (fr *FlightRecorder) Dump(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "=== flight record %d: %s at %v ===\n", rec.Seq, rec.Reason, rec.At); err != nil {
 			return err
 		}
+		dev := ""
+		if rec.Dev != 0 {
+			dev = fmt.Sprintf("dev=%d ", rec.Dev)
+		}
 		if rec.Reason != "reset" {
-			fmt.Fprintf(w, "fn=%d q=%d op=%s id=%d lba=%d n=%d status=%d\n",
-				rec.Fn, rec.Q, rec.Op, rec.ID, rec.LBA, rec.Count, rec.Status)
+			fmt.Fprintf(w, "%sfn=%d q=%d op=%s id=%d lba=%d n=%d status=%d\n",
+				dev, rec.Fn, rec.Q, rec.Op, rec.ID, rec.LBA, rec.Count, rec.Status)
 		} else {
-			fmt.Fprintf(w, "fn=%d\n", rec.Fn)
+			fmt.Fprintf(w, "%sfn=%d\n", dev, rec.Fn)
 		}
 		if s := rec.Span; s != nil {
 			fmt.Fprintf(w, "span: start=%v end=%v retries=%d phases=%d\n", s.Start, s.End, s.Retries, len(s.Phases))
@@ -142,7 +147,7 @@ func (c *Controller) captureFlight(at sim.Time, fn int, r *Request, reason strin
 	if c.Flight == nil {
 		return
 	}
-	rec := FlightRecord{At: at, Reason: reason, Fn: fn}
+	rec := FlightRecord{At: at, Reason: reason, Fn: fn, Dev: c.P.DeviceID}
 	if r != nil {
 		if r.q != nil {
 			rec.Q = r.q.idx

@@ -45,6 +45,13 @@ const (
 	MediumCorruptRead
 	MediumCorruptWrite
 	DMACorrupt
+	// Device-scoped sites for multi-device fabrics. A DeviceKill fault
+	// latches the accessed device dead: every subsequent operation on it
+	// fails until ReviveDevice. A DevicePartition fault makes the device
+	// unreachable for Plan.PartitionDuration and then heals on its own —
+	// a link flap rather than a dead controller.
+	DeviceKill
+	DevicePartition
 	NumSites
 )
 
@@ -68,6 +75,10 @@ func (s Site) String() string {
 		return "corrupt-write"
 	case DMACorrupt:
 		return "dma-corrupt"
+	case DeviceKill:
+		return "device-kill"
+	case DevicePartition:
+		return "device-partition"
 	default:
 		return fmt.Sprintf("Site(%d)", int(s))
 	}
@@ -103,6 +114,9 @@ type Plan struct {
 	// the start: reads return bit-flipped payloads (no error) until the
 	// sector is successfully rewritten. Only integrity metadata detects them.
 	CorruptSectors []int64
+	// PartitionDuration is how long a DevicePartition fault keeps the
+	// device unreachable (default 2ms when the site is armed).
+	PartitionDuration sim.Time
 }
 
 // Decision is the injector's verdict for one operation.
@@ -134,6 +148,10 @@ type Injector struct {
 	delays  [NumSites]int64
 	latent  map[int64]struct{}
 	corrupt map[int64]struct{}
+	// killed latches dead devices; partitioned maps a device to the virtual
+	// time its current partition window ends.
+	killed      map[int]struct{}
+	partitioned map[int]sim.Time
 
 	// LatentHits counts reads that failed on a latent sector; LatentAdded
 	// counts sectors latched latent by a faulted read; LatentCleared counts
@@ -143,14 +161,23 @@ type Injector struct {
 	// sector; CorruptAdded counts sectors latched corrupt by a corrupt-write
 	// fault; CorruptCleared counts sectors healed by a successful rewrite.
 	CorruptHits, CorruptAdded, CorruptCleared int64
+	// DeviceKills counts kill latches (injected and explicit); DeviceRevives
+	// counts explicit revives; PartitionHits counts operations rejected
+	// because their device was killed or inside a partition window.
+	DeviceKills, DeviceRevives, PartitionHits int64
 }
 
 // NewInjector compiles a plan into a ready injector.
 func NewInjector(plan Plan) *Injector {
 	in := &Injector{
-		plan:    plan,
-		latent:  make(map[int64]struct{}),
-		corrupt: make(map[int64]struct{}),
+		plan:        plan,
+		latent:      make(map[int64]struct{}),
+		corrupt:     make(map[int64]struct{}),
+		killed:      make(map[int]struct{}),
+		partitioned: make(map[int]sim.Time),
+	}
+	if in.plan.PartitionDuration <= 0 {
+		in.plan.PartitionDuration = 2 * sim.Millisecond
 	}
 	for s := Site(0); s < NumSites; s++ {
 		// Distinct, seed-derived stream per site so decisions at one site
@@ -276,6 +303,85 @@ func (in *Injector) MediumAccess(write bool, lba, blocks int64) MediumDecision {
 	return d
 }
 
+// siteArmed reports whether a site can ever fire under the plan; unarmed
+// device sites draw nothing, so pre-fabric fault schedules replay
+// bit-identically.
+func (in *Injector) siteArmed(s Site) bool {
+	sp := &in.plan.Sites[s]
+	return sp.Prob > 0 || len(sp.OneShot) > 0
+}
+
+// DeviceAccess decides whether an operation on device dev is reachable at
+// virtual time now. A killed device rejects everything until ReviveDevice; a
+// partitioned one rejects until its window closes. When neither latch holds,
+// the armed DeviceKill/DevicePartition sites each draw one verdict for this
+// operation and may latch the device. Safe on a nil receiver.
+func (in *Injector) DeviceAccess(dev int, now sim.Time) Decision {
+	if in == nil {
+		return Decision{}
+	}
+	if _, dead := in.killed[dev]; dead {
+		in.PartitionHits++
+		return Decision{Fault: true}
+	}
+	if until, ok := in.partitioned[dev]; ok {
+		if now < until {
+			in.PartitionHits++
+			return Decision{Fault: true}
+		}
+		delete(in.partitioned, dev)
+	}
+	var d Decision
+	if in.siteArmed(DeviceKill) {
+		if kd := in.Decide(DeviceKill); kd.Fault {
+			in.killed[dev] = struct{}{}
+			in.DeviceKills++
+			d.Fault = true
+		}
+	}
+	if !d.Fault && in.siteArmed(DevicePartition) {
+		if pd := in.Decide(DevicePartition); pd.Fault {
+			in.partitioned[dev] = now + in.plan.PartitionDuration
+			d.Fault = true
+		}
+	}
+	return d
+}
+
+// KillDevice latches a device dead, exactly as a DeviceKill fault would —
+// the explicit chaos-experiment form of pulling a controller.
+func (in *Injector) KillDevice(dev int) {
+	if in == nil {
+		return
+	}
+	if _, ok := in.killed[dev]; !ok {
+		in.killed[dev] = struct{}{}
+		in.DeviceKills++
+	}
+}
+
+// ReviveDevice clears a device's kill (and partition) latch: the replaced or
+// repaired controller is reachable again and may be resilvered.
+func (in *Injector) ReviveDevice(dev int) {
+	if in == nil {
+		return
+	}
+	if _, ok := in.killed[dev]; ok {
+		in.DeviceRevives++
+	}
+	delete(in.killed, dev)
+	delete(in.partitioned, dev)
+}
+
+// DeviceDead reports whether a device is currently kill-latched.
+func (in *Injector) DeviceDead(dev int) bool {
+	if in == nil {
+		return false
+	}
+	_, ok := in.killed[dev]
+	return ok
+}
+
 // Ops reports how many decisions site s has made.
 func (in *Injector) Ops(s Site) int64 {
 	if in == nil {
@@ -396,5 +502,7 @@ func (in *Injector) Summary() string {
 		in.LatentHits, in.LatentAdded, in.LatentCleared, len(in.latent))
 	fmt.Fprintf(&b, "  corrupt: hits=%d added=%d cleared=%d live=%d\n",
 		in.CorruptHits, in.CorruptAdded, in.CorruptCleared, len(in.corrupt))
+	fmt.Fprintf(&b, "  devices: kills=%d revives=%d rejected=%d dead=%d\n",
+		in.DeviceKills, in.DeviceRevives, in.PartitionHits, len(in.killed))
 	return b.String()
 }

@@ -160,7 +160,12 @@ func (d *NescDriver) Submit(p *sim.Proc, write bool, lba int64, buf Buffer) erro
 	}
 	// Trampoline mode: copy through a bounce slot around the DMA (paper
 	// §VI: "VMs have to copy data to/from the trampoline buffers
-	// before/after initiating a DMA operation").
+	// before/after initiating a DMA operation"). A request larger than a
+	// bounce slot cannot be serviced — callers must split at
+	// MaxBlocksPerReq like the guest block layer does.
+	if int(count) > d.maxB {
+		return fmt.Errorf("nesc driver: %d-block request exceeds %d-block trampoline slot", count, d.maxB)
+	}
 	d.trampoSem.Acquire(p)
 	slot := d.trampoSlots[len(d.trampoSlots)-1]
 	d.trampoSlots = d.trampoSlots[:len(d.trampoSlots)-1]

@@ -78,6 +78,10 @@ type QueuePair struct {
 	Resets            int64 // Recover calls
 	PIMismatches      int64 // read payloads that failed driver-side PI verification
 	PIWriteErrors     int64 // StatusIntegrityError completions (device-side PI check)
+	// RootCauseOverrides counts failed submissions whose surfaced error came
+	// from an earlier attempt's root cause (an integrity failure) rather
+	// than the final attempt's own timeout or abort.
+	RootCauseOverrides int64
 }
 
 type qpWaiter struct {
@@ -213,6 +217,12 @@ func (qp *QueuePair) Submit(p *sim.Proc, op uint32, lba uint64, count uint32, bu
 			guard = g
 		}
 	}
+	// The first root cause observed across the whole resubmission ladder: a
+	// request that first failed integrity verification and then burned the
+	// rest of its budget on timeouts must surface the corruption, not the
+	// final attempt's timeout.
+	rootPIBad := false
+	var rootStatus uint32
 	for attempt := 0; ; attempt++ {
 		p.Sleep(qp.SubmitTime)
 		qp.nextID++
@@ -254,21 +264,41 @@ func (qp *QueuePair) Submit(p *sim.Proc, op uint32, lba uint64, count uint32, bu
 		if w.aborted {
 			qp.Aborts++
 		}
+		if piBad && !rootPIBad {
+			rootPIBad = true
+			rootStatus = w.status
+		}
 		if attempt >= qp.RetryMax {
-			switch {
-			case w.aborted:
-				return 0, ErrReset
-			case piBad && w.status == ring.StatusIntegrityError:
-				// The device's own check kept failing the request.
-				return w.status, nil
-			case piBad:
-				// Status said OK but the payload never verified.
-				return 0, ring.ErrIntegrity
-			default:
-				return 0, ErrTimeout
+			status, err, overridden := finalVerdict(w.aborted, piBad, rootPIBad, rootStatus)
+			if overridden {
+				qp.RootCauseOverrides++
 			}
+			return status, err
 		}
 		qp.Resubmits++
+	}
+}
+
+// finalVerdict picks what a submission ladder that exhausted its retry
+// budget surfaces. An integrity root cause recorded on ANY attempt wins
+// over the final attempt's own timeout or abort — otherwise a transient
+// run of lost completions after a detected corruption would report
+// ErrTimeout and the corruption would vanish from Stats and diagnostics.
+// It reports overridden=true when that promotion actually changed the
+// outcome (the final attempt itself was not the integrity failure).
+func finalVerdict(lastAborted, lastPIBad, rootPIBad bool, rootStatus uint32) (uint32, error, bool) {
+	overridden := rootPIBad && !lastPIBad
+	switch {
+	case rootPIBad && rootStatus == ring.StatusIntegrityError:
+		// The device's own check failed the request.
+		return rootStatus, nil, overridden
+	case rootPIBad:
+		// Status said OK but the payload never verified.
+		return 0, ring.ErrIntegrity, overridden
+	case lastAborted:
+		return 0, ErrReset, false
+	default:
+		return 0, ErrTimeout, false
 	}
 }
 

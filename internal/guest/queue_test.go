@@ -8,6 +8,7 @@ import (
 	"nesc/internal/core"
 	"nesc/internal/hostmem"
 	"nesc/internal/pcie"
+	"nesc/internal/ring"
 	"nesc/internal/sim"
 )
 
@@ -15,7 +16,7 @@ import (
 // protocol from the device side, with per-request misbehavior: "ok",
 // "silent" (request vanishes), "lostcpl" (sequence number consumed, entry
 // never written), "nomsi" (entry written, interrupt lost), "dup" (completed
-// twice).
+// twice), "pierr" (completed with StatusIntegrityError).
 type fakeFn struct {
 	eng *sim.Engine
 	mem *hostmem.Memory
@@ -46,10 +47,12 @@ func (d *fakeFn) MMIOWrite(off int64, _ int, val uint64) {
 	}
 }
 
-func (d *fakeFn) complete(id uint32) {
+func (d *fakeFn) complete(id uint32) { d.completeWith(id, core.StatusOK) }
+
+func (d *fakeFn) completeWith(id, status uint32) {
 	d.cplSeq++
 	entry := make([]byte, core.CplBytes)
-	core.EncodeCompletion(entry, id, core.StatusOK, d.cplSeq)
+	core.EncodeCompletion(entry, id, status, d.cplSeq)
 	slot := int64((d.cplSeq - 1) % d.ringSize)
 	if err := d.mem.Write(d.cplBase+slot*core.CplBytes, entry); err != nil {
 		panic(err)
@@ -75,6 +78,9 @@ func (d *fakeFn) serve(prod uint32) {
 			d.cplSeq++
 		case "nomsi":
 			d.complete(id)
+		case "pierr":
+			d.completeWith(id, core.StatusIntegrityError)
+			d.eng.After(sim.Microsecond, d.qp.OnInterrupt)
 		case "dup":
 			d.complete(id)
 			d.complete(id)
@@ -276,5 +282,81 @@ func TestRecoverAbortsAndRearms(t *testing.T) {
 	}
 	if len(qp.waiters) != 0 {
 		t.Fatalf("%d waiters survived recovery", len(qp.waiters))
+	}
+}
+
+// finalVerdict must surface the first root cause of a failed submission
+// ladder: an integrity failure on any attempt wins over the final
+// attempt's own timeout or abort.
+func TestFinalVerdictRootCause(t *testing.T) {
+	cases := []struct {
+		name                            string
+		lastAborted, lastPIBad, rootBad bool
+		rootStatus                      uint32
+		wantStatus                      uint32
+		wantErr                         error
+		wantOverride                    bool
+	}{
+		{name: "pure timeout", wantErr: ErrTimeout},
+		{name: "pure abort", lastAborted: true, wantErr: ErrReset},
+		{
+			name:    "device integrity root then timeouts",
+			rootBad: true, rootStatus: ring.StatusIntegrityError,
+			wantStatus: ring.StatusIntegrityError, wantOverride: true,
+		},
+		{
+			name:    "payload mismatch root then timeouts",
+			rootBad: true, rootStatus: ring.StatusOK,
+			wantErr: ring.ErrIntegrity, wantOverride: true,
+		},
+		{
+			name:        "integrity root then final abort",
+			lastAborted: true, rootBad: true, rootStatus: ring.StatusIntegrityError,
+			wantStatus: ring.StatusIntegrityError, wantOverride: true,
+		},
+		{
+			name:      "final attempt is the integrity failure",
+			lastPIBad: true, rootBad: true, rootStatus: ring.StatusIntegrityError,
+			wantStatus: ring.StatusIntegrityError, wantOverride: false,
+		},
+	}
+	for _, tc := range cases {
+		st, err, over := finalVerdict(tc.lastAborted, tc.lastPIBad, tc.rootBad, tc.rootStatus)
+		if st != tc.wantStatus || !errors.Is(err, tc.wantErr) || over != tc.wantOverride {
+			t.Errorf("%s: finalVerdict = (%d, %v, %v), want (%d, %v, %v)",
+				tc.name, st, err, over, tc.wantStatus, tc.wantErr, tc.wantOverride)
+		}
+	}
+}
+
+// Regression: a request whose first attempt fails the device-side integrity
+// check and whose resubmissions then vanish must surface the integrity
+// status — not the last attempt's timeout — and count the override.
+func TestRootCauseSurvivesRetryLadder(t *testing.T) {
+	eng, qp, d := newQPRig(t)
+	qp.Timeout = 500 * sim.Microsecond
+	qp.RetryMax = 2
+	d.mode = func(id uint32) string {
+		if id == 1 {
+			return "pierr"
+		}
+		return "silent"
+	}
+	eng.Go("submitter", func(p *sim.Proc) {
+		st, err := qp.Submit(p, core.OpWrite, 0, 1, 0)
+		if err != nil || st != core.StatusIntegrityError {
+			t.Errorf("submit: status %d err %v, want StatusIntegrityError", st, err)
+		}
+	})
+	eng.Run()
+	eng.Shutdown()
+	if qp.PIWriteErrors != 1 {
+		t.Fatalf("PIWriteErrors = %d, want 1", qp.PIWriteErrors)
+	}
+	if qp.Timeouts != 2 { // both resubmissions vanished
+		t.Fatalf("Timeouts = %d, want 2", qp.Timeouts)
+	}
+	if qp.RootCauseOverrides != 1 {
+		t.Fatalf("RootCauseOverrides = %d, want 1", qp.RootCauseOverrides)
 	}
 }

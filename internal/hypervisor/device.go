@@ -1,0 +1,230 @@
+package hypervisor
+
+import (
+	"nesc/internal/core"
+	"nesc/internal/extent"
+	"nesc/internal/extfs"
+	"nesc/internal/guest"
+	"nesc/internal/pcie"
+	"nesc/internal/sim"
+)
+
+// Device is the hypervisor's per-controller management state. The original
+// single-controller hypervisor owned one NeSC device implicitly; a fabric
+// hypervisor manages a fleet, each device carrying its own host filesystem,
+// PF ring driver, VF table, and shared extent trees. Device 0 is the
+// primary: every historical Hypervisor method operates on it, so
+// single-device platforms behave (and schedule events) exactly as before.
+type Device struct {
+	h   *Hypervisor
+	Idx int
+	Ctl *core.Controller
+
+	HostFS *extfs.FS
+	pfQP   *guest.MultiQueue
+
+	vfs   []*vfState
+	trees map[string]*sharedTree
+	// missBusy marks VFs whose latched miss is already being serviced, so
+	// duplicate miss interrupts are idempotent (see serviceMisses).
+	missBusy []bool
+	// vfLocks serialize management operations on one VF — ResetVF racing
+	// SnapshotVF/MigrateVFFile/miss service must not interleave tree
+	// rebuilds with FLR teardown. Binary semaphores; uncontended
+	// acquisition is synchronous and schedule-neutral.
+	vfLocks []*sim.Semaphore
+}
+
+func newDevice(h *Hypervisor, idx int, ctl *core.Controller) *Device {
+	d := &Device{
+		h:        h,
+		Idx:      idx,
+		Ctl:      ctl,
+		vfs:      make([]*vfState, ctl.P.NumVFs),
+		missBusy: make([]bool, ctl.P.NumVFs),
+		trees:    make(map[string]*sharedTree),
+		vfLocks:  make([]*sim.Semaphore, ctl.P.NumVFs),
+	}
+	for i := range d.vfs {
+		d.vfs[i] = &vfState{}
+		d.vfLocks[i] = sim.NewSemaphore(h.Eng, 1)
+	}
+	return d
+}
+
+// AddDevice attaches an additional NeSC controller to the hypervisor's
+// fleet. Call after New and before Boot; the controller must live on the
+// same PCIe fabric. Returns the new device (index len-1).
+func (h *Hypervisor) AddDevice(ctl *core.Controller) *Device {
+	d := newDevice(h, len(h.devs), ctl)
+	h.devs = append(h.devs, d)
+	h.devByPF[ctl.PF().ID()] = d
+	if h.P.UseIOMMU {
+		h.Fab.IOMMU().Grant(ctl.PF().ID(), 0, h.Mem.Size())
+	}
+	return d
+}
+
+// Device returns device idx of the fleet (0 = primary).
+func (h *Hypervisor) Device(idx int) *Device { return h.devs[idx] }
+
+// Devices returns the managed fleet, primary first.
+func (h *Hypervisor) Devices() []*Device { return h.devs }
+
+// NumDevices reports the fleet size.
+func (h *Hypervisor) NumDevices() int { return len(h.devs) }
+
+// lockVF acquires a VF's management lock, reporting whether it had to wait
+// (a contended acquisition means another management operation ran in
+// between, so cached device state must be re-read).
+func (d *Device) lockVF(p *sim.Proc, idx int) bool {
+	contended := d.vfLocks[idx].Available() == 0
+	d.vfLocks[idx].Acquire(p)
+	return contended
+}
+
+func (d *Device) unlockVF(idx int) { d.vfLocks[idx].Release() }
+
+// bootDevice programs a device's PF rings and formats (or mounts) its host
+// filesystem — the per-device half of Hypervisor.Boot.
+func (d *Device) bootDevice(p *sim.Proc, format bool, fsParams extfs.Params) error {
+	h := d.h
+	mq, err := guest.NewMultiQueue(p, h.Eng, h.Mem, h.Fab,
+		d.Ctl.BARBase()+d.Ctl.FunctionPageOffset(0), 1, h.P.PFRingEntries, h.P.DriverSubmitTime)
+	if err != nil {
+		return err
+	}
+	// The PF driver needs the same timeout recovery as the guests: a dropped
+	// PF completion would otherwise wedge the host filesystem (and with it the
+	// miss handler) forever.
+	mq.SetRecovery(h.P.VFRequestTimeout, h.P.VFRetryMax)
+	if !h.P.DisablePI {
+		mq.SetPI(d.Ctl.P.BlockSize)
+	}
+	d.pfQP = mq
+	h.qps[d.Ctl.PF().ID()] = mq
+	h.registerQueueGauges(d.Ctl.PF().ID(), mq)
+	disk := d.Disk()
+	fsParams.OpCost = h.P.HostFSOpCost
+	if format {
+		d.HostFS, err = extfs.Format(p, disk, fsParams)
+	} else {
+		d.HostFS, err = extfs.Mount(p, disk, h.P.HostFSOpCost)
+	}
+	return err
+}
+
+// Disk returns the host block-device view of this device's physical
+// function.
+func (d *Device) Disk() *PFDisk { return &PFDisk{d: d} }
+
+// FS returns the device's host filesystem (nil before Boot).
+func (d *Device) FS() *extfs.FS { return d.HostFS }
+
+// MkImage creates a disk image on this device's host filesystem,
+// preallocated unless sparse is set — replica images for mirrored VFs are
+// created per device.
+func (d *Device) MkImage(p *sim.Proc, path string, uid uint32, blocks uint64, sparse bool) error {
+	f, err := d.HostFS.Create(p, path, uid, 0o600)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(p, blocks*uint64(d.Ctl.P.BlockSize)); err != nil {
+		return err
+	}
+	if sparse {
+		return nil
+	}
+	return d.HostFS.AllocateRange(p, path, 0, blocks)
+}
+
+// Compatibility wrappers: the historical single-device Hypervisor API
+// operates on the primary device. Multi-device callers address a Device
+// directly.
+
+// CreateVF exports a host file through a VF of the primary device; see
+// Device.CreateVF.
+func (h *Hypervisor) CreateVF(p *sim.Proc, path string, uid uint32) (int, error) {
+	return h.devs[0].CreateVF(p, path, uid)
+}
+
+// CreateRawVF exports the primary device's whole LBA space; see
+// Device.CreateRawVF.
+func (h *Hypervisor) CreateRawVF(p *sim.Proc) (int, error) { return h.devs[0].CreateRawVF(p) }
+
+// DestroyVF disables a primary-device VF; see Device.DestroyVF.
+func (h *Hypervisor) DestroyVF(p *sim.Proc, idx int) { h.devs[0].DestroyVF(p, idx) }
+
+// VFPageBus reports a primary-device VF's register page bus address.
+func (h *Hypervisor) VFPageBus(idx int) int64 { return h.devs[0].VFPageBus(idx) }
+
+// VFTree exposes a primary-device VF's extent tree.
+func (h *Hypervisor) VFTree(idx int) *extent.Tree { return h.devs[0].VFTree(idx) }
+
+// SharesTreeWith reports whether two primary-device VFs share one tree.
+func (h *Hypervisor) SharesTreeWith(a, b int) bool { return h.devs[0].SharesTreeWith(a, b) }
+
+// PruneVFTrees prunes the primary device's in-use trees.
+func (h *Hypervisor) PruneVFTrees(maxNodes int) int { return h.devs[0].PruneVFTrees(maxNodes) }
+
+// ResetVF function-level-resets a primary-device VF; see Device.ResetVF.
+func (h *Hypervisor) ResetVF(p *sim.Proc, idx int) error { return h.devs[0].ResetVF(p, idx) }
+
+// RegenerateVFTree rebuilds a primary-device VF's tree from its file.
+func (h *Hypervisor) RegenerateVFTree(p *sim.Proc, idx int) error {
+	return h.devs[0].RegenerateVFTree(p, idx)
+}
+
+// MigrateVFFile relocates a primary-device VF's physical blocks.
+func (h *Hypervisor) MigrateVFFile(p *sim.Proc, idx int, flushBTLB bool) error {
+	return h.devs[0].MigrateVFFile(p, idx, flushBTLB)
+}
+
+// SetVFWeight programs a primary-device VF's QoS weight.
+func (h *Hypervisor) SetVFWeight(p *sim.Proc, idx int, weight int) {
+	h.devs[0].SetVFWeight(p, idx, weight)
+}
+
+// RouteVFInterrupts routes a primary-device VF's completions to mq.
+func (h *Hypervisor) RouteVFInterrupts(idx int, mq *guest.MultiQueue) {
+	h.devs[0].RouteVFInterrupts(idx, mq)
+}
+
+// FlushBTLB invalidates the primary device's translation cache.
+func (h *Hypervisor) FlushBTLB(p *sim.Proc) { h.devs[0].FlushBTLB(p) }
+
+// SnapshotVF snapshots a primary-device VF's backing file.
+func (h *Hypervisor) SnapshotVF(p *sim.Proc, idx int, dstPath string, uid uint32) error {
+	return h.devs[0].SnapshotVF(p, idx, dstPath, uid)
+}
+
+// SnapshotFile snapshots an arbitrary primary-device host file.
+func (h *Hypervisor) SnapshotFile(p *sim.Proc, path, dstPath string, uid uint32) error {
+	return h.devs[0].SnapshotFile(p, path, dstPath, uid)
+}
+
+// CloneToNewVF forks a primary-device VF's disk through a fresh VF.
+func (h *Hypervisor) CloneToNewVF(p *sim.Proc, idx int, clonePath string, uid uint32) (int, error) {
+	return h.devs[0].CloneToNewVF(p, idx, clonePath, uid)
+}
+
+// DeleteSnapshot removes a primary-device snapshot file.
+func (h *Hypervisor) DeleteSnapshot(p *sim.Proc, path string, uid uint32) error {
+	return h.devs[0].DeleteSnapshot(p, path, uid)
+}
+
+// fnIndexOfDev maps a routing ID to (device, function index) across the
+// fleet; ok is false for IDs no managed controller owns.
+func (h *Hypervisor) fnIndexOfDev(id pcie.FnID) (*Device, int, bool) {
+	for _, d := range h.devs {
+		if id == d.Ctl.PF().ID() {
+			return d, 0, true
+		}
+		for i := 0; i < d.Ctl.P.NumVFs; i++ {
+			if d.Ctl.VF(i).ID() == id {
+				return d, i + 1, true
+			}
+		}
+	}
+	return nil, -1, false
+}

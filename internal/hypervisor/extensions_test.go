@@ -51,8 +51,8 @@ func TestSharedExtentTree(t *testing.T) {
 			t.Fatalf("surviving sharer broken after teardown: %v", err)
 		}
 		vm2.Teardown(p)
-		if len(w.h.trees) != 0 {
-			t.Fatalf("%d trees leaked after both sharers died", len(w.h.trees))
+		if len(w.h.Device(0).trees) != 0 {
+			t.Fatalf("%d trees leaked after both sharers died", len(w.h.Device(0).trees))
 		}
 	})
 }

@@ -10,6 +10,8 @@
 package hypervisor
 
 import (
+	"fmt"
+
 	"nesc/internal/core"
 	"nesc/internal/extent"
 	"nesc/internal/extfs"
@@ -110,7 +112,9 @@ type vfState struct {
 	identity bool
 }
 
-// Hypervisor is the host VMM instance.
+// Hypervisor is the host VMM instance. It manages a fleet of NeSC devices
+// (devs); Ctl/HostFS/pfQP alias the primary device's state so the
+// historical single-device API keeps working unchanged.
 type Hypervisor struct {
 	Eng *sim.Engine
 	Mem *hostmem.Memory
@@ -121,8 +125,11 @@ type Hypervisor struct {
 	pfQP   *guest.MultiQueue
 	HostFS *extfs.FS
 
-	vfs   []*vfState
-	trees map[string]*sharedTree
+	// devs is the managed device fleet (devs[0] is the primary); devByPF
+	// routes a miss interrupt's source PF to its device.
+	devs    []*Device
+	devByPF map[pcie.FnID]*Device
+
 	// qps routes completion MSIs to ring clients; vmOf marks VF-owned ones
 	// for interrupt-injection cost.
 	qps  map[pcie.FnID]*guest.MultiQueue
@@ -130,11 +137,6 @@ type Hypervisor struct {
 
 	// inj optionally perturbs the miss-service path (fault.MissHandler site).
 	inj *fault.Injector
-	// missBusy marks VFs whose latched miss is already being serviced, so
-	// duplicate miss interrupts (the device's resend timer fires while the
-	// handler is mid-allocation) are idempotent instead of spawning a second
-	// concurrent service of the same miss.
-	missBusy []bool
 
 	// MissInterrupts counts serviced NeSC miss interrupts.
 	MissInterrupts int64
@@ -144,6 +146,10 @@ type Hypervisor struct {
 	MissFaults int64
 	// VFResets counts function-level resets issued through ResetVF.
 	VFResets int64
+	// Migrations counts completed live VF migrations; LastMigration keeps
+	// the most recent report for Stats.
+	Migrations    int64
+	LastMigration MigrationReport
 	// Snapshots / Clones / CowBreaks count the CoW subsystem's operations:
 	// snapshots taken, clones exported through new VFs, and device CoW
 	// faults serviced end to end (see snapshot.go).
@@ -172,20 +178,18 @@ type Hypervisor struct {
 // New wires a hypervisor to the controller and installs the MSI router.
 func New(eng *sim.Engine, mem *hostmem.Memory, fab *pcie.Fabric, ctl *core.Controller, p Params) *Hypervisor {
 	h := &Hypervisor{
-		Eng:      eng,
-		Mem:      mem,
-		Fab:      fab,
-		Ctl:      ctl,
-		P:        p,
-		vfs:      make([]*vfState, ctl.P.NumVFs),
-		missBusy: make([]bool, ctl.P.NumVFs),
-		trees:    make(map[string]*sharedTree),
-		qps:      make(map[pcie.FnID]*guest.MultiQueue),
-		vmOf:     make(map[pcie.FnID]*VM),
+		Eng:     eng,
+		Mem:     mem,
+		Fab:     fab,
+		Ctl:     ctl,
+		P:       p,
+		devByPF: make(map[pcie.FnID]*Device),
+		qps:     make(map[pcie.FnID]*guest.MultiQueue),
+		vmOf:    make(map[pcie.FnID]*VM),
 	}
-	for i := range h.vfs {
-		h.vfs[i] = &vfState{}
-	}
+	d0 := newDevice(h, 0, ctl)
+	h.devs = []*Device{d0}
+	h.devByPF[ctl.PF().ID()] = d0
 	fab.SetMSIHandler(h.handleMSI)
 	if p.UseIOMMU {
 		fab.IOMMU().Enable()
@@ -212,6 +216,9 @@ type DriverRecoveryStats struct {
 	Resets            int64
 	PIMismatches      int64
 	PIWriteErrors     int64
+	// RootCauseOverrides counts failed submissions that surfaced an earlier
+	// attempt's integrity root cause instead of the final attempt's timeout.
+	RootCauseOverrides int64
 }
 
 // RecoveryStats sums driver recovery counters across all registered queue
@@ -229,6 +236,7 @@ func (h *Hypervisor) RecoveryStats() DriverRecoveryStats {
 			st.Resets += qp.Resets
 			st.PIMismatches += qp.PIMismatches
 			st.PIWriteErrors += qp.PIWriteErrors
+			st.RootCauseOverrides += qp.RootCauseOverrides
 		}
 	}
 	return st
@@ -236,7 +244,17 @@ func (h *Hypervisor) RecoveryStats() DriverRecoveryStats {
 
 func (h *Hypervisor) handleMSI(from pcie.FnID, vec uint8) {
 	if vec == core.VecMiss {
-		h.Eng.Go("nesc-miss-handler", h.serviceMisses)
+		// Miss interrupts are raised by a device's PF: route to that
+		// device's handler. Device 0 keeps the historical proc name.
+		d := h.devByPF[from]
+		if d == nil {
+			return
+		}
+		name := "nesc-miss-handler"
+		if id := d.Ctl.DeviceID(); id != 0 {
+			name = fmt.Sprintf("nesc%d-miss-handler", id)
+		}
+		h.Eng.Go(name, d.serviceMisses)
 		return
 	}
 	q, ok := core.QueueOfVector(vec)
@@ -257,67 +275,58 @@ func (h *Hypervisor) handleMSI(from pcie.FnID, vec uint8) {
 }
 
 // Boot programs the PF rings and formats (or mounts) the host filesystem on
-// the physical device.
+// every managed device. The format/mount choice applies to the primary
+// device; additional devices are always formatted fresh (they are replica
+// targets, not carriers of pre-seeded images).
 func (h *Hypervisor) Boot(p *sim.Proc, format bool, fsParams extfs.Params) error {
-	mq, err := guest.NewMultiQueue(p, h.Eng, h.Mem, h.Fab,
-		h.Ctl.BARBase()+h.Ctl.FunctionPageOffset(0), 1, h.P.PFRingEntries, h.P.DriverSubmitTime)
-	if err != nil {
+	if err := h.devs[0].bootDevice(p, format, fsParams); err != nil {
 		return err
 	}
-	// The PF driver needs the same timeout recovery as the guests: a dropped
-	// PF completion would otherwise wedge the host filesystem (and with it the
-	// miss handler) forever.
-	mq.SetRecovery(h.P.VFRequestTimeout, h.P.VFRetryMax)
-	if !h.P.DisablePI {
-		mq.SetPI(h.Ctl.P.BlockSize)
+	h.pfQP = h.devs[0].pfQP
+	h.HostFS = h.devs[0].HostFS
+	for _, d := range h.devs[1:] {
+		if err := d.bootDevice(p, true, fsParams); err != nil {
+			return err
+		}
 	}
-	h.pfQP = mq
-	h.qps[h.Ctl.PF().ID()] = mq
-	h.registerQueueGauges(h.Ctl.PF().ID(), mq)
-	disk := h.PFDisk()
-	fsParams.OpCost = h.P.HostFSOpCost
-	if format {
-		h.HostFS, err = extfs.Format(p, disk, fsParams)
-	} else {
-		h.HostFS, err = extfs.Mount(p, disk, h.P.HostFSOpCost)
-	}
-	return err
+	return nil
 }
 
-// PFDisk returns the host block-device view of the physical function.
+// PFDisk returns the host block-device view of the primary physical
+// function.
 func (h *Hypervisor) PFDisk() *PFDisk {
-	return &PFDisk{h: h}
+	return h.devs[0].Disk()
 }
 
-// PFDisk is the host's block device over the PF out-of-band channel: the
-// "raw storage device with no file mapping capabilities" that serves as the
-// paper's baseline (§VII).
+// PFDisk is the host's block device over one device's PF out-of-band
+// channel: the "raw storage device with no file mapping capabilities" that
+// serves as the paper's baseline (§VII).
 type PFDisk struct {
-	h      *Hypervisor
+	d      *Device
 	bounce guest.Buffer
 }
 
 // BlockSize implements extfs.BlockDev.
-func (d *PFDisk) BlockSize() int { return d.h.Ctl.P.BlockSize }
+func (pd *PFDisk) BlockSize() int { return pd.d.Ctl.P.BlockSize }
 
 // NumBlocks implements extfs.BlockDev.
-func (d *PFDisk) NumBlocks() int64 { return d.h.Ctl.Medium.Store().NumBlocks() }
+func (pd *PFDisk) NumBlocks() int64 { return pd.d.Ctl.Medium.Store().NumBlocks() }
 
-func (d *PFDisk) ensure(n int) guest.Buffer {
-	if len(d.bounce.Data) < n {
-		addr := d.h.Mem.MustAlloc(int64(n), 64)
-		data, err := d.h.Mem.Slice(addr, int64(n))
+func (pd *PFDisk) ensure(n int) guest.Buffer {
+	if len(pd.bounce.Data) < n {
+		addr := pd.d.h.Mem.MustAlloc(int64(n), 64)
+		data, err := pd.d.h.Mem.Slice(addr, int64(n))
 		if err != nil {
 			panic(err)
 		}
-		d.bounce = guest.Buffer{Addr: addr, Data: data}
+		pd.bounce = guest.Buffer{Addr: addr, Data: data}
 	}
-	return guest.Buffer{Addr: d.bounce.Addr, Data: d.bounce.Data[:n]}
+	return guest.Buffer{Addr: pd.bounce.Addr, Data: pd.bounce.Data[:n]}
 }
 
-func (d *PFDisk) submit(ctx *sim.Proc, op uint32, lba int64, buf guest.Buffer) error {
-	h := d.h
-	bs := d.BlockSize()
+func (pd *PFDisk) submit(ctx *sim.Proc, op uint32, lba int64, buf guest.Buffer) error {
+	h := pd.d.h
+	bs := pd.BlockSize()
 	maxB := h.P.PFMaxBlocksPerReq
 	blocks := len(buf.Data) / bs
 	for done := 0; done < blocks; {
@@ -331,7 +340,7 @@ func (d *PFDisk) submit(ctx *sim.Proc, op uint32, lba int64, buf guest.Buffer) e
 		var serr error
 		for tries := 0; tries < 4; tries++ {
 			ctx.Sleep(h.P.HostStackTime)
-			st, err := h.pfQP.Submit(ctx, op, uint64(lba+int64(done)), uint32(n), buf.Addr+int64(done*bs))
+			st, err := pd.d.pfQP.Submit(ctx, op, uint64(lba+int64(done)), uint32(n), buf.Addr+int64(done*bs))
 			if err != nil {
 				return err
 			}
@@ -349,33 +358,33 @@ func (d *PFDisk) submit(ctx *sim.Proc, op uint32, lba int64, buf guest.Buffer) e
 }
 
 // ReadBlocks implements extfs.BlockDev.
-func (d *PFDisk) ReadBlocks(ctx *sim.Proc, lba int64, p []byte) error {
+func (pd *PFDisk) ReadBlocks(ctx *sim.Proc, lba int64, p []byte) error {
 	if ctx == nil {
 		// Timeless access for setup/inspection: bypass the rings.
-		return d.h.Ctl.Medium.Store().ReadBlocks(lba, p)
+		return pd.d.Ctl.Medium.Store().ReadBlocks(lba, p)
 	}
-	buf := d.ensure(len(p))
-	if err := d.submit(ctx, core.OpRead, lba, buf); err != nil {
+	buf := pd.ensure(len(p))
+	if err := pd.submit(ctx, core.OpRead, lba, buf); err != nil {
 		return err
 	}
 	copy(p, buf.Data)
-	ctx.Sleep(sim.BytesTime(int64(len(p)), d.h.P.MemcpyBandwidth))
+	ctx.Sleep(sim.BytesTime(int64(len(p)), pd.d.h.P.MemcpyBandwidth))
 	return nil
 }
 
 // WriteBlocks implements extfs.BlockDev.
-func (d *PFDisk) WriteBlocks(ctx *sim.Proc, lba int64, p []byte) error {
+func (pd *PFDisk) WriteBlocks(ctx *sim.Proc, lba int64, p []byte) error {
 	if ctx == nil {
-		return d.h.Ctl.Medium.Store().WriteBlocks(lba, p)
+		return pd.d.Ctl.Medium.Store().WriteBlocks(lba, p)
 	}
-	buf := d.ensure(len(p))
+	buf := pd.ensure(len(p))
 	copy(buf.Data, p)
-	ctx.Sleep(sim.BytesTime(int64(len(p)), d.h.P.MemcpyBandwidth))
-	return d.submit(ctx, core.OpWrite, lba, buf)
+	ctx.Sleep(sim.BytesTime(int64(len(p)), pd.d.h.P.MemcpyBandwidth))
+	return pd.submit(ctx, core.OpWrite, lba, buf)
 }
 
 // Flush implements extfs.BlockDev.
-func (d *PFDisk) Flush(*sim.Proc) error { return nil }
+func (pd *PFDisk) Flush(*sim.Proc) error { return nil }
 
 // trap charges a full guest trap (vmexit + handler + vmenter) to the guest's
 // process.

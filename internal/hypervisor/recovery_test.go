@@ -98,7 +98,7 @@ func TestStatusDisabledEndToEnd(t *testing.T) {
 		// Disable the function behind the driver's back (management action).
 		// Disabling drops the device's ring state, so the driver re-arms its
 		// rings before probing — and gets an explicit StatusDisabled back.
-		w.h.mmioW(p, w.h.mgmtAddr(vm.VFIdx)+core.MgmtEnable, 0)
+		w.h.mmioW(p, w.h.Device(0).mgmtAddr(vm.VFIdx)+core.MgmtEnable, 0)
 		if err := vm.NescDrv.QueuePair().Recover(p); err != nil {
 			t.Fatal(err)
 		}

@@ -20,27 +20,27 @@ import (
 // range [vlba, vlba+count); count 0 invalidates the function's whole
 // footprint. Three-register MMIO command: latch the range, then writing the
 // function index fires the invalidation.
-func (h *Hypervisor) invalidateVFRange(p *sim.Proc, idx int, vlba, count uint64) {
-	base := h.Ctl.BARBase()
-	h.mmioW(p, base+core.PFRegInvVLBA, vlba)
-	h.mmioW(p, base+core.PFRegInvCount, count)
-	h.mmioW(p, base+core.PFRegInvFn, uint64(idx+1))
+func (d *Device) invalidateVFRange(p *sim.Proc, idx int, vlba, count uint64) {
+	base := d.Ctl.BARBase()
+	d.h.mmioW(p, base+core.PFRegInvVLBA, vlba)
+	d.h.mmioW(p, base+core.PFRegInvCount, count)
+	d.h.mmioW(p, base+core.PFRegInvFn, uint64(idx+1))
 }
 
 // refreshVFMapping re-reads a VF's file mapping, rebuilds the shared device
 // tree, reprograms every sharer's root, and drops the function's BTLB
 // entries (they may cache pre-snapshot, unprotected translations).
-func (h *Hypervisor) refreshVFMapping(p *sim.Proc, idx int) error {
-	st := h.vfs[idx]
-	runs, _, err := h.HostFS.Runs(p, st.path)
+func (d *Device) refreshVFMapping(p *sim.Proc, idx int) error {
+	st := d.vfs[idx]
+	runs, _, err := d.HostFS.Runs(p, st.path)
 	if err != nil {
 		return err
 	}
 	if err := st.shared.tree.Rebuild(runs); err != nil {
 		return err
 	}
-	h.reprogramSharers(p, st.shared)
-	h.invalidateVFRange(p, idx, 0, 0)
+	d.reprogramSharers(p, st.shared)
+	d.invalidateVFRange(p, idx, 0, 0)
 	return nil
 }
 
@@ -49,48 +49,55 @@ func (h *Hypervisor) refreshVFMapping(p *sim.Proc, idx int) error {
 // write-protected, so the first guest write to each shared extent takes a
 // CoW fault and gets a private copy. The snapshot itself is an ordinary
 // host file — export it with CreateVF (or CloneToNewVF), or keep it as a
-// point-in-time backup.
-func (h *Hypervisor) SnapshotVF(p *sim.Proc, idx int, dstPath string, uid uint32) error {
-	st := h.vfs[idx]
+// point-in-time backup. Serialized against ResetVF and miss service on the
+// same VF by the VF management lock.
+func (d *Device) SnapshotVF(p *sim.Proc, idx int, dstPath string, uid uint32) error {
+	st := d.vfs[idx]
 	if !st.inUse || st.identity {
 		return fmt.Errorf("hypervisor: VF %d has no backing file", idx)
 	}
-	if err := h.HostFS.Snapshot(p, st.path, dstPath, uid); err != nil {
+	d.lockVF(p, idx)
+	defer d.unlockVF(idx)
+	if !st.inUse || st.identity {
+		// The VF was torn down while we waited for the lock.
+		return fmt.Errorf("hypervisor: VF %d has no backing file", idx)
+	}
+	if err := d.HostFS.Snapshot(p, st.path, dstPath, uid); err != nil {
 		return err
 	}
-	h.Snapshots++
-	return h.refreshVFMapping(p, idx)
+	d.h.Snapshots++
+	return d.refreshVFMapping(p, idx)
 }
 
 // SnapshotFile captures a copy-on-write snapshot of an arbitrary host file.
 // If the file is currently exported through a VF the call is routed through
 // SnapshotVF so the device mapping picks up the write-protect flags;
 // otherwise it is a plain filesystem snapshot.
-func (h *Hypervisor) SnapshotFile(p *sim.Proc, path, dstPath string, uid uint32) error {
-	for idx, st := range h.vfs {
+func (d *Device) SnapshotFile(p *sim.Proc, path, dstPath string, uid uint32) error {
+	for idx, st := range d.vfs {
 		if st != nil && st.inUse && !st.identity && st.path == path {
-			return h.SnapshotVF(p, idx, dstPath, uid)
+			return d.SnapshotVF(p, idx, dstPath, uid)
 		}
 	}
-	if err := h.HostFS.Snapshot(p, path, dstPath, uid); err != nil {
+	if err := d.HostFS.Snapshot(p, path, dstPath, uid); err != nil {
 		return err
 	}
-	h.Snapshots++
+	d.h.Snapshots++
 	return nil
 }
 
 // CloneToNewVF snapshots a VF's disk and immediately exports the snapshot
 // through a fresh VF owned by uid — a writable fork sharing all unmodified
 // blocks with the parent. Returns the new VF's index.
-func (h *Hypervisor) CloneToNewVF(p *sim.Proc, idx int, clonePath string, uid uint32) (int, error) {
-	if err := h.SnapshotVF(p, idx, clonePath, uid); err != nil {
+func (d *Device) CloneToNewVF(p *sim.Proc, idx int, clonePath string, uid uint32) (int, error) {
+	if err := d.SnapshotVF(p, idx, clonePath, uid); err != nil {
 		return 0, err
 	}
-	cloneIdx, err := h.CreateVF(p, clonePath, uid)
+	cloneIdx, err := d.CreateVF(p, clonePath, uid)
 	if err != nil {
 		return 0, err
 	}
-	h.Clones++
+	d.h.Clones++
 	return cloneIdx, nil
 }
 
@@ -98,11 +105,11 @@ func (h *Hypervisor) CloneToNewVF(p *sim.Proc, idx int, clonePath string, uid ui
 // still shared with the parent (or other clones) just drop one reference;
 // blocks private to the snapshot return to the free pool. Refuses while the
 // file is exported through a VF — destroy the VF first.
-func (h *Hypervisor) DeleteSnapshot(p *sim.Proc, path string, uid uint32) error {
-	if _, exported := h.trees[path]; exported {
+func (d *Device) DeleteSnapshot(p *sim.Proc, path string, uid uint32) error {
+	if _, exported := d.trees[path]; exported {
 		return fmt.Errorf("hypervisor: %s is exported through a VF", path)
 	}
-	return h.HostFS.Remove(p, path, uid)
+	return d.HostFS.Remove(p, path, uid)
 }
 
 // SnapshotStats is the hypervisor's view of the CoW subsystem.
@@ -114,7 +121,8 @@ type SnapshotStats struct {
 	FSCowBreaks  int64 // filesystem-level share breaks (includes host writes)
 }
 
-// SnapshotStatsNow samples the snapshot counters.
+// SnapshotStatsNow samples the snapshot counters (filesystem-level figures
+// come from the primary device's host filesystem).
 func (h *Hypervisor) SnapshotStatsNow() SnapshotStats {
 	s := SnapshotStats{
 		Snapshots: h.Snapshots,

@@ -11,10 +11,12 @@ import (
 	"nesc/internal/sim"
 )
 
-// VF lifecycle and the translation-miss service path (paper §IV-C).
+// VF lifecycle and the translation-miss service path (paper §IV-C). All
+// operations here are per-device: a fleet hypervisor runs one copy of this
+// state machine for each managed controller.
 
-func (h *Hypervisor) mgmtAddr(vfIdx int) int64 {
-	return h.Ctl.BARBase() + h.Ctl.MgmtPageOffset() + int64(vfIdx)*core.MgmtStride
+func (d *Device) mgmtAddr(vfIdx int) int64 {
+	return d.Ctl.BARBase() + d.Ctl.MgmtPageOffset() + int64(vfIdx)*core.MgmtStride
 }
 
 // CreateVF exports the host file at path as a virtual function on behalf of
@@ -25,38 +27,38 @@ func (h *Hypervisor) mgmtAddr(vfIdx int) int64 {
 // Exporting the same file again shares the existing extent tree across the
 // VFs (paper §IV-B); the tree stays consistent for all sharers, while data
 // synchronization remains the clients' responsibility.
-func (h *Hypervisor) CreateVF(p *sim.Proc, path string, uid uint32) (int, error) {
+func (d *Device) CreateVF(p *sim.Proc, path string, uid uint32) (int, error) {
 	// The protection gate: the hypervisor only exports files the requesting
 	// tenant may access (read+write for a block device).
-	if err := h.HostFS.Access(p, path, uid, extfs.PermRead|extfs.PermWrite); err != nil {
+	if err := d.HostFS.Access(p, path, uid, extfs.PermRead|extfs.PermWrite); err != nil {
 		return 0, fmt.Errorf("hypervisor: VF creation denied: %w", err)
 	}
-	runs, size, err := h.HostFS.Runs(p, path)
+	runs, size, err := d.HostFS.Runs(p, path)
 	if err != nil {
 		return 0, err
 	}
-	idx, err := h.freeVF()
+	idx, err := d.freeVF()
 	if err != nil {
 		return 0, err
 	}
-	sh, ok := h.trees[path]
+	sh, ok := d.trees[path]
 	if !ok {
-		tree, err := extent.Build(h.Mem, runs, h.Ctl.P.TreeFanout)
+		tree, err := extent.Build(d.h.Mem, runs, d.Ctl.P.TreeFanout)
 		if err != nil {
 			return 0, err
 		}
 		sh = &sharedTree{key: path, tree: tree}
-		h.trees[path] = sh
+		d.trees[path] = sh
 	}
 	sh.refs++
-	bs := uint64(h.Ctl.P.BlockSize)
+	bs := uint64(d.Ctl.P.BlockSize)
 	sizeBlocks := (size + bs - 1) / bs
-	st := h.vfs[idx]
+	st := d.vfs[idx]
 	st.inUse = true
 	st.path = path
 	st.shared = sh
 	st.identity = false
-	h.programVF(p, idx, sh.tree.Root(), sizeBlocks)
+	d.programVF(p, idx, sh.tree.Root(), sizeBlocks)
 	return idx, nil
 }
 
@@ -64,30 +66,30 @@ func (h *Hypervisor) CreateVF(p *sim.Proc, path string, uid uint32) (int, error)
 // identity vLBA→pLBA mapping — NeSC "managing a single disk can be viewed
 // simply as a PCIe SSD" (§II); this is the direct-device-assignment
 // configuration of Figure 2.
-func (h *Hypervisor) CreateRawVF(p *sim.Proc) (int, error) {
-	idx, err := h.freeVF()
+func (d *Device) CreateRawVF(p *sim.Proc) (int, error) {
+	idx, err := d.freeVF()
 	if err != nil {
 		return 0, err
 	}
-	blocks := uint64(h.Ctl.Medium.Store().NumBlocks())
-	tree, err := extent.Build(h.Mem, []extent.Run{{Logical: 0, Physical: 0, Count: blocks}}, h.Ctl.P.TreeFanout)
+	blocks := uint64(d.Ctl.Medium.Store().NumBlocks())
+	tree, err := extent.Build(d.h.Mem, []extent.Run{{Logical: 0, Physical: 0, Count: blocks}}, d.Ctl.P.TreeFanout)
 	if err != nil {
 		return 0, err
 	}
 	key := fmt.Sprintf("\x00raw-vf-%d", idx) // cannot collide with host paths
 	sh := &sharedTree{key: key, tree: tree, refs: 1}
-	h.trees[key] = sh
-	st := h.vfs[idx]
+	d.trees[key] = sh
+	st := d.vfs[idx]
 	st.inUse = true
 	st.path = ""
 	st.shared = sh
 	st.identity = true
-	h.programVF(p, idx, tree.Root(), blocks)
+	d.programVF(p, idx, tree.Root(), blocks)
 	return idx, nil
 }
 
-func (h *Hypervisor) freeVF() (int, error) {
-	for i, st := range h.vfs {
+func (d *Device) freeVF() (int, error) {
+	for i, st := range d.vfs {
 		if !st.inUse {
 			return i, nil
 		}
@@ -95,25 +97,25 @@ func (h *Hypervisor) freeVF() (int, error) {
 	return 0, fmt.Errorf("hypervisor: out of virtual functions")
 }
 
-func (h *Hypervisor) programVF(p *sim.Proc, idx int, root int64, sizeBlocks uint64) {
-	mgmt := h.mgmtAddr(idx)
-	h.mmioW(p, mgmt+core.MgmtTreeRoot, uint64(root))
-	h.mmioW(p, mgmt+core.MgmtDeviceSize, sizeBlocks)
-	if n := h.Ctl.P.QueuesPerVF; n > 1 {
+func (d *Device) programVF(p *sim.Proc, idx int, root int64, sizeBlocks uint64) {
+	mgmt := d.mgmtAddr(idx)
+	d.h.mmioW(p, mgmt+core.MgmtTreeRoot, uint64(root))
+	d.h.mmioW(p, mgmt+core.MgmtDeviceSize, sizeBlocks)
+	if n := d.Ctl.P.QueuesPerVF; n > 1 {
 		// Program the VF's active queue count. Skipped at the single-queue
 		// default so the fault-free MMIO schedule is bit-identical to the
 		// pre-multi-queue device.
-		h.mmioW(p, mgmt+core.MgmtQueues, uint64(n))
+		d.h.mmioW(p, mgmt+core.MgmtQueues, uint64(n))
 	}
-	h.mmioW(p, mgmt+core.MgmtEnable, 1)
-	if err := h.Ctl.SRIOV().EnableVFs(h.enabledVFs()); err != nil {
+	d.h.mmioW(p, mgmt+core.MgmtEnable, 1)
+	if err := d.Ctl.SRIOV().EnableVFs(d.enabledVFs()); err != nil {
 		panic(err)
 	}
 }
 
-func (h *Hypervisor) enabledVFs() int {
+func (d *Device) enabledVFs() int {
 	n := 0
-	for _, st := range h.vfs {
+	for _, st := range d.vfs {
 		if st.inUse {
 			n++
 		}
@@ -123,43 +125,49 @@ func (h *Hypervisor) enabledVFs() int {
 
 // DestroyVF disables a VF and drops its extent-tree reference; the tree is
 // freed when its last sharer goes away.
-func (h *Hypervisor) DestroyVF(p *sim.Proc, idx int) {
-	st := h.vfs[idx]
+func (d *Device) DestroyVF(p *sim.Proc, idx int) {
+	st := d.vfs[idx]
 	if !st.inUse {
 		return
 	}
-	h.mmioW(p, h.mgmtAddr(idx)+core.MgmtEnable, 0)
+	d.h.mmioW(p, d.mgmtAddr(idx)+core.MgmtEnable, 0)
 	st.shared.refs--
 	if st.shared.refs == 0 {
 		st.shared.tree.Free()
-		delete(h.trees, st.shared.key)
+		delete(d.trees, st.shared.key)
 	}
 	*st = vfState{}
-	if err := h.Ctl.SRIOV().EnableVFs(h.enabledVFs()); err != nil {
+	if err := d.Ctl.SRIOV().EnableVFs(d.enabledVFs()); err != nil {
 		panic(err)
 	}
 }
 
 // VFPageBus reports the bus address of a VF's register page — what the
 // hypervisor maps into the owning guest's address space.
-func (h *Hypervisor) VFPageBus(idx int) int64 {
-	return h.Ctl.BARBase() + h.Ctl.FunctionPageOffset(idx+1)
+func (d *Device) VFPageBus(idx int) int64 {
+	return d.Ctl.BARBase() + d.Ctl.FunctionPageOffset(idx+1)
 }
 
 // VFTree exposes a VF's extent tree (for the pruning ablation).
-func (h *Hypervisor) VFTree(idx int) *extent.Tree { return h.vfs[idx].shared.tree }
+func (d *Device) VFTree(idx int) *extent.Tree { return d.vfs[idx].shared.tree }
+
+// VFInUse reports whether VF idx currently exports something.
+func (d *Device) VFInUse(idx int) bool { return d.vfs[idx].inUse }
+
+// VFPath reports the host path exported through VF idx ("" for raw VFs).
+func (d *Device) VFPath(idx int) string { return d.vfs[idx].path }
 
 // SharesTreeWith reports whether two VFs share one extent tree.
-func (h *Hypervisor) SharesTreeWith(a, b int) bool {
-	return h.vfs[a].inUse && h.vfs[b].inUse && h.vfs[a].shared == h.vfs[b].shared
+func (d *Device) SharesTreeWith(a, b int) bool {
+	return d.vfs[a].inUse && d.vfs[b].inUse && d.vfs[a].shared == d.vfs[b].shared
 }
 
 // PruneVFTrees reclaims host memory by pruning up to maxNodes nodes from
 // each in-use tree (paper §IV-B "If memory becomes tight..."); shared trees
 // are pruned once.
-func (h *Hypervisor) PruneVFTrees(maxNodes int) int {
+func (d *Device) PruneVFTrees(maxNodes int) int {
 	total := 0
-	for _, sh := range h.trees {
+	for _, sh := range d.trees {
 		n, err := sh.tree.Prune(maxNodes)
 		if err != nil {
 			panic(err)
@@ -172,10 +180,10 @@ func (h *Hypervisor) PruneVFTrees(maxNodes int) int {
 // reprogramSharers writes the (possibly new) tree root into the management
 // block of every VF sharing sh. Required after any rebuild: the old nodes
 // are freed, so a stale root register would walk dead memory.
-func (h *Hypervisor) reprogramSharers(p *sim.Proc, sh *sharedTree) {
-	for idx, st := range h.vfs {
+func (d *Device) reprogramSharers(p *sim.Proc, sh *sharedTree) {
+	for idx, st := range d.vfs {
 		if st.inUse && st.shared == sh {
-			h.mmioW(p, h.mgmtAddr(idx)+core.MgmtTreeRoot, uint64(sh.tree.Root()))
+			d.h.mmioW(p, d.mgmtAddr(idx)+core.MgmtTreeRoot, uint64(sh.tree.Root()))
 		}
 	}
 }
@@ -185,13 +193,13 @@ func (h *Hypervisor) reprogramSharers(p *sim.Proc, sh *sharedTree) {
 // filesystem (lazy allocation), rebuilds the device extent tree from the
 // file's refreshed mapping, reprograms the tree root, and releases the
 // stalled walk with RewalkTree.
-func (h *Hypervisor) serviceMisses(p *sim.Proc) {
-	pending := h.mmioR(p, h.Ctl.BARBase()+core.PFRegMissPending)
-	for idx := 0; idx < len(h.vfs) && pending != 0; idx++ {
+func (d *Device) serviceMisses(p *sim.Proc) {
+	pending := d.h.mmioR(p, d.Ctl.BARBase()+core.PFRegMissPending)
+	for idx := 0; idx < len(d.vfs) && pending != 0; idx++ {
 		if pending&(1<<uint(idx)) == 0 {
 			continue
 		}
-		if h.missBusy[idx] {
+		if d.missBusy[idx] {
 			// This VF's miss is already mid-service: allocation runs through
 			// the PF rings and takes far longer than the device's miss-resend
 			// cadence, so resent MSIs routinely observe a still-pending bit.
@@ -199,9 +207,24 @@ func (h *Hypervisor) serviceMisses(p *sim.Proc) {
 			// second, stale rewalk verdict onto whatever miss latches next.
 			continue
 		}
-		h.missBusy[idx] = true
-		h.serviceMiss(p, idx)
-		h.missBusy[idx] = false
+		d.missBusy[idx] = true
+		if d.lockVF(p, idx) {
+			// A management operation (FLR, snapshot, migration) ran while we
+			// waited for the VF lock. It may have aborted the latched miss —
+			// an FLR clears the pending bit and fails the stalled walk — so
+			// re-read the bit before writing a rewalk verdict that would land
+			// on whatever miss latches next. Only a contended acquisition
+			// pays this extra register read; the fault-free schedule is
+			// untouched.
+			if d.h.mmioR(p, d.Ctl.BARBase()+core.PFRegMissPending)&(1<<uint(idx)) == 0 {
+				d.unlockVF(idx)
+				d.missBusy[idx] = false
+				continue
+			}
+		}
+		d.serviceMiss(p, idx)
+		d.unlockVF(idx)
+		d.missBusy[idx] = false
 	}
 }
 
@@ -211,9 +234,10 @@ func (h *Hypervisor) serviceMisses(p *sim.Proc) {
 // and MissReasonCoW (a write hit a write-protected extent — break the
 // snapshot sharing for the faulting blocks). Both end with a tree rebuild
 // and a retry, so the device re-walks and finds a writable mapping.
-func (h *Hypervisor) serviceMiss(p *sim.Proc, idx int) {
+func (d *Device) serviceMiss(p *sim.Proc, idx int) {
+	h := d.h
 	h.MissInterrupts++
-	mgmt := h.mgmtAddr(idx)
+	mgmt := d.mgmtAddr(idx)
 	missAddr := h.mmioR(p, mgmt+core.MgmtMissAddr)
 	sizeReason := h.mmioR(p, mgmt+core.MgmtMissSize)
 	missSize := sizeReason & 0xFFFFFFFF
@@ -227,7 +251,7 @@ func (h *Hypervisor) serviceMiss(p *sim.Proc, idx int) {
 		h.mmioW(p, mgmt+core.MgmtRewalk, core.RewalkFail)
 		return
 	}
-	st := h.vfs[idx]
+	st := d.vfs[idx]
 	if !st.inUse || st.identity {
 		// No backing file to extend: fail the write.
 		h.mmioW(p, mgmt+core.MgmtRewalk, core.RewalkFail)
@@ -236,15 +260,15 @@ func (h *Hypervisor) serviceMiss(p *sim.Proc, idx int) {
 	cow := reason == core.MissReasonCoW
 	start := p.Now()
 	if cow {
-		if err := h.HostFS.BreakRange(p, st.path, missAddr, missSize); err != nil {
+		if err := d.HostFS.BreakRange(p, st.path, missAddr, missSize); err != nil {
 			h.mmioW(p, mgmt+core.MgmtRewalk, core.RewalkFail)
 			return
 		}
-	} else if err := h.HostFS.AllocateRange(p, st.path, missAddr, missSize); err != nil {
+	} else if err := d.HostFS.AllocateRange(p, st.path, missAddr, missSize); err != nil {
 		h.mmioW(p, mgmt+core.MgmtRewalk, core.RewalkFail)
 		return
 	}
-	runs, _, err := h.HostFS.Runs(p, st.path)
+	runs, _, err := d.HostFS.Runs(p, st.path)
 	if err != nil {
 		h.mmioW(p, mgmt+core.MgmtRewalk, core.RewalkFail)
 		return
@@ -255,12 +279,12 @@ func (h *Hypervisor) serviceMiss(p *sim.Proc, idx int) {
 	}
 	// Every sharer of the tree must see the new root before the walk
 	// resumes.
-	h.reprogramSharers(p, st.shared)
+	d.reprogramSharers(p, st.shared)
 	if cow {
 		// The faulting blocks moved to a private copy: any BTLB entry still
 		// caching the old (shared, protected) mapping is stale. Invalidate
 		// before the retry so the re-walk's result is what gets cached.
-		h.invalidateVFRange(p, idx, missAddr, missSize)
+		d.invalidateVFRange(p, idx, missAddr, missSize)
 		h.CowBreaks++
 		if h.cowBreakHist != nil {
 			h.cowBreakHist.Observe(int64(p.Now() - start))
@@ -276,18 +300,29 @@ func (h *Hypervisor) serviceMiss(p *sim.Proc, idx int) {
 // aborts parked submitters so they resubmit or surface guest.ErrReset).
 // Management state — the exported file and its extent tree — survives; FLR
 // recovers a wedged function, it does not deprovision it.
-func (h *Hypervisor) ResetVF(p *sim.Proc, idx int) error {
-	st := h.vfs[idx]
+//
+// The VF management lock serializes the reset write against a concurrent
+// SnapshotVF, MigrateVFFile, or mid-flight miss service on the same VF, so
+// a rewalk verdict or tree rebuild never interleaves with the reset-epoch
+// bump. The lock is dropped before the drain poll: recovered submitters may
+// take fresh translation misses while the function drains, and the miss
+// handler must be able to take the lock to release those walks — holding it
+// across the poll would deadlock the drain against its own miss service.
+func (d *Device) ResetVF(p *sim.Proc, idx int) error {
+	st := d.vfs[idx]
 	if !st.inUse {
 		return fmt.Errorf("hypervisor: VF %d not in use", idx)
 	}
-	page := h.VFPageBus(idx)
+	h := d.h
+	page := d.VFPageBus(idx)
+	d.lockVF(p, idx)
 	h.mmioW(p, page+core.RegReset, 1)
+	d.unlockVF(idx)
 	for h.mmioR(p, page+core.RegReset) != 0 {
 		p.Sleep(5 * sim.Microsecond)
 	}
 	h.VFResets++
-	if mq := h.qps[h.Ctl.VF(idx).ID()]; mq != nil {
+	if mq := h.qps[d.Ctl.VF(idx).ID()]; mq != nil {
 		return mq.Recover(p)
 	}
 	return nil
@@ -295,19 +330,21 @@ func (h *Hypervisor) ResetVF(p *sim.Proc, idx int) error {
 
 // RegenerateVFTree rebuilds a VF's tree from the filesystem (used after
 // out-of-band pruning in tests/ablations when no device walk is pending).
-func (h *Hypervisor) RegenerateVFTree(p *sim.Proc, idx int) error {
-	st := h.vfs[idx]
+func (d *Device) RegenerateVFTree(p *sim.Proc, idx int) error {
+	st := d.vfs[idx]
 	if !st.inUse {
 		return fmt.Errorf("hypervisor: VF %d not in use", idx)
 	}
-	runs, _, err := h.HostFS.Runs(p, st.path)
+	d.lockVF(p, idx)
+	defer d.unlockVF(idx)
+	runs, _, err := d.HostFS.Runs(p, st.path)
 	if err != nil {
 		return err
 	}
 	if err := st.shared.tree.Rebuild(runs); err != nil {
 		return err
 	}
-	h.reprogramSharers(p, st.shared)
+	d.reprogramSharers(p, st.shared)
 	return nil
 }
 
@@ -319,24 +356,26 @@ func (h *Hypervisor) RegenerateVFTree(p *sim.Proc, idx int) error {
 // hypervisor from executing traditional storage optimizations". Passing
 // flushBTLB=false exists only so tests can demonstrate the stale-mapping
 // hazard the flush prevents.
-func (h *Hypervisor) MigrateVFFile(p *sim.Proc, idx int, flushBTLB bool) error {
-	st := h.vfs[idx]
+func (d *Device) MigrateVFFile(p *sim.Proc, idx int, flushBTLB bool) error {
+	st := d.vfs[idx]
 	if !st.inUse || st.identity {
 		return fmt.Errorf("hypervisor: VF %d has no backing file", idx)
 	}
-	if err := h.HostFS.Migrate(p, st.path); err != nil {
+	d.lockVF(p, idx)
+	defer d.unlockVF(idx)
+	if err := d.HostFS.Migrate(p, st.path); err != nil {
 		return err
 	}
-	runs, _, err := h.HostFS.Runs(p, st.path)
+	runs, _, err := d.HostFS.Runs(p, st.path)
 	if err != nil {
 		return err
 	}
 	if err := st.shared.tree.Rebuild(runs); err != nil {
 		return err
 	}
-	h.reprogramSharers(p, st.shared)
+	d.reprogramSharers(p, st.shared)
 	if flushBTLB {
-		h.FlushBTLB(p)
+		d.FlushBTLB(p)
 	}
 	return nil
 }
@@ -344,23 +383,23 @@ func (h *Hypervisor) MigrateVFFile(p *sim.Proc, idx int, flushBTLB bool) error {
 // SetVFWeight programs a VF's QoS weight: the device multiplexer serves up
 // to weight requests from this VF per scheduling round (paper §IV-D's QoS
 // extension). Weights are clamped to 1..255 by the device.
-func (h *Hypervisor) SetVFWeight(p *sim.Proc, idx int, weight int) {
-	h.mmioW(p, h.mgmtAddr(idx)+core.MgmtWeight, uint64(weight))
+func (d *Device) SetVFWeight(p *sim.Proc, idx int, weight int) {
+	d.h.mmioW(p, d.mgmtAddr(idx)+core.MgmtWeight, uint64(weight))
 }
 
 // RouteVFInterrupts delivers a VF's completion interrupts straight to the
 // given ring client with no injection cost — the peer-to-peer delivery an
 // accelerator directly attached to a VF would get (paper §IV-D "direct
 // storage accesses from accelerators").
-func (h *Hypervisor) RouteVFInterrupts(idx int, mq *guest.MultiQueue) {
-	h.qps[h.Ctl.VF(idx).ID()] = mq
-	h.registerQueueGauges(h.Ctl.VF(idx).ID(), mq)
+func (d *Device) RouteVFInterrupts(idx int, mq *guest.MultiQueue) {
+	d.h.qps[d.Ctl.VF(idx).ID()] = mq
+	d.h.registerQueueGauges(d.Ctl.VF(idx).ID(), mq)
 }
 
 // FlushBTLB invalidates the device's translation cache (required around
 // host-side block remapping such as deduplication, §V-B).
-func (h *Hypervisor) FlushBTLB(p *sim.Proc) {
-	h.mmioW(p, h.Ctl.BARBase()+core.PFRegBTLBFlush, 1)
+func (d *Device) FlushBTLB(p *sim.Proc) {
+	d.h.mmioW(p, d.Ctl.BARBase()+core.PFRegBTLBFlush, 1)
 }
 
 func (h *Hypervisor) mmioW(p *sim.Proc, addr int64, val uint64) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nesc/internal/extfs"
+	"nesc/internal/fabric"
 	"nesc/internal/guest"
 	"nesc/internal/sim"
 	"nesc/internal/virtio"
@@ -65,6 +66,9 @@ type VMConfig struct {
 	// VFQueuePolicy steers submissions across the VF's queues (default
 	// guest.PolicyHash). Only meaningful for BackendDirect.
 	VFQueuePolicy guest.Policy
+	// Device selects which fleet device hosts the VM's VF (0 = primary).
+	// Only meaningful for BackendDirect.
+	Device int
 }
 
 // VM is a running guest.
@@ -74,12 +78,28 @@ type VM struct {
 	Kernel *guest.Kernel
 	Kind   BackendKind
 	VFIdx  int // -1 unless BackendDirect
+	// Dev is the fleet device hosting the VM's VF (nil unless
+	// BackendDirect); live migration retargets it.
+	Dev *Device
+	// DiskPath / UID record the backing file identity for snapshot and
+	// migration management ("" / 0 for raw VFs).
+	DiskPath string
+	UID      uint32
 
 	NescDrv *guest.NescDriver
 	VioDrv  *guest.VirtioDriver
 	EmulDrv *guest.EmulDriver
 	VioBk   *VioBackend
 	EmulBk  *EmulBackend
+
+	// Legs and Client are set for mirrored VMs (NewMirroredVM): one VF per
+	// fleet device behind a synchronous mirror client.
+	Legs   []MirrorLeg
+	Client *fabric.Client
+
+	// cfg is retained so a live migration can rebuild an identical VF
+	// driver on the destination device.
+	cfg VMConfig
 }
 
 // NewVM builds a guest VM with the configured storage backend. The call
@@ -89,55 +109,34 @@ func (h *Hypervisor) NewVM(p *sim.Proc, name string, cfg VMConfig) (*VM, error) 
 	if cfg.Guest == (guest.Params{}) {
 		cfg.Guest = guest.DefaultParams()
 	}
-	vm := &VM{Name: name, H: h, Kind: cfg.Backend, VFIdx: -1}
+	vm := &VM{Name: name, H: h, Kind: cfg.Backend, VFIdx: -1, DiskPath: cfg.DiskPath, UID: cfg.UID, cfg: cfg}
 	switch cfg.Backend {
 	case BackendDirect:
+		dev := h.devs[cfg.Device]
 		var idx int
 		var err error
 		if cfg.RawDevice {
-			idx, err = h.CreateRawVF(p)
+			idx, err = dev.CreateRawVF(p)
 		} else {
-			idx, err = h.CreateVF(p, cfg.DiskPath, cfg.UID)
+			idx, err = dev.CreateVF(p, cfg.DiskPath, cfg.UID)
 		}
 		if err != nil {
 			return nil, err
 		}
 		vm.VFIdx = idx
+		vm.Dev = dev
 		if cfg.IOWeight > 0 {
-			h.SetVFWeight(p, idx, cfg.IOWeight)
+			dev.SetVFWeight(p, idx, cfg.IOWeight)
 		}
-		queues := cfg.VFQueues
-		if queues == 0 {
-			queues = h.Ctl.P.QueuesPerVF
-		}
-		drv, err := guest.NewNescDriver(p, h.Eng, guest.NescDriverConfig{
-			Fab:             h.Fab,
-			Mem:             h.Mem,
-			PageBus:         h.VFPageBus(idx),
-			RingEntries:     cfg.VFRingEntries,
-			SubmitTime:      h.P.DriverSubmitTime,
-			UseTrampoline:   !h.P.UseIOMMU || cfg.ForceTrampoline,
-			MemcpyBandwidth: cfg.Guest.MemcpyBandwidth,
-			BlockSize:       h.Ctl.P.BlockSize,
-			Timeout:         h.P.VFRequestTimeout,
-			RetryMax:        h.P.VFRetryMax,
-			Queues:          queues,
-			Policy:          cfg.VFQueuePolicy,
-			DisablePI:       h.P.DisablePI,
-		})
+		drv, err := h.newVFDriver(p, dev, idx, cfg)
 		if err != nil {
 			return nil, err
 		}
 		vm.NescDrv = drv
-		fnID := h.Ctl.VF(idx).ID()
-		h.qps[fnID] = drv.MQ()
-		h.vmOf[fnID] = vm
-		h.registerQueueGauges(fnID, drv.MQ())
-		if h.P.UseIOMMU {
-			// Stand-in for mapping the guest's RAM at the IOMMU: the VF may
-			// DMA anywhere in the VM's (shared, in this model) memory.
-			h.Fab.IOMMU().Grant(fnID, 0, h.Mem.Size())
-		}
+		// wireLeg doubles as the single-VF hookup: completions, DMA grants
+		// (stand-in for mapping the guest's RAM at the IOMMU — the VF may
+		// DMA anywhere in the VM's shared-in-this-model memory).
+		h.wireLeg(dev, idx, drv, vm)
 		vm.Kernel = guest.NewKernel(h.Eng, h.Mem, cfg.Guest, drv)
 
 	case BackendVirtio:
@@ -208,16 +207,16 @@ func (h *Hypervisor) targetFor(p *sim.Proc, cfg VMConfig) (HostTarget, error) {
 	return &fileTarget{h: h, file: f, size: int64((f.Size() + bs - 1) / bs)}, nil
 }
 
-// Teardown releases a VM's hypervisor-side resources (its VF, if any).
+// Teardown releases a VM's hypervisor-side resources (its VFs, if any).
 func (vm *VM) Teardown(p *sim.Proc) {
+	for _, leg := range vm.Legs {
+		vm.H.unwireLeg(p, leg.Dev, leg.VFIdx)
+	}
+	vm.Legs = nil
+	vm.Client = nil
 	if vm.VFIdx >= 0 {
-		fnID := vm.H.Ctl.VF(vm.VFIdx).ID()
-		delete(vm.H.qps, fnID)
-		delete(vm.H.vmOf, fnID)
-		if vm.H.P.UseIOMMU {
-			vm.H.Fab.IOMMU().RevokeAll(fnID)
-		}
-		vm.H.DestroyVF(p, vm.VFIdx)
+		vm.H.unwireLeg(p, vm.Dev, vm.VFIdx)
 		vm.VFIdx = -1
+		vm.Dev = nil
 	}
 }

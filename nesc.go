@@ -128,6 +128,12 @@ type Config struct {
 	// driver (integrity-ablation knob). Corruption on the DMA path then goes
 	// entirely undetected.
 	DisablePI bool
+	// Devices sizes the NeSC fleet (default 1). Extra devices each carry
+	// their own medium and controller on the shared PCIe fabric; mirrored
+	// VMs (StartMirroredVM) replicate across them and legs migrate between
+	// them (VM.Migrate). With Devices <= 1 the platform is byte-identical
+	// to pre-fleet builds.
+	Devices int
 }
 
 // Fault-injection vocabulary, re-exported from the internal engine so plans
@@ -211,6 +217,7 @@ func newSimulation(cfg Config, seed *blockdev.Store) *Simulation {
 	bcfg.Hyp.VFRetryMax = cfg.DriverRetryMax
 	bcfg.Hyp.DisablePI = cfg.DisablePI
 	bcfg.Fault = cfg.Fault
+	bcfg.NumDevices = cfg.Devices
 	bcfg.SeedStore = seed
 	bcfg.MountExisting = seed != nil
 	switch cfg.HostJournal {
@@ -499,6 +506,10 @@ type Stats struct {
 	// on the DMA path); PIWriteErrors counts StatusIntegrityError
 	// completions the drivers observed.
 	PIMismatches, PIWriteErrors int64
+	// RootCauseOverrides counts failed requests that surfaced an earlier
+	// attempt's integrity root cause instead of the final attempt's
+	// timeout — detected corruption is never masked by retry exhaustion.
+	RootCauseOverrides int64
 	// MediumGuardErrors counts medium-level guard-check failures (each is a
 	// detected corrupt read, pre-retry); RecoveryReads counts the slow
 	// heroic-recovery reads the scrubber used to repair blocks.
@@ -571,6 +582,7 @@ func (s *Simulation) Stats() Stats {
 		CorruptOutstanding:  int64(s.pl.Inj.CorruptCount()),
 		PIMismatches:        drv.PIMismatches,
 		PIWriteErrors:       drv.PIWriteErrors,
+		RootCauseOverrides:  drv.RootCauseOverrides,
 		MediumGuardErrors:   ctl.Medium.IntegrityErrors,
 		RecoveryReads:       ctl.Medium.RecoveryReads,
 		ScrubPasses:         s.pl.Hyp.ScrubPasses,

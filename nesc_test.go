@@ -2,8 +2,10 @@ package nesc
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestQuickstartFlow(t *testing.T) {
@@ -438,5 +440,97 @@ func TestSnapshotClonePublicAPI(t *testing.T) {
 	if st.CowFaults == 0 || st.CowBreaks == 0 || st.BTLBInvalidations == 0 {
 		t.Errorf("CoW path unused: faults %d breaks %d inval %d",
 			st.CowFaults, st.CowBreaks, st.BTLBInvalidations)
+	}
+}
+
+// TestResetRacesSnapshotChurn hammers one VF with concurrent function-level
+// resets, snapshot create/delete cycles, and foreground writes. The three
+// must serialize cleanly: every snapshot call succeeds, no refcounts tear
+// (SharedBlocks drains to zero), the host filesystem stays fsck-clean, and
+// the last acknowledged write survives.
+func TestResetRacesSnapshotChurn(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DriverTimeout = 2 * time.Millisecond
+	cfg.DriverRetryMax = 4
+	sim := New(cfg)
+	const rounds = 12
+	err := sim.Run(func(ctx *Ctx) error {
+		if err := ctx.CreateImage("/churn.img", 100, 256<<10, false); err != nil {
+			return err
+		}
+		vm, err := ctx.StartVM("churn", BackendNeSC, "/churn.img", 100)
+		if err != nil {
+			return err
+		}
+		stripe := make([]byte, 8192)
+
+		resetter := ctx.Go("resetter", func(c *Ctx) error {
+			for i := 0; i < rounds; i++ {
+				if err := vm.Reset(c); err != nil {
+					return fmt.Errorf("reset %d: %w", i, err)
+				}
+				c.Sleep(30 * time.Microsecond)
+			}
+			return nil
+		})
+		snapper := ctx.Go("snapper", func(c *Ctx) error {
+			for i := 0; i < rounds; i++ {
+				if err := vm.Snapshot(c, "/churn.snap", 100); err != nil {
+					return fmt.Errorf("snapshot %d: %w", i, err)
+				}
+				if err := c.DeleteSnapshot("/churn.snap", 100); err != nil {
+					return fmt.Errorf("delete %d: %w", i, err)
+				}
+				c.Sleep(10 * time.Microsecond)
+			}
+			return nil
+		})
+		writer := ctx.Go("writer", func(c *Ctx) error {
+			for i := 0; i < 2*rounds; i++ {
+				stripePattern(stripe, 9, i)
+				// In-flight writes may be aborted by a racing reset; the
+				// stripes are idempotent, so retry until acknowledged.
+				if err := writeStripe(c, vm, stripe, int64(i%4)*int64(len(stripe))); err != nil {
+					return fmt.Errorf("write %d: %w", i, err)
+				}
+			}
+			return nil
+		})
+		for _, tk := range []*Task{resetter, snapper, writer} {
+			if err := tk.Wait(ctx); err != nil {
+				return err
+			}
+		}
+
+		// The churn must leave no shared blocks and a clean filesystem.
+		if sb := ctx.SharedBlocks(); sb != 0 {
+			return fmt.Errorf("churn left %d shared blocks", sb)
+		}
+		if err := ctx.CheckHostFS(); err != nil {
+			return fmt.Errorf("fsck after churn: %w", err)
+		}
+		// The last acknowledged stripes survive reset and snapshot churn.
+		got := make([]byte, len(stripe))
+		for slot := 0; slot < 4; slot++ {
+			last := 2*rounds - 4 + slot // final write to this slot
+			stripePattern(stripe, 9, last)
+			if err := readVerified(ctx, vm, stripe, got, int64(slot)*int64(len(stripe))); err != nil {
+				return fmt.Errorf("read-back slot %d: %w", slot, err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sim.Stats()
+	if st.VFResets != rounds {
+		t.Errorf("VFResets = %d, want %d", st.VFResets, rounds)
+	}
+	if st.Snapshots != rounds {
+		t.Errorf("Snapshots = %d, want %d", st.Snapshots, rounds)
+	}
+	if st.SharedBlocks != 0 {
+		t.Errorf("SharedBlocks = %d after churn, want 0", st.SharedBlocks)
 	}
 }
