@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 ci vet fmt-check build test race chaos crash bench fabric-det
+.PHONY: tier1 ci vet fmt-check build test race race-full chaos crash bench fabric-det scale-det
 
 # tier1 is the seed acceptance gate: everything must build and pass.
 tier1: build test
@@ -11,7 +11,7 @@ tier1: build test
 # the full 64-point crash-recovery harness plus the exhaustive journal
 # crash-point sweep; test runs the whole suite without the race detector
 # (including the long tests -short skips, e.g. the golden experiment run).
-ci: vet fmt-check build test race crash fabric-det
+ci: vet fmt-check build test race crash fabric-det scale-det
 
 vet:
 	$(GO) vet ./...
@@ -29,6 +29,11 @@ test:
 
 race:
 	$(GO) test -race -short ./...
+
+# race-full is the tier-2 race gate: the entire suite (golden experiment run
+# included) under the race detector. Slow; not part of ci.
+race-full:
+	$(GO) test -race ./...
 
 # chaos runs the full-size chaos soaks (loud faults and silent-corruption
 # injection, each with a same-seed determinism replay).
@@ -55,3 +60,15 @@ fabric-det:
 	@cmp .fabric-det/a/fabric.json results/fabric.json
 	@rm -rf .fabric-det
 	@echo "results/fabric.json is deterministic and current"
+
+# scale-det does the same for the massive-tenancy scale experiment: two
+# fresh processes must produce byte-identical output matching the checked-in
+# results/scale.json.
+scale-det:
+	@rm -rf .scale-det && mkdir -p .scale-det/a .scale-det/b
+	@$(GO) run ./cmd/nescbench -exp scale -json .scale-det/a > /dev/null
+	@$(GO) run ./cmd/nescbench -exp scale -json .scale-det/b > /dev/null
+	@cmp .scale-det/a/scale.json .scale-det/b/scale.json
+	@cmp .scale-det/a/scale.json results/scale.json
+	@rm -rf .scale-det
+	@echo "results/scale.json is deterministic and current"

@@ -33,7 +33,15 @@ func main() {
 	flight := flag.Bool("flight", false, "dump the device flight recorder (terminal-error diagnostics) at the end")
 	fabricN := flag.Int("fabric", 0, "demo an N-device mirror fleet: synchronous replication, device kill, failover, resilver (needs N >= 2)")
 	migrate := flag.Bool("migrate", false, "demo a live VF migration between fleet devices (implies -fabric 2)")
+	scale := flag.Bool("scale", false, "demo massive tenancy: 1024 configured VFs, lazy materialization, pooled queue pairs, shadow doorbells")
 	flag.Parse()
+
+	if *scale {
+		if err := runScaleDemo(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *migrate && *fabricN < 2 {
 		*fabricN = 2

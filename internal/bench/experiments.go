@@ -37,6 +37,7 @@ var registry = []Experiment{
 	{"spans", "Analysis: span-derived per-stage latency (BTLB hit vs walk vs miss)", Spans},
 	{"snapshot", "Analysis: CoW snapshot cost (first-write fault latency, clone-fanout space)", Snapshot},
 	{"fabric", "Robustness: multi-device mirroring, failover, resilver, and live VF migration", Fabric},
+	{"scale", "Scaling: massive tenancy via lazy VF core, queue-pair pool, and shadow doorbells", Scale},
 }
 
 // All lists every registered experiment.

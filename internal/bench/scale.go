@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"nesc/internal/guest"
+	"nesc/internal/ring"
+	"nesc/internal/sim"
+	"nesc/internal/stats"
+)
+
+// Scale is the massive-tenancy experiment: it demonstrates that the lazy
+// sharded VF table, the device-wide queue-pair pool, and the active-VF work
+// lists make the platform O(active tenants), not O(configured VFs).
+//
+// Two sweeps:
+//
+//   - Configured sweep: NumVFs 16 → 1024 with a fixed set of 8 active raw
+//     VFs. Per-op latency and memory must stay flat — a thousand configured
+//     but idle VFs cost nothing, because no state exists until a VF is
+//     touched and idle VFs never enter the schedulers' active lists.
+//   - Active sweep at NumVFs=1024: 16 → 1024 tenants actually submitting.
+//     Memory grows with the active count (sub-linear in the configured
+//     count), and Jain's fairness index over per-VF blocks served stays at
+//     1.0 — the DRR multiplexer does not degrade at three orders of
+//     magnitude more tenants than the prototype ran.
+//
+// Every active VF runs shadow doorbells: a burst of concurrent submitters
+// publishes producer indexes in the shared shadow block, and only the first
+// submission of a batch pays the doorbell MMIO (the device picks the rest up
+// via shadowFollow). The skipped-doorbell and shadow-batch counters in the
+// notes prove the path exercised.
+const (
+	scaleRingEntries = 8 // per-VF ring slots (bounds the submit burst)
+	scaleBurst       = 4 // concurrent submitters per VF
+	scaleOpsPerProc  = 4 // sequential 4KB writes per submitter
+	scaleFixedActive = 8 // active VFs in the configured sweep
+)
+
+// Scale runs both sweeps.
+func Scale(cfg Config) ([]*stats.Table, error) {
+	cols := []string{"p50 us/op", "device KB", "host KB", "Jain", "VFs built", "db skipped", "batches"}
+	conf := stats.NewTable(
+		fmt.Sprintf("Massive tenancy: configured-VF sweep (%d active raw VFs, shadow doorbells, 4KB writes)", scaleFixedActive),
+		"NumVFs", "", cols...)
+	for _, v := range []int{16, 64, 256, 1024} {
+		r, err := scaleRun(cfg, v, scaleFixedActive)
+		if err != nil {
+			return nil, err
+		}
+		r.fill(conf, fmt.Sprintf("%d", v))
+	}
+	conf.Note("per-op p50 and both memory columns must be flat: configured-but-idle VFs are never materialized")
+	conf.Note("device KB is the controller's modeled state footprint; host KB is live host-memory allocations")
+
+	act := stats.NewTable(
+		"Massive tenancy: active-VF sweep at NumVFs=1024 (shadow doorbells, 4KB writes)",
+		"active", "", cols...)
+	for _, a := range []int{16, 256, 1024} {
+		r, err := scaleRun(cfg, 1024, a)
+		if err != nil {
+			return nil, err
+		}
+		r.fill(act, fmt.Sprintf("%d", a))
+	}
+	act.Note("memory scales with active tenants, not the 1024 configured; Jain fairness holds at full load")
+	act.Note("db skipped counts doorbell MMIOs elided by shadow batching; batches counts device fetches initiated from the shadow block")
+	return []*stats.Table{conf, act}, nil
+}
+
+type scaleResult struct {
+	p50us      float64
+	deviceKB   float64
+	hostKB     float64
+	jain       float64
+	built      int
+	dbSkipped  int64
+	shadowBats int64
+}
+
+func (r scaleResult) fill(t *stats.Table, row string) {
+	t.Set(row, "p50 us/op", r.p50us)
+	t.Set(row, "device KB", r.deviceKB)
+	t.Set(row, "host KB", r.hostKB)
+	t.Set(row, "Jain", r.jain)
+	t.Set(row, "VFs built", float64(r.built))
+	t.Set(row, "db skipped", float64(r.dbSkipped))
+	t.Set(row, "batches", float64(r.shadowBats))
+}
+
+// scaleRun assembles a platform with numVFs configured, provisions `active`
+// raw VFs, and drives a fixed per-VF write burst through shadow-armed ring
+// drivers (no VM boot: direct attachment, the accelerator configuration).
+func scaleRun(cfg Config, numVFs, active int) (scaleResult, error) {
+	cfg.Core.NumVFs = numVFs
+	pl := NewPlatform(cfg)
+	var lats []sim.Time
+	err := pl.Run(func(p *sim.Proc) error {
+		if err := pl.Boot(p); err != nil {
+			return err
+		}
+		wg := sim.NewWaitGroup(pl.Eng)
+		var firstErr error
+		for i := 0; i < active; i++ {
+			idx, err := pl.Hyp.CreateRawVF(p)
+			if err != nil {
+				return err
+			}
+			mq, err := guest.NewMultiQueue(p, pl.Eng, pl.Mem, pl.Fab,
+				pl.Hyp.VFPageBus(idx), 1, scaleRingEntries, pl.Cfg.Hyp.DriverSubmitTime)
+			if err != nil {
+				return err
+			}
+			if err := mq.ArmShadow(p); err != nil {
+				return err
+			}
+			pl.Hyp.RouteVFInterrupts(idx, mq)
+			// Disjoint LBA stripes keep tenants from touching the same
+			// blocks; the identity mapping makes any stripe valid.
+			base := uint64(i) * 64
+			for b := 0; b < scaleBurst; b++ {
+				b := b
+				wg.Add(1)
+				pl.Eng.Go(fmt.Sprintf("scale-vf%d-%d", idx, b), func(q *sim.Proc) {
+					defer wg.Done()
+					buf := pl.Mem.MustAlloc(4096, 64)
+					for k := 0; k < scaleOpsPerProc; k++ {
+						lba := base + uint64(b*scaleOpsPerProc+k)*4
+						start := q.Now()
+						st, err := mq.Submit(q, ring.OpWrite, lba, 4, buf)
+						if err == nil {
+							err = guest.StatusError(st)
+						}
+						if err != nil {
+							if firstErr == nil {
+								firstErr = err
+							}
+							return
+						}
+						lats = append(lats, q.Now()-start)
+					}
+				})
+			}
+		}
+		wg.WaitFor(p)
+		return firstErr
+	})
+	if err != nil {
+		return scaleResult{}, err
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var res scaleResult
+	if n := len(lats); n > 0 {
+		res.p50us = float64(lats[n/2]) / float64(sim.Microsecond)
+	}
+	res.deviceKB = float64(pl.Ctl.StateFootprint()) / 1024
+	res.hostKB = float64(pl.Mem.AllocBytes) / 1024
+	res.jain = pl.Ctl.JainFairness()
+	res.built = pl.Ctl.MaterializedVFs()
+	res.dbSkipped = pl.Hyp.RecoveryStats().DoorbellsSkipped
+	res.shadowBats = pl.Ctl.ShadowBatches
+	return res, nil
+}

@@ -26,6 +26,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"nesc/internal/blockdev"
 	"nesc/internal/extent"
@@ -64,6 +65,14 @@ type Params struct {
 	// hypervisor may program an individual VF down from this capability
 	// through the MgmtQueues management register.
 	QueuesPerVF int
+	// QueuePoolSize bounds the device-wide queue-pair pool. Queue-pair
+	// state (cursors, doorbell FIFO) is not built per configured function;
+	// it is leased from a shared pool when a ring register is first
+	// programmed and returned when the function is disabled, so hardware
+	// queue state scales with *leased* queues, not NumVFs×QueuesPerVF.
+	// Zero means unbounded (the pool grows on demand), which keeps every
+	// historical configuration working unchanged.
+	QueuePoolSize int
 
 	// Queue depths (backpressure points).
 	ReqQueueDepth  int
@@ -185,6 +194,7 @@ type Request struct {
 	status uint32
 	left   int    // chunks outstanding
 	epoch  uint32 // function reset epoch at fetch time; stale = aborted
+	qGen   uint32 // q's lease generation at fetch time; stale = drop completion
 
 	// Protection information (OpFlagPI). piGuard is the submitter's XOR of
 	// per-block CRCs from the descriptor; piAccum is the device-side
@@ -221,6 +231,11 @@ type chunk struct {
 	tDTUIn    sim.Time // picked up by a DMA channel
 }
 
+// vfShardSize is the VF-table shard granularity. 64 functions per shard
+// aligns a shard exactly with one miss-pending bitmap bank, so the banked
+// PFRegMissPendingBank registers read straight out of one shard.
+const vfShardSize = 64
+
 // Controller is the NeSC device instance.
 type Controller struct {
 	Eng    *sim.Engine
@@ -228,22 +243,44 @@ type Controller struct {
 	Medium *blockdev.Medium
 	P      Params
 
-	pf  *Function
-	vfs []*Function
+	pf *Function
+	// vfShards is the lazily materialized VF table: shard s holds VFs
+	// s*vfShardSize .. s*vfShardSize+63. The shard index is built at New
+	// (a few pointers even at NumVFs=1024); a shard and its Function
+	// entries come into existence only when a VF is first touched through
+	// MMIO, so a configured-but-idle VF costs nothing.
+	vfShards [][]*Function
+	nMat     int               // materialized VF count
+	fnIdx    map[pcie.FnID]int // PCIe routing ID → function index (0 = PF)
 
 	vlbaQ *sim.FIFO[*chunk]
-	// plbaQs holds translated chunks per VF; the data-transfer unit drains
-	// them with weighted (deficit round robin) scheduling — the QoS hook of
-	// paper §IV-D lives in the DMA engine.
-	plbaQs []*sim.FIFO[*chunk]
-	oobQ   *sim.FIFO[*chunk]
+	oobQ  *sim.FIFO[*chunk]
 	// scrubQ holds verify (OpVerify) chunks. The DTU drains it only when the
 	// OOB and every VF queue are empty — scavenger priority, so background
 	// scrubbing provably never delays foreground chunks at the pick point.
 	scrubQ *sim.FIFO[*chunk]
-	dtuW   *sim.Semaphore // counts items across plbaQs+oobQ+scrubQ
+	dtuW   *sim.Semaphore // counts items across per-VF pLBA queues+oobQ+scrubQ
 	muxW   *sim.Semaphore // counts requests across all VF request queues
-	dtuRR  int            // DTU scheduling cursor
+
+	// Active-VF work lists: one bit per VF (bit idx-1) in each of the two
+	// schedulers. A VF joins a list when work lands in the corresponding
+	// queue and leaves when the scheduler drains it, so the mux and DTU pick
+	// loops walk the *active* VFs instead of scanning all NumVFs slots.
+	muxActive []uint64
+	dtuActive []uint64
+	muxRR     int // mux scheduling cursor (VF index - 1)
+	dtuRR     int // DTU scheduling cursor (VF index - 1)
+	// Refill generations count completed credit-refill rounds. A VF
+	// materialized mid-run starts with the credit an always-present idle VF
+	// would have had: weight after any refill has happened, zero before.
+	muxRefillGen uint64
+	dtuRefillGen uint64
+
+	// Device-wide queue-pair pool (lease on first ring programming, return
+	// on function disable). qFree is the free list; qAllocated counts pool
+	// members ever built, bounded by Params.QueuePoolSize when nonzero.
+	qFree      []*fnQueue
+	qAllocated int
 
 	btlb *btlb
 
@@ -304,6 +341,18 @@ type Controller struct {
 	IntegrityRepairs int64 // integrity failures healed by retry or scrub rewrite
 	ScrubChunks      int64 // verify chunks processed
 
+	// Queue-pair pool stats.
+	QueueLeases     int64 // queue pairs leased to functions
+	QueueReturns    int64 // queue pairs returned to the pool
+	QueueLeaseFails int64 // ring programmings rejected by an exhausted pool
+	// ShadowBatches counts fetch batches initiated from a queue's shadow
+	// doorbell word rather than an MMIO doorbell write.
+	ShadowBatches int64
+
+	// fnGaugeReg, when telemetry is attached, receives per-function gauges
+	// for VFs materialized after AttachTelemetry.
+	fnGaugeReg *metrics.Registry
+
 	// Breakdown holds per-stage chunk latencies in microseconds (populated
 	// only when Params.CollectBreakdown is set).
 	Breakdown struct {
@@ -328,42 +377,34 @@ func New(eng *sim.Engine, fab *pcie.Fabric, medium *blockdev.Medium, p Params) (
 		return nil, fmt.Errorf("core: QueuesPerVF %d exceeds the register-file limit %d", p.QueuesPerVF, MaxQueuesPerFn)
 	}
 	c := &Controller{
-		Eng:    eng,
-		Fab:    fab,
-		Medium: medium,
-		P:      p,
-		vlbaQ:  sim.NewFIFO[*chunk](eng, p.VLBAQueueDepth),
-		oobQ:   sim.NewFIFO[*chunk](eng, 0),
-		scrubQ: sim.NewFIFO[*chunk](eng, 0),
-		dtuW:   sim.NewSemaphore(eng, 0),
-		muxW:   sim.NewSemaphore(eng, 0),
-		btlb:   newBTLB(p.BTLBEntries),
-		sriov:  pcie.SRIOVCap{TotalVFs: p.NumVFs},
-		Flight: NewFlightRecorder(8, 32),
+		Eng:       eng,
+		Fab:       fab,
+		Medium:    medium,
+		P:         p,
+		vfShards:  make([][]*Function, (p.NumVFs+vfShardSize-1)/vfShardSize),
+		fnIdx:     make(map[pcie.FnID]int),
+		vlbaQ:     sim.NewFIFO[*chunk](eng, p.VLBAQueueDepth),
+		oobQ:      sim.NewFIFO[*chunk](eng, 0),
+		scrubQ:    sim.NewFIFO[*chunk](eng, 0),
+		dtuW:      sim.NewSemaphore(eng, 0),
+		muxW:      sim.NewSemaphore(eng, 0),
+		muxActive: make([]uint64, (p.NumVFs+63)/64),
+		dtuActive: make([]uint64, (p.NumVFs+63)/64),
+		btlb:      newBTLB(p.BTLBEntries),
+		sriov:     pcie.SRIOVCap{TotalVFs: p.NumVFs},
+		Flight:    NewFlightRecorder(8, 32),
 	}
 	c.zeroCRC = ring.BlockCRC(make([]byte, p.BlockSize))
-	for i := 0; i < p.NumVFs; i++ {
-		c.plbaQs = append(c.plbaQs, sim.NewFIFO[*chunk](eng, p.PLBAQueueDepth))
-	}
 	medium.SetDeviceIndex(p.DeviceID)
+	// The PF is eager — it carries the device's management plane — but every
+	// VF materializes lazily on its first MMIO touch, so a huge configured
+	// VF count costs only the shard index above.
 	c.pf = c.newFunction(0, fab.RegisterFunction(c.devName("nesc")+"-pf"))
 	c.pf.enabled = true
 	c.pf.sizeBlocks = uint64(medium.Store().NumBlocks())
-	for i := 1; i <= p.NumVFs; i++ {
-		c.vfs = append(c.vfs, c.newFunction(i, fab.RegisterFunction(fmt.Sprintf("%s-vf%d", c.devName("nesc"), i-1))))
-	}
+	c.fnIdx[c.pf.id] = 0
 	c.barBase = fab.MapBAR(c, c.BARSize())
-	// Program each function's MSI capability: one completion vector per
-	// queue plus the miss vector (vector 1, raised only from the PF but
-	// reserved in every function's numbering).
-	nVec := p.QueuesPerVF + 1
-	if nVec < 2 {
-		nVec = 2
-	}
-	fab.AllocMSIVectors(c.pf.id, nVec)
-	for _, vf := range c.vfs {
-		fab.AllocMSIVectors(vf.id, nVec)
-	}
+	fab.AllocMSIVectors(c.pf.id, c.nVec())
 
 	// Pipeline processes.
 	eng.Go(c.devName("nesc")+"-mux", c.muxLoop)
@@ -395,8 +436,130 @@ func (c *Controller) BARBase() int64 { return c.barBase }
 // PF returns the physical function.
 func (c *Controller) PF() *Function { return c.pf }
 
-// VF returns virtual function idx (0-based).
-func (c *Controller) VF(idx int) *Function { return c.vfs[idx] }
+// VF returns virtual function idx (0-based), materializing its device state
+// on first touch. Reaching for a VF — from the hypervisor, a guest mapping,
+// or a test — is exactly the "first MMIO access" event that brings it into
+// existence, so the accessor is the materialization point.
+func (c *Controller) VF(idx int) *Function {
+	if f := c.vfAt(idx); f != nil {
+		return f
+	}
+	return c.materializeVF(idx)
+}
+
+// vfAt returns VF idx if it has been materialized, nil otherwise (including
+// out-of-range indices). It never allocates, so scan paths that must not
+// conjure state (miss-pending bitmaps, schedulers) use it.
+func (c *Controller) vfAt(idx int) *Function {
+	if idx < 0 || idx >= c.P.NumVFs {
+		return nil
+	}
+	sh := c.vfShards[idx/vfShardSize]
+	if sh == nil {
+		return nil
+	}
+	return sh[idx%vfShardSize]
+}
+
+// materializeVF builds VF idx's device state: PCIe identity, MSI vectors,
+// register file, request queue, and fetch process. All of it is timeless
+// (the fetch process parks immediately), so materializing mid-run does not
+// perturb the event schedule. The scheduler credits are set to what an
+// always-present idle VF would hold — its weight after any refill round has
+// run, zero before — keeping low-VF-count schedules bit-identical to the
+// eager construction.
+func (c *Controller) materializeVF(idx int) *Function {
+	if idx < 0 || idx >= c.P.NumVFs {
+		panic(fmt.Sprintf("core: VF index %d out of range (NumVFs=%d)", idx, c.P.NumVFs))
+	}
+	s := idx / vfShardSize
+	if c.vfShards[s] == nil {
+		c.vfShards[s] = make([]*Function, vfShardSize)
+	}
+	f := c.newFunction(idx+1, c.Fab.RegisterFunction(fmt.Sprintf("%s-vf%d", c.devName("nesc"), idx)))
+	c.Fab.AllocMSIVectors(f.id, c.nVec())
+	if c.muxRefillGen > 0 {
+		f.credit = f.weight
+	}
+	if c.dtuRefillGen > 0 {
+		f.dtuCredit = f.weight
+	}
+	c.vfShards[s][idx%vfShardSize] = f
+	c.fnIdx[f.id] = f.idx
+	c.nMat++
+	if c.fnGaugeReg != nil {
+		c.registerFnGauges(c.fnGaugeReg, f)
+	}
+	return f
+}
+
+// nVec is each function's MSI vector count: one completion vector per queue
+// plus the miss vector (vector 1, raised only from the PF but reserved in
+// every function's numbering).
+func (c *Controller) nVec() int {
+	n := c.P.QueuesPerVF + 1
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// forEachVF visits the materialized VFs in function-index order.
+func (c *Controller) forEachVF(fn func(*Function)) {
+	for _, sh := range c.vfShards {
+		if sh == nil {
+			continue
+		}
+		for _, f := range sh {
+			if f != nil {
+				fn(f)
+			}
+		}
+	}
+}
+
+// MaterializedVFs reports how many VFs have device state built.
+func (c *Controller) MaterializedVFs() int { return c.nMat }
+
+// LeasedQueues reports how many queue pairs are currently leased out.
+func (c *Controller) LeasedQueues() int { return c.qAllocated - len(c.qFree) }
+
+// FnIndex resolves a PCIe routing ID to its function index (0 = PF,
+// 1..NumVFs = VFs) without materializing anything — only functions that
+// exist are in the map.
+func (c *Controller) FnIndex(id pcie.FnID) (int, bool) {
+	idx, ok := c.fnIdx[id]
+	return idx, ok
+}
+
+// StateFootprint estimates the controller's resident device-state bytes
+// from explicit counts of what is actually allocated — materialized
+// functions, reserved queue slots, pooled queue pairs, shard index, active
+// bitmaps, and the flight buffer once armed. The per-item sizes are nominal
+// model constants (not unsafe.Sizeof), so the figure is deterministic across
+// runs and platforms; the scale experiment uses it to show memory growing
+// with active tenants, not configured ones.
+func (c *Controller) StateFootprint() int64 {
+	const (
+		fnStateBytes   = 416 // Function struct + register file
+		fifoSlotBytes  = 16  // one reserved FIFO slot
+		queuePairBytes = 112 // fnQueue struct + doorbell FIFO header
+		flightRecBytes = 256 // one flight-record slot
+	)
+	b := int64(len(c.vfShards)+len(c.muxActive)+len(c.dtuActive)) * 8
+	for _, sh := range c.vfShards {
+		if sh != nil {
+			b += vfShardSize * 8
+		}
+	}
+	fns := int64(1 + c.nMat)
+	b += fns * (fnStateBytes + int64(c.P.ReqQueueDepth+c.P.PLBAQueueDepth)*fifoSlotBytes)
+	b += int64(c.qAllocated) * queuePairBytes
+	if c.Flight != nil && c.Flight.recs != nil {
+		b += int64(len(c.Flight.recs)) * flightRecBytes
+	}
+	return b
+}
 
 // SRIOV exposes the device's SR-IOV capability record.
 func (c *Controller) SRIOV() *pcie.SRIOVCap { return &c.sriov }
@@ -411,7 +574,9 @@ type Function struct {
 
 	// Queue pairs (guest-programmable). numQueues is the active count the
 	// hypervisor programmed through MgmtQueues; queues beyond it exist in
-	// the register file but reject traffic.
+	// the register file but reject traffic. A slot is nil until the guest
+	// programs a ring register, which leases queue-pair state from the
+	// device-wide pool; disabling the function returns every slot.
 	queues    []*fnQueue
 	numQueues int
 	// fetchW counts pending doorbells across all of the function's queues;
@@ -442,6 +607,9 @@ type Function struct {
 	inflight   int64
 
 	reqQ *sim.FIFO[*Request]
+	// plbaQ holds the VF's translated chunks awaiting a DMA channel (nil
+	// for the PF, whose chunks bypass translation through the OOB queue).
+	plbaQ *sim.FIFO[*chunk]
 
 	// QoS: the multiplexer serves up to `weight` requests — and the DMA
 	// engine up to `weight` chunks — per VF per scheduling round (deficit
@@ -468,7 +636,10 @@ type Function struct {
 }
 
 // fnQueue is one of a function's queue pairs: the guest-programmable ring
-// registers plus the device-side cursors and doorbell FIFO.
+// registers plus the device-side cursors and doorbell FIFO. Queue pairs are
+// pooled device-wide: a function's slot is empty until a ring register
+// programming leases one, and a disable returns it for reuse by any
+// function.
 type fnQueue struct {
 	f   *Function
 	idx int
@@ -478,11 +649,22 @@ type fnQueue struct {
 	cplBase  int64
 	consumed uint32 // SQ consumer index (device side)
 	cplSeq   uint32 // CQ sequence counter
+	// shadowBase, when nonzero, is the host address of the queue's 8-byte
+	// shadow-doorbell block (ring.ShadowBytes): the guest publishes new
+	// producer indices there and the device publishes how far it consumed
+	// before parking, so most doorbell MMIOs can be skipped.
+	shadowBase int64
+
+	// gen counts lease/return transitions. Requests are stamped with the
+	// lease generation at fetch; a completion whose stamp no longer matches
+	// is dropped, so a recycled queue can never receive a previous tenant's
+	// completion DMA.
+	gen uint32
 
 	doorbells *sim.FIFO[uint32]
 
 	// Reqs counts requests fetched from this queue (intra-VF fairness
-	// accounting).
+	// accounting); reset when the queue returns to the pool.
 	Reqs int64
 }
 
@@ -491,6 +673,51 @@ type fnQueue struct {
 func (q *fnQueue) clear() {
 	q.ringBase, q.ringSize, q.cplBase = 0, 0, 0
 	q.consumed, q.cplSeq = 0, 0
+	q.shadowBase = 0
+}
+
+// leaseQueue binds a pooled queue pair to function f's slot qi. Returns nil
+// (and counts the rejection) when QueuePoolSize is exhausted; the triggering
+// register write is ignored, exactly like a write to an out-of-range queue.
+func (c *Controller) leaseQueue(f *Function, qi int) *fnQueue {
+	var q *fnQueue
+	if n := len(c.qFree); n > 0 {
+		q = c.qFree[n-1]
+		c.qFree = c.qFree[:n-1]
+	} else if c.P.QueuePoolSize == 0 || c.qAllocated < c.P.QueuePoolSize {
+		q = &fnQueue{doorbells: sim.NewFIFO[uint32](c.Eng, 0)}
+		c.qAllocated++
+	} else {
+		c.QueueLeaseFails++
+		return nil
+	}
+	q.f, q.idx = f, qi
+	q.gen++
+	f.queues[qi] = q
+	c.QueueLeases++
+	return q
+}
+
+// returnQueue detaches function f's slot qi and puts the queue pair back on
+// the free list: ring state cleared, pending doorbells drained, generation
+// bumped so in-flight completions for the old tenant die at the guard.
+func (c *Controller) returnQueue(f *Function, qi int) {
+	q := f.queues[qi]
+	if q == nil {
+		return
+	}
+	q.clear()
+	for {
+		if _, ok := q.doorbells.TryPop(); !ok {
+			break
+		}
+	}
+	q.gen++
+	q.Reqs = 0
+	q.f = nil
+	f.queues[qi] = nil
+	c.qFree = append(c.qFree, q)
+	c.QueueReturns++
 }
 
 func (c *Controller) newFunction(idx int, id pcie.FnID) *Function {
@@ -503,10 +730,11 @@ func (c *Controller) newFunction(idx int, id pcie.FnID) *Function {
 		rewalk: sim.NewSignal(c.Eng),
 		weight: 1,
 	}
-	for q := 0; q < c.P.QueuesPerVF; q++ {
-		f.queues = append(f.queues, &fnQueue{f: f, idx: q, doorbells: sim.NewFIFO[uint32](c.Eng, 0)})
-	}
+	f.queues = make([]*fnQueue, c.P.QueuesPerVF)
 	f.numQueues = len(f.queues)
+	if idx > 0 {
+		f.plbaQ = sim.NewFIFO[*chunk](c.Eng, c.P.PLBAQueueDepth)
+	}
 	c.Eng.Go(fmt.Sprintf("nesc-fetch%d", idx), f.fetchLoop)
 	return f
 }
@@ -514,8 +742,14 @@ func (c *Controller) newFunction(idx int, id pcie.FnID) *Function {
 // NumQueues reports the function's active queue-pair count.
 func (f *Function) NumQueues() int { return f.numQueues }
 
-// QueueReqs reports how many requests were fetched from queue q.
-func (f *Function) QueueReqs(q int) int64 { return f.queues[q].Reqs }
+// QueueReqs reports how many requests were fetched from queue q (0 for a
+// slot with no queue pair leased).
+func (f *Function) QueueReqs(q int) int64 {
+	if f.queues[q] == nil {
+		return 0
+	}
+	return f.queues[q].Reqs
+}
 
 // ID reports the function's PCIe routing ID.
 func (f *Function) ID() pcie.FnID { return f.id }
@@ -545,11 +779,17 @@ func (c *Controller) resetFunction(f *Function) {
 	f.Resets++
 	c.FLRs++
 	f.resetEpoch++
-	// Drain every queue in index order: ring state, cursors, and queued
-	// doorbells all go. (Leftover fetch-semaphore credits for the discarded
-	// doorbells make the fetch loop scan and find nothing — harmless and
-	// deterministic.)
+	// Drain every leased queue in index order: ring state, cursors, and
+	// queued doorbells all go. The queue pairs stay leased — FLR recovers
+	// the function, it does not deprovision it — so an in-flight stale
+	// completion still finds its generation intact and dies at the
+	// ring-state guard, never in another tenant's memory. (Leftover
+	// fetch-semaphore credits for the discarded doorbells make the fetch
+	// loop scan and find nothing — harmless and deterministic.)
 	for _, q := range f.queues {
+		if q == nil {
+			continue
+		}
 		q.clear()
 		for {
 			if _, ok := q.doorbells.TryPop(); !ok {
@@ -568,4 +808,80 @@ func (c *Controller) resetFunction(f *Function) {
 	}
 	c.Tracer.Emit(trace.Event{At: c.Eng.Now(), Kind: trace.KindReset, Fn: f.idx, Arg: uint64(f.resetEpoch)})
 	c.captureFlight(c.Eng.Now(), f.idx, nil, "reset")
+}
+
+// Active-VF work-list primitives. Each scheduler keeps a bitmap with bit
+// idx-1 set exactly while VF idx's feeding queue is non-empty: the bit is
+// set after a push lands (before the scheduler semaphore is released, so a
+// granted permit always finds a set bit) and cleared by the scheduler when
+// its pop empties the queue. Picks then walk set bits cyclically from the
+// cursor instead of scanning NumVFs slots.
+
+func setBit(bm []uint64, i int)   { bm[i>>6] |= 1 << uint(i&63) }
+func clearBit(bm []uint64, i int) { bm[i>>6] &^= 1 << uint(i&63) }
+
+// nextSetBit returns the first set bit position in [from, limit), or -1.
+func nextSetBit(bm []uint64, from, limit int) int {
+	if from >= limit {
+		return -1
+	}
+	w := from >> 6
+	cur := bm[w] &^ ((1 << uint(from&63)) - 1)
+	for {
+		if cur != 0 {
+			b := w<<6 + bits.TrailingZeros64(cur)
+			if b >= limit {
+				return -1
+			}
+			return b
+		}
+		w++
+		if w<<6 >= limit || w >= len(bm) {
+			return -1
+		}
+		cur = bm[w]
+	}
+}
+
+// pickActive returns the first set bit of bm at a cyclic position >= *cursor
+// for which ok holds, leaving the cursor ON the picked position (deficit
+// round robin resumes at the same VF while it has credit). Returns -1 when
+// no active VF passes — the caller refills credits and retries, exactly the
+// two-pass structure of the flat scan. A failed pass leaves the cursor
+// unchanged, as a fruitless full-circle scan did.
+func (c *Controller) pickActive(bm []uint64, cursor *int, ok func(i int) bool) int {
+	n := c.P.NumVFs
+	for b := nextSetBit(bm, *cursor, n); b >= 0; b = nextSetBit(bm, b+1, n) {
+		if ok(b) {
+			*cursor = b
+			return b
+		}
+	}
+	for b := nextSetBit(bm, 0, *cursor); b >= 0; b = nextSetBit(bm, b+1, *cursor) {
+		if ok(b) {
+			*cursor = b
+			return b
+		}
+	}
+	return -1
+}
+
+// muxNote joins VF f to the multiplexer's active list (request queued).
+func (c *Controller) muxNote(f *Function) { setBit(c.muxActive, f.idx-1) }
+
+// dtuNote joins VF f to the DTU's active list (translated chunk queued).
+func (c *Controller) dtuNote(f *Function) { setBit(c.dtuActive, f.idx-1) }
+
+// muxRefill starts a new multiplexer scheduling round: every materialized
+// VF's credit returns to its weight. The generation counter lets a VF
+// materialized later reconstruct the credit it would have held.
+func (c *Controller) muxRefill() {
+	c.muxRefillGen++
+	c.forEachVF(func(f *Function) { f.credit = f.weight })
+}
+
+// dtuRefill starts a new DTU scheduling round.
+func (c *Controller) dtuRefill() {
+	c.dtuRefillGen++
+	c.forEachVF(func(f *Function) { f.dtuCredit = f.weight })
 }

@@ -43,9 +43,12 @@ type FlightRecord struct {
 }
 
 // FlightRecorder retains the last few FlightRecords in a ring. A nil
-// *FlightRecorder is a valid disabled recorder.
+// *FlightRecorder is a valid disabled recorder. The record buffer itself is
+// allocated lazily on the first capture — an error-free device (or one of a
+// thousand idle ones) carries only the header.
 type FlightRecorder struct {
 	recs    []FlightRecord
+	size    int // buffer capacity, allocated on first capture
 	next    int
 	wrapped bool
 	evTail  int
@@ -60,7 +63,7 @@ func NewFlightRecorder(records, eventTail int) *FlightRecorder {
 	if records < 1 {
 		records = 1
 	}
-	return &FlightRecorder{recs: make([]FlightRecord, records), evTail: eventTail}
+	return &FlightRecorder{size: records, evTail: eventTail}
 }
 
 // capture stores one record, snapshotting the event ring's tail. Safe on a
@@ -68,6 +71,9 @@ func NewFlightRecorder(records, eventTail int) *FlightRecorder {
 func (fr *FlightRecorder) capture(rec FlightRecord, ring *trace.Ring) {
 	if fr == nil {
 		return
+	}
+	if fr.recs == nil {
+		fr.recs = make([]FlightRecord, fr.size)
 	}
 	if fr.evTail > 0 {
 		evs := ring.Events()

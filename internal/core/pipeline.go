@@ -1,6 +1,8 @@
 package core
 
 import (
+	"encoding/binary"
+
 	"nesc/internal/blockdev"
 	"nesc/internal/extent"
 	"nesc/internal/fault"
@@ -25,18 +27,23 @@ const StatusDMAFault = ring.StatusDMAFault
 // (or, for the PF, splits them straight into the OOB queue). This intra-
 // function scheduler sits underneath the inter-VF deficit-round-robin
 // multiplexer: queues of one function share that function's fetch bandwidth
-// fairly, while VFs compete with each other exactly as before.
+// fairly, while VFs compete with each other exactly as before. After an
+// MMIO-announced batch drains, a queue armed with a shadow-doorbell block
+// keeps following the guest's shadow writes until the ring is truly idle.
 func (f *Function) fetchLoop(p *sim.Proc) {
-	c := f.c
 	desc := make([]byte, DescBytes)
 	for {
 		f.fetchW.Acquire(p)
-		// Pick the next queue with a pending doorbell, round-robin.
+		// Pick the next queue with a pending doorbell, round-robin. Slots
+		// with no queue pair leased are skipped.
 		var q *fnQueue
 		var prod uint32
 		for scanned := 0; scanned < len(f.queues); scanned++ {
 			cand := f.queues[f.fetchRR]
 			f.fetchRR = (f.fetchRR + 1) % len(f.queues)
+			if cand == nil {
+				continue
+			}
 			if v, ok := cand.doorbells.TryPop(); ok {
 				q, prod = cand, v
 				break
@@ -45,94 +52,160 @@ func (f *Function) fetchLoop(p *sim.Proc) {
 		if q == nil {
 			continue // doorbell drained by a reset; the semaphore over-counts
 		}
-		for q.consumed != prod {
-			if q.ringSize == 0 {
-				break // ring torn down after the doorbell was accepted
-			}
-			tFetch := p.Now()
-			if err := c.dmaReadP(p, c.pf.id, ring.DescSlot(q.ringBase, q.consumed, q.ringSize), desc); err != nil {
-				// Descriptor fetch failed: the doorbell's remaining requests
-				// are lost. The driver's completion timeout recovers them.
-				f.FetchDrops++
-				c.FetchDrops++
-				c.Tracer.Emit(trace.Event{At: p.Now(), Kind: trace.KindDrop, Fn: f.idx, Arg: uint64(prod)})
-				break
-			}
-			p.Sleep(c.P.DescriptorFetchTime)
-			q.consumed++
-			rawOp, id, lba, count, buf, guard := ring.DecodeDescriptorPI(desc)
-			op := ring.OpCode(rawOp)
-			req := &Request{fn: f, q: q, Op: op, ID: id, LBA: lba, Count: count, Buf: buf, left: int(count), epoch: f.resetEpoch,
-				pi: rawOp&ring.OpFlagPI != 0, piGuard: guard, t0: tFetch}
-			req.obs = c.P.CollectBreakdown || c.instrumented()
-			if req.obs {
-				req.span = c.Spans.Start(f.idx, q.idx, opName(op), id, lba, count, tFetch)
-				req.span.Phase(trace.PhaseFetch, -1, tFetch, p.Now(), "")
-				c.observe(mFetchNs, req, p.Now()-tFetch)
-			}
-			c.Tracer.Emit(trace.Event{At: p.Now(), Kind: trace.KindFetch, Fn: f.idx, LBA: lba, Arg: uint64(id)})
-			f.Reqs++
-			q.Reqs++
-			f.Blocks += int64(count)
-			f.inflight++
-			switch {
-			case !f.enabled:
-				req.status = StatusDisabled
-				c.sendCompletion(p, req)
-			case lba+uint64(count) > f.sizeBlocks || (op != OpRead && op != OpWrite && op != OpVerify):
-				req.status = StatusOutOfRange
-				c.sendCompletion(p, req)
-			case count == 0:
-				c.sendCompletion(p, req)
-			case f.idx == 0:
-				// PF out-of-band channel: pLBAs, no translation. Verify
-				// chunks take the scavenger-priority scrub queue instead of
-				// the OOB fast path.
-				bs := int64(c.P.BlockSize)
-				for i := uint32(0); i < count; i++ {
-					ch := &chunk{req: req, idx: int(i), lba: lba + uint64(i), buf: buf + int64(i)*bs}
-					if op == OpVerify {
-						c.scrubQ.Push(p, ch)
-					} else {
-						c.oobQ.Push(p, ch)
-					}
-					c.dtuW.Release()
-				}
-			default:
-				f.reqQ.Push(p, req)
-				c.muxW.Release()
-			}
+		f.drainTo(p, q, prod, desc)
+		if q.shadowBase != 0 {
+			f.shadowFollow(p, q, desc)
 		}
+	}
+}
+
+// drainTo fetches, decodes, and dispatches descriptors until q's consumer
+// index reaches prod (or the ring is torn down / a fetch DMA fails).
+func (f *Function) drainTo(p *sim.Proc, q *fnQueue, prod uint32, desc []byte) {
+	c := f.c
+	for q.consumed != prod {
+		if q.ringSize == 0 {
+			break // ring torn down after the doorbell was accepted
+		}
+		tFetch := p.Now()
+		if err := c.dmaReadP(p, c.pf.id, ring.DescSlot(q.ringBase, q.consumed, q.ringSize), desc); err != nil {
+			// Descriptor fetch failed: the doorbell's remaining requests
+			// are lost. The driver's completion timeout recovers them.
+			f.FetchDrops++
+			c.FetchDrops++
+			c.Tracer.Emit(trace.Event{At: p.Now(), Kind: trace.KindDrop, Fn: f.idx, Arg: uint64(prod)})
+			break
+		}
+		p.Sleep(c.P.DescriptorFetchTime)
+		q.consumed++
+		rawOp, id, lba, count, buf, guard := ring.DecodeDescriptorPI(desc)
+		op := ring.OpCode(rawOp)
+		req := &Request{fn: f, q: q, Op: op, ID: id, LBA: lba, Count: count, Buf: buf, left: int(count), epoch: f.resetEpoch, qGen: q.gen,
+			pi: rawOp&ring.OpFlagPI != 0, piGuard: guard, t0: tFetch}
+		req.obs = c.P.CollectBreakdown || c.instrumented()
+		if req.obs {
+			req.span = c.Spans.Start(f.idx, q.idx, opName(op), id, lba, count, tFetch)
+			req.span.Phase(trace.PhaseFetch, -1, tFetch, p.Now(), "")
+			c.observe(mFetchNs, req, p.Now()-tFetch)
+		}
+		c.Tracer.Emit(trace.Event{At: p.Now(), Kind: trace.KindFetch, Fn: f.idx, LBA: lba, Arg: uint64(id)})
+		f.Reqs++
+		q.Reqs++
+		f.Blocks += int64(count)
+		f.inflight++
+		switch {
+		case !f.enabled:
+			req.status = StatusDisabled
+			c.sendCompletion(p, req)
+		case lba+uint64(count) > f.sizeBlocks || (op != OpRead && op != OpWrite && op != OpVerify):
+			req.status = StatusOutOfRange
+			c.sendCompletion(p, req)
+		case count == 0:
+			c.sendCompletion(p, req)
+		case f.idx == 0:
+			// PF out-of-band channel: pLBAs, no translation. Verify
+			// chunks take the scavenger-priority scrub queue instead of
+			// the OOB fast path.
+			bs := int64(c.P.BlockSize)
+			for i := uint32(0); i < count; i++ {
+				ch := &chunk{req: req, idx: int(i), lba: lba + uint64(i), buf: buf + int64(i)*bs}
+				if op == OpVerify {
+					c.scrubQ.Push(p, ch)
+				} else {
+					c.oobQ.Push(p, ch)
+				}
+				c.dtuW.Release()
+			}
+		default:
+			f.reqQ.Push(p, req)
+			c.muxNote(f)
+			c.muxW.Release()
+		}
+	}
+}
+
+// shadowFollow is the device half of shadow-doorbell batching. While the
+// device was fetching, the guest may have published newer producer indices
+// only in the queue's SHADOW word, skipping the doorbell MMIO. Before
+// parking, the device chases those: it re-reads SHADOW and drains anything
+// new; once caught up it publishes its consumed index in the EVENT word —
+// the guest's cue that the next submission must ring — and then re-reads
+// SHADOW one final time, which closes the race with a guest that read a
+// stale EVENT and skipped its ring just as the device was leaving. Every
+// step re-validates the lease generation and ring state so an FLR or a
+// pool return mid-dance simply ends the chase.
+func (f *Function) shadowFollow(p *sim.Proc, q *fnQueue, desc []byte) {
+	c := f.c
+	gen := q.gen
+	w := make([]byte, 4)
+	for {
+		if q.gen != gen || q.ringSize == 0 || q.shadowBase == 0 {
+			return
+		}
+		if err := c.dmaReadP(p, c.pf.id, q.shadowBase+ring.ShadowOffProd, w); err != nil {
+			return
+		}
+		prod := binary.BigEndian.Uint32(w)
+		if q.gen != gen || q.ringSize == 0 {
+			return
+		}
+		if prod != q.consumed && ring.DoorbellValid(prod, q.consumed, q.ringSize) {
+			c.ShadowBatches++
+			f.drainTo(p, q, prod, desc)
+			continue
+		}
+		// Caught up: publish how far we got, then look one last time.
+		binary.BigEndian.PutUint32(w, q.consumed)
+		if err := c.dmaWriteP(p, c.pf.id, q.shadowBase+ring.ShadowOffEvent, w); err != nil {
+			return
+		}
+		if q.gen != gen || q.ringSize == 0 || q.shadowBase == 0 {
+			return
+		}
+		if err := c.dmaReadP(p, c.pf.id, q.shadowBase+ring.ShadowOffProd, w); err != nil {
+			return
+		}
+		prod = binary.BigEndian.Uint32(w)
+		if q.gen != gen || q.ringSize == 0 {
+			return
+		}
+		if prod != q.consumed && ring.DoorbellValid(prod, q.consumed, q.ringSize) {
+			c.ShadowBatches++
+			f.drainTo(p, q, prod, desc)
+			continue
+		}
+		return
 	}
 }
 
 // muxLoop is the VF multiplexer: it dequeues client requests round-robin
 // "to prevent client starvation" (paper §V-A), extended with per-VF weights
 // (deficit round robin) for the QoS policy of §IV-D. With all weights at
-// the default of 1 this degenerates to plain round robin.
+// the default of 1 this degenerates to plain round robin. The scheduler
+// walks the active-VF work list — VFs join when a fetched request lands in
+// their queue and leave when it drains — so a pick costs O(active), not
+// O(NumVFs).
 func (c *Controller) muxLoop(p *sim.Proc) {
-	rr := 0
 	for {
 		c.muxW.Acquire(p)
 		var req *Request
 		for pass := 0; pass < 2 && req == nil; pass++ {
-			for scanned := 0; scanned < len(c.vfs); scanned++ {
-				f := c.vfs[rr]
-				if f.reqQ.Len() > 0 && f.credit > 0 {
-					if r, ok := f.reqQ.TryPop(); ok {
-						f.credit--
-						req = r
-						break
-					}
+			b := c.pickActive(c.muxActive, &c.muxRR, func(i int) bool {
+				f := c.vfAt(i)
+				return f != nil && f.credit > 0
+			})
+			if b >= 0 {
+				f := c.vfAt(b)
+				r, _ := f.reqQ.TryPop()
+				f.credit--
+				if f.reqQ.Len() == 0 {
+					clearBit(c.muxActive, b)
 				}
-				rr = (rr + 1) % len(c.vfs)
-			}
-			if req == nil {
+				req = r
+			} else {
 				// Every backlogged VF exhausted its credit: start a new
 				// scheduling round.
-				for _, f := range c.vfs {
-					f.credit = f.weight
-				}
+				c.muxRefill()
 			}
 		}
 		if req == nil {
@@ -308,7 +381,8 @@ func (c *Controller) pushPLBA(p *sim.Proc, f *Function, ch *chunk) {
 	if ch.req.Op == OpVerify {
 		c.scrubQ.Push(p, ch)
 	} else {
-		c.plbaQs[f.idx-1].Push(p, ch)
+		f.plbaQ.Push(p, ch)
+		c.dtuNote(f)
 	}
 	c.dtuW.Release()
 }
@@ -316,26 +390,27 @@ func (c *Controller) pushPLBA(p *sim.Proc, f *Function, ch *chunk) {
 // dtuPick selects the next chunk for a DMA channel: OOB (PF) chunks win
 // absolute priority; VF chunks are scheduled with deficit round robin
 // weighted by each VF's QoS weight (paper §IV-D: the QoS policy lives in
-// the DMA engine).
+// the DMA engine), walking the DTU's active-VF work list.
 func (c *Controller) dtuPick() (*chunk, bool) {
 	if ch, ok := c.oobQ.TryPop(); ok {
 		return ch, true
 	}
 	for pass := 0; pass < 2; pass++ {
-		for scanned := 0; scanned < len(c.plbaQs); scanned++ {
-			f := c.vfs[c.dtuRR]
-			if c.plbaQs[c.dtuRR].Len() > 0 && f.dtuCredit > 0 {
-				if ch, ok := c.plbaQs[c.dtuRR].TryPop(); ok {
-					f.dtuCredit--
-					return ch, true
-				}
+		b := c.pickActive(c.dtuActive, &c.dtuRR, func(i int) bool {
+			f := c.vfAt(i)
+			return f != nil && f.dtuCredit > 0
+		})
+		if b >= 0 {
+			f := c.vfAt(b)
+			ch, _ := f.plbaQ.TryPop()
+			f.dtuCredit--
+			if f.plbaQ.Len() == 0 {
+				clearBit(c.dtuActive, b)
 			}
-			c.dtuRR = (c.dtuRR + 1) % len(c.plbaQs)
+			return ch, true
 		}
 		// Every backlogged VF is out of credit: new scheduling round.
-		for _, f := range c.vfs {
-			f.dtuCredit = f.weight
-		}
+		c.dtuRefill()
 	}
 	// Scrub traffic is served only when every foreground queue is empty.
 	if ch, ok := c.scrubQ.TryPop(); ok {
@@ -614,6 +689,13 @@ func (c *Controller) sendCompletion(p *sim.Proc, r *Request) {
 	c.Tracer.Emit(trace.Event{At: p.Now(), Kind: trace.KindComplete, Fn: f.idx, LBA: r.LBA, Arg: uint64(r.status)})
 	if q == nil || q.cplBase == 0 || q.ringSize == 0 {
 		return // no completion ring programmed (management-only function)
+	}
+	if q.f != f || q.gen != r.qGen {
+		// The queue pair was returned to the pool (and possibly re-leased,
+		// even to a different function) while this request was in flight: its
+		// completion ring now belongs to someone else. Drop the completion —
+		// the old tenant is gone and the new one must never see foreign DMA.
+		return
 	}
 	q.cplSeq++
 	var guard uint32

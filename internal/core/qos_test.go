@@ -37,16 +37,18 @@ func TestWeightRegisterClamping(t *testing.T) {
 }
 
 // fillPLBAQueues stuffs n chunks into each of the first two VFs' pLBA
-// queues (unit-level access; QoS binds only under backlog, which queue-
-// depth-1 clients never create).
+// queues and joins them to the DTU's active list (unit-level access; QoS
+// binds only under backlog, which queue-depth-1 clients never create).
 func fillPLBAQueues(c *Controller, n int) {
 	for i := 0; i < 2; i++ {
-		req := &Request{fn: c.vfs[i], Op: OpWrite, left: n}
+		f := c.VF(i)
+		req := &Request{fn: f, Op: OpWrite, left: n}
 		for k := 0; k < n; k++ {
-			if !c.plbaQs[i].TryPush(&chunk{req: req, lba: uint64(k)}) {
+			if !f.plbaQ.TryPush(&chunk{req: req, lba: uint64(k)}) {
 				panic("queue full in test setup")
 			}
 		}
+		c.dtuNote(f)
 	}
 }
 
@@ -55,8 +57,8 @@ func TestDTUPickWeightedScheduling(t *testing.T) {
 	p.PLBAQueueDepth = 256
 	r := newRig(t, p)
 	c := r.ctl
-	c.vfs[0].weight = 6
-	c.vfs[1].weight = 1
+	c.VF(0).weight = 6
+	c.VF(1).weight = 1
 	fillPLBAQueues(c, 140)
 	var picks [2]int
 	for i := 0; i < 140; i++ {
@@ -71,10 +73,10 @@ func TestDTUPickWeightedScheduling(t *testing.T) {
 		t.Fatalf("picks = %v, want [120 20]", picks)
 	}
 	// Work conservation: once VF0 drains, VF1 gets everything.
-	for c.plbaQs[0].Len() > 0 {
+	for c.VF(0).plbaQ.Len() > 0 {
 		c.dtuPick()
 	}
-	before := c.plbaQs[1].Len()
+	before := c.VF(1).plbaQ.Len()
 	if before == 0 {
 		t.Fatal("VF1 queue already empty")
 	}

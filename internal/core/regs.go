@@ -50,6 +50,7 @@ const (
 	QRegCplBase    = 0x10 // completion ring base address (8B)
 	QRegDoorbell   = 0x18 // write: new producer index (4B)
 	QRegCplSeq     = 0x20 // RO: completion sequence counter (4B)
+	QRegShadow     = 0x28 // shadow-doorbell block host address, 0 disarms (8B)
 
 	// MaxQueuesPerFn bounds the queue pairs a function can expose (the block
 	// array must stay clear of the PF global registers at 0x800).
@@ -57,7 +58,7 @@ const (
 
 	// PF-page global registers.
 	PFRegBTLBFlush     = 0x800 // write: flush the BTLB (4B)
-	PFRegMissPending   = 0x808 // RO: bitmap of VFs with latched misses (8B)
+	PFRegMissPending   = 0x808 // RO: bitmap of VFs 0..63 with latched misses (8B)
 	PFRegNumVFs        = 0x810 // RO: supported VF count (4B)
 	PFRegFlightRecords = 0x818 // RO: flight-recorder captures to date (8B)
 
@@ -67,6 +68,20 @@ const (
 	PFRegInvVLBA  = 0x820 // latch: first vLBA of the range (8B)
 	PFRegInvCount = 0x828 // latch: block count, 0 = whole function (8B)
 	PFRegInvFn    = 0x830 // write: function index; fires the invalidation (4B)
+
+	// Queue-pair pool and tenancy observability (RO).
+	PFRegQueueLeases     = 0x838 // queue pairs leased to functions (8B)
+	PFRegQueueReturns    = 0x840 // queue pairs returned to the pool (8B)
+	PFRegQueueLeaseFails = 0x848 // programmings rejected by an exhausted pool (8B)
+	PFRegQueuesInUse     = 0x850 // queue pairs currently leased out (8B)
+	PFRegShadowBatches   = 0x858 // fetch batches initiated via shadow doorbells (8B)
+	PFRegMaterializedVFs = 0x860 // VFs with device state built (8B)
+
+	// Banked miss-pending bitmaps for configurations beyond 64 VFs: bank k
+	// (at PFRegMissPendingBank + 8k) covers VFs 64k .. 64k+63. Bank 0
+	// aliases the legacy PFRegMissPending contents.
+	PFRegMissPendingBank  = 0x880
+	PFRegMissPendingBanks = 16 // register file holds up to 16 banks (1024 VFs)
 
 	// Management page: one 64-byte block per VF, indexed by VF number - 1.
 	MgmtStride      = 64
@@ -94,25 +109,44 @@ const (
 	CplBytes  = ring.CplBytes
 )
 
-// BARSize reports the device BAR size: PF page + VF pages + management page.
-func (c *Controller) BARSize() int64 { return int64(c.P.NumVFs+2) * PageSize }
+// BARSize reports the device BAR size: PF page + VF pages + the management
+// region. The management region holds one MgmtStride-byte control block per
+// VF, so it spans ceil(NumVFs/64) pages — exactly one page at the prototype's
+// 64-VF configuration (the historical layout), growing with the configured
+// count beyond that.
+func (c *Controller) BARSize() int64 {
+	return int64(c.P.NumVFs+1)*PageSize + c.mgmtPages()*PageSize
+}
+
+// mgmtPages reports how many BAR pages the management region spans.
+func (c *Controller) mgmtPages() int64 {
+	pages := (int64(c.P.NumVFs)*MgmtStride + PageSize - 1) / PageSize
+	if pages < 1 {
+		pages = 1
+	}
+	return pages
+}
 
 // FunctionPageOffset reports the BAR offset of function idx's I/O page
 // (0 = PF).
 func (c *Controller) FunctionPageOffset(idx int) int64 { return int64(idx) * PageSize }
 
-// MgmtPageOffset reports the BAR offset of the management page.
+// MgmtPageOffset reports the BAR offset of the management region.
 func (c *Controller) MgmtPageOffset() int64 { return int64(c.P.NumVFs+1) * PageSize }
 
 // PCIeName implements pcie.Device.
 func (c *Controller) PCIeName() string { return "nesc" }
 
+// funcByPage resolves a BAR page to its function, materializing a VF on its
+// first MMIO touch: a fresh function page is not all-zero (RegNumQueues and
+// MgmtWeight have nonzero reset values), so even a read must conjure the
+// register file.
 func (c *Controller) funcByPage(page int) *Function {
 	if page == 0 {
 		return c.pf
 	}
-	if page >= 1 && page <= len(c.vfs) {
-		return c.vfs[page-1]
+	if page >= 1 && page <= c.P.NumVFs {
+		return c.VF(page - 1)
 	}
 	return nil
 }
@@ -130,23 +164,20 @@ func queueReg(reg int64) (q int, qreg int64, ok bool) {
 func (c *Controller) MMIORead(off int64, size int) uint64 {
 	page := int(off / PageSize)
 	reg := off % PageSize
-	if page == c.P.NumVFs+1 {
-		return c.mgmtRead(reg)
+	if mo := c.MgmtPageOffset(); off >= mo {
+		return c.mgmtRead(off - mo)
 	}
 	f := c.funcByPage(page)
 	if f == nil {
 		return 0
 	}
 	if page == 0 {
+		if reg >= PFRegMissPendingBank && reg < PFRegMissPendingBank+PFRegMissPendingBanks*8 {
+			return c.missPendingBank(int((reg - PFRegMissPendingBank) / 8))
+		}
 		switch reg {
 		case PFRegMissPending:
-			var bits uint64
-			for i, vf := range c.vfs {
-				if vf.missPending {
-					bits |= 1 << uint(i)
-				}
-			}
-			return bits
+			return c.missPendingBank(0)
 		case PFRegNumVFs:
 			return uint64(c.P.NumVFs)
 		case PFRegFlightRecords:
@@ -154,6 +185,18 @@ func (c *Controller) MMIORead(off int64, size int) uint64 {
 				return 0
 			}
 			return uint64(c.Flight.Total)
+		case PFRegQueueLeases:
+			return uint64(c.QueueLeases)
+		case PFRegQueueReturns:
+			return uint64(c.QueueReturns)
+		case PFRegQueueLeaseFails:
+			return uint64(c.QueueLeaseFails)
+		case PFRegQueuesInUse:
+			return uint64(c.LeasedQueues())
+		case PFRegShadowBatches:
+			return uint64(c.ShadowBatches)
+		case PFRegMaterializedVFs:
+			return uint64(c.nMat)
 		}
 	}
 	if q, qreg, ok := queueReg(reg); ok {
@@ -197,9 +240,31 @@ func (c *Controller) MMIORead(off int64, size int) uint64 {
 	return 0
 }
 
-// queueRead services a read of queue q's register block.
+// missPendingBank reads one 64-VF miss-pending bitmap bank without
+// materializing anything: a VF with no device state cannot have a latched
+// miss. The shard granularity equals the bank width, so a bank is one shard
+// scan.
+func (c *Controller) missPendingBank(k int) uint64 {
+	if k < 0 || k >= len(c.vfShards) {
+		return 0
+	}
+	sh := c.vfShards[k]
+	if sh == nil {
+		return 0
+	}
+	var bits uint64
+	for i, f := range sh {
+		if f != nil && f.missPending {
+			bits |= 1 << uint(i)
+		}
+	}
+	return bits
+}
+
+// queueRead services a read of queue q's register block. A slot with no
+// queue pair leased reads as zero, exactly like a cleared queue.
 func (f *Function) queueRead(q int, qreg int64) uint64 {
-	if q >= f.numQueues {
+	if q >= f.numQueues || f.queues[q] == nil {
 		return 0
 	}
 	fq := f.queues[q]
@@ -222,8 +287,8 @@ func (f *Function) queueRead(q int, qreg int64) uint64 {
 func (c *Controller) MMIOWrite(off int64, size int, val uint64) {
 	page := int(off / PageSize)
 	reg := off % PageSize
-	if page == c.P.NumVFs+1 {
-		c.mgmtWrite(reg, val)
+	if mo := c.MgmtPageOffset(); off >= mo {
+		c.mgmtWrite(off-mo, val)
 		return
 	}
 	f := c.funcByPage(page)
@@ -278,6 +343,24 @@ func (f *Function) queueWrite(q int, qreg int64, val uint64) {
 		return
 	}
 	fq := f.queues[q]
+	if fq == nil {
+		switch qreg {
+		case QRegRingBase, QRegRingSize, QRegCplBase, QRegShadow:
+			// First programming of this slot: lease queue-pair state from
+			// the device-wide pool. An exhausted pool ignores the write (the
+			// slot keeps reading zero, which the driver can observe).
+			if fq = f.c.leaseQueue(f, q); fq == nil {
+				return
+			}
+		case QRegDoorbell:
+			// A doorbell cannot conjure a queue: no ring is programmed.
+			f.BadDoorbells++
+			f.c.BadDoorbells++
+			return
+		default:
+			return
+		}
+	}
 	switch qreg {
 	case QRegRingBase:
 		fq.ringBase = int64(val)
@@ -308,15 +391,20 @@ func (f *Function) queueWrite(q int, qreg int64, val uint64) {
 		}
 		fq.doorbells.TryPush(uint32(val))
 		f.fetchW.Release()
+	case QRegShadow:
+		fq.shadowBase = int64(val)
 	}
 }
 
 func (c *Controller) mgmtVF(reg int64) (*Function, int64) {
 	idx := int(reg / MgmtStride)
-	if idx < 0 || idx >= len(c.vfs) {
+	if idx < 0 || idx >= c.P.NumVFs {
 		return nil, 0
 	}
-	return c.vfs[idx], reg % MgmtStride
+	// Management access is a first-class materialization point: the
+	// hypervisor provisioning a VF touches its control block before any
+	// guest sees the function page.
+	return c.VF(idx), reg % MgmtStride
 }
 
 func (c *Controller) mgmtRead(reg int64) uint64 {
@@ -372,11 +460,14 @@ func (c *Controller) mgmtWrite(reg int64, val uint64) {
 		was := f.enabled
 		f.enabled = val == 1
 		if was && !f.enabled {
-			// Disabling a VF drops its cached translations and ring state;
-			// the hypervisor quiesces the function before disabling it.
+			// Disabling a VF drops its cached translations and returns every
+			// leased queue pair to the device-wide pool; the hypervisor
+			// quiesces the function before disabling it. Return happens only
+			// here — never on FLR — so a queue can be re-leased only after
+			// its tenant is deprovisioned.
 			c.btlb.flushFn(f.idx)
-			for _, fq := range f.queues {
-				fq.clear()
+			for qi := range f.queues {
+				c.returnQueue(f, qi)
 			}
 		}
 	case MgmtDeviceSize:

@@ -140,6 +140,10 @@ func (c *Controller) AttachTelemetry(reg *metrics.Registry, spans *trace.SpanRec
 		{"nesc_device_integrity_errors_total", "requests latched StatusIntegrityError", &c.IntegrityErrors},
 		{"nesc_device_integrity_repairs_total", "integrity failures healed by retry or scrub", &c.IntegrityRepairs},
 		{"nesc_device_scrub_chunks_total", "verify chunks processed", &c.ScrubChunks},
+		{"nesc_device_queue_leases_total", "queue pairs leased from the device pool", &c.QueueLeases},
+		{"nesc_device_queue_returns_total", "queue pairs returned to the device pool", &c.QueueReturns},
+		{"nesc_device_queue_lease_fails_total", "ring programmings rejected by an exhausted pool", &c.QueueLeaseFails},
+		{"nesc_device_shadow_batches_total", "fetch batches initiated via shadow doorbells", &c.ShadowBatches},
 	}
 	for _, ct := range counters {
 		v := ct.v
@@ -153,41 +157,52 @@ func (c *Controller) AttachTelemetry(reg *metrics.Registry, spans *trace.SpanRec
 			}
 			return float64(c.Flight.Total)
 		})
+	reg.GaugeFunc("nesc_device_materialized_vfs", "VFs with device state built", no,
+		func() float64 { return float64(c.nMat) })
+	reg.GaugeFunc("nesc_device_leased_queues", "queue pairs currently leased out", no,
+		func() float64 { return float64(c.LeasedQueues()) })
 	// DRR fairness: Jain's index over per-VF block counts, restricted to VFs
-	// that moved traffic (1 = perfectly fair, 1/n = maximally skewed).
+	// that moved traffic (1 = perfectly fair, 1/n = maximally skewed). Only
+	// materialized VFs can have moved traffic, so the lazy table loses
+	// nothing.
 	reg.GaugeFunc("nesc_device_drr_fairness", "Jain fairness index over per-VF blocks served", no,
-		func() float64 { return jainIndex(c.vfs) })
-	// Per-function series (PF + every VF fits well under the cardinality
-	// cap at the paper's 64-VF geometry).
-	fns := append([]*Function{c.pf}, c.vfs...)
-	for _, f := range fns {
-		f := f
-		l := metrics.VFLabel(f.idx)
-		reg.GaugeFunc("nesc_fn_inflight", "fetched-but-uncompleted requests", l,
-			func() float64 { return float64(f.inflight) })
-		reg.GaugeFunc("nesc_fn_reqs_total", "requests fetched", l,
-			func() float64 { return float64(f.Reqs) })
-		reg.GaugeFunc("nesc_fn_blocks_total", "blocks requested", l,
-			func() float64 { return float64(f.Blocks) })
-		reg.GaugeFunc("nesc_fn_resets_total", "function-level resets", l,
-			func() float64 { return float64(f.Resets) })
-	}
+		func() float64 { return c.JainFairness() })
+	// Per-function series: the PF and every already-materialized VF now;
+	// VFs materialized later register their gauges at materialization, so
+	// configured-but-idle VFs never occupy series.
+	c.fnGaugeReg = reg
+	c.registerFnGauges(reg, c.pf)
+	c.forEachVF(func(f *Function) { c.registerFnGauges(reg, f) })
 }
 
-// jainIndex computes Jain's fairness index (Σx)²/(n·Σx²) over the block
-// counts of VFs that served any traffic; 1 when idle.
-func jainIndex(vfs []*Function) float64 {
+// registerFnGauges publishes one function's per-VF gauge series; called for
+// live functions at attach time and for each VF materialized afterwards.
+func (c *Controller) registerFnGauges(reg *metrics.Registry, f *Function) {
+	l := metrics.VFLabel(f.idx)
+	reg.GaugeFunc("nesc_fn_inflight", "fetched-but-uncompleted requests", l,
+		func() float64 { return float64(f.inflight) })
+	reg.GaugeFunc("nesc_fn_reqs_total", "requests fetched", l,
+		func() float64 { return float64(f.Reqs) })
+	reg.GaugeFunc("nesc_fn_blocks_total", "blocks requested", l,
+		func() float64 { return float64(f.Blocks) })
+	reg.GaugeFunc("nesc_fn_resets_total", "function-level resets", l,
+		func() float64 { return float64(f.Resets) })
+}
+
+// JainFairness computes Jain's fairness index (Σx)²/(n·Σx²) over the block
+// counts of materialized VFs that served any traffic; 1 when idle.
+func (c *Controller) JainFairness() float64 {
 	var sum, sumSq float64
 	n := 0
-	for _, f := range vfs {
+	c.forEachVF(func(f *Function) {
 		if f.Blocks == 0 {
-			continue
+			return
 		}
 		x := float64(f.Blocks)
 		sum += x
 		sumSq += x * x
 		n++
-	}
+	})
 	if n == 0 || sumSq == 0 {
 		return 1
 	}

@@ -86,6 +86,16 @@ func (mq *MultiQueue) SetPI(blockBytes int) {
 	}
 }
 
+// ArmShadow enables shadow-doorbell batching on every queue, in queue order.
+func (mq *MultiQueue) ArmShadow(p *sim.Proc) error {
+	for _, qp := range mq.queues {
+		if err := qp.ArmShadow(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // DMARanges reports the ring memory of every queue, for IOMMU grants.
 func (mq *MultiQueue) DMARanges() [][2]int64 {
 	var rs [][2]int64

@@ -1,6 +1,7 @@
 package guest
 
 import (
+	"encoding/binary"
 	"errors"
 	"sort"
 
@@ -36,12 +37,21 @@ type QueuePair struct {
 	// function's legacy register aliases, higher queues their per-queue
 	// block).
 	ringBaseReg, ringSizeReg, cplBaseReg, doorbellReg int64
+	// shadowReg is the queue's shadow-doorbell register (always in the
+	// per-queue block; queue 0's block aliases the legacy layout).
+	shadowReg int64
 
 	ringBase hostmem.Addr
 	cplBase  hostmem.Addr
-	prod     uint32
-	lastSeq  uint32
-	nextID   uint32
+	// shadowBase, when non-zero, is the host shadow-doorbell block shared
+	// with the device (ArmShadow): the driver publishes its producer index
+	// at +ShadowOffProd and reads the device's consumed-up-to event index
+	// at +ShadowOffEvent, ringing the MMIO doorbell only when the device
+	// may have stopped fetching for this queue.
+	shadowBase hostmem.Addr
+	prod       uint32
+	lastSeq    uint32
+	nextID     uint32
 
 	slots   *sim.Semaphore
 	waiters map[uint32]*qpWaiter
@@ -67,6 +77,10 @@ type QueuePair struct {
 
 	// Submitted counts requests issued.
 	Submitted int64
+	// DoorbellsSkipped counts MMIO doorbell writes elided by the shadow
+	// protocol (the device was still fetching and picked the submission up
+	// from the shadow block instead).
+	DoorbellsSkipped int64
 
 	// Recovery counters.
 	Timeouts          int64 // attempts that hit their deadline
@@ -123,6 +137,9 @@ func newQueuePair(p *sim.Proc, eng *sim.Engine, mem *hostmem.Memory, fab *pcie.F
 		qp.cplBaseReg = block + core.QRegCplBase
 		qp.doorbellReg = block + core.QRegDoorbell
 	}
+	// The shadow register has no legacy alias; queue 0 reaches it through
+	// its per-queue block like everyone else.
+	qp.shadowReg = pageBus + core.QueueRegBase + int64(queue)*core.QueueRegStride + core.QRegShadow
 	var err error
 	if qp.ringBase, err = mem.Alloc(int64(entries)*ring.DescBytes, 64); err != nil {
 		return nil, err
@@ -155,6 +172,29 @@ func (qp *QueuePair) program(p *sim.Proc) error {
 
 // Queue reports the queue-pair index this driver owns within its function.
 func (qp *QueuePair) Queue() int { return qp.queue }
+
+// ArmShadow enables shadow-doorbell batching on this queue: it allocates the
+// shared shadow block (first call), zeroes it, and programs its host address
+// into the queue's shadow register. Armed, Submit publishes each new producer
+// index in the block and rings the MMIO doorbell only when the device's event
+// index shows it may have stopped fetching for this queue — a burst of
+// submissions against a busy device collapses to one MMIO write.
+func (qp *QueuePair) ArmShadow(p *sim.Proc) error {
+	if qp.shadowBase == 0 {
+		base, err := qp.mem.Alloc(ring.ShadowBytes, 8)
+		if err != nil {
+			return err
+		}
+		qp.shadowBase = base
+	}
+	if err := qp.mem.Zero(qp.shadowBase, ring.ShadowBytes); err != nil {
+		return err
+	}
+	return qp.fab.MMIOWrite(p, qp.shadowReg, 8, uint64(qp.shadowBase))
+}
+
+// ShadowArmed reports whether shadow-doorbell batching is enabled.
+func (qp *QueuePair) ShadowArmed() bool { return qp.shadowBase != 0 }
 
 // SetPI enables end-to-end protection information on read/write submissions,
 // at the given device block size. Zero disables it.
@@ -236,7 +276,9 @@ func (qp *QueuePair) Submit(p *sim.Proc, op uint32, lba uint64, count uint32, bu
 		qp.Submitted++
 		w := &qpWaiter{sig: sim.NewSignal(qp.eng)}
 		qp.waiters[id] = w
-		if err := qp.fab.MMIOWrite(p, qp.doorbellReg, 4, uint64(qp.prod)); err != nil {
+		if qp.skipDoorbell(attempt) {
+			qp.DoorbellsSkipped++
+		} else if err := qp.fab.MMIOWrite(p, qp.doorbellReg, 4, uint64(qp.prod)); err != nil {
 			delete(qp.waiters, id) // the doorbell never rang; drop the waiter
 			return 0, err
 		}
@@ -277,6 +319,33 @@ func (qp *QueuePair) Submit(p *sim.Proc, op uint32, lba uint64, count uint32, bu
 		}
 		qp.Resubmits++
 	}
+}
+
+// skipDoorbell implements the guest half of the shadow-doorbell protocol:
+// publish the new producer index in the shared block, then decide from the
+// device's event index whether the MMIO doorbell can be elided. Both host
+// accesses are timeless, so the whole decision happens at one simulated
+// instant — the device observes either the old or the new SHADOW value,
+// never a torn state. Retries always ring: after a timeout the conservative
+// assumption is that the device lost track of this queue entirely.
+func (qp *QueuePair) skipDoorbell(attempt int) bool {
+	if qp.shadowBase == 0 || attempt != 0 {
+		return false
+	}
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], qp.prod)
+	if err := qp.mem.Write(qp.shadowBase+ring.ShadowOffProd, buf[:]); err != nil {
+		return false
+	}
+	if err := qp.mem.Read(qp.shadowBase+ring.ShadowOffEvent, buf[:]); err != nil {
+		return false
+	}
+	// The device's event index has reached the previous producer value: it
+	// consumed everything it was ever told about and may have parked, so the
+	// doorbell must ring. Behind it, the device is still fetching and will
+	// re-read SHADOW before parking (shadowFollow) — safe to skip.
+	event := binary.BigEndian.Uint32(buf[:])
+	return !ring.ShouldRing(qp.prod-1, event)
 }
 
 // finalVerdict picks what a submission ladder that exhausted its retry
@@ -395,6 +464,14 @@ func (qp *QueuePair) Recover(p *sim.Proc) error {
 	}
 	if err := qp.program(p); err != nil {
 		return err
+	}
+	if qp.shadowBase != 0 {
+		// The FLR cleared the device's shadow binding; re-zero and re-arm,
+		// or every post-reset Submit would skip doorbells the device no
+		// longer follows.
+		if err := qp.ArmShadow(p); err != nil {
+			return err
+		}
 	}
 	// Abort parked submitters in sorted-id order — map iteration order must
 	// not leak into the event schedule, or seeded runs stop replaying.

@@ -23,6 +23,10 @@ type Device struct {
 	HostFS *extfs.FS
 	pfQP   *guest.MultiQueue
 
+	// vfs/missBusy/vfLocks are lazy tables: nil (or short) until a VF is
+	// first touched, so configuring NumVFs=1024 costs nothing until tenants
+	// actually arrive. Grown only by vf()/lockVF()/missBusyRef(); iteration
+	// sites nil-skip.
 	vfs   []*vfState
 	trees map[string]*sharedTree
 	// missBusy marks VFs whose latched miss is already being serviced, so
@@ -36,20 +40,42 @@ type Device struct {
 }
 
 func newDevice(h *Hypervisor, idx int, ctl *core.Controller) *Device {
-	d := &Device{
-		h:        h,
-		Idx:      idx,
-		Ctl:      ctl,
-		vfs:      make([]*vfState, ctl.P.NumVFs),
-		missBusy: make([]bool, ctl.P.NumVFs),
-		trees:    make(map[string]*sharedTree),
-		vfLocks:  make([]*sim.Semaphore, ctl.P.NumVFs),
+	return &Device{
+		h:     h,
+		Idx:   idx,
+		Ctl:   ctl,
+		trees: make(map[string]*sharedTree),
 	}
-	for i := range d.vfs {
-		d.vfs[i] = &vfState{}
-		d.vfLocks[i] = sim.NewSemaphore(h.Eng, 1)
+}
+
+// vf returns VF idx's management slot, materializing it (and any gap before
+// it) on first touch.
+func (d *Device) vf(idx int) *vfState {
+	for len(d.vfs) <= idx {
+		d.vfs = append(d.vfs, nil)
 	}
-	return d
+	if d.vfs[idx] == nil {
+		d.vfs[idx] = &vfState{}
+	}
+	return d.vfs[idx]
+}
+
+// vfAt returns VF idx's slot without materializing it; nil when the VF has
+// never been touched.
+func (d *Device) vfAt(idx int) *vfState {
+	if idx < 0 || idx >= len(d.vfs) {
+		return nil
+	}
+	return d.vfs[idx]
+}
+
+// missBusyRef returns a pointer to VF idx's miss-service busy flag, growing
+// the lazy table on demand.
+func (d *Device) missBusyRef(idx int) *bool {
+	for len(d.missBusy) <= idx {
+		d.missBusy = append(d.missBusy, false)
+	}
+	return &d.missBusy[idx]
 }
 
 // AddDevice attaches an additional NeSC controller to the hypervisor's
@@ -78,6 +104,12 @@ func (h *Hypervisor) NumDevices() int { return len(h.devs) }
 // (a contended acquisition means another management operation ran in
 // between, so cached device state must be re-read).
 func (d *Device) lockVF(p *sim.Proc, idx int) bool {
+	for len(d.vfLocks) <= idx {
+		d.vfLocks = append(d.vfLocks, nil)
+	}
+	if d.vfLocks[idx] == nil {
+		d.vfLocks[idx] = sim.NewSemaphore(d.h.Eng, 1)
+	}
 	contended := d.vfLocks[idx].Available() == 0
 	d.vfLocks[idx].Acquire(p)
 	return contended
@@ -155,6 +187,19 @@ func (h *Hypervisor) CreateRawVF(p *sim.Proc) (int, error) { return h.devs[0].Cr
 // DestroyVF disables a primary-device VF; see Device.DestroyVF.
 func (h *Hypervisor) DestroyVF(p *sim.Proc, idx int) { h.devs[0].DestroyVF(p, idx) }
 
+// QueuePoolStatus reads the primary device's tenancy gauges through the PF
+// register file: queue pairs currently leased from the device-wide pool and
+// VFs with materialized device state. Because MMIO reads are non-posted,
+// the read also flushes any posted configuration writes (VF disables) still
+// propagating — use it to observe pool state right after a deprovision.
+func (h *Hypervisor) QueuePoolStatus(p *sim.Proc) (leased, materialized int) {
+	d := h.devs[0]
+	base := d.Ctl.BARBase()
+	leased = int(h.mmioR(p, base+core.PFRegQueuesInUse))
+	materialized = int(h.mmioR(p, base+core.PFRegMaterializedVFs))
+	return leased, materialized
+}
+
 // VFPageBus reports a primary-device VF's register page bus address.
 func (h *Hypervisor) VFPageBus(idx int) int64 { return h.devs[0].VFPageBus(idx) }
 
@@ -214,16 +259,13 @@ func (h *Hypervisor) DeleteSnapshot(p *sim.Proc, path string, uid uint32) error 
 }
 
 // fnIndexOfDev maps a routing ID to (device, function index) across the
-// fleet; ok is false for IDs no managed controller owns.
+// fleet; ok is false for IDs no managed controller owns. Uses the
+// controller's reverse map, so the cost is O(devices), not O(configured
+// VFs), and no VF is materialized by the lookup.
 func (h *Hypervisor) fnIndexOfDev(id pcie.FnID) (*Device, int, bool) {
 	for _, d := range h.devs {
-		if id == d.Ctl.PF().ID() {
-			return d, 0, true
-		}
-		for i := 0; i < d.Ctl.P.NumVFs; i++ {
-			if d.Ctl.VF(i).ID() == id {
-				return d, i + 1, true
-			}
+		if i, ok := d.Ctl.FnIndex(id); ok {
+			return d, i, true
 		}
 	}
 	return nil, -1, false

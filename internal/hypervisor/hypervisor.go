@@ -219,6 +219,9 @@ type DriverRecoveryStats struct {
 	// RootCauseOverrides counts failed submissions that surfaced an earlier
 	// attempt's integrity root cause instead of the final attempt's timeout.
 	RootCauseOverrides int64
+	// DoorbellsSkipped counts MMIO doorbells elided by shadow-doorbell
+	// batching across every armed driver queue.
+	DoorbellsSkipped int64
 }
 
 // RecoveryStats sums driver recovery counters across all registered queue
@@ -237,6 +240,7 @@ func (h *Hypervisor) RecoveryStats() DriverRecoveryStats {
 			st.PIMismatches += qp.PIMismatches
 			st.PIWriteErrors += qp.PIWriteErrors
 			st.RootCauseOverrides += qp.RootCauseOverrides
+			st.DoorbellsSkipped += qp.DoorbellsSkipped
 		}
 	}
 	return st

@@ -31,7 +31,7 @@ func (d *Device) invalidateVFRange(p *sim.Proc, idx int, vlba, count uint64) {
 // tree, reprograms every sharer's root, and drops the function's BTLB
 // entries (they may cache pre-snapshot, unprotected translations).
 func (d *Device) refreshVFMapping(p *sim.Proc, idx int) error {
-	st := d.vfs[idx]
+	st := d.vf(idx)
 	runs, _, err := d.HostFS.Runs(p, st.path)
 	if err != nil {
 		return err
@@ -52,8 +52,8 @@ func (d *Device) refreshVFMapping(p *sim.Proc, idx int) error {
 // point-in-time backup. Serialized against ResetVF and miss service on the
 // same VF by the VF management lock.
 func (d *Device) SnapshotVF(p *sim.Proc, idx int, dstPath string, uid uint32) error {
-	st := d.vfs[idx]
-	if !st.inUse || st.identity {
+	st := d.vfAt(idx)
+	if st == nil || !st.inUse || st.identity {
 		return fmt.Errorf("hypervisor: VF %d has no backing file", idx)
 	}
 	d.lockVF(p, idx)

@@ -75,6 +75,7 @@ func (h *Hypervisor) RegisterMetrics(reg *metrics.Registry) {
 		{"nesc_driver_polled_cpls_total", "completions recovered by ring polling", func(s DriverRecoveryStats) int64 { return s.PolledCompletions }},
 		{"nesc_driver_seq_gaps_total", "completion sequence gaps observed", func(s DriverRecoveryStats) int64 { return s.SeqGaps }},
 		{"nesc_driver_pi_mismatches_total", "driver-detected read-guard mismatches", func(s DriverRecoveryStats) int64 { return s.PIMismatches }},
+		{"nesc_driver_doorbells_skipped_total", "MMIO doorbells elided by shadow batching", func(s DriverRecoveryStats) int64 { return s.DoorbellsSkipped }},
 	}
 	for _, rc := range recovery {
 		get := rc.get
@@ -103,15 +104,11 @@ func (h *Hypervisor) registerQueueGauges(id pcie.FnID, mq *guest.MultiQueue) {
 }
 
 // fnIndexOf maps a PCIe routing ID back to the controller's function index
-// (0 = PF, 1.. = VFs); -1 when the ID is not one of the controller's.
+// (0 = PF, 1.. = VFs); -1 when the ID is not one of the controller's. Served
+// from the controller's reverse map — O(1), and never materializes a VF.
 func (h *Hypervisor) fnIndexOf(id pcie.FnID) int {
-	if id == h.Ctl.PF().ID() {
-		return 0
-	}
-	for i := 0; i < h.Ctl.P.NumVFs; i++ {
-		if h.Ctl.VF(i).ID() == id {
-			return i + 1
-		}
+	if i, ok := h.Ctl.FnIndex(id); ok {
+		return i
 	}
 	return -1
 }

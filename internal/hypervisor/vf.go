@@ -53,7 +53,7 @@ func (d *Device) CreateVF(p *sim.Proc, path string, uid uint32) (int, error) {
 	sh.refs++
 	bs := uint64(d.Ctl.P.BlockSize)
 	sizeBlocks := (size + bs - 1) / bs
-	st := d.vfs[idx]
+	st := d.vf(idx)
 	st.inUse = true
 	st.path = path
 	st.shared = sh
@@ -79,7 +79,7 @@ func (d *Device) CreateRawVF(p *sim.Proc) (int, error) {
 	key := fmt.Sprintf("\x00raw-vf-%d", idx) // cannot collide with host paths
 	sh := &sharedTree{key: key, tree: tree, refs: 1}
 	d.trees[key] = sh
-	st := d.vfs[idx]
+	st := d.vf(idx)
 	st.inUse = true
 	st.path = ""
 	st.shared = sh
@@ -89,8 +89,10 @@ func (d *Device) CreateRawVF(p *sim.Proc) (int, error) {
 }
 
 func (d *Device) freeVF() (int, error) {
-	for i, st := range d.vfs {
-		if !st.inUse {
+	// Lowest-index-first, exactly as the eager table allocated: a
+	// never-touched slot (nil or beyond the lazy table's length) is free.
+	for i := 0; i < d.Ctl.P.NumVFs; i++ {
+		if st := d.vfAt(i); st == nil || !st.inUse {
 			return i, nil
 		}
 	}
@@ -116,7 +118,7 @@ func (d *Device) programVF(p *sim.Proc, idx int, root int64, sizeBlocks uint64) 
 func (d *Device) enabledVFs() int {
 	n := 0
 	for _, st := range d.vfs {
-		if st.inUse {
+		if st != nil && st.inUse {
 			n++
 		}
 	}
@@ -126,8 +128,8 @@ func (d *Device) enabledVFs() int {
 // DestroyVF disables a VF and drops its extent-tree reference; the tree is
 // freed when its last sharer goes away.
 func (d *Device) DestroyVF(p *sim.Proc, idx int) {
-	st := d.vfs[idx]
-	if !st.inUse {
+	st := d.vfAt(idx)
+	if st == nil || !st.inUse {
 		return
 	}
 	d.h.mmioW(p, d.mgmtAddr(idx)+core.MgmtEnable, 0)
@@ -149,17 +151,26 @@ func (d *Device) VFPageBus(idx int) int64 {
 }
 
 // VFTree exposes a VF's extent tree (for the pruning ablation).
-func (d *Device) VFTree(idx int) *extent.Tree { return d.vfs[idx].shared.tree }
+func (d *Device) VFTree(idx int) *extent.Tree { return d.vf(idx).shared.tree }
 
 // VFInUse reports whether VF idx currently exports something.
-func (d *Device) VFInUse(idx int) bool { return d.vfs[idx].inUse }
+func (d *Device) VFInUse(idx int) bool {
+	st := d.vfAt(idx)
+	return st != nil && st.inUse
+}
 
 // VFPath reports the host path exported through VF idx ("" for raw VFs).
-func (d *Device) VFPath(idx int) string { return d.vfs[idx].path }
+func (d *Device) VFPath(idx int) string {
+	if st := d.vfAt(idx); st != nil {
+		return st.path
+	}
+	return ""
+}
 
 // SharesTreeWith reports whether two VFs share one extent tree.
 func (d *Device) SharesTreeWith(a, b int) bool {
-	return d.vfs[a].inUse && d.vfs[b].inUse && d.vfs[a].shared == d.vfs[b].shared
+	sa, sb := d.vfAt(a), d.vfAt(b)
+	return sa != nil && sb != nil && sa.inUse && sb.inUse && sa.shared == sb.shared
 }
 
 // PruneVFTrees reclaims host memory by pruning up to maxNodes nodes from
@@ -182,7 +193,7 @@ func (d *Device) PruneVFTrees(maxNodes int) int {
 // are freed, so a stale root register would walk dead memory.
 func (d *Device) reprogramSharers(p *sim.Proc, sh *sharedTree) {
 	for idx, st := range d.vfs {
-		if st.inUse && st.shared == sh {
+		if st != nil && st.inUse && st.shared == sh {
 			d.h.mmioW(p, d.mgmtAddr(idx)+core.MgmtTreeRoot, uint64(sh.tree.Root()))
 		}
 	}
@@ -194,12 +205,38 @@ func (d *Device) reprogramSharers(p *sim.Proc, sh *sharedTree) {
 // file's refreshed mapping, reprograms the tree root, and releases the
 // stalled walk with RewalkTree.
 func (d *Device) serviceMisses(p *sim.Proc) {
-	pending := d.h.mmioR(p, d.Ctl.BARBase()+core.PFRegMissPending)
-	for idx := 0; idx < len(d.vfs) && pending != 0; idx++ {
-		if pending&(1<<uint(idx)) == 0 {
+	// ≤64 configured VFs fit the legacy PFRegMissPending word: one read,
+	// exactly the pre-banked MMIO sequence, so small configurations stay
+	// schedule-neutral. Larger fleets sweep the per-bank registers.
+	if d.Ctl.P.NumVFs <= 64 {
+		d.serviceMissBank(p, 0, d.Ctl.BARBase()+core.PFRegMissPending)
+		return
+	}
+	banks := (d.Ctl.P.NumVFs + 63) / 64
+	if banks > core.PFRegMissPendingBanks {
+		banks = core.PFRegMissPendingBanks
+	}
+	for k := 0; k < banks; k++ {
+		d.serviceMissBank(p, k, d.Ctl.BARBase()+core.PFRegMissPendingBank+int64(k)*8)
+	}
+}
+
+// serviceMissBank reads one 64-VF miss-pending bank at register reg and
+// services every latched bit in it.
+func (d *Device) serviceMissBank(p *sim.Proc, bank int, reg int64) {
+	pending := d.h.mmioR(p, reg)
+	for bit := 0; bit < 64 && pending != 0; bit++ {
+		idx := bank*64 + bit
+		if idx >= d.Ctl.P.NumVFs {
+			break
+		}
+		if pending&(1<<uint(bit)) == 0 {
 			continue
 		}
-		if d.missBusy[idx] {
+		// Index through the field (not a cached element pointer): a
+		// concurrent service proc can grow the lazy table while this one is
+		// parked on the VF lock, reallocating the backing array.
+		if *d.missBusyRef(idx) {
 			// This VF's miss is already mid-service: allocation runs through
 			// the PF rings and takes far longer than the device's miss-resend
 			// cadence, so resent MSIs routinely observe a still-pending bit.
@@ -216,7 +253,7 @@ func (d *Device) serviceMisses(p *sim.Proc) {
 			// on whatever miss latches next. Only a contended acquisition
 			// pays this extra register read; the fault-free schedule is
 			// untouched.
-			if d.h.mmioR(p, d.Ctl.BARBase()+core.PFRegMissPending)&(1<<uint(idx)) == 0 {
+			if d.h.mmioR(p, reg)&(1<<uint(bit)) == 0 {
 				d.unlockVF(idx)
 				d.missBusy[idx] = false
 				continue
@@ -251,7 +288,7 @@ func (d *Device) serviceMiss(p *sim.Proc, idx int) {
 		h.mmioW(p, mgmt+core.MgmtRewalk, core.RewalkFail)
 		return
 	}
-	st := d.vfs[idx]
+	st := d.vf(idx)
 	if !st.inUse || st.identity {
 		// No backing file to extend: fail the write.
 		h.mmioW(p, mgmt+core.MgmtRewalk, core.RewalkFail)
@@ -309,8 +346,8 @@ func (d *Device) serviceMiss(p *sim.Proc, idx int) {
 // handler must be able to take the lock to release those walks — holding it
 // across the poll would deadlock the drain against its own miss service.
 func (d *Device) ResetVF(p *sim.Proc, idx int) error {
-	st := d.vfs[idx]
-	if !st.inUse {
+	st := d.vfAt(idx)
+	if st == nil || !st.inUse {
 		return fmt.Errorf("hypervisor: VF %d not in use", idx)
 	}
 	h := d.h
@@ -331,8 +368,8 @@ func (d *Device) ResetVF(p *sim.Proc, idx int) error {
 // RegenerateVFTree rebuilds a VF's tree from the filesystem (used after
 // out-of-band pruning in tests/ablations when no device walk is pending).
 func (d *Device) RegenerateVFTree(p *sim.Proc, idx int) error {
-	st := d.vfs[idx]
-	if !st.inUse {
+	st := d.vfAt(idx)
+	if st == nil || !st.inUse {
 		return fmt.Errorf("hypervisor: VF %d not in use", idx)
 	}
 	d.lockVF(p, idx)
@@ -357,8 +394,8 @@ func (d *Device) RegenerateVFTree(p *sim.Proc, idx int) error {
 // flushBTLB=false exists only so tests can demonstrate the stale-mapping
 // hazard the flush prevents.
 func (d *Device) MigrateVFFile(p *sim.Proc, idx int, flushBTLB bool) error {
-	st := d.vfs[idx]
-	if !st.inUse || st.identity {
+	st := d.vfAt(idx)
+	if st == nil || !st.inUse || st.identity {
 		return fmt.Errorf("hypervisor: VF %d has no backing file", idx)
 	}
 	d.lockVF(p, idx)

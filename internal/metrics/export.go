@@ -99,8 +99,25 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			}
 		}
 	}
-	return nil
+	if r == nil {
+		return nil
+	}
+	// Synthesized trailer: the registry's own cardinality health. Emitted
+	// last (outside the sorted family walk) so it never interleaves with
+	// user families.
+	if _, err := fmt.Fprintf(w, "# HELP %s label sets aggregated into overflow series by the cardinality cap\n", droppedFamily); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", droppedFamily); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", droppedFamily, r.DroppedTotal())
+	return err
 }
+
+// droppedFamily is the synthesized registry-health counter both exporters
+// append: total label sets the cardinality cap aggregated away.
+const droppedFamily = "nesc_metrics_series_dropped_total"
 
 // JSON snapshot schema.
 
@@ -170,6 +187,17 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 			jf.Series = append(jf.Series, js)
 		}
 		fams = append(fams, jf)
+	}
+	if r != nil {
+		v := float64(r.DroppedTotal())
+		fams = append(fams, jsonFamily{
+			Name: droppedFamily,
+			Help: "label sets aggregated into overflow series by the cardinality cap",
+			Kind: "counter",
+			Series: []jsonSeries{
+				{Value: &v},
+			},
+		})
 	}
 	b, err := json.MarshalIndent(fams, "", "  ")
 	if err != nil {

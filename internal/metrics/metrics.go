@@ -44,8 +44,11 @@ func VFLabel(vf int) Labels { return Labels{VF: vf, Q: -1} }
 // VFQOp labels a series with the full triple.
 func VFQOp(vf, q int, op string) Labels { return Labels{VF: vf, Q: q, Op: op} }
 
-// MaxSeriesPerFamily caps label cardinality per metric family. The 65th
-// distinct label set of a family lands in a shared overflow series.
+// MaxSeriesPerFamily is the default per-family label-cardinality cap
+// (overridable per registry with SetSeriesCap). Distinct label sets beyond
+// the cap aggregate into shared per-op overflow series — the per-VF identity
+// is lost above the cap, the per-op totals are not — and every aggregated
+// set is counted (Dropped, nesc_metrics_series_dropped_total).
 const MaxSeriesPerFamily = 256
 
 // kind discriminates families for exporters.
@@ -97,6 +100,8 @@ type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
 	order    []*family
+	// seriesCap overrides MaxSeriesPerFamily when positive (SetSeriesCap).
+	seriesCap int
 }
 
 // New returns an empty, enabled registry.
@@ -106,6 +111,31 @@ func New() *Registry {
 
 // Enabled reports whether the registry records anything.
 func (r *Registry) Enabled() bool { return r != nil }
+
+// SetSeriesCap sets this registry's per-family series cap. A massive-tenancy
+// run that wants full per-VF latency series raises it; a tight exporter
+// budget lowers it. n < 1 restores the MaxSeriesPerFamily default. Already-
+// created series are never evicted — the cap gates creation only — so raise
+// it before traffic flows.
+func (r *Registry) SetSeriesCap(n int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n < 1 {
+		n = 0
+	}
+	r.seriesCap = n
+}
+
+// cap reports the effective per-family series cap. Callers hold r.mu.
+func (r *Registry) cap() int {
+	if r.seriesCap > 0 {
+		return r.seriesCap
+	}
+	return MaxSeriesPerFamily
+}
 
 // lookup finds or creates the (name, labels) series, enforcing the family
 // kind and the cardinality cap. Returns nil on a disabled registry.
@@ -127,11 +157,16 @@ func (r *Registry) lookup(name, help string, k kind, l Labels) *series {
 	if s, ok := f.series[l]; ok {
 		return s
 	}
-	if len(f.order) >= MaxSeriesPerFamily {
+	if len(f.order) >= r.cap() {
 		f.dropped++
-		// Collapse into the overflow series (created on first overflow so a
-		// family under the cap never pays for it).
+		// Aggregate into a shared overflow series rather than dropping the
+		// observation. The op dimension survives aggregation (one overflow
+		// series per op), so a 1024-VF run still separates read from write
+		// latency above the cap; only the per-VF identity collapses.
 		over := Labels{VF: -1, Q: -1, Op: "overflow"}
+		if l.Op != "" {
+			over.Op = l.Op + "_overflow"
+		}
 		if s, ok := f.series[over]; ok {
 			return s
 		}
@@ -196,6 +231,21 @@ func (r *Registry) Dropped(name string) int64 {
 		return f.dropped
 	}
 	return 0
+}
+
+// DroppedTotal sums the label sets every family refused (aggregated into
+// overflow series) under the cardinality cap.
+func (r *Registry) DroppedTotal() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var n int64
+	for _, f := range r.order {
+		n += f.dropped
+	}
+	return n
 }
 
 // Counter is a monotonically increasing count. Nil receivers no-op.

@@ -286,8 +286,14 @@ func TestJSONExport(t *testing.T) {
 	if err := json.Unmarshal(b.Bytes(), &fams); err != nil {
 		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, b.String())
 	}
-	if len(fams) != 2 || fams[0].Name != "nesc_a_total" || fams[1].Name != "nesc_b_ns" {
+	// User families in sorted order, then the synthesized cardinality-health
+	// trailer.
+	if len(fams) != 3 || fams[0].Name != "nesc_a_total" || fams[1].Name != "nesc_b_ns" ||
+		fams[2].Name != "nesc_metrics_series_dropped_total" {
 		t.Fatalf("unexpected families: %+v", fams)
+	}
+	if *fams[2].Series[0].Value != 0 {
+		t.Fatalf("dropped-series trailer non-zero on an uncapped registry: %+v", fams[2].Series[0])
 	}
 	if *fams[0].Series[0].VF != 3 || *fams[0].Series[0].Value != 2 {
 		t.Fatalf("counter series wrong: %+v", fams[0].Series[0])
@@ -306,4 +312,42 @@ func TestFamilyKindMismatchPanics(t *testing.T) {
 	r := New()
 	r.Counter("nesc_x", "", NoLabels)
 	r.Gauge("nesc_x", "", NoLabels)
+}
+
+func TestSeriesCapOverridePreservesOp(t *testing.T) {
+	r := New()
+	r.SetSeriesCap(4)
+	// Ten VFs, two ops: the first four label sets get real series, the rest
+	// aggregate into one overflow series per op — the op dimension survives
+	// the cardinality collapse.
+	for i := 0; i < 10; i++ {
+		r.Counter("nesc_ops_total", "", Labels{VF: i, Q: -1, Op: "read"}).Inc()
+		r.Counter("nesc_ops_total", "", Labels{VF: i, Q: -1, Op: "write"}).Inc()
+	}
+	if d := r.Dropped("nesc_ops_total"); d != 16 {
+		t.Fatalf("dropped = %d, want 16", d)
+	}
+	if v := r.Counter("nesc_ops_total", "", Labels{VF: -1, Q: -1, Op: "read_overflow"}).Value(); v != 8 {
+		t.Fatalf("read overflow = %d, want 8", v)
+	}
+	if v := r.Counter("nesc_ops_total", "", Labels{VF: -1, Q: -1, Op: "write_overflow"}).Value(); v != 8 {
+		t.Fatalf("write overflow = %d, want 8", v)
+	}
+	if total := r.DroppedTotal(); total != 16 {
+		t.Fatalf("DroppedTotal = %d, want 16", total)
+	}
+	// The exporter surfaces registry health as a synthesized counter.
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "nesc_metrics_series_dropped_total 16\n") {
+		t.Errorf("prometheus export missing dropped-series trailer:\n%s", buf.String())
+	}
+	// Resetting the cap restores the default for future series.
+	r.SetSeriesCap(0)
+	r.Counter("nesc_fresh_total", "", Labels{VF: 99, Q: -1}).Inc()
+	if d := r.Dropped("nesc_fresh_total"); d != 0 {
+		t.Fatalf("default cap dropped %d series on a fresh family", d)
+	}
 }

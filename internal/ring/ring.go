@@ -97,6 +97,35 @@ const (
 // MaxEntries bounds a ring's entry count.
 const MaxEntries = 1 << 16
 
+// Shadow-doorbell block layout. A queue pair may carry an optional 8-byte
+// host-memory block shared between driver and device (the NVMe shadow
+// doorbell / EventIdx scheme): the driver publishes every new producer index
+// in the SHADOW word with a plain memory write, and the device publishes the
+// producer index it has caught up to in the EVENT word before it goes idle.
+// The driver then rings the MMIO doorbell only when the device needs the
+// wakeup — when the device's published EVENT has reached the producer value
+// the driver last announced — and skips the write while the device is still
+// actively fetching behind it.
+const (
+	// ShadowBytes is the size of the per-queue shadow block.
+	ShadowBytes = 8
+	// ShadowOffProd is the offset of the driver-written SHADOW producer word.
+	ShadowOffProd = 0
+	// ShadowOffEvent is the offset of the device-written EVENT word: the
+	// producer index the device had consumed up to when it last went idle.
+	ShadowOffEvent = 4
+)
+
+// ShouldRing reports whether a submission that advances the producer index
+// from prevProd must ring the MMIO doorbell, given the device's published
+// EVENT word. The device is guaranteed awake only while it still has
+// unconsumed work the driver already announced; once event has caught up to
+// prevProd (modulo 2^32) the device may be parked and needs the doorbell.
+// Free-running indices make this a signed distance check.
+func ShouldRing(prevProd, event uint32) bool {
+	return int32(event-prevProd) >= 0
+}
+
 // ValidSize reports whether n is an acceptable ring size: a nonzero power of
 // two no larger than MaxEntries. Power-of-two sizes keep the free-running
 // index arithmetic exact across uint32 wraparound.
