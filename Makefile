@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 ci vet fmt-check build test race race-full chaos crash bench fabric-det scale-det
+.PHONY: tier1 ci vet fmt-check build test race race-full chaos crash bench fabric-det scale-det grayfail-det
 
 # tier1 is the seed acceptance gate: everything must build and pass.
 tier1: build test
@@ -11,7 +11,7 @@ tier1: build test
 # the full 64-point crash-recovery harness plus the exhaustive journal
 # crash-point sweep; test runs the whole suite without the race detector
 # (including the long tests -short skips, e.g. the golden experiment run).
-ci: vet fmt-check build test race crash fabric-det scale-det
+ci: vet fmt-check build test race crash fabric-det scale-det grayfail-det
 
 vet:
 	$(GO) vet ./...
@@ -60,6 +60,18 @@ fabric-det:
 	@cmp .fabric-det/a/fabric.json results/fabric.json
 	@rm -rf .fabric-det
 	@echo "results/fabric.json is deterministic and current"
+
+# grayfail-det does the same for the gray-failure experiment: hedged reads,
+# quarantine, roaming fail-slow pulses, and busy-shedding admission control
+# must all replay bit-identically from the same seed.
+grayfail-det:
+	@rm -rf .grayfail-det && mkdir -p .grayfail-det/a .grayfail-det/b
+	@$(GO) run ./cmd/nescbench -exp grayfail -json .grayfail-det/a > /dev/null
+	@$(GO) run ./cmd/nescbench -exp grayfail -json .grayfail-det/b > /dev/null
+	@cmp .grayfail-det/a/grayfail.json .grayfail-det/b/grayfail.json
+	@cmp .grayfail-det/a/grayfail.json results/grayfail.json
+	@rm -rf .grayfail-det
+	@echo "results/grayfail.json is deterministic and current"
 
 # scale-det does the same for the massive-tenancy scale experiment: two
 # fresh processes must produce byte-identical output matching the checked-in

@@ -365,6 +365,139 @@ func TestChaosSoakMultiQueue(t *testing.T) {
 	}
 }
 
+// runChaosFailSlow is the gray-failure soak: tenants keep writing and
+// verifying while a churner cyclically degrades the device (latency
+// multiplied and padded, ramping in) and restores it — the failure shape
+// where nothing ever errors, every operation is just chronically late. The
+// classic loud-fault plan stays armed underneath, so recovery machinery runs
+// against a device that is simultaneously slow and faulty.
+func runChaosFailSlow(t *testing.T, seed uint64, numVMs, rounds, stripeBlocks int) chaosResult {
+	t.Helper()
+	const blockSize = 1024
+	cfg := DefaultConfig()
+	cfg.UseIOMMU = true
+	cfg.Fault = chaosPlan(seed)
+	cfg.DriverTimeout = 3 * time.Millisecond
+	cfg.DriverRetryMax = 8
+	s := New(cfg)
+
+	diskBlocks := uint64(rounds * stripeBlocks * 2)
+	stripe := int64(stripeBlocks * blockSize)
+
+	err := s.Run(func(ctx *Ctx) error {
+		vms := make([]*VM, numVMs)
+		for i := range vms {
+			path := fmt.Sprintf("/tenant%d.img", i)
+			if err := ctx.CreateImage(path, uint32(100+i), int64(diskBlocks)*blockSize, true); err != nil {
+				return err
+			}
+			vm, err := ctx.StartVM(fmt.Sprintf("vm%d", i), BackendNeSC, path, uint32(100+i))
+			if err != nil {
+				return err
+			}
+			vms[i] = vm
+		}
+
+		// Degrade/recover churn: 3x latency plus 300us extra, ramping to full
+		// strength over 200us, held for 2ms, then cleared for 1ms. Every cycle
+		// crosses the workload mid-flight.
+		churn := ctx.Go("fail-slow-churn", func(c *Ctx) error {
+			for cycle := 0; cycle < 6; cycle++ {
+				c.Degrade(0, 3, 300*time.Microsecond, 200*time.Microsecond)
+				c.Sleep(2 * time.Millisecond)
+				c.ClearDegradations(0)
+				c.Sleep(1 * time.Millisecond)
+			}
+			return nil
+		})
+
+		tasks := make([]*Task, len(vms))
+		for i := range vms {
+			i, vm := i, vms[i]
+			tasks[i] = ctx.Go(fmt.Sprintf("fail-slow-worker-%d", i), func(c *Ctx) error {
+				want := make([]byte, stripe)
+				got := make([]byte, stripe)
+				for round := 0; round < rounds; round++ {
+					stripePattern(want, i, round)
+					if err := writeStripe(c, vm, want, int64(round)*stripe); err != nil {
+						return err
+					}
+					vr := round / 2
+					stripePattern(want, i, vr)
+					if err := readVerified(c, vm, want, got, int64(vr)*stripe); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		}
+		for _, tk := range tasks {
+			if err := tk.Wait(ctx); err != nil {
+				return err
+			}
+		}
+		if err := churn.Wait(ctx); err != nil {
+			return err
+		}
+		ctx.ClearDegradations(0)
+
+		// Final full readback at healthy speed: chronic slowness must never
+		// have turned into data loss.
+		want := make([]byte, stripe)
+		got := make([]byte, stripe)
+		for i, vm := range vms {
+			for round := 0; round < rounds; round++ {
+				stripePattern(want, i, round)
+				if err := readVerified(ctx, vm, want, got, int64(round)*stripe); err != nil {
+					return fmt.Errorf("final readback vm%d round %d: %w", i, round, err)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("fail-slow soak (seed %d): %v", seed, err)
+	}
+	return chaosResult{stats: s.Stats(), summary: s.FaultSummary(), vtime: s.Stats().VirtualTime}
+}
+
+// TestChaosSoakFailSlow asserts the fail-slow churn actually bit (degraded
+// operations and injected extra latency are both nonzero), that no acked
+// byte was lost under it, and that the whole degrade/recover schedule is
+// same-seed deterministic.
+func TestChaosSoakFailSlow(t *testing.T) {
+	numVMs, rounds, stripeBlocks := 2, 6, 8
+	if !testing.Short() {
+		numVMs, rounds, stripeBlocks = 3, 12, 16
+	}
+	a := runChaosFailSlow(t, 0x51085, numVMs, rounds, stripeBlocks)
+
+	st := a.stats
+	if st.DegradedOps == 0 {
+		t.Fatal("no operations paid fail-slow latency; the churn is inert")
+	}
+	if st.DegradedTime == 0 {
+		t.Error("DegradedOps moved but DegradedTime is zero")
+	}
+	if st.InjectedFaults == 0 {
+		t.Error("underlying loud-fault plan never fired")
+	}
+	t.Logf("fail-slow stats: degradedOps=%d degradedTime=%v faults=%d retries=%d timeouts=%d vtime=%v",
+		st.DegradedOps, st.DegradedTime, st.InjectedFaults, st.MediumRetries,
+		st.DriverTimeouts, st.VirtualTime)
+
+	b := runChaosFailSlow(t, 0x51085, numVMs, rounds, stripeBlocks)
+	if a.summary != b.summary {
+		t.Errorf("fault summaries diverge across same-seed runs:\n--- run A\n%s--- run B\n%s", a.summary, b.summary)
+	}
+	if a.stats != b.stats {
+		t.Errorf("stats diverge across same-seed runs:\nA: %+v\nB: %+v", a.stats, b.stats)
+	}
+	if a.vtime != b.vtime {
+		t.Errorf("virtual end time diverges: %v vs %v", a.vtime, b.vtime)
+	}
+}
+
 // corruptRegionLBA is the raw tenant's base on the corruption soak's smaller
 // (16 MB) medium — small enough that full-device scrub passes stay cheap.
 const corruptRegionLBA = 8000

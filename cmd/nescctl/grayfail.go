@@ -1,0 +1,239 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"nesc/internal/bench"
+	"nesc/internal/fabric"
+	"nesc/internal/fault"
+	"nesc/internal/guest"
+	"nesc/internal/hypervisor"
+	"nesc/internal/ring"
+	"nesc/internal/sim"
+	"nesc/internal/stats"
+)
+
+// runGrayFailDemo is the gray-failure walkthrough behind -grayfail: a 3-way
+// mirror with the fail-slow mitigation stack armed takes a chronic slow leg
+// in stride — hedged reads cap the stragglers, the windowed detector
+// quarantines the leg, probe reads let it win traffic back once it recovers —
+// and a single-device tenant then shows deadline propagation + admission
+// control converting unbounded queueing delay into immediate retryable busy.
+func runGrayFailDemo() error {
+	step := 0
+	say := func(format string, args ...any) {
+		step++
+		fmt.Printf("[%02d] ", step)
+		fmt.Printf(format+"\n", args...)
+	}
+	if err := grayMirrorDemo(say); err != nil {
+		return err
+	}
+	return grayAdmissionDemo(say)
+}
+
+// grayMirrorDemo runs the hedging/quarantine half of the walkthrough.
+func grayMirrorDemo(say func(string, ...any)) error {
+	cfg := bench.DefaultConfig()
+	cfg.NumDevices = 3
+	cfg.Fault = &fault.Plan{Seed: 7} // empty plan: just arms the injector
+	pl := bench.NewPlatform(cfg)
+	const stripe = 4096
+	const slots = 32
+	return pl.Run(func(p *sim.Proc) error {
+		if err := pl.Boot(p); err != nil {
+			return err
+		}
+		for _, d := range pl.Hyp.Devices() {
+			if err := d.MkImage(p, "/gray.img", 1, 512, false); err != nil {
+				return err
+			}
+		}
+		vm, err := pl.Hyp.NewMirroredVM(p, "gray", hypervisor.VMConfig{
+			Backend: hypervisor.BackendDirect, DiskPath: "/gray.img", UID: 1, Guest: pl.Cfg.Guest,
+		}, []int{0, 1, 2}, fabric.Config{
+			HedgePercentile: 95,
+			SlowFactor:      3, SlowWindow: 32, SlowBaseline: 16, SlowMinSamples: 4,
+			ProbeEvery: 8, QuarantineDuration: 2 * sim.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		say("3-way mirror up with the gray-failure stack armed: p95 hedged reads, fail-slow detector (3x baseline), probes every 8th read, 2ms quarantine")
+
+		bs := vm.Kernel.Drv.BlockSize()
+		stripeBlocks := int64(stripe / bs)
+		buf := make([]byte, stripe)
+		for s := 0; s < slots; s++ {
+			fill(buf, s)
+			if err := vm.Kernel.WriteBytes(p, int64(s)*stripe, buf); err != nil {
+				return err
+			}
+		}
+		warm := &stats.Sampler{}
+		if err := readBatch(p, vm, warm, slots, 64, stripeBlocks); err != nil {
+			return err
+		}
+		say("wrote and warm-read %d stripes: healthy read p99 %.0f us (EWMAs, hedge window, and per-leg baselines trained)", slots, warm.Percentile(99))
+
+		// The serving leg turns chronically slow: answers everything, late.
+		st := vm.Client.Status()
+		victim := 0
+		for i, s := range st {
+			if s.EWMARead < st[victim].EWMARead {
+				victim = i
+			}
+		}
+		pl.Inj.Degrade(fault.Degradation{
+			Device: st[victim].Dev, Start: p.Now(), Extra: 2 * sim.Millisecond,
+		})
+		say("device %d (the leg currently winning read steering) degraded: +2ms on every medium access, no errors — a pure gray failure", st[victim].Dev)
+
+		slow := &stats.Sampler{}
+		if err := readBatch(p, vm, slow, slots, 64, stripeBlocks); err != nil {
+			return err
+		}
+		say("64 reads through the fault: p99 %.0f us — %d hedged, %d won by the speculative leg; every read verified bit-exactly",
+			slow.Percentile(99), vm.Client.HedgedReads, vm.Client.HedgeWins)
+		if qs := vm.Client.Status()[victim]; qs.Quarantined {
+			say("the detector saw the leg's windowed p99 blow past 3x its learned baseline and quarantined it (state %q, %d quarantine(s))",
+				qs.State, vm.Client.Quarantines)
+		}
+
+		pl.Inj.ClearDegradations(st[victim].Dev)
+		p.Sleep(2500 * sim.Microsecond)
+		rec := &stats.Sampler{}
+		if err := readBatch(p, vm, rec, slots, 64, stripeBlocks); err != nil {
+			return err
+		}
+		say("degradation cleared and quarantine expired: %d rejoin(s), %d probe reads refreshed the stale estimate, read p99 back to %.0f us",
+			vm.Client.Rejoins, vm.Client.ProbeReads, rec.Percentile(99))
+		return nil
+	})
+}
+
+// grayAdmissionDemo runs the deadline + admission-control half.
+func grayAdmissionDemo(say func(string, ...any)) error {
+	cfg := bench.DefaultConfig()
+	cfg.Fault = &fault.Plan{Seed: 7}
+	cfg.Hyp.VFRequestTimeout = 0 // busy surfaces immediately, no driver retry
+	cfg.Hyp.VFRetryMax = 0
+	cfg.Hyp.VFDeadline = 400 * sim.Microsecond
+	cfg.Core.AdmitInflight = 8
+	pl := bench.NewPlatform(cfg)
+	const stripe = 4096
+	return pl.Run(func(p *sim.Proc) error {
+		if err := pl.Boot(p); err != nil {
+			return err
+		}
+		if err := pl.Hyp.Device(0).MkImage(p, "/adm.img", 1, 512, false); err != nil {
+			return err
+		}
+		vm, err := pl.Hyp.NewVM(p, "adm", hypervisor.VMConfig{
+			Backend: hypervisor.BackendDirect, DiskPath: "/adm.img", UID: 1, Guest: pl.Cfg.Guest,
+		})
+		if err != nil {
+			return err
+		}
+		say("single-device tenant with a 400us request deadline programmed in QRegDeadline and an 8-request admission budget")
+
+		bs := vm.Kernel.Drv.BlockSize()
+		stripeBlocks := int64(stripe / bs)
+		const writers, perWriter = 6, 12
+		wg := sim.NewWaitGroup(pl.Eng)
+		var ackedOps, shedOps int
+		var werr error
+		for wr := 0; wr < writers; wr++ {
+			wr := wr
+			addr := pl.Mem.MustAlloc(stripe, 64)
+			data, err := pl.Mem.Slice(addr, stripe)
+			if err != nil {
+				return err
+			}
+			wbuf := guest.Buffer{Addr: addr, Data: data}
+			wg.Add(1)
+			pl.Eng.Go(fmt.Sprintf("adm-writer-%d", wr), func(q *sim.Proc) {
+				defer wg.Done()
+				for i := 0; i < perWriter; i++ {
+					slot := wr*perWriter + i
+					fill(wbuf.Data, slot)
+					err := vm.Kernel.SubmitAligned(q, true, int64(slot)*stripeBlocks, wbuf)
+					switch {
+					case err == nil:
+						ackedOps++
+					case errors.Is(err, ring.ErrBusy):
+						shedOps++
+					default:
+						if werr == nil {
+							werr = fmt.Errorf("writer %d op %d: %w", wr, i, err)
+						}
+						return
+					}
+				}
+			})
+		}
+		p.Sleep(200 * sim.Microsecond)
+		pl.Inj.Degrade(fault.Degradation{Device: 0, Start: p.Now(), Duration: 3 * sim.Millisecond, Extra: 1 * sim.Millisecond})
+		say("%d concurrent writers in flight; the device just turned fail-slow (+1ms per medium access for 3ms)", writers)
+		wg.WaitFor(p)
+		if werr != nil {
+			return werr
+		}
+		pl.Inj.ClearDegradations(0)
+		say("workload done: %d ops acked, %d fast-failed StatusBusy instead of rotting in the queue (%d admission rejects, %d deadline expirations at later stages)",
+			ackedOps, shedOps, pl.Ctl.AdmitRejects, pl.Ctl.DeadlineExpirations)
+
+		// Busy is retryable, acked is durable: verify both halves.
+		got := make([]byte, stripe)
+		want := make([]byte, stripe)
+		lost := 0
+		for slot := 0; slot < writers*perWriter; slot++ {
+			fill(want, slot)
+			if err := vm.Kernel.ReadBytes(p, int64(slot)*stripe, got); err != nil {
+				return err
+			}
+			if !bytes.Equal(got, want) {
+				lost++
+			}
+		}
+		// Shed slots read back stale (all-zero) bytes until their writer
+		// retries; only slots the device *acknowledged* must match. Here every
+		// writer wrote each slot at most once, so mismatches == shed ops.
+		if lost > shedOps {
+			return fmt.Errorf("lost %d slots but only %d ops were shed: an acknowledged write vanished", lost, shedOps)
+		}
+		say("read-back after the fault: every acknowledged write intact; the %d busy-shed slots are exactly the ones awaiting a retry, virtual time %v",
+			lost, p.Now())
+		return nil
+	})
+}
+
+// readBatch drives n sequential verified reads across the slots and samples
+// their latency in microseconds.
+func readBatch(p *sim.Proc, vm *hypervisor.VM, samp *stats.Sampler, slots, n int, stripeBlocks int64) error {
+	const stripe = 4096
+	got := make([]byte, stripe)
+	want := make([]byte, stripe)
+	for i := 0; i < n; i++ {
+		slot := (i * 7) % slots
+		start := p.Now()
+		if err := vm.Kernel.ReadBytes(p, int64(slot)*stripe, got); err != nil {
+			return err
+		}
+		samp.Add(float64(p.Now()-start) / 1000)
+		fill(want, slot)
+		if !bytes.Equal(got, want) {
+			return fmt.Errorf("read %d (slot %d): bytes diverged from the oracle", i, slot)
+		}
+	}
+	return nil
+}
+
+// fill writes a deterministic per-slot pattern.
+func fill(buf []byte, slot int) {
+	for i := range buf {
+		buf[i] = byte(slot*37 + i*11 + 3)
+	}
+}

@@ -34,10 +34,17 @@ func main() {
 	fabricN := flag.Int("fabric", 0, "demo an N-device mirror fleet: synchronous replication, device kill, failover, resilver (needs N >= 2)")
 	migrate := flag.Bool("migrate", false, "demo a live VF migration between fleet devices (implies -fabric 2)")
 	scale := flag.Bool("scale", false, "demo massive tenancy: 1024 configured VFs, lazy materialization, pooled queue pairs, shadow doorbells")
+	grayfail := flag.Bool("grayfail", false, "demo gray-failure hardening: fail-slow injection, hedged reads, quarantine + probes, deadline + admission control")
 	flag.Parse()
 
 	if *scale {
 		if err := runScaleDemo(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *grayfail {
+		if err := runGrayFailDemo(); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -39,6 +39,31 @@ type MirrorConfig struct {
 	RegionBlocks int
 	// ResilverInterval paces background resilver copies.
 	ResilverInterval time.Duration
+
+	// The gray-failure mitigation stack (DESIGN.md §14); every field zero
+	// keeps the classic fail-stop-only behavior and schedule.
+
+	// HedgePercentile (0-100), when positive, arms hedged reads: a read the
+	// primary leg has not answered within that percentile of recent
+	// delivered read latency launches a speculative second read on the
+	// next-best leg; the first success wins. HedgeMinDelay floors the
+	// adaptive deadline so a cold window cannot make every read hedge.
+	HedgePercentile float64
+	HedgeMinDelay   time.Duration
+	// SlowFactor, when > 1, arms the per-leg fail-slow detector: a leg
+	// whose windowed read p99 exceeds SlowFactor x its learned healthy
+	// baseline is quarantined out of read steering (writes continue) for
+	// QuarantineDuration, then rejoins with a reset window. SlowWindow,
+	// SlowBaseline, and SlowMinSamples tune the detector (0 = defaults).
+	SlowFactor         float64
+	SlowWindow         int
+	SlowBaseline       int
+	SlowMinSamples     int
+	QuarantineDuration time.Duration
+	// ProbeEvery, when positive, sends every Nth read to the worst-EWMA
+	// eligible leg so a recovered leg's stale latency estimate refreshes
+	// and it can win steering back.
+	ProbeEvery int
 }
 
 // ReplicaStatus is one mirror leg's externally visible health.
@@ -70,11 +95,19 @@ func (c *Ctx) CreateImageOn(dev int, path string, uid uint32, sizeBytes int64, s
 // but one replica.
 func (c *Ctx) StartMirroredVM(name, diskPath string, uid uint32, devices []int, mc MirrorConfig) (*VM, error) {
 	fcfg := fabric.Config{
-		SuspectThreshold: mc.SuspectThreshold,
-		FailThreshold:    mc.FailThreshold,
-		RecoverThreshold: mc.RecoverThreshold,
-		RegionBlocks:     uint64(mc.RegionBlocks),
-		ResilverInterval: sim.Time(mc.ResilverInterval),
+		SuspectThreshold:   mc.SuspectThreshold,
+		FailThreshold:      mc.FailThreshold,
+		RecoverThreshold:   mc.RecoverThreshold,
+		RegionBlocks:       uint64(mc.RegionBlocks),
+		ResilverInterval:   sim.Time(mc.ResilverInterval),
+		HedgePercentile:    mc.HedgePercentile,
+		HedgeMinDelay:      sim.Time(mc.HedgeMinDelay),
+		SlowFactor:         mc.SlowFactor,
+		SlowWindow:         mc.SlowWindow,
+		SlowBaseline:       mc.SlowBaseline,
+		SlowMinSamples:     mc.SlowMinSamples,
+		QuarantineDuration: sim.Time(mc.QuarantineDuration),
+		ProbeEvery:         mc.ProbeEvery,
 	}
 	vm, err := c.s.pl.Hyp.NewMirroredVM(c.proc, name, hypervisor.VMConfig{
 		Backend:  hypervisor.BackendDirect,

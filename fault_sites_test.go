@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"nesc/internal/fault"
+	"nesc/internal/sim"
 )
 
 // Fault-site coverage: every injection site the fault package defines must
@@ -195,5 +196,104 @@ func TestFaultSiteTableCoverage(t *testing.T) {
 			continue
 		}
 		t.Logf("site %-16s ops=%-6d faults=%d", site, ops[site], faults[site])
+	}
+}
+
+// runDelayScenario drives one small seeded workload — two sparse-image
+// tenants writing and reading verified stripes through the lazy-allocation
+// path — with the given fault plan, and returns the injector (nil plan is
+// allowed) plus the workload's virtual-time duration.
+func runDelayScenario(t *testing.T, plan *FaultPlan) (*fault.Injector, time.Duration) {
+	t.Helper()
+	const blockSize = 1024
+	const rounds, stripeBlocks = 4, 8
+	cfg := DefaultConfig()
+	cfg.MediumMB = 16
+	cfg.UseIOMMU = true
+	cfg.Fault = plan
+	s := New(cfg)
+
+	stripe := int64(stripeBlocks * blockSize)
+	diskBytes := int64(rounds*stripeBlocks) * blockSize
+	var elapsed time.Duration
+	err := s.Run(func(ctx *Ctx) error {
+		if err := ctx.CreateImage("/delay.img", 9, diskBytes, true); err != nil {
+			return err
+		}
+		vm, err := ctx.StartVM("delay", BackendNeSC, "/delay.img", 9)
+		if err != nil {
+			return err
+		}
+		want := make([]byte, stripe)
+		got := make([]byte, stripe)
+		start := ctx.Now()
+		for round := 0; round < rounds; round++ {
+			stripePattern(want, 0, round)
+			if err := writeStripe(ctx, vm, want, int64(round)*stripe); err != nil {
+				return err
+			}
+			if err := readVerified(ctx, vm, want, got, int64(round)*stripe); err != nil {
+				return err
+			}
+		}
+		elapsed = ctx.Now() - start
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("delay scenario: %v", err)
+	}
+	return s.pl.Inj, elapsed
+}
+
+// TestFaultSiteDelayTable classifies every fault site by whether it honors
+// Decision.Delay, and proves it for the ones that do: arming DelayProb=1 on
+// exactly that site must both tick its Delays counter and stretch the same
+// seeded workload's virtual time past the fault-free baseline. Corruption
+// sites flip bits instead of stalling and the device-scoped sites model
+// availability, not latency — they are classified delay-less, and a new
+// enum entry fails the test until it is classified here.
+func TestFaultSiteDelayTable(t *testing.T) {
+	delayMeaningful := map[fault.Site]bool{
+		fault.MediumRead:         true,
+		fault.MediumWrite:        true,
+		fault.DMARead:            true,
+		fault.DMAWrite:           true,
+		fault.MSI:                true,
+		fault.MissHandler:        true,
+		fault.MediumCorruptRead:  false,
+		fault.MediumCorruptWrite: false,
+		fault.DMACorrupt:         false,
+		fault.DeviceKill:         false,
+		fault.DevicePartition:    false,
+	}
+	for site := fault.Site(0); site < fault.NumSites; site++ {
+		if _, ok := delayMeaningful[site]; !ok {
+			t.Fatalf("site %s not classified: add it to the delay table", site)
+		}
+	}
+	_, baseline := runDelayScenario(t, nil)
+	if baseline <= 0 {
+		t.Fatalf("baseline workload took no virtual time")
+	}
+	const extra = 100 * time.Microsecond
+	for site, meaningful := range delayMeaningful {
+		if !meaningful {
+			continue
+		}
+		site := site
+		t.Run(site.String(), func(t *testing.T) {
+			plan := &FaultPlan{Seed: 0xDE1A7}
+			plan.Sites[site] = FaultSiteParams{DelayProb: 1, Delay: sim.Time(extra)}
+			in, elapsed := runDelayScenario(t, plan)
+			delays := in.Delays(site)
+			if delays == 0 {
+				t.Fatalf("site %s: DelayProb=1 plan never injected a delay", site)
+			}
+			if elapsed <= baseline {
+				t.Fatalf("site %s: %d injected delays did not stretch the workload (baseline %v, delayed %v)",
+					site, delays, baseline, elapsed)
+			}
+			t.Logf("site %-14s delays=%-5d baseline=%v delayed=%v", site, delays, baseline, elapsed)
+		})
 	}
 }

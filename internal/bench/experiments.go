@@ -38,6 +38,7 @@ var registry = []Experiment{
 	{"snapshot", "Analysis: CoW snapshot cost (first-write fault latency, clone-fanout space)", Snapshot},
 	{"fabric", "Robustness: multi-device mirroring, failover, resilver, and live VF migration", Fabric},
 	{"scale", "Scaling: massive tenancy via lazy VF core, queue-pair pool, and shadow doorbells", Scale},
+	{"grayfail", "Robustness: fail-slow injection, hedged reads, quarantine, deadline + admission control", GrayFail},
 }
 
 // All lists every registered experiment.

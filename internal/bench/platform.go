@@ -155,11 +155,21 @@ func (pl *Platform) registerPlatformMetrics(reg *metrics.Registry) {
 		func() float64 { return float64(pl.Fab.DMAReadBytes) })
 	reg.GaugeFunc("nesc_fabric_dma_write_bytes_total", "device-initiated PCIe writes", no,
 		func() float64 { return float64(pl.Fab.DMAWriteBytes) })
+	reg.GaugeFunc("nesc_fabric_msis_dropped_total", "interrupts lost on the wire", no,
+		func() float64 { return float64(pl.Fab.DroppedMSIs) })
+	reg.GaugeFunc("nesc_fabric_msis_delayed_total", "interrupts delivered late", no,
+		func() float64 { return float64(pl.Fab.DelayedMSIs) })
 	if pl.Inj != nil {
 		reg.GaugeFunc("nesc_fault_injected_total", "faults injected across all sites", no,
 			func() float64 { return float64(pl.Inj.TotalFaults()) })
 		reg.GaugeFunc("nesc_fault_corruptions_total", "silent corruptions injected", no,
 			func() float64 { return float64(pl.Inj.CorruptionsInjected()) })
+		reg.GaugeFunc("nesc_fault_delays_total", "injected delay decisions across all sites", no,
+			func() float64 { return float64(pl.Inj.TotalDelays()) })
+		reg.GaugeFunc("nesc_fault_degraded_ops_total", "medium ops stretched by a fail-slow degradation", no,
+			func() float64 { return float64(pl.Inj.DegradedOps) })
+		reg.GaugeFunc("nesc_fault_degraded_ns_total", "total extra nanoseconds injected by degradations", no,
+			func() float64 { return float64(pl.Inj.DegradedTime) })
 	}
 }
 

@@ -314,8 +314,13 @@ func (m *Medium) Read(lba int64, p []byte, done func(error)) error {
 		return nil
 	}
 	dec := m.inj.MediumAccess(false, lba, int64(len(p)/m.store.blockSize))
+	// Fail-slow profiles add chronic extra latency on top of any one-shot
+	// injected delay; the base cost the slowdown factor scales is the
+	// operation's own service time (fixed latency + serialization).
+	slow := m.inj.DegradeDelay(m.dev,
+		m.params.ReadLatency+sim.BytesTime(int64(len(p)), m.params.ReadBandwidth), m.eng.Now())
 	m.readPort.Transfer(int64(len(p)), func() {
-		m.finish(dec.Delay, func() {
+		m.finish(dec.Delay+slow, func() {
 			if dec.Fault {
 				m.ReadFaults++
 				done(fmt.Errorf("%w: read of %d blocks at lba %d", ErrMedium, len(p)/m.store.blockSize, lba))
@@ -361,10 +366,12 @@ func (m *Medium) Write(lba int64, p []byte, done func(error)) error {
 		return nil
 	}
 	dec := m.inj.MediumAccess(true, lba, int64(len(p)/m.store.blockSize))
+	slow := m.inj.DegradeDelay(m.dev,
+		m.params.WriteLatency+sim.BytesTime(int64(len(p)), m.params.WriteBandwidth), m.eng.Now())
 	data := make([]byte, len(p))
 	copy(data, p)
 	m.writePort.Transfer(int64(len(p)), func() {
-		m.finish(dec.Delay, func() {
+		m.finish(dec.Delay+slow, func() {
 			if dec.Fault {
 				m.WriteFaults++
 				done(fmt.Errorf("%w: write of %d blocks at lba %d", ErrMedium, len(data)/m.store.blockSize, lba))

@@ -102,6 +102,14 @@ type Params struct {
 	// wire). Zero disables resending and leaves the event queue untouched.
 	MissResendInterval sim.Time
 
+	// AdmitInflight, when positive, bounds each VF's fetched-but-
+	// uncompleted requests: a descriptor fetched past the bound completes
+	// immediately with the retryable StatusBusy instead of entering the
+	// pipeline, so a deadline-sensitive tenant fails fast at the device
+	// rather than queueing behind work it can no longer use. Zero (the
+	// default) disables admission control entirely.
+	AdmitInflight int
+
 	// DeviceID identifies this controller within a multi-device fabric
 	// (default 0, the primary). It prefixes the device's PCIe function and
 	// pipeline-process names, stamps flight-recorder captures, and keys the
@@ -151,6 +159,7 @@ const (
 	StatusMediumError    = ring.StatusMediumError // medium error persisted through all retries
 	StatusAborted        = ring.StatusAborted     // request killed by a function-level reset
 	StatusIntegrityError = ring.StatusIntegrityError
+	StatusBusy           = ring.StatusBusy // admission control fast-fail (retryable)
 )
 
 // MSI vectors raised by the controller. Queue 0's completions keep the
@@ -195,6 +204,14 @@ type Request struct {
 	left   int    // chunks outstanding
 	epoch  uint32 // function reset epoch at fetch time; stale = aborted
 	qGen   uint32 // q's lease generation at fetch time; stale = drop completion
+
+	// deadline is the absolute abandon-by time stamped at fetch when the
+	// originating queue armed QRegDeadline (zero = no deadline). Every
+	// pipeline stage checks it and completes the request StatusBusy once
+	// it passes. admitted marks requests that entered the VF pipeline (and
+	// so were charged to the function's pending-chunk estimate).
+	deadline sim.Time
+	admitted bool
 
 	// Protection information (OpFlagPI). piGuard is the submitter's XOR of
 	// per-block CRCs from the descriptor; piAccum is the device-side
@@ -340,6 +357,16 @@ type Controller struct {
 	IntegrityErrors  int64 // requests latched StatusIntegrityError
 	IntegrityRepairs int64 // integrity failures healed by retry or scrub rewrite
 	ScrubChunks      int64 // verify chunks processed
+
+	// Admission-control / deadline stats.
+	AdmitRejects        int64 // requests fast-failed StatusBusy at the admission gate
+	DeadlineExpirations int64 // chunks abandoned StatusBusy past their deadline
+	// chunkEWMA is a timeless estimator of DTU chunk service time (updated
+	// by plain arithmetic on timestamps the DTU loop already takes, so it
+	// never perturbs the event schedule). The admission gate multiplies it
+	// by a function's pending chunks to decide whether a deadline-armed
+	// request can possibly finish in time.
+	chunkEWMA sim.Time
 
 	// Queue-pair pool stats.
 	QueueLeases     int64 // queue pairs leased to functions
@@ -605,6 +632,9 @@ type Function struct {
 	// through RegReset so the hypervisor can poll for drain.
 	resetEpoch uint32
 	inflight   int64
+	// pendingChunks counts blocks of admitted-but-uncompleted requests —
+	// the admission gate's backlog estimate for deadline feasibility.
+	pendingChunks int64
 
 	reqQ *sim.FIFO[*Request]
 	// plbaQ holds the VF's translated chunks awaiting a DMA channel (nil
@@ -633,6 +663,7 @@ type Function struct {
 	BadDoorbells     int64
 	IntegrityErrors  int64
 	IntegrityRepairs int64
+	AdmitRejects     int64
 }
 
 // fnQueue is one of a function's queue pairs: the guest-programmable ring
@@ -649,6 +680,11 @@ type fnQueue struct {
 	cplBase  int64
 	consumed uint32 // SQ consumer index (device side)
 	cplSeq   uint32 // CQ sequence counter
+	// deadline is the queue's per-request latency budget (QRegDeadline):
+	// every descriptor fetched from the queue is stamped with
+	// fetch-time + deadline and abandoned with the retryable StatusBusy
+	// once the stamp passes. Zero (the default) disarms.
+	deadline sim.Time
 	// shadowBase, when nonzero, is the host address of the queue's 8-byte
 	// shadow-doorbell block (ring.ShadowBytes): the guest publishes new
 	// producer indices there and the device publishes how far it consumed
@@ -674,6 +710,7 @@ func (q *fnQueue) clear() {
 	q.ringBase, q.ringSize, q.cplBase = 0, 0, 0
 	q.consumed, q.cplSeq = 0, 0
 	q.shadowBase = 0
+	q.deadline = 0
 }
 
 // leaseQueue binds a pooled queue pair to function f's slot qi. Returns nil

@@ -82,6 +82,9 @@ func (f *Function) drainTo(p *sim.Proc, q *fnQueue, prod uint32, desc []byte) {
 		op := ring.OpCode(rawOp)
 		req := &Request{fn: f, q: q, Op: op, ID: id, LBA: lba, Count: count, Buf: buf, left: int(count), epoch: f.resetEpoch, qGen: q.gen,
 			pi: rawOp&ring.OpFlagPI != 0, piGuard: guard, t0: tFetch}
+		if q.deadline > 0 {
+			req.deadline = tFetch + q.deadline
+		}
 		req.obs = c.P.CollectBreakdown || c.instrumented()
 		if req.obs {
 			req.span = c.Spans.Start(f.idx, q.idx, opName(op), id, lba, count, tFetch)
@@ -116,12 +119,56 @@ func (f *Function) drainTo(p *sim.Proc, q *fnQueue, prod uint32, desc []byte) {
 				}
 				c.dtuW.Release()
 			}
+		case c.admitBusy(f, req):
+			// Admission gate: the function is over its inflight budget, or
+			// the backlog estimate says this deadline-armed request cannot
+			// finish in time. Fail fast with the retryable busy status —
+			// nothing was executed, the driver backs off and resubmits.
+			req.status = StatusBusy
+			f.AdmitRejects++
+			c.AdmitRejects++
+			c.sendCompletion(p, req)
 		default:
+			req.admitted = true
+			f.pendingChunks += int64(count)
 			f.reqQ.Push(p, req)
 			c.muxNote(f)
 			c.muxW.Release()
 		}
 	}
+}
+
+// admitBusy is the per-VF admission gate, consulted at descriptor fetch.
+// Two triggers, both off by default: an AdmitInflight budget on fetched-but-
+// uncompleted requests, and — for deadline-armed requests — a feasibility
+// estimate (pending chunks × the DTU's chunk-service EWMA) showing the
+// request cannot complete inside its budget. Pure arithmetic on state the
+// fetch path already holds; with both knobs off it is two false branches.
+func (c *Controller) admitBusy(f *Function, req *Request) bool {
+	// f.inflight already counts this request (incremented at fetch), so a
+	// budget of N admits N concurrently.
+	if c.P.AdmitInflight > 0 && f.inflight > int64(c.P.AdmitInflight) {
+		return true
+	}
+	if req.deadline > 0 && c.chunkEWMA > 0 {
+		// Feasibility: could this request *start* before its deadline, given
+		// the function's queued work and the smoothed chunk service time?
+		// Only work ahead of the request counts — charging its own chunks
+		// would wedge the gate after a slow episode (an empty queue could
+		// never refresh the inflated EWMA, because refreshing it requires
+		// admitting something). Requests that slip past this estimate are
+		// still caught by the per-stage deadline checks downstream.
+		est := sim.Time(f.pendingChunks) * c.chunkEWMA
+		if req.t0+est > req.deadline {
+			return true
+		}
+	}
+	return false
+}
+
+// expired reports whether a deadline-armed request's budget has run out.
+func expired(r *Request, now sim.Time) bool {
+	return r.deadline > 0 && now >= r.deadline
 }
 
 // shadowFollow is the device half of shadow-doorbell batching. While the
@@ -218,6 +265,14 @@ func (c *Controller) muxLoop(p *sim.Proc) {
 			c.sendCompletion(p, req)
 			continue
 		}
+		if expired(req, p.Now()) {
+			// Deadline already blown waiting for the multiplexer: abandon
+			// before splitting — the submitter has moved on.
+			req.status = StatusBusy
+			c.DeadlineExpirations += int64(req.left)
+			c.sendCompletion(p, req)
+			continue
+		}
 		bs := int64(c.P.BlockSize)
 		for i := uint32(0); i < req.Count; i++ {
 			p.Sleep(c.P.MuxChunkTime)
@@ -242,6 +297,11 @@ func (c *Controller) walkerLoop(p *sim.Proc) {
 		f := ch.req.fn
 		if ch.req.epoch != f.resetEpoch {
 			c.completeChunk(p, ch, StatusAborted)
+			continue
+		}
+		if expired(ch.req, p.Now()) {
+			c.DeadlineExpirations++
+			c.completeChunk(p, ch, StatusBusy)
 			continue
 		}
 		if ch.req.obs {
@@ -433,6 +493,16 @@ func (c *Controller) dtuLoop(p *sim.Proc) {
 			c.completeChunk(p, ch, StatusAborted)
 			continue
 		}
+		if expired(ch.req, p.Now()) {
+			// Budget spent before the transfer even started: skip the medium
+			// entirely. Any sibling chunks that did land are harmless — busy
+			// completions are never acknowledged, and the retried write
+			// rewrites every block.
+			c.DeadlineExpirations++
+			c.completeChunk(p, ch, StatusBusy)
+			continue
+		}
+		tSvc := p.Now()
 		if ch.req.obs {
 			ch.tDTUIn = p.Now()
 			if ch.tTransOut != 0 { // OOB chunks skip translation
@@ -487,6 +557,14 @@ func (c *Controller) dtuLoop(p *sim.Proc) {
 					status = st
 				}
 			}
+		}
+		// Feed the chunk-service EWMA (integer arithmetic on timestamps the
+		// loop already took; alpha = 1/8). The admission gate multiplies it
+		// by a function's backlog for deadline feasibility.
+		if svc := p.Now() - tSvc; c.chunkEWMA == 0 {
+			c.chunkEWMA = svc
+		} else {
+			c.chunkEWMA += (svc - c.chunkEWMA) / 8
 		}
 		c.ChunksDone++
 		kind := trace.KindTransfer
@@ -661,6 +739,9 @@ func (c *Controller) sendCompletion(p *sim.Proc, r *Request) {
 	if f.inflight > 0 {
 		f.inflight--
 	}
+	if r.admitted {
+		f.pendingChunks -= int64(r.Count)
+	}
 	if r.pi && r.Op == OpWrite && r.status == StatusOK && r.piAccum != r.piGuard {
 		// The device's accumulated guard disagrees with what the submitter
 		// computed over the source buffer: the payload was corrupted between
@@ -681,9 +762,11 @@ func (c *Controller) sendCompletion(p *sim.Proc, r *Request) {
 		c.Metrics.Histogram(mRequestNs, familyHelp[mRequestNs], l).Observe(int64(p.Now() - r.t0))
 	}
 	c.Spans.Finish(r.span, p.Now(), r.status)
-	if r.status != StatusOK {
+	if r.status != StatusOK && r.status != StatusBusy {
 		// Terminal error: snapshot the event-ring tail and this request's
-		// span for post-mortem retrieval through the PF.
+		// span for post-mortem retrieval through the PF. Busy is exempt —
+		// it is backpressure, not a fault, and under sustained admission
+		// pressure it would flush every real error out of the buffer.
 		c.captureFlight(p.Now(), f.idx, r, "completion-error")
 	}
 	c.Tracer.Emit(trace.Event{At: p.Now(), Kind: trace.KindComplete, Fn: f.idx, LBA: r.LBA, Arg: uint64(r.status)})

@@ -2,6 +2,7 @@ package core
 
 import (
 	"nesc/internal/ring"
+	"nesc/internal/sim"
 )
 
 // BAR layout. Following the paper's prototype (§VI), the device's BAR is
@@ -51,6 +52,7 @@ const (
 	QRegDoorbell   = 0x18 // write: new producer index (4B)
 	QRegCplSeq     = 0x20 // RO: completion sequence counter (4B)
 	QRegShadow     = 0x28 // shadow-doorbell block host address, 0 disarms (8B)
+	QRegDeadline   = 0x30 // per-request deadline budget in ns, 0 disarms (8B)
 
 	// MaxQueuesPerFn bounds the queue pairs a function can expose (the block
 	// array must stay clear of the PF global registers at 0x800).
@@ -277,6 +279,8 @@ func (f *Function) queueRead(q int, qreg int64) uint64 {
 		return uint64(fq.cplBase)
 	case QRegCplSeq:
 		return uint64(fq.cplSeq)
+	case QRegDeadline:
+		return uint64(fq.deadline)
 	}
 	return 0
 }
@@ -345,7 +349,7 @@ func (f *Function) queueWrite(q int, qreg int64, val uint64) {
 	fq := f.queues[q]
 	if fq == nil {
 		switch qreg {
-		case QRegRingBase, QRegRingSize, QRegCplBase, QRegShadow:
+		case QRegRingBase, QRegRingSize, QRegCplBase, QRegShadow, QRegDeadline:
 			// First programming of this slot: lease queue-pair state from
 			// the device-wide pool. An exhausted pool ignores the write (the
 			// slot keeps reading zero, which the driver can observe).
@@ -393,6 +397,12 @@ func (f *Function) queueWrite(q int, qreg int64, val uint64) {
 		f.fetchW.Release()
 	case QRegShadow:
 		fq.shadowBase = int64(val)
+	case QRegDeadline:
+		// Relative per-request deadline budget: every request fetched from
+		// this queue is stamped fetch-time + budget, and admission control
+		// fast-fails it with StatusBusy once the stamp cannot be met. 0
+		// disarms (the reset state), keeping deadline-free schedules intact.
+		fq.deadline = sim.Time(val)
 	}
 }
 

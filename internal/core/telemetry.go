@@ -144,6 +144,8 @@ func (c *Controller) AttachTelemetry(reg *metrics.Registry, spans *trace.SpanRec
 		{"nesc_device_queue_returns_total", "queue pairs returned to the device pool", &c.QueueReturns},
 		{"nesc_device_queue_lease_fails_total", "ring programmings rejected by an exhausted pool", &c.QueueLeaseFails},
 		{"nesc_device_shadow_batches_total", "fetch batches initiated via shadow doorbells", &c.ShadowBatches},
+		{"nesc_device_admit_rejects_total", "requests fast-failed StatusBusy by per-VF admission control", &c.AdmitRejects},
+		{"nesc_device_deadline_expirations_total", "requests or chunks completed StatusBusy past their deadline", &c.DeadlineExpirations},
 	}
 	for _, ct := range counters {
 		v := ct.v

@@ -18,6 +18,7 @@ import (
 	"nesc/internal/hostmem"
 	"nesc/internal/ring"
 	"nesc/internal/sim"
+	"nesc/internal/stats"
 )
 
 // State is a replica's health state.
@@ -70,6 +71,41 @@ type Config struct {
 	// interval, the scavenger-priority budget that keeps rebuild I/O from
 	// starving foreground tenants.
 	ResilverInterval sim.Time
+
+	// Gray-failure (fail-slow) mitigation. All knobs default to 0 = off, and
+	// the off paths add no simulated events, so existing schedules replay
+	// bit-identically.
+
+	// HedgePercentile arms hedged reads: when a read's primary leg has not
+	// answered within this percentile of recent read latency, a speculative
+	// second read is launched to the next-best leg and the first success
+	// wins (the loser lands in a scratch buffer and is discarded). 0
+	// disables hedging; 95 is a sane production value.
+	HedgePercentile float64
+	// HedgeMinDelay floors the adaptive hedge deadline so a cold latency
+	// window cannot trigger hedges on every read (default 20us when hedging
+	// is armed).
+	HedgeMinDelay sim.Time
+	// HedgeWindow sizes the client-wide read-latency window the adaptive
+	// deadline is computed from (default 128 samples).
+	HedgeWindow int
+	// SlowFactor arms per-leg fail-slow detection: a leg whose windowed p99
+	// read latency exceeds SlowFactor x its learned healthy baseline is
+	// quarantined out of read steering (writes continue, so no redundancy is
+	// lost) until QuarantineDuration passes. 0 disables detection.
+	SlowFactor float64
+	// SlowWindow / SlowBaseline / SlowMinSamples tune the per-leg detector
+	// (defaults 64 / 32 / 16 samples).
+	SlowWindow, SlowBaseline, SlowMinSamples int
+	// QuarantineDuration is how long a flagged leg sits out of read steering
+	// before it rejoins with a reset detector window (default 2ms when
+	// detection is armed).
+	QuarantineDuration sim.Time
+	// ProbeEvery, when positive, sends every Nth read to the worst-EWMA
+	// eligible leg instead of the best — the probe traffic that lets a
+	// recovered leg's EWMA improve and win read steering back. 0 disables
+	// probing.
+	ProbeEvery int
 }
 
 // DefaultConfig returns hysteresis and pacing defaults.
@@ -100,6 +136,15 @@ type Replica struct {
 	dirty *extfs.DirtyLog
 	// ewmaRead is the smoothed read service time steering read placement.
 	ewmaRead float64
+	// slow is the per-leg fail-slow detector (nil until Cfg.SlowFactor arms
+	// detection and the leg sees its first successful read).
+	slow *stats.SlowDetector
+	// quarantined marks a leg flagged fail-slow: excluded from read steering
+	// (unless it is the only option) until quarantineEnd, when it rejoins
+	// with a reset detector window. Orthogonal to the fail-stop FSM — a
+	// quarantined leg still takes writes, so redundancy is preserved.
+	quarantined   bool
+	quarantineEnd sim.Time
 }
 
 // State reports the replica's health state.
@@ -153,9 +198,23 @@ type Client struct {
 	ResilverRegions  int64 // regions copied by the resilver
 	ResilverBlocks   int64 // blocks copied by the resilver
 	ResilverRestores int64 // Rebuilding → Healthy promotions
+	HedgedReads      int64 // speculative second reads launched
+	HedgeWins        int64 // hedges that delivered the data first
+	Quarantines      int64 // legs flagged fail-slow and pulled from reads
+	Rejoins          int64 // quarantined legs readmitted to read steering
+	ProbeReads       int64 // reads steered to the worst leg to refresh EWMA
 	// LastFailoverLatency is the time from a fenced device's first error to
 	// the fence (how long acked writes ran degraded-undetected).
 	LastFailoverLatency sim.Time
+
+	// readLat is the client-wide read-latency window the adaptive hedge
+	// deadline derives from (nil unless hedging is armed).
+	readLat *stats.Window
+	// readCount paces probe reads.
+	readCount int64
+	// hedgePool is a free list of scratch buffers for hedged reads (the
+	// loser of a hedge must never DMA into the guest's buffer).
+	hedgePool []scratch
 }
 
 // NewClient mirrors across the given replicas (at least one). All replicas
@@ -180,6 +239,17 @@ func NewClient(eng *sim.Engine, mem *hostmem.Memory, cfg Config, reps []*Replica
 	if cfg.ResilverInterval <= 0 {
 		cfg.ResilverInterval = def.ResilverInterval
 	}
+	if cfg.HedgePercentile > 0 {
+		if cfg.HedgeMinDelay <= 0 {
+			cfg.HedgeMinDelay = 20 * sim.Microsecond
+		}
+		if cfg.HedgeWindow <= 0 {
+			cfg.HedgeWindow = 128
+		}
+	}
+	if cfg.SlowFactor > 0 && cfg.QuarantineDuration <= 0 {
+		cfg.QuarantineDuration = 2 * sim.Millisecond
+	}
 	bs, capacity := reps[0].Drv.BlockSize(), reps[0].Drv.CapacityBlocks()
 	for _, r := range reps[1:] {
 		if r.Drv.BlockSize() != bs || r.Drv.CapacityBlocks() != capacity {
@@ -187,6 +257,9 @@ func NewClient(eng *sim.Engine, mem *hostmem.Memory, cfg Config, reps []*Replica
 		}
 	}
 	c := &Client{Eng: eng, Mem: mem, Cfg: cfg, reps: reps}
+	if cfg.HedgePercentile > 0 {
+		c.readLat = stats.NewWindow(cfg.HedgeWindow)
+	}
 	for _, r := range reps {
 		r.dirty = extfs.NewDirtyLog(uint64(capacity), cfg.RegionBlocks)
 	}
@@ -314,18 +387,42 @@ func (c *Client) submitWrite(p *sim.Proc, lba int64, buf guest.Buffer) error {
 
 func (c *Client) submitRead(p *sim.Proc, lba int64, buf guest.Buffer) error {
 	blocks := uint64(len(buf.Data) / c.BlockSize())
+	c.readCount++
+	probe := c.Cfg.ProbeEvery > 0 && c.readCount%int64(c.Cfg.ProbeEvery) == 0
 	tried := make(map[*Replica]bool, len(c.reps))
 	var firstErr error
-	for {
-		r := c.pickRead(uint64(lba), blocks, tried)
+	for attempt := 0; ; attempt++ {
+		var r *Replica
+		if probe && attempt == 0 {
+			// Probe tick: steer this read to the worst-EWMA eligible leg so a
+			// leg that lost read traffic keeps a live latency estimate and can
+			// win steering back once it recovers.
+			if r = c.pickProbe(uint64(lba), blocks); r != nil {
+				c.ProbeReads++
+			}
+		}
+		if r == nil {
+			r = c.pickRead(uint64(lba), blocks, tried)
+		}
 		if r == nil {
 			break
 		}
 		tried[r] = true
+		if c.Cfg.HedgePercentile > 0 {
+			err := c.hedgedRead(p, r, lba, buf, blocks, tried)
+			if err == nil {
+				return nil
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
 		start := p.Now()
 		err := r.Drv.Submit(p, false, lba, buf)
 		if err == nil {
 			c.observeRead(r, p.Now()-start)
+			c.observeDelivered(p.Now() - start)
 			c.reportSuccess(r)
 			return nil
 		}
@@ -351,14 +448,26 @@ func (c *Client) submitRead(p *sim.Proc, lba int64, buf guest.Buffer) error {
 
 // pickRead chooses the untried replica with the lowest smoothed read
 // latency whose data for the range is known-good: fenced legs and legs
-// whose dirty log intersects the range are ineligible.
+// whose dirty log intersects the range are ineligible. Quarantined
+// (fail-slow) legs are passed over unless no other leg can serve — a slow
+// answer still beats none.
 func (c *Client) pickRead(lba, blocks uint64, tried map[*Replica]bool) *Replica {
+	if best := c.pickBest(lba, blocks, tried, false); best != nil {
+		return best
+	}
+	return c.pickBest(lba, blocks, tried, true)
+}
+
+func (c *Client) pickBest(lba, blocks uint64, tried map[*Replica]bool, allowQuarantined bool) *Replica {
 	var best *Replica
 	for _, r := range c.reps {
 		if tried[r] || r.state == Failed {
 			continue
 		}
 		if r.dirty.Intersects(lba, blocks) {
+			continue
+		}
+		if !allowQuarantined && !c.admitRead(r) {
 			continue
 		}
 		if best == nil || r.ewmaRead < best.ewmaRead {
@@ -372,9 +481,12 @@ func (c *Client) observeRead(r *Replica, d sim.Time) {
 	const alpha = 0.25
 	if r.ewmaRead == 0 {
 		r.ewmaRead = float64(d)
-		return
+	} else {
+		r.ewmaRead += alpha * (float64(d) - r.ewmaRead)
 	}
-	r.ewmaRead += alpha * (float64(d) - r.ewmaRead)
+	if c.Cfg.SlowFactor > 0 {
+		c.observeSlow(r, d)
+	}
 }
 
 // reportFailure advances the health state machine on an I/O error, with

@@ -180,6 +180,7 @@ type ReplicaStatus struct {
 	DirtyRegions int
 	ConsecFails  int
 	EWMARead     sim.Time
+	Quarantined  bool
 }
 
 // Status snapshots every leg (degraded-mode reporting).
@@ -192,6 +193,7 @@ func (c *Client) Status() []ReplicaStatus {
 			DirtyRegions: r.dirty.DirtyRegions(),
 			ConsecFails:  r.consecFail,
 			EWMARead:     sim.Time(r.ewmaRead),
+			Quarantined:  r.quarantined,
 		}
 	}
 	return out

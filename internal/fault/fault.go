@@ -117,6 +117,35 @@ type Plan struct {
 	// PartitionDuration is how long a DevicePartition fault keeps the
 	// device unreachable (default 2ms when the site is armed).
 	PartitionDuration sim.Time
+	// Degradations are fail-slow profiles armed from the start: devices that
+	// turn chronically slow mid-run instead of failing loudly. Profiles draw
+	// no randomness — the extra latency is pure ramp arithmetic over virtual
+	// time — so arming one never perturbs any other site's fault sequence.
+	Degradations []Degradation
+}
+
+// Degradation is one persistent fail-slow profile: from Start the named
+// device's per-operation latency grows — linearly over Ramp — until the full
+// degradation holds, and stays degraded for Duration (0 = forever). The
+// slowdown has a multiplicative half (Factor scales the operation's base
+// service time) and an additive half (Extra flat latency per operation);
+// either alone suffices. Unlike SiteParams.Delay this is chronic, not
+// one-shot: every operation in the window pays, which is exactly the gray
+// failure a fail-stop detector cannot see.
+type Degradation struct {
+	// Device is the target device index (blockdev.Medium.DeviceIndex).
+	Device int
+	// Start is when the degradation begins.
+	Start sim.Time
+	// Ramp is how long the slowdown takes to reach full strength (0 = step).
+	Ramp sim.Time
+	// Duration bounds the degraded window measured from Start (0 = forever).
+	Duration sim.Time
+	// Factor multiplies the operation's base latency at full strength
+	// (e.g. 4.0 = 4x slower). Values <= 1 contribute nothing.
+	Factor float64
+	// Extra is flat added latency per operation at full strength.
+	Extra sim.Time
 }
 
 // Decision is the injector's verdict for one operation.
@@ -152,6 +181,9 @@ type Injector struct {
 	// time its current partition window ends.
 	killed      map[int]struct{}
 	partitioned map[int]sim.Time
+	// degr holds the live fail-slow profiles (plan-armed plus runtime
+	// Degrade calls), in arming order.
+	degr []Degradation
 
 	// LatentHits counts reads that failed on a latent sector; LatentAdded
 	// counts sectors latched latent by a faulted read; LatentCleared counts
@@ -165,6 +197,10 @@ type Injector struct {
 	// counts explicit revives; PartitionHits counts operations rejected
 	// because their device was killed or inside a partition window.
 	DeviceKills, DeviceRevives, PartitionHits int64
+	// DegradedOps counts operations that paid fail-slow latency;
+	// DegradedTime totals the extra latency injected by degradation profiles.
+	DegradedOps  int64
+	DegradedTime sim.Time
 }
 
 // NewInjector compiles a plan into a ready injector.
@@ -190,6 +226,7 @@ func NewInjector(plan Plan) *Injector {
 	for _, lba := range plan.CorruptSectors {
 		in.corrupt[lba] = struct{}{}
 	}
+	in.degr = append(in.degr, plan.Degradations...)
 	return in
 }
 
@@ -382,6 +419,83 @@ func (in *Injector) DeviceDead(dev int) bool {
 	return ok
 }
 
+// Degrade arms a fail-slow profile at runtime — the chaos-experiment form of
+// a medium that starts running hot mid-experiment. Safe on a nil receiver
+// (no-op).
+func (in *Injector) Degrade(d Degradation) {
+	if in == nil {
+		return
+	}
+	in.degr = append(in.degr, d)
+}
+
+// ClearDegradations drops every profile targeting dev (the component was
+// replaced or cooled off). Safe on a nil receiver.
+func (in *Injector) ClearDegradations(dev int) {
+	if in == nil {
+		return
+	}
+	kept := in.degr[:0]
+	for _, d := range in.degr {
+		if d.Device != dev {
+			kept = append(kept, d)
+		}
+	}
+	in.degr = kept
+}
+
+// DegradeDelay reports the extra fail-slow latency an operation on device dev
+// with base service time base pays at virtual time now, summed over every
+// active profile. The computation is pure ramp arithmetic — no PRNG stream is
+// touched — so armed degradations leave every fault schedule bit-identical.
+// Safe on a nil receiver (zero).
+func (in *Injector) DegradeDelay(dev int, base, now sim.Time) sim.Time {
+	if in == nil || len(in.degr) == 0 {
+		return 0
+	}
+	var extra sim.Time
+	for _, d := range in.degr {
+		if d.Device != dev || now < d.Start {
+			continue
+		}
+		if d.Duration > 0 && now >= d.Start+d.Duration {
+			continue
+		}
+		full := d.Extra
+		if d.Factor > 1 {
+			full += sim.Time(float64(base) * (d.Factor - 1))
+		}
+		if full <= 0 {
+			continue
+		}
+		if elapsed := now - d.Start; d.Ramp > 0 && elapsed < d.Ramp {
+			extra += sim.Time(float64(full) * float64(elapsed) / float64(d.Ramp))
+		} else {
+			extra += full
+		}
+	}
+	if extra > 0 {
+		in.DegradedOps++
+		in.DegradedTime += extra
+	}
+	return extra
+}
+
+// Degraded reports whether any profile is currently active for dev at time
+// now. Safe on a nil receiver.
+func (in *Injector) Degraded(dev int, now sim.Time) bool {
+	if in == nil {
+		return false
+	}
+	for _, d := range in.degr {
+		if d.Device == dev && now >= d.Start &&
+			(d.Duration == 0 || now < d.Start+d.Duration) {
+			return true
+		}
+	}
+	return false
+}
+
 // Ops reports how many decisions site s has made.
 func (in *Injector) Ops(s Site) int64 {
 	if in == nil {
@@ -396,6 +510,26 @@ func (in *Injector) Faults(s Site) int64 {
 		return 0
 	}
 	return in.faults[s]
+}
+
+// Delays reports how many operations site s has slowed via Decision.Delay.
+func (in *Injector) Delays(s Site) int64 {
+	if in == nil {
+		return 0
+	}
+	return in.delays[s]
+}
+
+// TotalDelays reports delay injections across all sites.
+func (in *Injector) TotalDelays() int64 {
+	if in == nil {
+		return 0
+	}
+	var t int64
+	for s := Site(0); s < NumSites; s++ {
+		t += in.delays[s]
+	}
+	return t
 }
 
 // TotalFaults reports faults across all sites.
@@ -504,5 +638,7 @@ func (in *Injector) Summary() string {
 		in.CorruptHits, in.CorruptAdded, in.CorruptCleared, len(in.corrupt))
 	fmt.Fprintf(&b, "  devices: kills=%d revives=%d rejected=%d dead=%d\n",
 		in.DeviceKills, in.DeviceRevives, in.PartitionHits, len(in.killed))
+	fmt.Fprintf(&b, "  degraded: ops=%d extra=%d live=%d\n",
+		in.DegradedOps, int64(in.DegradedTime), len(in.degr))
 	return b.String()
 }

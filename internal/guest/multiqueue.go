@@ -79,6 +79,26 @@ func (mq *MultiQueue) SetRecovery(timeout sim.Time, retryMax int) {
 	}
 }
 
+// SetDeadline programs every queue's per-request deadline budget, in queue
+// order. Zero is a no-op on every queue (no MMIO writes).
+func (mq *MultiQueue) SetDeadline(p *sim.Proc, d sim.Time) error {
+	for _, qp := range mq.queues {
+		if err := qp.SetDeadline(p, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BusyRejects totals StatusBusy completions across every queue.
+func (mq *MultiQueue) BusyRejects() int64 {
+	var n int64
+	for _, qp := range mq.queues {
+		n += qp.BusyRejects
+	}
+	return n
+}
+
 // SetPI enables end-to-end protection information on every queue.
 func (mq *MultiQueue) SetPI(blockBytes int) {
 	for _, qp := range mq.queues {

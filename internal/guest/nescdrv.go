@@ -58,6 +58,11 @@ type NescDriverConfig struct {
 	// recovery (see QueuePair). Zero Timeout disables it.
 	Timeout  sim.Time
 	RetryMax int
+	// Deadline, when positive, programs each queue's per-request latency
+	// budget (QRegDeadline): requests the device cannot finish inside it
+	// come back StatusBusy instead of queueing. Zero (the default) leaves
+	// the register untouched.
+	Deadline sim.Time
 	// Queues is the number of queue pairs to drive (0 means 1). The
 	// hypervisor tells the guest how many queues its VF exposes; it must not
 	// exceed the device's programmed per-function queue count.
@@ -90,6 +95,11 @@ func NewNescDriver(p *sim.Proc, eng *sim.Engine, cfg NescDriverConfig) (*NescDri
 	}
 	mq.SetPolicy(cfg.Policy)
 	mq.SetRecovery(cfg.Timeout, cfg.RetryMax)
+	if cfg.Deadline > 0 {
+		if err := mq.SetDeadline(p, cfg.Deadline); err != nil {
+			return nil, err
+		}
+	}
 	if !cfg.DisablePI {
 		mq.SetPI(cfg.BlockSize)
 	}

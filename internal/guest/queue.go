@@ -40,6 +40,9 @@ type QueuePair struct {
 	// shadowReg is the queue's shadow-doorbell register (always in the
 	// per-queue block; queue 0's block aliases the legacy layout).
 	shadowReg int64
+	// deadlineReg is the queue's per-request deadline-budget register
+	// (QRegDeadline, per-queue block only).
+	deadlineReg int64
 
 	ringBase hostmem.Addr
 	cplBase  hostmem.Addr
@@ -68,6 +71,13 @@ type QueuePair struct {
 	Timeout  sim.Time
 	RetryMax int
 
+	// Deadline, when positive, is the per-request latency budget programmed
+	// into the queue's QRegDeadline register (SetDeadline): the device
+	// abandons any request still unfinished past fetch-time + Deadline and
+	// completes it with the retryable StatusBusy. Zero leaves the register
+	// untouched — no MMIO write, no schedule change.
+	Deadline sim.Time
+
 	// piBlock, when positive, enables end-to-end protection information at
 	// that block granularity: writes carry a driver-computed guard in the
 	// descriptor, and read completions return a device-computed guard the
@@ -83,6 +93,7 @@ type QueuePair struct {
 	DoorbellsSkipped int64
 
 	// Recovery counters.
+	BusyRejects       int64 // StatusBusy completions (admission control / deadline expiry)
 	Timeouts          int64 // attempts that hit their deadline
 	Resubmits         int64 // requests reissued after a timeout or abort
 	PolledCompletions int64 // completions recovered by ring polling
@@ -137,9 +148,11 @@ func newQueuePair(p *sim.Proc, eng *sim.Engine, mem *hostmem.Memory, fab *pcie.F
 		qp.cplBaseReg = block + core.QRegCplBase
 		qp.doorbellReg = block + core.QRegDoorbell
 	}
-	// The shadow register has no legacy alias; queue 0 reaches it through
-	// its per-queue block like everyone else.
-	qp.shadowReg = pageBus + core.QueueRegBase + int64(queue)*core.QueueRegStride + core.QRegShadow
+	// The shadow and deadline registers have no legacy alias; queue 0
+	// reaches them through its per-queue block like everyone else.
+	block := pageBus + core.QueueRegBase + int64(queue)*core.QueueRegStride
+	qp.shadowReg = block + core.QRegShadow
+	qp.deadlineReg = block + core.QRegDeadline
 	var err error
 	if qp.ringBase, err = mem.Alloc(int64(entries)*ring.DescBytes, 64); err != nil {
 		return nil, err
@@ -195,6 +208,18 @@ func (qp *QueuePair) ArmShadow(p *sim.Proc) error {
 
 // ShadowArmed reports whether shadow-doorbell batching is enabled.
 func (qp *QueuePair) ShadowArmed() bool { return qp.shadowBase != 0 }
+
+// SetDeadline programs the queue's per-request deadline budget into
+// QRegDeadline and remembers it for Recover. A zero budget is never written:
+// the register resets to zero anyway, and skipping the write keeps the
+// deadline-free MMIO schedule byte-identical.
+func (qp *QueuePair) SetDeadline(p *sim.Proc, d sim.Time) error {
+	qp.Deadline = d
+	if d <= 0 {
+		return nil
+	}
+	return qp.fab.MMIOWrite(p, qp.deadlineReg, 8, uint64(d))
+}
 
 // SetPI enables end-to-end protection information on read/write submissions,
 // at the given device block size. Zero disables it.
@@ -282,13 +307,17 @@ func (qp *QueuePair) Submit(p *sim.Proc, op uint32, lba uint64, count uint32, bu
 			delete(qp.waiters, id) // the doorbell never rang; drop the waiter
 			return 0, err
 		}
-		piBad := false
+		piBad, busy := false, false
 		if w.sig.AwaitTimeout(p, qp.Timeout<<uint(attempt)) {
 			if !w.aborted {
-				if qp.completionOK(op, w, count, bufAddr) {
+				switch {
+				case w.status == ring.StatusBusy:
+					busy = true
+				case qp.completionOK(op, w, count, bufAddr):
 					return w.status, nil
+				default:
+					piBad = true
 				}
-				piBad = true
 			}
 		} else {
 			// Deadline hit: the completion MSI may have been lost while the
@@ -296,26 +325,39 @@ func (qp *QueuePair) Submit(p *sim.Proc, op uint32, lba uint64, count uint32, bu
 			qp.Timeouts++
 			qp.pollRing()
 			if w.sig.Fired() && !w.aborted {
-				if qp.completionOK(op, w, count, bufAddr) {
+				switch {
+				case w.status == ring.StatusBusy:
+					busy = true
+				case qp.completionOK(op, w, count, bufAddr):
 					return w.status, nil
+				default:
+					piBad = true
 				}
-				piBad = true
 			}
 		}
 		delete(qp.waiters, id) // a late completion for id becomes stale
 		if w.aborted {
 			qp.Aborts++
 		}
+		if busy {
+			qp.BusyRejects++
+		}
 		if piBad && !rootPIBad {
 			rootPIBad = true
 			rootStatus = w.status
 		}
 		if attempt >= qp.RetryMax {
-			status, err, overridden := finalVerdict(w.aborted, piBad, rootPIBad, rootStatus)
+			status, err, overridden := finalVerdict(w.aborted, piBad, busy, rootPIBad, rootStatus)
 			if overridden {
 				qp.RootCauseOverrides++
 			}
 			return status, err
+		}
+		if busy && qp.Timeout > 0 {
+			// The device fast-failed under admission pressure: back off
+			// before resubmitting, on the same exponential ladder a timeout
+			// would have used, so retries don't hammer a saturated function.
+			p.Sleep(qp.Timeout << uint(attempt))
 		}
 		qp.Resubmits++
 	}
@@ -355,7 +397,7 @@ func (qp *QueuePair) skipDoorbell(attempt int) bool {
 // ErrTimeout and the corruption would vanish from Stats and diagnostics.
 // It reports overridden=true when that promotion actually changed the
 // outcome (the final attempt itself was not the integrity failure).
-func finalVerdict(lastAborted, lastPIBad, rootPIBad bool, rootStatus uint32) (uint32, error, bool) {
+func finalVerdict(lastAborted, lastPIBad, lastBusy, rootPIBad bool, rootStatus uint32) (uint32, error, bool) {
 	overridden := rootPIBad && !lastPIBad
 	switch {
 	case rootPIBad && rootStatus == ring.StatusIntegrityError:
@@ -366,6 +408,10 @@ func finalVerdict(lastAborted, lastPIBad, rootPIBad bool, rootStatus uint32) (ui
 		return 0, ring.ErrIntegrity, overridden
 	case lastAborted:
 		return 0, ErrReset, false
+	case lastBusy:
+		// Admission control rejected every attempt: surface the busy status
+		// for the caller's StatusError map (ring.ErrBusy, retryable).
+		return ring.StatusBusy, nil, false
 	default:
 		return 0, ErrTimeout, false
 	}
@@ -470,6 +516,12 @@ func (qp *QueuePair) Recover(p *sim.Proc) error {
 		// or every post-reset Submit would skip doorbells the device no
 		// longer follows.
 		if err := qp.ArmShadow(p); err != nil {
+			return err
+		}
+	}
+	if qp.Deadline > 0 {
+		// The FLR also cleared the deadline register; re-arm it.
+		if err := qp.SetDeadline(p, qp.Deadline); err != nil {
 			return err
 		}
 	}

@@ -290,15 +290,21 @@ func TestRecoverAbortsAndRearms(t *testing.T) {
 // attempt's own timeout or abort.
 func TestFinalVerdictRootCause(t *testing.T) {
 	cases := []struct {
-		name                            string
-		lastAborted, lastPIBad, rootBad bool
-		rootStatus                      uint32
-		wantStatus                      uint32
-		wantErr                         error
-		wantOverride                    bool
+		name                                      string
+		lastAborted, lastPIBad, lastBusy, rootBad bool
+		rootStatus                                uint32
+		wantStatus                                uint32
+		wantErr                                   error
+		wantOverride                              bool
 	}{
 		{name: "pure timeout", wantErr: ErrTimeout},
 		{name: "pure abort", lastAborted: true, wantErr: ErrReset},
+		{name: "pure busy", lastBusy: true, wantStatus: ring.StatusBusy},
+		{
+			name:     "integrity root then final busy",
+			lastBusy: true, rootBad: true, rootStatus: ring.StatusIntegrityError,
+			wantStatus: ring.StatusIntegrityError, wantOverride: true,
+		},
 		{
 			name:    "device integrity root then timeouts",
 			rootBad: true, rootStatus: ring.StatusIntegrityError,
@@ -321,7 +327,7 @@ func TestFinalVerdictRootCause(t *testing.T) {
 		},
 	}
 	for _, tc := range cases {
-		st, err, over := finalVerdict(tc.lastAborted, tc.lastPIBad, tc.rootBad, tc.rootStatus)
+		st, err, over := finalVerdict(tc.lastAborted, tc.lastPIBad, tc.lastBusy, tc.rootBad, tc.rootStatus)
 		if st != tc.wantStatus || !errors.Is(err, tc.wantErr) || over != tc.wantOverride {
 			t.Errorf("%s: finalVerdict = (%d, %v, %v), want (%d, %v, %v)",
 				tc.name, st, err, over, tc.wantStatus, tc.wantErr, tc.wantOverride)

@@ -65,6 +65,11 @@ type Params struct {
 	// the fault-free event schedule exactly.
 	VFRequestTimeout sim.Time
 	VFRetryMax       int
+	// VFDeadline, when positive, programs each direct-assigned VF queue's
+	// per-request deadline budget (QRegDeadline): requests the device cannot
+	// finish inside it come back with the retryable StatusBusy instead of
+	// queueing behind a slow component. Zero (the default) writes nothing.
+	VFDeadline sim.Time
 	// DisablePI turns off end-to-end protection information on every ring
 	// driver the hypervisor sets up (the integrity-ablation knob). PI is
 	// timeless — pure guard arithmetic — so either setting yields the same
@@ -222,6 +227,9 @@ type DriverRecoveryStats struct {
 	// DoorbellsSkipped counts MMIO doorbells elided by shadow-doorbell
 	// batching across every armed driver queue.
 	DoorbellsSkipped int64
+	// BusyRejects counts StatusBusy completions (device admission control or
+	// deadline expiry) seen by every driver queue.
+	BusyRejects int64
 }
 
 // RecoveryStats sums driver recovery counters across all registered queue
@@ -241,6 +249,7 @@ func (h *Hypervisor) RecoveryStats() DriverRecoveryStats {
 			st.PIWriteErrors += qp.PIWriteErrors
 			st.RootCauseOverrides += qp.RootCauseOverrides
 			st.DoorbellsSkipped += qp.DoorbellsSkipped
+			st.BusyRejects += qp.BusyRejects
 		}
 	}
 	return st

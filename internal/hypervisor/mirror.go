@@ -41,6 +41,7 @@ func (h *Hypervisor) newVFDriver(p *sim.Proc, dev *Device, idx int, cfg VMConfig
 		BlockSize:       dev.Ctl.P.BlockSize,
 		Timeout:         h.P.VFRequestTimeout,
 		RetryMax:        h.P.VFRetryMax,
+		Deadline:        h.P.VFDeadline,
 		Queues:          queues,
 		Policy:          cfg.VFQueuePolicy,
 		DisablePI:       h.P.DisablePI,
@@ -144,6 +145,12 @@ type FabricStats struct {
 	ResilverRegions  int64
 	ResilverBlocks   int64
 	ResilverRestores int64
+	// Gray-failure mitigation counters (hedged reads / fail-slow quarantine).
+	HedgedReads int64
+	HedgeWins   int64
+	Quarantines int64
+	Rejoins     int64
+	ProbeReads  int64
 	// LastFailoverLatency is the largest fence latency any client observed.
 	LastFailoverLatency sim.Time
 }
@@ -171,6 +178,11 @@ func (h *Hypervisor) FabricStatsNow() FabricStats {
 		fs.ResilverRegions += c.ResilverRegions
 		fs.ResilverBlocks += c.ResilverBlocks
 		fs.ResilverRestores += c.ResilverRestores
+		fs.HedgedReads += c.HedgedReads
+		fs.HedgeWins += c.HedgeWins
+		fs.Quarantines += c.Quarantines
+		fs.Rejoins += c.Rejoins
+		fs.ProbeReads += c.ProbeReads
 		if c.LastFailoverLatency > fs.LastFailoverLatency {
 			fs.LastFailoverLatency = c.LastFailoverLatency
 		}

@@ -76,6 +76,7 @@ func (h *Hypervisor) RegisterMetrics(reg *metrics.Registry) {
 		{"nesc_driver_seq_gaps_total", "completion sequence gaps observed", func(s DriverRecoveryStats) int64 { return s.SeqGaps }},
 		{"nesc_driver_pi_mismatches_total", "driver-detected read-guard mismatches", func(s DriverRecoveryStats) int64 { return s.PIMismatches }},
 		{"nesc_driver_doorbells_skipped_total", "MMIO doorbells elided by shadow batching", func(s DriverRecoveryStats) int64 { return s.DoorbellsSkipped }},
+		{"nesc_driver_busy_rejects_total", "submissions the device fast-failed StatusBusy (admission control or deadline)", func(s DriverRecoveryStats) int64 { return s.BusyRejects }},
 	}
 	for _, rc := range recovery {
 		get := rc.get

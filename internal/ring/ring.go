@@ -54,6 +54,13 @@ func PIGuard(p []byte, blockBytes int) uint32 {
 // the driver's own end-to-end PI verification. Match with errors.Is.
 var ErrIntegrity = errors.New("nesc: data integrity error (guard mismatch)")
 
+// ErrBusy is the driver-visible sentinel for an admission-control fast-fail
+// (StatusBusy): the device rejected the request before executing anything
+// because the function's inflight budget was exhausted or its deadline could
+// no longer be met. Always retryable — nothing was read or written. Match
+// with errors.Is.
+var ErrBusy = errors.New("nesc: device busy (admission control)")
+
 // Wire sizes.
 const (
 	// DescBytes is the submission descriptor size.
@@ -92,6 +99,7 @@ const (
 	StatusMediumError    = 5 // medium error persisted through all retries
 	StatusAborted        = 6 // request killed by a function-level reset
 	StatusIntegrityError = 7 // guard-tag mismatch persisted through all retries
+	StatusBusy           = 8 // admission control fast-fail: retryable, nothing executed
 )
 
 // MaxEntries bounds a ring's entry count.
@@ -236,6 +244,8 @@ func StatusError(status uint32) error {
 		return fmt.Errorf("nesc: request aborted by reset")
 	case StatusIntegrityError:
 		return fmt.Errorf("%w (unrecovered by device retries)", ErrIntegrity)
+	case StatusBusy:
+		return fmt.Errorf("%w (retry budget exhausted)", ErrBusy)
 	default:
 		return fmt.Errorf("nesc: device status %d", status)
 	}

@@ -106,6 +106,19 @@ type Config struct {
 	DriverTimeout time.Duration
 	// DriverRetryMax is the per-request resubmission budget.
 	DriverRetryMax int
+	// DriverDeadline, when positive, programs each direct-assigned VF
+	// queue's per-request deadline budget into the device (QRegDeadline):
+	// a request the device cannot finish inside the budget is abandoned at
+	// its next pipeline stage and completed with the retryable busy status,
+	// which the driver retries with backoff (surfacing ErrBusy past the
+	// retry budget). Zero (the default) programs nothing and preserves the
+	// event schedule exactly.
+	DriverDeadline time.Duration
+	// AdmitInflight, when positive, bounds each VF's fetched-but-uncompleted
+	// requests at the device: a descriptor fetched past the bound fast-fails
+	// with the retryable busy status instead of queueing. Zero disables
+	// admission control.
+	AdmitInflight int
 	// QueuesPerVF sets how many queue pairs each function exposes (default
 	// 1, the paper's layout). Guests with a directly assigned VF run one
 	// thin ring driver per queue behind a multi-queue mux; the device
@@ -157,7 +170,16 @@ var (
 	// ErrIntegrity reports a guard-tag mismatch that survived every retry —
 	// detected corruption is never returned as clean data.
 	ErrIntegrity = ring.ErrIntegrity
+	// ErrBusy reports a request the device's admission control fast-failed
+	// on every attempt (retryable: nothing was executed).
+	ErrBusy = ring.ErrBusy
 )
+
+// FaultDegradation is a persistent fail-slow profile: a device whose
+// operations still succeed but run chronically late (sustained slowdown
+// factor and/or flat extra latency, optionally ramping in). Attach profiles
+// to FaultPlan.Degradations or inject at runtime with Ctx.Degrade.
+type FaultDegradation = fault.Degradation
 
 // The injection sites.
 const (
@@ -215,6 +237,8 @@ func newSimulation(cfg Config, seed *blockdev.Store) *Simulation {
 	bcfg.Hyp.UseIOMMU = cfg.UseIOMMU
 	bcfg.Hyp.VFRequestTimeout = sim.Time(cfg.DriverTimeout)
 	bcfg.Hyp.VFRetryMax = cfg.DriverRetryMax
+	bcfg.Hyp.VFDeadline = sim.Time(cfg.DriverDeadline)
+	bcfg.Core.AdmitInflight = cfg.AdmitInflight
 	bcfg.Hyp.DisablePI = cfg.DisablePI
 	bcfg.Fault = cfg.Fault
 	bcfg.NumDevices = cfg.Devices
@@ -341,6 +365,26 @@ type ScrubReport = hypervisor.ScrubReport
 // Scrub synchronously verifies every block on the physical device through
 // the PF, repairing any guard failures it finds.
 func (c *Ctx) Scrub() ScrubReport { return c.s.pl.Hyp.ScrubPass(c.proc) }
+
+// Degrade arms a fail-slow degradation of device dev starting now: every
+// medium access multiplies its base latency by factor and adds extra,
+// ramping to full strength over ramp (0 = step). The component keeps
+// answering — just chronically late — which is exactly the gray failure the
+// fabric's hedging and quarantine machinery mitigates. Requires a fault
+// plan (Config.Fault; an empty plan suffices); without one this is a no-op.
+func (c *Ctx) Degrade(dev int, factor float64, extra, ramp time.Duration) {
+	c.s.pl.Inj.Degrade(fault.Degradation{
+		Device: dev,
+		Start:  c.proc.Now(),
+		Ramp:   sim.Time(ramp),
+		Factor: factor,
+		Extra:  sim.Time(extra),
+	})
+}
+
+// ClearDegradations drops every fail-slow profile targeting device dev (the
+// component was replaced or recovered).
+func (c *Ctx) ClearDegradations(dev int) { c.s.pl.Inj.ClearDegradations(dev) }
 
 // CrashAt runs the workload like Run but cuts power at virtual time t: the
 // simulation stops dead, in-flight requests, ring state, page cache and all.
@@ -518,6 +562,26 @@ type Stats struct {
 	// scrubber; ScrubChunks counts verify chunks the device serviced.
 	ScrubPasses, ScrubBlocks, ScrubRepairs, ScrubChunks int64
 
+	// Gray-failure counters (all zero with fail-slow injection and its
+	// mitigations off).
+
+	// DegradedOps counts operations slowed by an armed fail-slow
+	// degradation; DegradedTime is the total extra latency inflicted.
+	DegradedOps  int64
+	DegradedTime time.Duration
+	// AdmitRejects counts requests the device's admission control
+	// fast-failed busy; DeadlineExpirations counts chunks abandoned past
+	// their deadline budget.
+	AdmitRejects, DeadlineExpirations int64
+	// BusyRejects counts busy completions observed by the ring drivers.
+	BusyRejects int64
+	// HedgedReads counts speculative second reads launched by mirror
+	// clients; HedgeWins counts hedges that beat the primary leg.
+	HedgedReads, HedgeWins int64
+	// Quarantines / Rejoins count fail-slow legs held out of read steering
+	// and readmitted; ProbeReads counts steering probes to slow legs.
+	Quarantines, Rejoins, ProbeReads int64
+
 	// Snapshot / clone counters (all zero until a snapshot is taken).
 
 	// Snapshots counts snapshots captured (clones included); Clones counts
@@ -540,9 +604,13 @@ func (s *Simulation) Stats() Stats {
 	ctl := s.pl.Ctl
 	drv := s.pl.Hyp.RecoveryStats()
 	var latentHits, latentRepaired int64
+	var degradedOps int64
+	var degradedTime time.Duration
 	if inj := s.pl.Inj; inj != nil {
 		latentHits, latentRepaired = inj.LatentHits, inj.LatentCleared
+		degradedOps, degradedTime = inj.DegradedOps, time.Duration(inj.DegradedTime)
 	}
+	fab := s.pl.Hyp.FabricStatsNow()
 	return Stats{
 		BTLBHitRate:      ctl.BTLBStats.Rate(),
 		BTLBHits:         ctl.BTLBStats.Hits,
@@ -589,6 +657,17 @@ func (s *Simulation) Stats() Stats {
 		ScrubBlocks:         s.pl.Hyp.ScrubBlocks,
 		ScrubRepairs:        s.pl.Hyp.ScrubRepairs,
 		ScrubChunks:         ctl.ScrubChunks,
+
+		DegradedOps:         degradedOps,
+		DegradedTime:        degradedTime,
+		AdmitRejects:        ctl.AdmitRejects,
+		DeadlineExpirations: ctl.DeadlineExpirations,
+		BusyRejects:         drv.BusyRejects,
+		HedgedReads:         fab.HedgedReads,
+		HedgeWins:           fab.HedgeWins,
+		Quarantines:         fab.Quarantines,
+		Rejoins:             fab.Rejoins,
+		ProbeReads:          fab.ProbeReads,
 
 		Snapshots:         s.pl.Hyp.Snapshots,
 		Clones:            s.pl.Hyp.Clones,
