@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 ci vet fmt-check build test race race-full chaos crash bench fabric-det scale-det grayfail-det
+.PHONY: tier1 ci vet fmt-check build test race race-full chaos crash bench fabric-det scale-det grayfail-det slo-det profile
 
 # tier1 is the seed acceptance gate: everything must build and pass.
 tier1: build test
@@ -11,7 +11,7 @@ tier1: build test
 # the full 64-point crash-recovery harness plus the exhaustive journal
 # crash-point sweep; test runs the whole suite without the race detector
 # (including the long tests -short skips, e.g. the golden experiment run).
-ci: vet fmt-check build test race crash fabric-det scale-det grayfail-det
+ci: vet fmt-check build test race crash fabric-det scale-det grayfail-det slo-det
 
 vet:
 	$(GO) vet ./...
@@ -72,6 +72,25 @@ grayfail-det:
 	@cmp .grayfail-det/a/grayfail.json results/grayfail.json
 	@rm -rf .grayfail-det
 	@echo "results/grayfail.json is deterministic and current"
+
+# slo-det does the same for the observability experiment: attribution
+# tables, the p99 explainer's verdicts, burn-alert timing, and scoreboard
+# counts must all replay bit-identically from the same seed.
+slo-det:
+	@rm -rf .slo-det && mkdir -p .slo-det/a .slo-det/b
+	@$(GO) run ./cmd/nescbench -exp slo -json .slo-det/a > /dev/null
+	@$(GO) run ./cmd/nescbench -exp slo -json .slo-det/b > /dev/null
+	@cmp .slo-det/a/slo.json .slo-det/b/slo.json
+	@cmp .slo-det/a/slo.json results/slo.json
+	@rm -rf .slo-det
+	@echo "results/slo.json is deterministic and current"
+
+# profile is the tier-2 attribution report: run every experiment with the
+# causal-attribution layer armed and emit the per-{vf,op} latency budget
+# table plus p99 explainer verdicts as results/attribution.json.
+profile:
+	$(GO) run ./cmd/nescbench -exp all -attrib results/attribution.json > /dev/null
+	@echo "wrote results/attribution.json"
 
 # scale-det does the same for the massive-tenancy scale experiment: two
 # fresh processes must produce byte-identical output matching the checked-in

@@ -21,6 +21,7 @@ import (
 
 	"nesc/internal/bench"
 	"nesc/internal/metrics"
+	"nesc/internal/slo"
 	"nesc/internal/stats"
 	"nesc/internal/trace"
 )
@@ -33,6 +34,7 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write Prometheus text-format metrics accumulated across the run to this file")
 	traceJSON := flag.String("trace-json", "", "write the last recorded request spans as Chrome trace-event JSON to this file")
 	spanN := flag.Int("spans", 4096, "request spans to retain for -trace-json")
+	attribOut := flag.String("attrib", "", "write the per-{vf,op} latency attribution report (budget table + p99 explainer) as JSON to this file")
 	flag.Parse()
 
 	if *list {
@@ -55,6 +57,11 @@ func main() {
 	if *traceJSON != "" {
 		spans = trace.NewSpanRecorder(*spanN)
 		cfg.Spans = spans
+	}
+	var attrib *slo.Attributor
+	if *attribOut != "" {
+		attrib = slo.NewAttributor(4096)
+		cfg.Attrib = attrib
 	}
 	var exps []bench.Experiment
 	if *exp == "all" {
@@ -102,6 +109,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d spans to %s (load at ui.perfetto.dev)\n", spans.Total, *traceJSON)
+	}
+	if attrib != nil {
+		if err := writeFile(*attribOut, attrib.WriteReport); err != nil {
+			fmt.Fprintf(os.Stderr, "-attrib: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote latency attribution for %d {vf,op} rows to %s\n", len(attrib.Rows()), *attribOut)
 	}
 }
 

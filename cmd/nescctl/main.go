@@ -35,6 +35,7 @@ func main() {
 	migrate := flag.Bool("migrate", false, "demo a live VF migration between fleet devices (implies -fabric 2)")
 	scale := flag.Bool("scale", false, "demo massive tenancy: 1024 configured VFs, lazy materialization, pooled queue pairs, shadow doorbells")
 	grayfail := flag.Bool("grayfail", false, "demo gray-failure hardening: fail-slow injection, hedged reads, quarantine + probes, deadline + admission control")
+	top := flag.Bool("top", false, "demo the observability layer and print the health snapshot: latency attribution, per-tenant SLO burn alerts, anomaly scoreboard")
 	flag.Parse()
 
 	if *scale {
@@ -45,6 +46,12 @@ func main() {
 	}
 	if *grayfail {
 		if err := runGrayFailDemo(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *top {
+		if err := runTopDemo(); err != nil {
 			log.Fatal(err)
 		}
 		return

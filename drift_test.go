@@ -1,0 +1,173 @@
+package nesc
+
+// Drift lint between the two telemetry surfaces: every counter/gauge field
+// in the public Stats snapshot must have a corresponding family in the
+// metrics registry export, so a dashboard built on either surface sees the
+// same signals. The mapping below is the contract — adding a Stats field
+// without registering a metric family (or vice versa: mapping a family that
+// never registers) fails this test, which is exactly the drift it exists to
+// catch. Fields with a documented reason to stay snapshot-only go in
+// statsFieldExempt instead, never silently.
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// statsMetricFamily maps each Stats field to the registry family exporting
+// the same signal.
+var statsMetricFamily = map[string]string{
+	"BTLBHitRate":         "nesc_device_btlb_hit_rate",
+	"BTLBHits":            "nesc_device_btlb_hits_total",
+	"BTLBMisses":          "nesc_device_btlb_misses_total",
+	"WalkNodeReads":       "nesc_device_walk_node_reads_total",
+	"MissInterrupts":      "nesc_hyp_miss_interrupts_total",
+	"MediumReadBytes":     "nesc_medium_read_bytes_total",
+	"MediumWriteBytes":    "nesc_medium_write_bytes_total",
+	"DMAReadBytes":        "nesc_fabric_dma_read_bytes_total",
+	"DMAWriteBytes":       "nesc_fabric_dma_write_bytes_total",
+	"InjectedFaults":      "nesc_fault_injected_total",
+	"MediumErrors":        "nesc_device_medium_errors_total",
+	"MediumRetries":       "nesc_device_medium_retries_total",
+	"DMAFaultsInjected":   "nesc_device_dma_faults_total",
+	"DroppedMSIs":         "nesc_fabric_msis_dropped_total",
+	"FetchDrops":          "nesc_device_fetch_drops_total",
+	"CplDrops":            "nesc_device_cpl_drops_total",
+	"DriverTimeouts":      "nesc_driver_timeouts_total",
+	"DriverResubmits":     "nesc_driver_resubmits_total",
+	"PolledCompletions":   "nesc_driver_polled_cpls_total",
+	"StaleCompletions":    "nesc_driver_stale_cpls_total",
+	"SeqGaps":             "nesc_driver_seq_gaps_total",
+	"VFResets":            "nesc_hyp_vf_resets_total",
+	"MissFaults":          "nesc_hyp_miss_faults_total",
+	"BadRingWrites":       "nesc_device_bad_ring_writes_total",
+	"BadDoorbells":        "nesc_device_bad_doorbells_total",
+	"LatentHits":          "nesc_fault_latent_hits_total",
+	"LatentRepaired":      "nesc_fault_latent_repaired_total",
+	"IntegrityErrors":     "nesc_device_integrity_errors_total",
+	"IntegrityRepairs":    "nesc_device_integrity_repairs_total",
+	"CorruptionsInjected": "nesc_fault_corruptions_total",
+	"LatentOutstanding":   "nesc_fault_latent_outstanding",
+	"CorruptOutstanding":  "nesc_fault_corrupt_outstanding",
+	"PIMismatches":        "nesc_driver_pi_mismatches_total",
+	"PIWriteErrors":       "nesc_driver_pi_write_errors_total",
+	"RootCauseOverrides":  "nesc_driver_root_cause_overrides_total",
+	"MediumGuardErrors":   "nesc_medium_guard_errors_total",
+	"RecoveryReads":       "nesc_medium_recovery_reads_total",
+	"ScrubPasses":         "nesc_scrub_passes_total",
+	"ScrubBlocks":         "nesc_scrub_blocks_total",
+	"ScrubRepairs":        "nesc_scrub_repairs_total",
+	"ScrubChunks":         "nesc_device_scrub_chunks_total",
+	"DegradedOps":         "nesc_fault_degraded_ops_total",
+	"DegradedTime":        "nesc_fault_degraded_ns_total",
+	"AdmitRejects":        "nesc_device_admit_rejects_total",
+	"DeadlineExpirations": "nesc_device_deadline_expirations_total",
+	"BusyRejects":         "nesc_driver_busy_rejects_total",
+	"HedgedReads":         "nesc_fabric_hedged_reads_total",
+	"HedgeWins":           "nesc_fabric_hedge_wins_total",
+	"Quarantines":         "nesc_fabric_quarantines_total",
+	"Rejoins":             "nesc_fabric_rejoins_total",
+	"ProbeReads":          "nesc_fabric_probe_reads_total",
+	"SLOAlerts":           "nesc_slo_alerts_total",
+	"AnomalyEvents":       "nesc_scoreboard_events_total",
+	"Snapshots":           "nesc_hyp_snapshots_total",
+	"Clones":              "nesc_hyp_clones_total",
+	"CowFaults":           "nesc_device_cow_faults_total",
+	"CowBreaks":           "nesc_hyp_cow_breaks_total",
+	"BTLBInvalidations":   "nesc_device_btlb_invalidations_total",
+	"SharedBlocks":        "nesc_fs_shared_blocks",
+}
+
+// statsFieldExempt lists Stats fields that deliberately have no registry
+// family, each with the reason on record.
+var statsFieldExempt = map[string]string{
+	"VirtualTime": "the simulation clock is the export's time base, not a signal of its own",
+	"CorruptionsDetected": "composite of nesc_medium_guard_errors_total + " +
+		"nesc_driver_pi_mismatches_total + nesc_driver_pi_write_errors_total, each exported individually",
+}
+
+func TestStatsFieldsMapToMetricFamilies(t *testing.T) {
+	st := reflect.TypeOf(Stats{})
+	fields := make(map[string]bool, st.NumField())
+	for i := 0; i < st.NumField(); i++ {
+		name := st.Field(i).Name
+		fields[name] = true
+		_, mapped := statsMetricFamily[name]
+		_, exempt := statsFieldExempt[name]
+		switch {
+		case mapped && exempt:
+			t.Errorf("Stats.%s is both mapped and exempt — pick one", name)
+		case !mapped && !exempt:
+			t.Errorf("Stats.%s has no metric family: register one, map it in statsMetricFamily, or document an exemption", name)
+		}
+	}
+	for name := range statsMetricFamily {
+		if !fields[name] {
+			t.Errorf("statsMetricFamily maps %q, which is not a Stats field (stale entry?)", name)
+		}
+	}
+	for name := range statsFieldExempt {
+		if !fields[name] {
+			t.Errorf("statsFieldExempt lists %q, which is not a Stats field (stale entry?)", name)
+		}
+	}
+	if t.Failed() {
+		return
+	}
+
+	// Arm every telemetry source (metrics, fault plan, observability layer)
+	// and run a small workload so even lazily attached gauges register, then
+	// assert each mapped family actually appears in the JSON export.
+	sim := New(Config{
+		Metrics:          true,
+		Attribution:      true,
+		ScoreboardEvents: 32,
+		SLO:              &SLOObjective{},
+		Fault:            &FaultPlan{Seed: 1},
+	})
+	err := sim.Run(func(ctx *Ctx) error {
+		if err := ctx.CreateImage("/drift.img", 11, 1<<20, false); err != nil {
+			return err
+		}
+		vm, err := ctx.StartVM("drift", BackendNeSC, "/drift.img", 11)
+		if err != nil {
+			return err
+		}
+		buf := bytes.Repeat([]byte{0xD7}, 8192)
+		if err := vm.WriteAt(ctx, buf, 0); err != nil {
+			return err
+		}
+		if err := vm.ReadAt(ctx, buf, 0); err != nil {
+			return err
+		}
+		ctx.Sleep(100 * time.Microsecond)
+		vm.Stop(ctx)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("workload failed: %v", err)
+	}
+
+	var out bytes.Buffer
+	if err := sim.WriteMetricsJSON(&out); err != nil {
+		t.Fatalf("WriteMetricsJSON: %v", err)
+	}
+	var doc []struct {
+		Name string `json:"name"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("metrics export is not valid JSON: %v", err)
+	}
+	exported := make(map[string]bool, len(doc))
+	for _, fam := range doc {
+		exported[fam.Name] = true
+	}
+	for field, family := range statsMetricFamily {
+		if !exported[family] {
+			t.Errorf("Stats.%s maps to family %q, which the armed registry never exported", field, family)
+		}
+	}
+}

@@ -39,6 +39,7 @@ var registry = []Experiment{
 	{"fabric", "Robustness: multi-device mirroring, failover, resilver, and live VF migration", Fabric},
 	{"scale", "Scaling: massive tenancy via lazy VF core, queue-pair pool, and shadow doorbells", Scale},
 	{"grayfail", "Robustness: fail-slow injection, hedged reads, quarantine, deadline + admission control", GrayFail},
+	{"slo", "Observability: tail-latency attribution, per-tenant SLO burn alerts, anomaly scoreboard", SLOExp},
 }
 
 // All lists every registered experiment.

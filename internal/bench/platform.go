@@ -17,6 +17,7 @@ import (
 	"nesc/internal/metrics"
 	"nesc/internal/pcie"
 	"nesc/internal/sim"
+	"nesc/internal/slo"
 	"nesc/internal/trace"
 )
 
@@ -54,6 +55,17 @@ type Config struct {
 	// Spans, when set, records request-scoped spans through the controller
 	// pipeline (trace.SpanRecorder; exportable as a Chrome trace).
 	Spans *trace.SpanRecorder
+	// Attrib, when set, folds every completed request's pipeline time into
+	// the per-{vf,op} latency budget table (queue wait / translate / dtu /
+	// medium / fabric / retry / admission shares, with a p99 explainer).
+	Attrib *slo.Attributor
+	// SLOEng, when set, feeds every request completion into the per-tenant
+	// SLO engine (error budgets, multi-window burn-rate alerts).
+	SLOEng *slo.Engine
+	// Board, when set, receives structured anomaly events (SLO burns,
+	// quarantines, deadline expirations, admission rejects, detector trips,
+	// FLRs) from every layer, cross-linked by request id.
+	Board *slo.Scoreboard
 }
 
 // DefaultConfig is the calibrated model of the paper's platform (Table I):
@@ -135,6 +147,17 @@ func NewPlatform(cfg Config) *Platform {
 		h.RegisterMetrics(cfg.Metrics)
 		pl.registerPlatformMetrics(cfg.Metrics)
 	}
+	if cfg.Attrib != nil || cfg.SLOEng != nil || cfg.Board != nil {
+		for _, d := range h.Devices() {
+			d.Ctl.AttachSLO(cfg.Board, cfg.SLOEng, cfg.Attrib)
+		}
+		h.AttachSLO(cfg.Board, cfg.Attrib)
+		if cfg.Metrics != nil {
+			cfg.Attrib.AttachMetrics(cfg.Metrics)
+			cfg.SLOEng.AttachMetrics(cfg.Metrics)
+			cfg.Board.AttachMetrics(cfg.Metrics)
+		}
+	}
 	return pl
 }
 
@@ -151,6 +174,8 @@ func (pl *Platform) registerPlatformMetrics(reg *metrics.Registry) {
 		func() float64 { return float64(pl.Ctl.Medium.WriteBytes) })
 	reg.GaugeFunc("nesc_medium_guard_errors_total", "medium-level guard-check failures", no,
 		func() float64 { return float64(pl.Ctl.Medium.IntegrityErrors) })
+	reg.GaugeFunc("nesc_medium_recovery_reads_total", "mirror-recovery reads served by the medium", no,
+		func() float64 { return float64(pl.Ctl.Medium.RecoveryReads) })
 	reg.GaugeFunc("nesc_fabric_dma_read_bytes_total", "device-initiated PCIe reads", no,
 		func() float64 { return float64(pl.Fab.DMAReadBytes) })
 	reg.GaugeFunc("nesc_fabric_dma_write_bytes_total", "device-initiated PCIe writes", no,
@@ -170,6 +195,14 @@ func (pl *Platform) registerPlatformMetrics(reg *metrics.Registry) {
 			func() float64 { return float64(pl.Inj.DegradedOps) })
 		reg.GaugeFunc("nesc_fault_degraded_ns_total", "total extra nanoseconds injected by degradations", no,
 			func() float64 { return float64(pl.Inj.DegradedTime) })
+		reg.GaugeFunc("nesc_fault_latent_hits_total", "reads that landed on an armed latent sector", no,
+			func() float64 { return float64(pl.Inj.LatentHits) })
+		reg.GaugeFunc("nesc_fault_latent_repaired_total", "latent sectors cleared by rewrites or repair", no,
+			func() float64 { return float64(pl.Inj.LatentCleared) })
+		reg.GaugeFunc("nesc_fault_latent_outstanding", "latent sector faults currently armed", no,
+			func() float64 { return float64(pl.Inj.LatentCount()) })
+		reg.GaugeFunc("nesc_fault_corrupt_outstanding", "silent corruptions not yet detected or repaired", no,
+			func() float64 { return float64(pl.Inj.CorruptCount()) })
 	}
 }
 

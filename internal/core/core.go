@@ -35,6 +35,7 @@ import (
 	"nesc/internal/pcie"
 	"nesc/internal/ring"
 	"nesc/internal/sim"
+	"nesc/internal/slo"
 	"nesc/internal/stats"
 	"nesc/internal/trace"
 )
@@ -228,6 +229,15 @@ type Request struct {
 	t0   sim.Time
 	span *trace.Span
 	obs  bool
+
+	// Causal attribution. ReqID is the controller-assigned monotonic request
+	// id threading this request through spans, flight records, and scoreboard
+	// events; retries counts medium/integrity retry rounds; segs accumulates
+	// the per-segment latency vector folded into the attribution budget table
+	// at completion (populated only while an Attributor is attached).
+	ReqID   uint64
+	retries int
+	segs    slo.Segments
 }
 
 // chunk is the unit of translation and data transfer (one block).
@@ -316,6 +326,20 @@ type Controller struct {
 	// AttachTelemetry (telemetry.go); both nil-safe and off by default.
 	Metrics *metrics.Registry
 	Spans   *trace.SpanRecorder
+
+	// Observability layer (AttachSLO, telemetry.go; all nil-safe and off by
+	// default): Attrib folds per-request segment vectors into the latency
+	// budget table, SLO classifies completions against per-tenant
+	// objectives, and Board receives structured anomaly events (admission
+	// rejects, deadline expirations, FLRs, terminal errors).
+	Attrib *slo.Attributor
+	SLO    *slo.Engine
+	Board  *slo.Scoreboard
+
+	// reqSeq issues ReqIDs: a per-controller monotonic counter stamped on
+	// every fetched descriptor (pure state, so it never perturbs the event
+	// schedule).
+	reqSeq uint64
 
 	// Flight is the always-armed error diagnostics buffer (flight.go): on
 	// any terminal error completion or reset it snapshots the event-ring
@@ -845,6 +869,7 @@ func (c *Controller) resetFunction(f *Function) {
 	}
 	c.Tracer.Emit(trace.Event{At: c.Eng.Now(), Kind: trace.KindReset, Fn: f.idx, Arg: uint64(f.resetEpoch)})
 	c.captureFlight(c.Eng.Now(), f.idx, nil, "reset")
+	c.Board.Emit(slo.Event{At: c.Eng.Now(), Kind: slo.EventFLR, Dev: c.P.DeviceID, VF: f.idx})
 }
 
 // Active-VF work-list primitives. Each scheduler keeps a bitmap with bit

@@ -26,11 +26,13 @@ type FlightRecord struct {
 	Dev    int      // capturing controller's device ID within the fabric
 
 	// Offending request (zeroed for reason "reset", which is not
-	// request-scoped).
+	// request-scoped). ReqID is the controller-assigned causal request id —
+	// the cross-link key scoreboard events and spans carry too.
 	Fn     int
 	Q      int
 	Op     string
 	ID     uint32
+	ReqID  uint64
 	LBA    uint64
 	Count  uint32
 	Status uint32
@@ -122,8 +124,12 @@ func (fr *FlightRecorder) Dump(w io.Writer) error {
 			dev = fmt.Sprintf("dev=%d ", rec.Dev)
 		}
 		if rec.Reason != "reset" {
-			fmt.Fprintf(w, "%sfn=%d q=%d op=%s id=%d lba=%d n=%d status=%d\n",
-				dev, rec.Fn, rec.Q, rec.Op, rec.ID, rec.LBA, rec.Count, rec.Status)
+			req := ""
+			if rec.ReqID != 0 {
+				req = fmt.Sprintf(" req=%d", rec.ReqID)
+			}
+			fmt.Fprintf(w, "%sfn=%d q=%d op=%s id=%d%s lba=%d n=%d status=%d\n",
+				dev, rec.Fn, rec.Q, rec.Op, rec.ID, req, rec.LBA, rec.Count, rec.Status)
 		} else {
 			fmt.Fprintf(w, "%sfn=%d\n", dev, rec.Fn)
 		}
@@ -160,6 +166,7 @@ func (c *Controller) captureFlight(at sim.Time, fn int, r *Request, reason strin
 		}
 		rec.Op = opName(r.Op)
 		rec.ID = r.ID
+		rec.ReqID = r.ReqID
 		rec.LBA = r.LBA
 		rec.Count = r.Count
 		rec.Status = r.status

@@ -9,6 +9,7 @@ import (
 	"nesc/internal/pcie"
 	"nesc/internal/ring"
 	"nesc/internal/sim"
+	"nesc/internal/slo"
 	"nesc/internal/trace"
 )
 
@@ -82,14 +83,20 @@ func (f *Function) drainTo(p *sim.Proc, q *fnQueue, prod uint32, desc []byte) {
 		op := ring.OpCode(rawOp)
 		req := &Request{fn: f, q: q, Op: op, ID: id, LBA: lba, Count: count, Buf: buf, left: int(count), epoch: f.resetEpoch, qGen: q.gen,
 			pi: rawOp&ring.OpFlagPI != 0, piGuard: guard, t0: tFetch}
+		c.reqSeq++
+		req.ReqID = c.reqSeq
 		if q.deadline > 0 {
 			req.deadline = tFetch + q.deadline
 		}
 		req.obs = c.P.CollectBreakdown || c.instrumented()
 		if req.obs {
 			req.span = c.Spans.Start(f.idx, q.idx, opName(op), id, lba, count, tFetch)
+			if req.span != nil {
+				req.span.ReqID = req.ReqID
+			}
 			req.span.Phase(trace.PhaseFetch, -1, tFetch, p.Now(), "")
 			c.observe(mFetchNs, req, p.Now()-tFetch)
+			c.seg(req, slo.SegFetch, p.Now()-tFetch)
 		}
 		c.Tracer.Emit(trace.Event{At: p.Now(), Kind: trace.KindFetch, Fn: f.idx, LBA: lba, Arg: uint64(id)})
 		f.Reqs++
@@ -127,6 +134,10 @@ func (f *Function) drainTo(p *sim.Proc, q *fnQueue, prod uint32, desc []byte) {
 			req.status = StatusBusy
 			f.AdmitRejects++
 			c.AdmitRejects++
+			if c.Board != nil {
+				c.Board.Emit(slo.Event{At: p.Now(), Kind: slo.EventAdmitReject,
+					Dev: c.P.DeviceID, VF: f.idx, ReqID: req.ReqID})
+			}
 			c.sendCompletion(p, req)
 		default:
 			req.admitted = true
@@ -270,6 +281,7 @@ func (c *Controller) muxLoop(p *sim.Proc) {
 			// before splitting — the submitter has moved on.
 			req.status = StatusBusy
 			c.DeadlineExpirations += int64(req.left)
+			c.noteDeadline(p.Now(), req, "mux")
 			c.sendCompletion(p, req)
 			continue
 		}
@@ -301,6 +313,7 @@ func (c *Controller) walkerLoop(p *sim.Proc) {
 		}
 		if expired(ch.req, p.Now()) {
 			c.DeadlineExpirations++
+			c.noteDeadline(p.Now(), ch.req, "walker")
 			c.completeChunk(p, ch, StatusBusy)
 			continue
 		}
@@ -310,6 +323,7 @@ func (c *Controller) walkerLoop(p *sim.Proc) {
 				c.Breakdown.QueueWait.Add((ch.tTransIn - ch.tQueued).Micros())
 			}
 			c.observe(mQueueWaitNs, ch.req, ch.tTransIn-ch.tQueued)
+			c.seg(ch.req, slo.SegQueue, ch.tTransIn-ch.tQueued)
 			ch.req.span.Phase(trace.PhaseQueue, ch.idx, ch.tQueued, ch.tTransIn, "")
 		}
 		p.Sleep(c.P.BTLBHitTime)
@@ -435,6 +449,7 @@ func (c *Controller) pushPLBA(p *sim.Proc, f *Function, ch *chunk) {
 			c.Breakdown.Translate.Add((ch.tTransOut - ch.tTransIn).Micros())
 		}
 		c.observe(translateFamily(ch.tag), ch.req, ch.tTransOut-ch.tTransIn)
+		c.seg(ch.req, slo.SegTranslate, ch.tTransOut-ch.tTransIn)
 		ch.req.span.Phase(trace.PhaseTransIn, ch.idx, ch.tTransIn, ch.tTransOut, ch.tag)
 	}
 	c.Tracer.Emit(trace.Event{At: p.Now(), Kind: trace.KindTranslate, Fn: f.idx, LBA: ch.lba, Arg: uint64(ch.req.ID)})
@@ -499,6 +514,7 @@ func (c *Controller) dtuLoop(p *sim.Proc) {
 			// completions are never acknowledged, and the retried write
 			// rewrites every block.
 			c.DeadlineExpirations++
+			c.noteDeadline(p.Now(), ch.req, "dtu")
 			c.completeChunk(p, ch, StatusBusy)
 			continue
 		}
@@ -510,6 +526,7 @@ func (c *Controller) dtuLoop(p *sim.Proc) {
 					c.Breakdown.DTUWait.Add((ch.tDTUIn - ch.tTransOut).Micros())
 				}
 				c.observe(mDTUWaitNs, ch.req, ch.tDTUIn-ch.tTransOut)
+				c.seg(ch.req, slo.SegDTUWait, ch.tDTUIn-ch.tTransOut)
 				ch.req.span.Phase(trace.PhaseDTUWait, ch.idx, ch.tTransOut, ch.tDTUIn, "")
 			}
 		}
@@ -581,6 +598,7 @@ func (c *Controller) dtuLoop(p *sim.Proc) {
 				phase, fam = trace.PhaseVerify, mVerifyNs
 			}
 			c.observe(fam, ch.req, now-ch.tDTUIn)
+			c.seg(ch.req, slo.SegMedium, now-ch.tDTUIn)
 			ch.req.span.Phase(phase, ch.idx, ch.tDTUIn, now, "")
 		}
 		c.Tracer.Emit(trace.Event{At: p.Now(), Kind: kind, Fn: ch.req.fn.idx, LBA: ch.lba, Arg: uint64(status)})
@@ -637,6 +655,7 @@ func (c *Controller) mediumOp(p *sim.Proc, ch *chunk, buf []byte, write bool) ui
 
 // noteRetry attributes one retry round to the request's telemetry.
 func (c *Controller) noteRetry(r *Request) {
+	r.retries++
 	if r.span != nil {
 		r.span.Retries++
 	}
@@ -762,12 +781,22 @@ func (c *Controller) sendCompletion(p *sim.Proc, r *Request) {
 		c.Metrics.Histogram(mRequestNs, familyHelp[mRequestNs], l).Observe(int64(p.Now() - r.t0))
 	}
 	c.Spans.Finish(r.span, p.Now(), r.status)
+	if c.SLO != nil {
+		c.SLO.Observe(f.idx, p.Now(), p.Now()-r.t0, r.status == StatusOK, r.ReqID)
+	}
+	if c.Attrib != nil {
+		c.finishAttribution(r, p.Now())
+	}
 	if r.status != StatusOK && r.status != StatusBusy {
 		// Terminal error: snapshot the event-ring tail and this request's
 		// span for post-mortem retrieval through the PF. Busy is exempt —
 		// it is backpressure, not a fault, and under sustained admission
 		// pressure it would flush every real error out of the buffer.
 		c.captureFlight(p.Now(), f.idx, r, "completion-error")
+		if c.Board != nil {
+			c.Board.Emit(slo.Event{At: p.Now(), Kind: slo.EventRequestError,
+				Dev: c.P.DeviceID, VF: f.idx, ReqID: r.ReqID, Value: float64(r.status)})
+		}
 	}
 	c.Tracer.Emit(trace.Event{At: p.Now(), Kind: trace.KindComplete, Fn: f.idx, LBA: r.LBA, Arg: uint64(r.status)})
 	if q == nil || q.cplBase == 0 || q.ringSize == 0 {

@@ -3,6 +3,7 @@ package core
 import (
 	"nesc/internal/metrics"
 	"nesc/internal/sim"
+	"nesc/internal/slo"
 	"nesc/internal/trace"
 )
 
@@ -82,8 +83,12 @@ func translateFamily(tag string) string {
 	return mTransHitNs
 }
 
-// instrumented reports whether any per-request telemetry sink is attached.
-func (c *Controller) instrumented() bool { return c.Metrics != nil || c.Spans != nil }
+// instrumented reports whether any per-request telemetry sink is attached —
+// the gate for chunk stage-timestamping. The attributor counts: it consumes
+// the same stage timestamps the metrics histograms do.
+func (c *Controller) instrumented() bool {
+	return c.Metrics != nil || c.Spans != nil || c.Attrib != nil
+}
 
 // reqLabels builds the {vf, q, op} label set for a request.
 func reqLabels(r *Request) metrics.Labels {
@@ -100,6 +105,62 @@ func (c *Controller) observe(name string, r *Request, d sim.Time) {
 		return
 	}
 	c.Metrics.Histogram(name, familyHelp[name], reqLabels(r)).Observe(int64(d))
+}
+
+// seg accumulates one stage duration into a request's attribution vector.
+// Free (one branch) when no attributor is attached.
+func (c *Controller) seg(r *Request, i int, d sim.Time) {
+	if c.Attrib != nil && d > 0 {
+		r.segs[i] += d
+	}
+}
+
+// noteDeadline posts a deadline-expiration event naming the pipeline stage
+// that caught it.
+func (c *Controller) noteDeadline(at sim.Time, r *Request, stage string) {
+	if c.Board != nil {
+		c.Board.Emit(slo.Event{At: at, Kind: slo.EventDeadline, Dev: c.P.DeviceID,
+			VF: r.fn.idx, ReqID: r.ReqID, Note: stage})
+	}
+}
+
+// finishAttribution finalizes a completed request's segment vector — retry
+// share carved out of the medium share, admission-gate rejects charged
+// entirely to admission, residual wall time to "other" — and folds it into
+// the budget table. Called only with an attributor attached.
+func (c *Controller) finishAttribution(r *Request, now sim.Time) {
+	total := now - r.t0
+	if r.retries > 0 {
+		rd := sim.Time(r.retries) * c.P.MediumRetryDelay
+		if rd > r.segs[slo.SegMedium] {
+			rd = r.segs[slo.SegMedium]
+		}
+		r.segs[slo.SegRetry] = rd
+		r.segs[slo.SegMedium] -= rd
+	}
+	if !r.admitted && r.status == StatusBusy {
+		// Fast-failed at the admission gate: nothing executed, its whole
+		// (short) life was admission control.
+		r.segs[slo.SegAdmission] = total
+	}
+	var sum sim.Time
+	for i := 0; i < slo.NumSegments; i++ {
+		sum += r.segs[i]
+	}
+	if total > sum {
+		r.segs[slo.SegOther] = total - sum
+	}
+	c.Attrib.Record(r.fn.idx, opName(r.Op), r.ReqID, total, r.status == StatusOK, r.segs)
+}
+
+// AttachSLO hands the controller the observability layer's sinks: the
+// anomaly scoreboard, the per-tenant SLO engine, and the attribution sink.
+// Any may be nil; with all nil the controller behaves exactly as before.
+// Like AttachTelemetry, everything here only reads the virtual clock.
+func (c *Controller) AttachSLO(board *slo.Scoreboard, eng *slo.Engine, attrib *slo.Attributor) {
+	c.Board = board
+	c.SLO = eng
+	c.Attrib = attrib
 }
 
 // AttachTelemetry hands the controller its telemetry sinks. Either may be

@@ -18,6 +18,7 @@ import (
 	"nesc/internal/hostmem"
 	"nesc/internal/ring"
 	"nesc/internal/sim"
+	"nesc/internal/slo"
 	"nesc/internal/stats"
 )
 
@@ -215,6 +216,41 @@ type Client struct {
 	// hedgePool is a free list of scratch buffers for hedged reads (the
 	// loser of a hedge must never DMA into the guest's buffer).
 	hedgePool []scratch
+
+	// Observability hooks (AttachSLO): all nil-safe and off by default.
+	// board receives detector-trip / quarantine / rejoin anomaly events;
+	// attrib receives per-read latency attribution rows keyed by the tenant
+	// VF this client fronts (op "fabric-read", so device-side rows for the
+	// individual legs stay distinct).
+	board  *slo.Scoreboard
+	attrib *slo.Attributor
+	tenant int
+}
+
+// AttachSLO arms the client's observability hooks: scoreboard events for
+// gray-failure verdicts and latency attribution for delivered reads,
+// reported against tenantVF. Nil arguments disable the respective hook.
+func (c *Client) AttachSLO(board *slo.Scoreboard, attrib *slo.Attributor, tenantVF int) {
+	c.board = board
+	c.attrib = attrib
+	c.tenant = tenantVF
+}
+
+// recordRead attributes one delivered (or abandoned) fabric read to the
+// tenant's "fabric-read" row: SegMedium carries the winning leg's own
+// service time, SegFabricWait everything else the tenant waited — failed
+// attempts, steering, the hedge delay when a backup leg won.
+func (c *Client) recordRead(total, svc sim.Time, ok bool) {
+	if c.attrib == nil {
+		return
+	}
+	if svc > total {
+		svc = total
+	}
+	var segs slo.Segments
+	segs[slo.SegMedium] = svc
+	segs[slo.SegFabricWait] = total - svc
+	c.attrib.Record(c.tenant, "fabric-read", 0, total, ok, segs)
 }
 
 // NewClient mirrors across the given replicas (at least one). All replicas
@@ -387,6 +423,7 @@ func (c *Client) submitWrite(p *sim.Proc, lba int64, buf guest.Buffer) error {
 
 func (c *Client) submitRead(p *sim.Proc, lba int64, buf guest.Buffer) error {
 	blocks := uint64(len(buf.Data) / c.BlockSize())
+	t0 := p.Now()
 	c.readCount++
 	probe := c.Cfg.ProbeEvery > 0 && c.readCount%int64(c.Cfg.ProbeEvery) == 0
 	tried := make(map[*Replica]bool, len(c.reps))
@@ -409,8 +446,9 @@ func (c *Client) submitRead(p *sim.Proc, lba int64, buf guest.Buffer) error {
 		}
 		tried[r] = true
 		if c.Cfg.HedgePercentile > 0 {
-			err := c.hedgedRead(p, r, lba, buf, blocks, tried)
+			svc, err := c.hedgedRead(p, r, lba, buf, blocks, tried)
 			if err == nil {
+				c.recordRead(p.Now()-t0, svc, true)
 				return nil
 			}
 			if firstErr == nil {
@@ -424,6 +462,7 @@ func (c *Client) submitRead(p *sim.Proc, lba int64, buf guest.Buffer) error {
 			c.observeRead(r, p.Now()-start)
 			c.observeDelivered(p.Now() - start)
 			c.reportSuccess(r)
+			c.recordRead(p.Now()-t0, p.Now()-start, true)
 			return nil
 		}
 		if firstErr == nil {
@@ -443,6 +482,7 @@ func (c *Client) submitRead(p *sim.Proc, lba int64, buf guest.Buffer) error {
 	if firstErr == nil {
 		firstErr = ErrNoReplicas
 	}
+	c.recordRead(p.Now()-t0, 0, false)
 	return firstErr
 }
 

@@ -7,6 +7,7 @@ import (
 	"nesc/internal/hostmem"
 	"nesc/internal/ring"
 	"nesc/internal/sim"
+	"nesc/internal/slo"
 	"nesc/internal/stats"
 )
 
@@ -47,6 +48,16 @@ func (c *Client) observeSlow(r *Replica, d sim.Time) {
 		r.quarantined = true
 		r.quarantineEnd = c.Eng.Now() + c.Cfg.QuarantineDuration
 		c.Quarantines++
+		if c.board != nil {
+			ratio := 0.0
+			if r.slow.BaselineP99 > 0 {
+				ratio = r.slow.WindowP99() / r.slow.BaselineP99
+			}
+			c.board.Emit(slo.Event{At: c.Eng.Now(), Kind: slo.EventDetectorTrip,
+				Dev: r.Dev, VF: c.tenant, Value: ratio, Note: "fail-slow p99"})
+			c.board.Emit(slo.Event{At: c.Eng.Now(), Kind: slo.EventQuarantine,
+				Dev: r.Dev, VF: c.tenant, Value: float64(c.Cfg.QuarantineDuration)})
+		}
 		if r.state == Healthy {
 			// Couple into the fail-stop FSM: a chronically slow leg is
 			// suspect. Write successes will promote it back while the
@@ -82,6 +93,10 @@ func (c *Client) admitRead(r *Replica) bool {
 		c.Rejoins++
 		if r.slow != nil {
 			r.slow.Reset()
+		}
+		if c.board != nil {
+			c.board.Emit(slo.Event{At: c.Eng.Now(), Kind: slo.EventRejoin,
+				Dev: r.Dev, VF: c.tenant})
 		}
 		return true
 	}
@@ -211,9 +226,11 @@ func (c *Client) release(leg *hedgeLeg) {
 // runs in a worker against a scratch buffer; if it has not answered by the
 // adaptive deadline, a second worker is launched on the next-best eligible
 // leg and the first success wins — its bytes are copied to the guest
-// buffer, the loser is discarded via release. Returns nil on success;
-// otherwise every leg it touched failed (and was marked tried).
-func (c *Client) hedgedRead(p *sim.Proc, primary *Replica, lba int64, buf guest.Buffer, blocks uint64, tried map[*Replica]bool) error {
+// buffer, the loser is discarded via release. Returns the winning leg's own
+// service time (for latency attribution: delivered time minus this is the
+// fabric's steering/hedging overhead) and nil on success; otherwise every
+// leg it touched failed (and was marked tried).
+func (c *Client) hedgedRead(p *sim.Proc, primary *Replica, lba int64, buf guest.Buffer, blocks uint64, tried map[*Replica]bool) (sim.Time, error) {
 	n := len(buf.Data)
 	start := p.Now()
 	first := sim.NewSignal(c.Eng)
@@ -223,6 +240,7 @@ func (c *Client) hedgedRead(p *sim.Proc, primary *Replica, lba int64, buf guest.
 		if backup := c.pickRead(uint64(lba), blocks, tried); backup != nil {
 			tried[backup] = true
 			c.HedgedReads++
+			hedgeAt := p.Now()
 			sec := c.launchLeg(backup, lba, n, start, first)
 			first.Await(p)
 			// At least one leg has finished; if it failed, wait out the other.
@@ -234,26 +252,31 @@ func (c *Client) hedgedRead(p *sim.Proc, primary *Replica, lba int64, buf guest.
 				}
 			}
 			var winner, loser *hedgeLeg
+			svc := p.Now() - start
 			switch {
 			case pri.fin && pri.err == nil:
 				winner, loser = pri, sec
 			case sec.fin && sec.err == nil:
 				winner, loser = sec, pri
 				c.HedgeWins++
+				// The backup only started at the hedge deadline: its own
+				// service time excludes the delay spent waiting on the
+				// primary, which attribution reports as fabric wait.
+				svc = p.Now() - hedgeAt
 			}
 			if winner != nil {
 				copy(buf.Data, winner.s.full[:n])
 				c.release(winner)
 				c.release(loser)
 				c.observeDelivered(p.Now() - start)
-				return nil
+				return svc, nil
 			}
 			c.release(pri)
 			c.release(sec)
 			if pri.err != nil {
-				return pri.err
+				return 0, pri.err
 			}
-			return sec.err
+			return 0, sec.err
 		}
 		pri.done.Await(p)
 	}
@@ -261,8 +284,8 @@ func (c *Client) hedgedRead(p *sim.Proc, primary *Replica, lba int64, buf guest.
 		copy(buf.Data, pri.s.full[:n])
 		c.release(pri)
 		c.observeDelivered(p.Now() - start)
-		return nil
+		return p.Now() - start, nil
 	}
 	c.release(pri)
-	return pri.err
+	return 0, pri.err
 }

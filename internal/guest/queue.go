@@ -10,6 +10,7 @@ import (
 	"nesc/internal/pcie"
 	"nesc/internal/ring"
 	"nesc/internal/sim"
+	"nesc/internal/slo"
 )
 
 // ErrTimeout reports a request that got no completion within the retry
@@ -107,6 +108,33 @@ type QueuePair struct {
 	// from an earlier attempt's root cause (an integrity failure) rather
 	// than the final attempt's own timeout or abort.
 	RootCauseOverrides int64
+
+	// Attrib, when set, receives the driver-side admission backoff time the
+	// tenant waits between busy-rejected resubmissions — latency the device
+	// pipeline never sees but the guest absolutely does. Credited to
+	// AttribVF's budget-table row under the admission segment. Nil off.
+	Attrib   *slo.Attributor
+	AttribVF int
+}
+
+// AttachAttribution arms driver-side latency attribution for vf.
+func (qp *QueuePair) AttachAttribution(a *slo.Attributor, vf int) {
+	qp.Attrib = a
+	qp.AttribVF = vf
+}
+
+// attribOpName mirrors the device's metric op labels so driver-side credits
+// land in the same budget-table rows.
+func attribOpName(op uint32) string {
+	switch ring.OpCode(op) {
+	case ring.OpRead:
+		return "read"
+	case ring.OpWrite:
+		return "write"
+	case ring.OpVerify:
+		return "verify"
+	}
+	return "other"
 }
 
 type qpWaiter struct {
@@ -288,6 +316,14 @@ func (qp *QueuePair) Submit(p *sim.Proc, op uint32, lba uint64, count uint32, bu
 	// final attempt's timeout.
 	rootPIBad := false
 	var rootStatus uint32
+	// Driver-side admission backoff the tenant waited across the whole
+	// ladder; credited to the attribution row on exit (any path).
+	var backoff sim.Time
+	if qp.Attrib != nil {
+		defer func() {
+			qp.Attrib.AddSegment(qp.AttribVF, attribOpName(op), slo.SegAdmission, backoff)
+		}()
+	}
 	for attempt := 0; ; attempt++ {
 		p.Sleep(qp.SubmitTime)
 		qp.nextID++
@@ -357,7 +393,9 @@ func (qp *QueuePair) Submit(p *sim.Proc, op uint32, lba uint64, count uint32, bu
 			// The device fast-failed under admission pressure: back off
 			// before resubmitting, on the same exponential ladder a timeout
 			// would have used, so retries don't hammer a saturated function.
-			p.Sleep(qp.Timeout << uint(attempt))
+			wait := qp.Timeout << uint(attempt)
+			p.Sleep(wait)
+			backoff += wait
 		}
 		qp.Resubmits++
 	}

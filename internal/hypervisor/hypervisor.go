@@ -21,6 +21,7 @@ import (
 	"nesc/internal/metrics"
 	"nesc/internal/pcie"
 	"nesc/internal/sim"
+	"nesc/internal/slo"
 )
 
 // Params is the host-side cost model.
@@ -178,6 +179,21 @@ type Hypervisor struct {
 	// Metrics, when non-nil, receives the hypervisor-side derived gauges
 	// (telemetry.go); installed by RegisterMetrics.
 	Metrics *metrics.Registry
+
+	// Board / Attrib are the host-wide anomaly scoreboard and latency
+	// attributor (AttachSLO); nil when the observability layer is off.
+	// Fabric clients and VF drivers built after attachment inherit them.
+	Board  *slo.Scoreboard
+	Attrib *slo.Attributor
+}
+
+// AttachSLO installs the observability layer's host-side hooks: the anomaly
+// scoreboard receives fabric gray-failure events, and the attributor
+// receives driver- and fabric-side latency credits. Call before building
+// VMs; nil arguments leave the respective hook off.
+func (h *Hypervisor) AttachSLO(board *slo.Scoreboard, attrib *slo.Attributor) {
+	h.Board = board
+	h.Attrib = attrib
 }
 
 // New wires a hypervisor to the controller and installs the MSI router.

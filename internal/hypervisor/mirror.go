@@ -54,6 +54,14 @@ func (h *Hypervisor) wireLeg(dev *Device, idx int, drv *guest.NescDriver, vm *VM
 	h.qps[fnID] = drv.MQ()
 	h.vmOf[fnID] = vm
 	h.registerQueueGauges(fnID, drv.MQ())
+	if h.Attrib != nil {
+		// Driver-side busy-backoff credits land in the same budget-table row
+		// the device pipeline attributes to, keyed by function index
+		// (0 = PF, VF idx + 1 elsewhere).
+		if fnIdx, ok := dev.Ctl.FnIndex(fnID); ok {
+			drv.MQ().AttachAttribution(h.Attrib, fnIdx)
+		}
+	}
 	if h.P.UseIOMMU {
 		h.Fab.IOMMU().Grant(fnID, 0, h.Mem.Size())
 	}
@@ -113,6 +121,12 @@ func (h *Hypervisor) NewMirroredVM(p *sim.Proc, name string, cfg VMConfig, devic
 	client, err := fabric.NewClient(h.Eng, h.Mem, fcfg, reps)
 	if err != nil {
 		return nil, err
+	}
+	if h.Board != nil || h.Attrib != nil {
+		// Fabric-level events and attribution report against the tenant's
+		// first-leg function index (VF idx + 1) — the stable identity of the
+		// mirrored disk, matching the device pipeline's row key.
+		client.AttachSLO(h.Board, h.Attrib, vm.Legs[0].VFIdx+1)
 	}
 	vm.Client = client
 	vm.Kernel = guest.NewKernel(h.Eng, h.Mem, cfg.Guest, client)

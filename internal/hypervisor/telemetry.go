@@ -73,14 +73,46 @@ func (h *Hypervisor) RegisterMetrics(reg *metrics.Registry) {
 		{"nesc_driver_timeouts_total", "request attempts that hit their deadline", func(s DriverRecoveryStats) int64 { return s.Timeouts }},
 		{"nesc_driver_resubmits_total", "requests reissued after timeout or abort", func(s DriverRecoveryStats) int64 { return s.Resubmits }},
 		{"nesc_driver_polled_cpls_total", "completions recovered by ring polling", func(s DriverRecoveryStats) int64 { return s.PolledCompletions }},
+		{"nesc_driver_stale_cpls_total", "ring completions whose id had no waiter", func(s DriverRecoveryStats) int64 { return s.StaleCompletions }},
 		{"nesc_driver_seq_gaps_total", "completion sequence gaps observed", func(s DriverRecoveryStats) int64 { return s.SeqGaps }},
 		{"nesc_driver_pi_mismatches_total", "driver-detected read-guard mismatches", func(s DriverRecoveryStats) int64 { return s.PIMismatches }},
+		{"nesc_driver_pi_write_errors_total", "integrity-error completions the drivers observed", func(s DriverRecoveryStats) int64 { return s.PIWriteErrors }},
+		{"nesc_driver_root_cause_overrides_total", "failures surfacing an earlier attempt's integrity root cause", func(s DriverRecoveryStats) int64 { return s.RootCauseOverrides }},
 		{"nesc_driver_doorbells_skipped_total", "MMIO doorbells elided by shadow batching", func(s DriverRecoveryStats) int64 { return s.DoorbellsSkipped }},
 		{"nesc_driver_busy_rejects_total", "submissions the device fast-failed StatusBusy (admission control or deadline)", func(s DriverRecoveryStats) int64 { return s.BusyRejects }},
 	}
 	for _, rc := range recovery {
 		get := rc.get
 		reg.GaugeFunc(rc.name, rc.help, no, func() float64 { return float64(get(h.RecoveryStats())) })
+	}
+	// Fabric mirroring / gray-failure totals, aggregated across every
+	// mirrored VM's client.
+	fabricG := []struct {
+		name, help string
+		get        func(FabricStats) int64
+	}{
+		{"nesc_fabric_mirrored_writes_total", "writes acknowledged by every live replica", func(s FabricStats) int64 { return s.MirroredWrites }},
+		{"nesc_fabric_degraded_writes_total", "writes acknowledged by a strict subset of replicas", func(s FabricStats) int64 { return s.DegradedWrites }},
+		{"nesc_fabric_write_failures_total", "writes no live replica acknowledged", func(s FabricStats) int64 { return s.WriteFailures }},
+		{"nesc_fabric_read_fallbacks_total", "reads retried on a peer after an integrity error", func(s FabricStats) int64 { return s.ReadFallbacks }},
+		{"nesc_fabric_read_retries_total", "reads retried on a peer after other errors", func(s FabricStats) int64 { return s.ReadRetries }},
+		{"nesc_fabric_suspects_total", "healthy-to-suspect replica transitions", func(s FabricStats) int64 { return s.Suspects }},
+		{"nesc_fabric_failovers_total", "replicas fenced by the health state machine", func(s FabricStats) int64 { return s.Failovers }},
+		{"nesc_fabric_recoveries_total", "suspect replicas recovered by success streaks", func(s FabricStats) int64 { return s.Recoveries }},
+		{"nesc_fabric_revives_total", "fenced replicas revived into rebuild", func(s FabricStats) int64 { return s.Revives }},
+		{"nesc_fabric_resilver_regions_total", "dirty regions copied by the resilver", func(s FabricStats) int64 { return s.ResilverRegions }},
+		{"nesc_fabric_resilver_blocks_total", "blocks copied by the resilver", func(s FabricStats) int64 { return s.ResilverBlocks }},
+		{"nesc_fabric_resilver_restores_total", "rebuilding replicas promoted back to healthy", func(s FabricStats) int64 { return s.ResilverRestores }},
+		{"nesc_fabric_hedged_reads_total", "speculative second reads launched", func(s FabricStats) int64 { return s.HedgedReads }},
+		{"nesc_fabric_hedge_wins_total", "hedges that delivered the data first", func(s FabricStats) int64 { return s.HedgeWins }},
+		{"nesc_fabric_quarantines_total", "legs flagged fail-slow and pulled from read steering", func(s FabricStats) int64 { return s.Quarantines }},
+		{"nesc_fabric_rejoins_total", "quarantined legs readmitted to read steering", func(s FabricStats) int64 { return s.Rejoins }},
+		{"nesc_fabric_probe_reads_total", "reads steered to the worst leg to refresh its estimate", func(s FabricStats) int64 { return s.ProbeReads }},
+		{"nesc_fabric_last_failover_ns", "first error to fence latency of the most recent failover", func(s FabricStats) int64 { return int64(s.LastFailoverLatency) }},
+	}
+	for _, fg := range fabricG {
+		get := fg.get
+		reg.GaugeFunc(fg.name, fg.help, no, func() float64 { return float64(get(h.FabricStatsNow())) })
 	}
 }
 

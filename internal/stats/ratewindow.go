@@ -1,0 +1,87 @@
+package stats
+
+// RateWindow is a bucketed good/bad event counter over a sliding span of
+// (virtual) time — the primitive under multi-window burn-rate alerting. The
+// span is divided into a fixed number of buckets; observing an event at time
+// t rotates the ring forward to t's bucket (zeroing anything skipped) and
+// increments that bucket. Totals are read by summing the live buckets, so
+// the window forgets at bucket granularity without per-event allocation or
+// timers. Time is a plain int64 in caller-chosen units; the window never
+// touches a clock itself, which keeps it virtual-time-neutral by
+// construction.
+type RateWindow struct {
+	width int64 // bucket width in time units
+	cur   int64 // absolute bucket index of the cursor bucket
+	pos   int   // ring position of the cursor bucket
+	good  []int64
+	bad   []int64
+}
+
+// NewRateWindow builds a window spanning span time units across buckets
+// rotating slots (both clamped to at least 1).
+func NewRateWindow(span int64, buckets int) *RateWindow {
+	if buckets < 1 {
+		buckets = 1
+	}
+	w := span / int64(buckets)
+	if w < 1 {
+		w = 1
+	}
+	return &RateWindow{width: w, good: make([]int64, buckets), bad: make([]int64, buckets)}
+}
+
+// Span reports the window's total coverage in time units.
+func (rw *RateWindow) Span() int64 { return rw.width * int64(len(rw.good)) }
+
+// advance rotates the ring to the bucket containing time t, zeroing skipped
+// buckets. A gap longer than the whole window clears it outright.
+func (rw *RateWindow) advance(t int64) {
+	idx := t / rw.width
+	if idx <= rw.cur {
+		return // same bucket, or an out-of-order observation: count in place
+	}
+	if idx-rw.cur >= int64(len(rw.good)) {
+		for i := range rw.good {
+			rw.good[i], rw.bad[i] = 0, 0
+		}
+		rw.cur = idx
+		return
+	}
+	for rw.cur < idx {
+		rw.cur++
+		rw.pos++
+		if rw.pos == len(rw.good) {
+			rw.pos = 0
+		}
+		rw.good[rw.pos], rw.bad[rw.pos] = 0, 0
+	}
+}
+
+// Observe counts one event at time t.
+func (rw *RateWindow) Observe(t int64, good bool) {
+	rw.advance(t)
+	if good {
+		rw.good[rw.pos]++
+	} else {
+		rw.bad[rw.pos]++
+	}
+}
+
+// Totals reports the good/bad counts currently inside the window, as of the
+// last observation (the window does not self-expire between events).
+func (rw *RateWindow) Totals() (good, bad int64) {
+	for i := range rw.good {
+		good += rw.good[i]
+		bad += rw.bad[i]
+	}
+	return good, bad
+}
+
+// BadFraction reports bad/(good+bad) inside the window, 0 when empty.
+func (rw *RateWindow) BadFraction() float64 {
+	g, b := rw.Totals()
+	if g+b == 0 {
+		return 0
+	}
+	return float64(b) / float64(g+b)
+}

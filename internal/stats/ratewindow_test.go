@@ -1,0 +1,112 @@
+package stats
+
+import "testing"
+
+func totals(t *testing.T, rw *RateWindow, wantGood, wantBad int64) {
+	t.Helper()
+	g, b := rw.Totals()
+	if g != wantGood || b != wantBad {
+		t.Fatalf("Totals() = (%d, %d), want (%d, %d)", g, b, wantGood, wantBad)
+	}
+}
+
+func TestRateWindowClampsDegenerateShape(t *testing.T) {
+	rw := NewRateWindow(0, 0)
+	if rw.Span() != 1 {
+		t.Fatalf("Span() = %d, want 1 (width and buckets clamp to 1)", rw.Span())
+	}
+	rw.Observe(0, true)
+	rw.Observe(0, false)
+	totals(t, rw, 1, 1)
+}
+
+func TestRateWindowSpan(t *testing.T) {
+	if got := NewRateWindow(800, 8).Span(); got != 800 {
+		t.Fatalf("Span() = %d, want 800", got)
+	}
+	// A span not divisible by the bucket count rounds the width down.
+	if got := NewRateWindow(100, 8).Span(); got != 96 {
+		t.Fatalf("Span() = %d, want 96 (width 12 x 8 buckets)", got)
+	}
+}
+
+func TestRateWindowForgetsAtBucketGranularity(t *testing.T) {
+	rw := NewRateWindow(80, 8) // width 10
+	rw.Observe(5, false)       // bucket 0
+	rw.Observe(15, true)       // bucket 1
+	totals(t, rw, 1, 1)
+
+	// Rotating 7 buckets forward keeps bucket 1 (barely) and drops bucket 0.
+	rw.Observe(85, true) // bucket 8; live range is buckets 1..8
+	totals(t, rw, 2, 0)
+
+	// One more bucket drops the t=15 event too.
+	rw.Observe(95, true)
+	totals(t, rw, 2, 0)
+	rw.Observe(165, true) // bucket 16; live range 9..16 — only the newest two remain
+	totals(t, rw, 2, 0)
+}
+
+func TestRateWindowGapClearsOutright(t *testing.T) {
+	rw := NewRateWindow(80, 8)
+	for i := int64(0); i < 8; i++ {
+		rw.Observe(i*10, false)
+	}
+	totals(t, rw, 0, 8)
+	// A gap of at least the whole window wipes every bucket, not just some.
+	rw.Observe(10_000, true)
+	totals(t, rw, 1, 0)
+}
+
+func TestRateWindowOutOfOrderCountsInPlace(t *testing.T) {
+	rw := NewRateWindow(80, 8)
+	rw.Observe(75, true) // cursor at bucket 7
+	rw.Observe(20, false)
+	rw.Observe(5, false)
+	// Late completions land in the cursor bucket instead of rewinding the
+	// ring (which would resurrect already-zeroed buckets).
+	totals(t, rw, 1, 2)
+	rw.Observe(80, true) // advance one bucket; the in-place events survive
+	totals(t, rw, 2, 2)
+}
+
+func TestRateWindowBadFraction(t *testing.T) {
+	rw := NewRateWindow(100, 4)
+	if got := rw.BadFraction(); got != 0 {
+		t.Fatalf("empty BadFraction() = %v, want 0", got)
+	}
+	rw.Observe(0, true)
+	rw.Observe(1, true)
+	rw.Observe(2, false)
+	rw.Observe(3, false)
+	if got := rw.BadFraction(); got != 0.5 {
+		t.Fatalf("BadFraction() = %v, want 0.5", got)
+	}
+	// Rotate the good events out; the fraction follows the live buckets.
+	rw.Observe(99, false) // bucket 3; buckets 0 (all four early events) still live
+	rw.Observe(125, false)
+	rw.Observe(150, false)
+	rw.Observe(175, false) // buckets 1..3 of the next revolution: bucket 0 dropped
+	if got := rw.BadFraction(); got != 1 {
+		t.Fatalf("BadFraction() after rotation = %v, want 1", got)
+	}
+}
+
+func TestRateWindowObserveDoesNotAllocate(t *testing.T) {
+	rw := NewRateWindow(800, 8)
+	tick := int64(0)
+	if avg := testing.AllocsPerRun(1000, func() {
+		tick += 3
+		rw.Observe(tick, tick%5 != 0)
+	}); avg != 0 {
+		t.Fatalf("Observe allocates %v per call, want 0", avg)
+	}
+}
+
+func BenchmarkRateWindowObserve(b *testing.B) {
+	rw := NewRateWindow(800, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rw.Observe(int64(i), i%7 != 0)
+	}
+}

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"nesc/internal/sim"
+)
+
+// decodeTrace unmarshals a rendered trace document, failing the test on any
+// JSON error — every exporter edge case must still produce a loadable trace.
+func decodeTrace(t *testing.T, buf *bytes.Buffer) struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Cat  string         `json:"cat"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+} {
+	t.Helper()
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Cat  string         `json:"cat"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	return doc
+}
+
+func TestChromeTraceEmptyRecorder(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewSpanRecorder(8).WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace(empty) error: %v", err)
+	}
+	doc := decodeTrace(t, &buf)
+	if len(doc.TraceEvents) != 0 || doc.DisplayTimeUnit != "ns" {
+		t.Fatalf("empty trace = %+v, want zero events and displayTimeUnit ns", doc)
+	}
+	// A JSON array must be present (not null): Perfetto rejects null.
+	if !strings.Contains(buf.String(), `"traceEvents": []`) {
+		t.Fatalf("empty trace renders %q, want an explicit empty array", buf.String())
+	}
+}
+
+func TestChromeTraceNilRecorder(t *testing.T) {
+	var r *SpanRecorder
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("nil recorder WriteChromeTrace error: %v", err)
+	}
+	if doc := decodeTrace(t, &buf); len(doc.TraceEvents) != 0 {
+		t.Fatalf("nil recorder trace has %d events, want 0", len(doc.TraceEvents))
+	}
+}
+
+func TestChromeTraceEscapesHostileNames(t *testing.T) {
+	r := NewSpanRecorder(8)
+	// Op and phase tag strings chosen to break naive JSON emission: quotes,
+	// backslashes, newlines, control bytes, and non-ASCII.
+	hostileOp := "re\"ad\\\n\tüñí\x01"
+	s := r.Start(2, 1, hostileOp, 7, 128, 8, 1000)
+	s.Phase("translate", 0, 1100, 1300, "ta\"g\n")
+	r.Finish(s, 2000, 0)
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace error: %v", err)
+	}
+	doc := decodeTrace(t, &buf)
+	var names []string
+	for _, ev := range doc.TraceEvents {
+		names = append(names, ev.Name)
+	}
+	wantReq := hostileOp + " lba=128 n=8"
+	wantPhase := "translate(ta\"g\n)"
+	var sawReq, sawPhase bool
+	for _, n := range names {
+		sawReq = sawReq || n == wantReq
+		sawPhase = sawPhase || n == wantPhase
+	}
+	if !sawReq || !sawPhase {
+		t.Fatalf("hostile names did not round-trip: got %q, want %q and %q", names, wantReq, wantPhase)
+	}
+}
+
+func TestChromeTraceLargeRoundTrip(t *testing.T) {
+	const n = 10_500
+	r := NewSpanRecorder(n)
+	for i := 0; i < n; i++ {
+		at := sim.Time(i * 1000)
+		s := r.Start(i%5, i%2, "read", uint32(i), uint64(i*8), 8, at)
+		s.Phase("queue", -1, at, at+200, "")
+		s.Phase("transfer", 0, at+200, at+900, "ok")
+		r.Finish(s, at+1000, 0)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace error: %v", err)
+	}
+	doc := decodeTrace(t, &buf)
+	// 5 process_name metadata events + 3 slices (request + 2 phases) per span.
+	want := 5 + 3*n
+	if len(doc.TraceEvents) != want {
+		t.Fatalf("trace has %d events, want %d", len(doc.TraceEvents), want)
+	}
+	var meta, req, phase int
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Ph == "M":
+			meta++
+		case ev.Cat == "request":
+			req++
+		case ev.Ph == "X":
+			phase++
+		default:
+			t.Fatalf("unexpected event %+v", ev)
+		}
+	}
+	if meta != 5 || req != n || phase != 2*n {
+		t.Fatalf("event mix meta/req/phase = %d/%d/%d, want 5/%d/%d", meta, req, phase, n, 2*n)
+	}
+	// Metadata tracks render first, sorted: pid 0 is the PF lane.
+	if doc.TraceEvents[0].Ph != "M" || doc.TraceEvents[0].Pid != 0 ||
+		doc.TraceEvents[0].Args["name"] != "pf" {
+		t.Fatalf("first metadata event = %+v, want the pf track", doc.TraceEvents[0])
+	}
+	if doc.TraceEvents[1].Args["name"] != "vf1" {
+		t.Fatalf("second metadata event = %+v, want the vf1 track", doc.TraceEvents[1])
+	}
+}

@@ -51,6 +51,11 @@ type Span struct {
 	LBA   uint64
 	Count uint32 // blocks
 
+	// ReqID is the controller-assigned causal request id threading this
+	// request through metrics, scoreboard events, and flight records
+	// (0 when the recording controller predates request ids).
+	ReqID uint64
+
 	Start  sim.Time // descriptor fetch began
 	End    sim.Time // completion written (or dropped)
 	Status uint32   // final completion status

@@ -48,6 +48,7 @@ import (
 	"nesc/internal/metrics"
 	"nesc/internal/ring"
 	"nesc/internal/sim"
+	"nesc/internal/slo"
 	"nesc/internal/trace"
 )
 
@@ -147,6 +148,63 @@ type Config struct {
 	// them (VM.Migrate). With Devices <= 1 the platform is byte-identical
 	// to pre-fleet builds.
 	Devices int
+
+	// Attribution enables causal request attribution: every request carries
+	// a controller-assigned id through the whole pipeline (and across fabric
+	// legs), and its span segments fold into a per-{vf,op} latency budget
+	// table — queue-wait / translate / dtu-wait / medium / fabric-wait /
+	// retry / admission shares — with a p99 explainer that names the
+	// component dominating tail requests. Export with WriteAttribution;
+	// per-row totals also land in the metrics registry when Config.Metrics
+	// is on. Attribution only reads the virtual clock: results are
+	// byte-identical with it on or off.
+	Attribution bool
+	// SLO, when set, declares a default per-tenant service-level objective
+	// every direct-assigned VF is tracked against: error-budget accounting
+	// in virtual time plus multi-window burn-rate alerts that fire as
+	// structured scoreboard events (override per VF with SetSLOObjective).
+	// Nil disables the SLO engine entirely.
+	SLO *SLOObjective
+	// ScoreboardEvents, when positive, keeps a bounded ring of that many
+	// structured anomaly events — SLO burns, budget exhaustions, detector
+	// trips, quarantines, deadline expirations, admission rejects, FLRs,
+	// request errors — cross-linked by request id to flight-recorder dumps.
+	// Inspect with Anomalies, ScoreboardDump, or the nescctl -top snapshot.
+	ScoreboardEvents int
+}
+
+// SLOObjective declares one tenant's service-level objective. Zero fields
+// take the engine defaults (500µs target latency, 99% goal, 200µs/1ms
+// alert windows, burn threshold 4, 8-sample floor).
+type SLOObjective struct {
+	// Latency is the per-request target: a request slower than this (or
+	// failed) burns error budget.
+	Latency time.Duration
+	// Goal is the fraction of requests that must meet the target (0.99 =
+	// "99% of requests under Latency").
+	Goal float64
+	// ShortWindow / LongWindow are the two burn-rate alert windows; an
+	// alert fires only when BOTH windows burn above BurnThreshold.
+	ShortWindow, LongWindow time.Duration
+	// BurnThreshold is the burn-rate multiple (1 = exactly consuming budget
+	// at the sustainable rate) both windows must exceed to fire.
+	BurnThreshold float64
+	// MinSamples is the short-window sample floor before alerts can fire.
+	MinSamples int64
+}
+
+func (o *SLOObjective) internal() slo.Objective {
+	if o == nil {
+		return slo.DefaultObjective()
+	}
+	return slo.Objective{
+		Latency:       sim.Time(o.Latency),
+		Goal:          o.Goal,
+		ShortWindow:   sim.Time(o.ShortWindow),
+		LongWindow:    sim.Time(o.LongWindow),
+		BurnThreshold: o.BurnThreshold,
+		MinSamples:    o.MinSamples,
+	}
 }
 
 // Fault-injection vocabulary, re-exported from the internal engine so plans
@@ -209,6 +267,9 @@ type Simulation struct {
 
 	metrics *metrics.Registry
 	spans   *trace.SpanRecorder
+	attrib  *slo.Attributor
+	sloEng  *slo.Engine
+	board   *slo.Scoreboard
 }
 
 // New assembles a platform. The hypervisor is not booted until Run.
@@ -264,7 +325,23 @@ func newSimulation(cfg Config, seed *blockdev.Store) *Simulation {
 	}
 	bcfg.Metrics = reg
 	bcfg.Spans = spans
-	s := &Simulation{pl: bench.NewPlatform(bcfg), cfg: cfg, metrics: reg, spans: spans}
+	var attrib *slo.Attributor
+	var sloEng *slo.Engine
+	var board *slo.Scoreboard
+	if cfg.ScoreboardEvents > 0 {
+		board = slo.NewScoreboard(cfg.ScoreboardEvents)
+	}
+	if cfg.Attribution {
+		attrib = slo.NewAttributor(1024)
+	}
+	if cfg.SLO != nil {
+		sloEng = slo.NewEngine(cfg.SLO.internal(), board)
+	}
+	bcfg.Attrib = attrib
+	bcfg.SLOEng = sloEng
+	bcfg.Board = board
+	s := &Simulation{pl: bench.NewPlatform(bcfg), cfg: cfg, metrics: reg, spans: spans,
+		attrib: attrib, sloEng: sloEng, board: board}
 	if cfg.TraceEvents > 0 {
 		s.pl.Ctl.Tracer = trace.NewRing(cfg.TraceEvents)
 	}
@@ -336,6 +413,112 @@ func (s *Simulation) FlightRecords() int64 {
 		return 0
 	}
 	return s.pl.Ctl.Flight.Total
+}
+
+// Observability-layer views, re-exported from the internal engine so tools
+// can be written against the public API alone (the FaultPlan idiom).
+type (
+	// AttributionRow is one per-{vf,op} latency budget-table row.
+	AttributionRow = slo.Row
+	// TailExplanation is one row's p99 explainer verdict: the segment whose
+	// growth separates tail requests from the median, with request ids for
+	// flight-recorder cross-links.
+	TailExplanation = slo.Explanation
+	// SLOVFStatus is one tracked tenant's live SLO state.
+	SLOVFStatus = slo.Status
+	// AnomalyEvent is one structured scoreboard event.
+	AnomalyEvent = slo.Event
+	// AnomalyKind tags an AnomalyEvent.
+	AnomalyKind = slo.EventKind
+)
+
+// WriteAttribution exports the latency budget table as a JSON report: one
+// object per {vf,op} row with per-segment nanosecond totals and shares,
+// plus the p99 explainer's verdict (requires Config.Attribution; writes an
+// empty array otherwise).
+func (s *Simulation) WriteAttribution(w io.Writer) error { return s.attrib.WriteReport(w) }
+
+// AttributionRows returns the latency budget table, sorted by {vf,op}
+// (nil without Config.Attribution).
+func (s *Simulation) AttributionRows() []AttributionRow { return s.attrib.Rows() }
+
+// ExplainTail runs the p99 explainer for one budget-table row: it diffs the
+// segment profile of the row's tail requests against its median band and
+// names the dominant component. ok is false when the row is unknown or has
+// too few profiled requests.
+func (s *Simulation) ExplainTail(vf int, op string) (TailExplanation, bool) {
+	return s.attrib.Explain(vf, op)
+}
+
+// SetSLOObjective overrides the declared objective for one VF (call before
+// the VF completes its first request; requires Config.SLO).
+func (s *Simulation) SetSLOObjective(vf int, obj SLOObjective) {
+	s.sloEng.SetObjective(vf, obj.internal())
+}
+
+// SLOStatus reports every tracked tenant's live SLO state, sorted by VF
+// (nil without Config.SLO).
+func (s *Simulation) SLOStatus() []SLOVFStatus { return s.sloEng.Status() }
+
+// Anomalies returns the scoreboard's retained events, oldest first (nil
+// without Config.ScoreboardEvents).
+func (s *Simulation) Anomalies() []AnomalyEvent { return s.board.Events() }
+
+// ScoreboardDump renders the retained anomaly events human-readably.
+func (s *Simulation) ScoreboardDump() string {
+	var b strings.Builder
+	if err := s.board.Dump(&b); err != nil {
+		return "scoreboard: " + err.Error()
+	}
+	return b.String()
+}
+
+// WriteTop writes a one-shot health snapshot — virtual time, per-tenant SLO
+// state, anomaly-event counts with the most recent events, and each
+// budget-table row's tail verdict. It is the nescctl -top view; sections
+// whose layer is off are omitted.
+func (s *Simulation) WriteTop(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "=== nesc health snapshot at %v ===\n", time.Duration(s.pl.Eng.Now())); err != nil {
+		return err
+	}
+	if sts := s.sloEng.Status(); len(sts) > 0 {
+		fmt.Fprintf(w, "\nSLO (goal/budget/burn-short/burn-long/alerts):\n")
+		for _, st := range sts {
+			state := "ok"
+			if st.Alerting {
+				state = "ALERTING"
+			}
+			if st.ExhaustedAt > 0 {
+				state = "EXHAUSTED"
+			}
+			fmt.Fprintf(w, "  vf=%-3d goal=%.3f budget=%5.1f%% burn=%6.2f/%-6.2f alerts=%-3d good=%d bad=%d %s\n",
+				st.VF, st.Objective.Goal, 100*st.BudgetConsumed, st.BurnShort, st.BurnLong,
+				st.Alerts, st.Good, st.Bad, state)
+		}
+	}
+	if s.board.Total() > 0 {
+		fmt.Fprintf(w, "\nanomaly scoreboard (%d events):\n", s.board.Total())
+		evs := s.board.Events()
+		if len(evs) > 10 {
+			evs = evs[len(evs)-10:]
+		}
+		for _, ev := range evs {
+			fmt.Fprintf(w, "  #%-4d %10dus %-16s dev=%d vf=%d req=%d %s\n",
+				ev.Seq, int64(ev.At)/1000, ev.Kind.String(), ev.Dev, ev.VF, ev.ReqID, ev.Note)
+		}
+	}
+	if exps := s.attrib.Explanations(); len(exps) > 0 {
+		fmt.Fprintf(w, "\ntail attribution (p99 explainer):\n")
+		for _, ex := range exps {
+			fmt.Fprintf(w, "  vf=%-3d op=%-12s n=%-6d median=%-8v tail=%-8v dominant=%s (+%v, %2.0f%% of tail)\n",
+				ex.VF, ex.Op, ex.Requests, time.Duration(ex.MedianNs), time.Duration(ex.TailNs),
+				ex.Dominant, time.Duration(ex.DominantDeltaNs), 100*ex.DominantShare)
+		}
+	}
+	if n := s.FlightRecords(); n > 0 {
+		fmt.Fprintf(w, "\nflight records: %d (nescctl -flight for dumps)\n", n)
+	}
+	return nil
 }
 
 // Run boots the hypervisor and executes fn as the initial host process,
@@ -582,6 +765,13 @@ type Stats struct {
 	// and readmitted; ProbeReads counts steering probes to slow legs.
 	Quarantines, Rejoins, ProbeReads int64
 
+	// Observability-layer counters (all zero with the layer off).
+
+	// SLOAlerts counts multi-window burn-rate alerts fired across every
+	// tracked tenant; AnomalyEvents counts structured scoreboard events
+	// emitted (including ones the bounded ring has since overwritten).
+	SLOAlerts, AnomalyEvents int64
+
 	// Snapshot / clone counters (all zero until a snapshot is taken).
 
 	// Snapshots counts snapshots captured (clones included); Clones counts
@@ -668,6 +858,8 @@ func (s *Simulation) Stats() Stats {
 		Quarantines:         fab.Quarantines,
 		Rejoins:             fab.Rejoins,
 		ProbeReads:          fab.ProbeReads,
+		SLOAlerts:           s.sloEng.TotalAlerts(),
+		AnomalyEvents:       s.board.Total(),
 
 		Snapshots:         s.pl.Hyp.Snapshots,
 		Clones:            s.pl.Hyp.Clones,
