@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: tier1 ci vet fmt-check build test race race-full chaos crash bench fabric-det scale-det grayfail-det slo-det profile
+# Determinism-gated experiments: each <exp>-det target (generated below)
+# replays experiment <exp> twice and diffs against results/<exp>.json.
+DET_EXPS := fabric scale grayfail slo dedup
+DET_TARGETS := $(addsuffix -det,$(DET_EXPS))
+
+.PHONY: tier1 ci vet fmt-check build test race race-full chaos crash bench profile
 
 # tier1 is the seed acceptance gate: everything must build and pass.
 tier1: build test
@@ -11,7 +16,7 @@ tier1: build test
 # the full 64-point crash-recovery harness plus the exhaustive journal
 # crash-point sweep; test runs the whole suite without the race detector
 # (including the long tests -short skips, e.g. the golden experiment run).
-ci: vet fmt-check build test race crash fabric-det scale-det grayfail-det slo-det
+ci: vet fmt-check build test race crash $(DET_TARGETS)
 
 vet:
 	$(GO) vet ./...
@@ -49,41 +54,27 @@ crash:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# fabric-det regenerates the fabric experiment twice in separate processes
-# and fails unless both runs and the checked-in results/fabric.json are
-# byte-identical (same seed => identical simulation).
-fabric-det:
-	@rm -rf .fabric-det && mkdir -p .fabric-det/a .fabric-det/b
-	@$(GO) run ./cmd/nescbench -exp fabric -json .fabric-det/a > /dev/null
-	@$(GO) run ./cmd/nescbench -exp fabric -json .fabric-det/b > /dev/null
-	@cmp .fabric-det/a/fabric.json .fabric-det/b/fabric.json
-	@cmp .fabric-det/a/fabric.json results/fabric.json
-	@rm -rf .fabric-det
-	@echo "results/fabric.json is deterministic and current"
-
-# grayfail-det does the same for the gray-failure experiment: hedged reads,
-# quarantine, roaming fail-slow pulses, and busy-shedding admission control
-# must all replay bit-identically from the same seed.
-grayfail-det:
-	@rm -rf .grayfail-det && mkdir -p .grayfail-det/a .grayfail-det/b
-	@$(GO) run ./cmd/nescbench -exp grayfail -json .grayfail-det/a > /dev/null
-	@$(GO) run ./cmd/nescbench -exp grayfail -json .grayfail-det/b > /dev/null
-	@cmp .grayfail-det/a/grayfail.json .grayfail-det/b/grayfail.json
-	@cmp .grayfail-det/a/grayfail.json results/grayfail.json
-	@rm -rf .grayfail-det
-	@echo "results/grayfail.json is deterministic and current"
-
-# slo-det does the same for the observability experiment: attribution
-# tables, the p99 explainer's verdicts, burn-alert timing, and scoreboard
-# counts must all replay bit-identically from the same seed.
-slo-det:
-	@rm -rf .slo-det && mkdir -p .slo-det/a .slo-det/b
-	@$(GO) run ./cmd/nescbench -exp slo -json .slo-det/a > /dev/null
-	@$(GO) run ./cmd/nescbench -exp slo -json .slo-det/b > /dev/null
-	@cmp .slo-det/a/slo.json .slo-det/b/slo.json
-	@cmp .slo-det/a/slo.json results/slo.json
-	@rm -rf .slo-det
-	@echo "results/slo.json is deterministic and current"
+# <exp>-det regenerates one experiment twice in separate processes and fails
+# unless both runs and the checked-in results/<exp>.json are byte-identical
+# (same seed => identical simulation). One parameterized rule covers every
+# determinism-gated experiment:
+#   fabric   - mirroring, failover, resilver, live VF migration
+#   scale    - massive tenancy (lazy VF core, queue-pair pool, shadow doorbells)
+#   grayfail - fail-slow injection, hedged reads, deadline + admission control
+#   slo      - latency attribution, burn alerts, anomaly scoreboard
+#   dedup    - content-addressed tier (dedup ratio, first touch, fleet fork)
+.PHONY: $(DET_TARGETS)
+define det-rule
+$(1)-det:
+	@rm -rf .$(1)-det && mkdir -p .$(1)-det/a .$(1)-det/b
+	@$$(GO) run ./cmd/nescbench -exp $(1) -json .$(1)-det/a > /dev/null
+	@$$(GO) run ./cmd/nescbench -exp $(1) -json .$(1)-det/b > /dev/null
+	@cmp .$(1)-det/a/$(1).json .$(1)-det/b/$(1).json
+	@cmp .$(1)-det/a/$(1).json results/$(1).json
+	@rm -rf .$(1)-det
+	@echo "results/$(1).json is deterministic and current"
+endef
+$(foreach e,$(DET_EXPS),$(eval $(call det-rule,$(e))))
 
 # profile is the tier-2 attribution report: run every experiment with the
 # causal-attribution layer armed and emit the per-{vf,op} latency budget
@@ -91,15 +82,3 @@ slo-det:
 profile:
 	$(GO) run ./cmd/nescbench -exp all -attrib results/attribution.json > /dev/null
 	@echo "wrote results/attribution.json"
-
-# scale-det does the same for the massive-tenancy scale experiment: two
-# fresh processes must produce byte-identical output matching the checked-in
-# results/scale.json.
-scale-det:
-	@rm -rf .scale-det && mkdir -p .scale-det/a .scale-det/b
-	@$(GO) run ./cmd/nescbench -exp scale -json .scale-det/a > /dev/null
-	@$(GO) run ./cmd/nescbench -exp scale -json .scale-det/b > /dev/null
-	@cmp .scale-det/a/scale.json .scale-det/b/scale.json
-	@cmp .scale-det/a/scale.json results/scale.json
-	@rm -rf .scale-det
-	@echo "results/scale.json is deterministic and current"

@@ -1,0 +1,112 @@
+package nesc
+
+import (
+	"fmt"
+
+	"nesc/internal/hypervisor"
+)
+
+// Content-addressed image management (requires Config.CAS). The tier models
+// golden-image provisioning at fleet scale: one host seals a prepared image
+// into a shared chunk store, any number of hosts fork it as metadata-only
+// copies, and each forked block's content materializes lazily — on first
+// guest touch — through the device's translation-miss path.
+
+// ImageManifest summarizes one sealed (or forked) image in the store.
+type ImageManifest struct {
+	// Name is the manifest's store key.
+	Name string
+	// Gen counts the fork generation (1 for a sealed master).
+	Gen uint64
+	// Blocks is the image length in blocks (= chunks).
+	Blocks int
+}
+
+// SealImage content-addresses the host image at path into the store under
+// name: every block is hashed into a chunk, new chunks are pushed to the
+// simulated remote tier in one batched PUT, and blocks whose content is
+// already sealed anywhere deduplicate against the existing chunks. The image
+// file itself is untouched.
+func (c *Ctx) SealImage(path, name string, uid uint32) (ImageManifest, error) {
+	m, err := c.s.pl.Hyp.SealImage(c.proc, path, name, uid)
+	if err != nil {
+		return ImageManifest{}, err
+	}
+	return ImageManifest{Name: m.Name, Gen: m.Gen, Blocks: int(m.Blocks())}, nil
+}
+
+// ForkImage clones the sealed image src onto the primary host as a
+// metadata-only copy at path, owned by uid: chunk references are taken, a
+// fully sparse backing file is created, and no data moves. VMs started on
+// path run fetch-backed — each block's content is served from the host's
+// chunk cache or fetched from the remote tier the first time the guest
+// touches it.
+func (c *Ctx) ForkImage(src, path string, uid uint32) error {
+	return c.s.pl.Hyp.ForkImage(c.proc, src, path, uid)
+}
+
+// ForkImageOn is ForkImage onto fleet host dev (0 = primary; requires
+// Config.Devices > dev). The fork is as metadata-only across hosts as it is
+// locally: only chunk hashes travel at fork time.
+func (c *Ctx) ForkImageOn(dev int, src, path string, uid uint32) error {
+	if dev < 0 || dev >= c.s.pl.Hyp.NumDevices() {
+		return fmt.Errorf("nesc: no fleet device %d", dev)
+	}
+	return c.s.pl.Hyp.Device(dev).ForkImage(c.proc, src, path, uid)
+}
+
+// ReleaseImage drops a forked image's chunk references on the primary host
+// and unbinds the path. Stop VMs using the image first: blocks never
+// materialized become unreadable afterwards.
+func (c *Ctx) ReleaseImage(path string) error {
+	return c.s.pl.Hyp.ReleaseImage(c.proc, path)
+}
+
+// ReleaseImageOn is ReleaseImage on fleet host dev.
+func (c *Ctx) ReleaseImageOn(dev int, path string) error {
+	if dev < 0 || dev >= c.s.pl.Hyp.NumDevices() {
+		return fmt.Errorf("nesc: no fleet device %d", dev)
+	}
+	return c.s.pl.Hyp.Device(dev).ReleaseImage(c.proc, path)
+}
+
+// ReleaseSealed drops a sealed master's own chunk references. Outstanding
+// forks keep their chunks alive through their own references; chunks no
+// image references anymore are freed.
+func (c *Ctx) ReleaseSealed(name string) error {
+	return c.s.pl.Hyp.ReleaseSealed(c.proc, name)
+}
+
+// CASDedupRatio reports logical blocks referenced per unique chunk stored
+// across the whole store (1.0 = no sharing; 0 when the store is empty or
+// Config.CAS is off).
+func (s *Simulation) CASDedupRatio() float64 {
+	return s.pl.Hyp.CAS().DedupRatio()
+}
+
+// StartVMOn is StartVM with the guest's virtual function placed on fleet
+// host dev (0 = primary; requires Config.Devices > dev and BackendNeSC —
+// the software backends always run against the primary device).
+func (c *Ctx) StartVMOn(dev int, name string, backend Backend, diskPath string, uid uint32) (*VM, error) {
+	kind, err := backendKind(backend)
+	if err != nil {
+		return nil, err
+	}
+	if dev < 0 || dev >= c.s.pl.Hyp.NumDevices() {
+		return nil, fmt.Errorf("nesc: no fleet device %d", dev)
+	}
+	if dev != 0 && kind != hypervisor.BackendDirect {
+		return nil, fmt.Errorf("nesc: backend %q cannot be placed on device %d", backend, dev)
+	}
+	vm, err := c.s.pl.Hyp.NewVM(c.proc, name, hypervisor.VMConfig{
+		Backend:  kind,
+		DiskPath: diskPath,
+		UID:      uid,
+		Guest:    c.s.pl.Cfg.Guest,
+		Device:   dev,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &VM{name: name, vm: vm, s: c.s}, nil
+}

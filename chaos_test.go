@@ -694,6 +694,229 @@ func TestChaosSoakCorruption(t *testing.T) {
 	}
 }
 
+// casChaosPlan extends the loud chaos schedule with the content-addressed
+// tier's remote sites: transient GET failures and delays on chunk fetches,
+// and a high transient-fault rate on the idempotent batched PUTs.
+func casChaosPlan(seed uint64) *FaultPlan {
+	plan := chaosPlan(seed)
+	plan.LatentSectors = nil                                                                     // no raw tenant here; keep the plan in-range
+	plan.Sites[FaultRemoteFetch] = FaultSiteParams{Prob: 0.05, DelayProb: 0.1, Delay: 25 * 1000} // 25µs
+	plan.Sites[FaultRemoteStore] = FaultSiteParams{Prob: 0.3}
+	return plan
+}
+
+// runChaosCAS is the content-addressed-tier soak: while an ordinary tenant
+// keeps writing and verifying stripes under the loud fault plan, the main
+// process churns the cas lifecycle — sealing variant images, forking the
+// golden manifest, materializing fork content through faulty remote fetches
+// (reads and writes both land on unmaterialized holes), and releasing
+// every manifest again. A deliberately tiny chunk cache keeps the LRU
+// evicting mid-churn. Every materialized byte is verified against the
+// golden oracle; every write to a fork reads back bit-exactly.
+func runChaosCAS(t *testing.T, seed uint64, rounds, goldenBlocks int) chaosResult {
+	t.Helper()
+	const blockSize = 1024
+	cfg := DefaultConfig()
+	cfg.UseIOMMU = true
+	cfg.CAS = true
+	cfg.CASCacheChunks = 16 // force evictions: working sets far exceed the cache
+	cfg.Fault = casChaosPlan(seed)
+	cfg.DriverTimeout = 3 * time.Millisecond
+	cfg.DriverRetryMax = 8
+	s := New(cfg)
+
+	stripe := int64(8 * blockSize)
+	err := s.Run(func(ctx *Ctx) error {
+		// Golden master with per-block-distinct content, so dedup never
+		// collapses fetches and the oracle is a pure function of the offset.
+		golden := make([]byte, goldenBlocks*blockSize)
+		for i := range golden {
+			golden[i] = byte(i*13 + i/blockSize*149 + 17)
+		}
+		if err := ctx.CreateImage("/golden.img", 7, int64(len(golden)), true); err != nil {
+			return err
+		}
+		if err := ctx.WriteHostFile("/golden.img", golden, 0); err != nil {
+			return err
+		}
+		if _, err := ctx.SealImage("/golden.img", "golden", 7); err != nil {
+			return err
+		}
+
+		// An ordinary (non-cas) tenant runs the classic stripe workload the
+		// whole time: the tier's churn must not disturb its recovery machinery.
+		if err := ctx.CreateImage("/tenant.img", 100, int64(4*rounds)*stripe, true); err != nil {
+			return err
+		}
+		tvm, err := ctx.StartVM("tenant", BackendNeSC, "/tenant.img", 100)
+		if err != nil {
+			return err
+		}
+		bg := ctx.Go("cas-chaos-tenant", func(c *Ctx) error {
+			want := make([]byte, stripe)
+			got := make([]byte, stripe)
+			for round := 0; round < rounds; round++ {
+				stripePattern(want, 1, round)
+				if err := writeStripe(c, tvm, want, int64(round)*stripe); err != nil {
+					return err
+				}
+				vr := round / 2
+				stripePattern(want, 1, vr)
+				if err := readVerified(c, tvm, want, got, int64(vr)*stripe); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+
+		got := make([]byte, stripe)
+		want := make([]byte, stripe)
+		for round := 0; round < rounds; round++ {
+			// Seal a variant sharing half its blocks with the golden image,
+			// then release it again: refcounts must free only its private
+			// chunks while the master stays intact.
+			vpath := fmt.Sprintf("/variant%d.img", round)
+			variant := make([]byte, len(golden))
+			copy(variant, golden)
+			for b := 0; b < goldenBlocks; b += 2 {
+				for i := 0; i < blockSize; i++ {
+					variant[b*blockSize+i] = byte(i*13 + b*149 + 29 + round)
+				}
+			}
+			if err := ctx.CreateImage(vpath, 7, int64(len(variant)), true); err != nil {
+				return err
+			}
+			if err := ctx.WriteHostFile(vpath, variant, 0); err != nil {
+				return err
+			}
+			vname := fmt.Sprintf("variant%d", round)
+			if _, err := ctx.SealImage(vpath, vname, 7); err != nil {
+				return err
+			}
+
+			// Fork the golden manifest, boot a guest, and mix first-touch
+			// reads (fetch on the read path) with writes landing on holes
+			// (fetch on the write path), verifying both against the oracle.
+			fpath := fmt.Sprintf("/cfork%d.img", round)
+			if err := ctx.ForkImage("golden", fpath, 7); err != nil {
+				return err
+			}
+			fvm, err := ctx.StartVM(fmt.Sprintf("cfork%d", round), BackendNeSC, fpath, 7)
+			if err != nil {
+				return err
+			}
+			roff := int64(round%4) * stripe
+			if err := readVerified(ctx, fvm, golden[roff:roff+stripe], got, roff); err != nil {
+				return fmt.Errorf("round %d fork first-touch read: %w", round, err)
+			}
+			woff := int64(4+round%4) * stripe
+			stripePattern(want, 2, round)
+			if err := writeStripe(ctx, fvm, want, woff); err != nil {
+				return fmt.Errorf("round %d fork write over holes: %w", round, err)
+			}
+			if err := readVerified(ctx, fvm, want, got, woff); err != nil {
+				return fmt.Errorf("round %d fork write readback: %w", round, err)
+			}
+			fvm.Stop(ctx)
+			if err := ctx.ReleaseImage(fpath); err != nil {
+				return err
+			}
+			if err := ctx.ReleaseSealed(vname); err != nil {
+				return err
+			}
+		}
+		if err := bg.Wait(ctx); err != nil {
+			return err
+		}
+
+		// After all churn the golden manifest must still materialize cleanly.
+		fin := "/final-fork.img"
+		if err := ctx.ForkImage("golden", fin, 7); err != nil {
+			return err
+		}
+		fvm, err := ctx.StartVM("final-fork", BackendNeSC, fin, 7)
+		if err != nil {
+			return err
+		}
+		all := make([]byte, len(golden))
+		if err := readVerified(ctx, fvm, golden, all, 0); err != nil {
+			return fmt.Errorf("final fork read: %w", err)
+		}
+		fvm.Stop(ctx)
+		if err := ctx.ReleaseImage(fin); err != nil {
+			return err
+		}
+		if err := ctx.CheckHostFS(); err != nil {
+			return fmt.Errorf("fsck after cas churn: %w", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("cas soak (seed %d): %v", seed, err)
+	}
+	return chaosResult{stats: s.Stats(), summary: s.FaultSummary(), vtime: s.Stats().VirtualTime}
+}
+
+// TestChaosSoakCAS asserts the content-addressed churn actually exercised
+// the tier (dedup, fetch-path misses on reads and writes, remote retries,
+// cache evictions, refcounted releases), that every materialized or written
+// byte stayed bit-exact under the fault plan, and that the whole
+// seal/fork/release schedule replays same-seed deterministically.
+func TestChaosSoakCAS(t *testing.T) {
+	rounds, goldenBlocks := 4, 64
+	if !testing.Short() {
+		rounds, goldenBlocks = 8, 96
+	}
+	a := runChaosCAS(t, 0xCA5CADE, rounds, goldenBlocks)
+
+	st := a.stats
+	if st.InjectedFaults == 0 {
+		t.Fatal("no faults injected; the cas chaos plan is inert")
+	}
+	if st.CASDedupHits == 0 {
+		t.Error("variant sealing produced no dedup hits")
+	}
+	if st.CASFetchMisses == 0 || st.CASMaterializations == 0 {
+		t.Errorf("fetch path not exercised (misses=%d materializations=%d)",
+			st.CASFetchMisses, st.CASMaterializations)
+	}
+	if st.CASRemoteRetries == 0 {
+		t.Error("no remote retries: the RemoteFetch/RemoteStore faults never bit")
+	}
+	if st.CASCacheEvictions == 0 {
+		t.Error("no cache evictions: the tiny chunk cache never churned")
+	}
+	if st.CASReleases == 0 {
+		t.Error("no manifests released")
+	}
+	if st.CASChunksLive == 0 {
+		t.Error("golden chunks vanished: releases freed too much")
+	}
+	t.Logf("cas soak stats: faults=%d dedupHits=%d fetchMisses=%d materializations=%d "+
+		"remoteFetches=%d remoteRetries=%d cacheHits=%d cacheEvictions=%d releases=%d chunksLive=%d vtime=%v",
+		st.InjectedFaults, st.CASDedupHits, st.CASFetchMisses, st.CASMaterializations,
+		st.CASRemoteFetches, st.CASRemoteRetries, st.CASCacheHits, st.CASCacheEvictions,
+		st.CASReleases, st.CASChunksLive, st.VirtualTime)
+
+	// Same-seed determinism: identical fault sequence, stats, and end time.
+	b := runChaosCAS(t, 0xCA5CADE, rounds, goldenBlocks)
+	if a.summary != b.summary {
+		t.Errorf("fault summaries diverge across same-seed runs:\n--- run A\n%s--- run B\n%s", a.summary, b.summary)
+	}
+	if a.stats != b.stats {
+		t.Errorf("stats diverge across same-seed runs:\nA: %+v\nB: %+v", a.stats, b.stats)
+	}
+	if a.vtime != b.vtime {
+		t.Errorf("virtual end time diverges: %v vs %v", a.vtime, b.vtime)
+	}
+
+	// A different seed must produce a different fault sequence.
+	c := runChaosCAS(t, 0xDECAF, rounds, goldenBlocks)
+	if c.summary == a.summary {
+		t.Error("different seeds produced identical fault summaries")
+	}
+}
+
 // TestChaosSoakCorruptionWithScrubber repeats the soak with the background
 // scrubber running the whole time: scavenger-priority verify traffic must
 // not break integrity, liveness, or determinism while it heals latches

@@ -36,6 +36,7 @@ func main() {
 	scale := flag.Bool("scale", false, "demo massive tenancy: 1024 configured VFs, lazy materialization, pooled queue pairs, shadow doorbells")
 	grayfail := flag.Bool("grayfail", false, "demo gray-failure hardening: fail-slow injection, hedged reads, quarantine + probes, deadline + admission control")
 	top := flag.Bool("top", false, "demo the observability layer and print the health snapshot: latency attribution, per-tenant SLO burn alerts, anomaly scoreboard")
+	dedup := flag.Bool("dedup", false, "demo the content-addressed tier: image sealing with dedup, metadata-only fleet forks, lazy chunk materialization, refcounted reclamation")
 	flag.Parse()
 
 	if *scale {
@@ -52,6 +53,12 @@ func main() {
 	}
 	if *top {
 		if err := runTopDemo(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *dedup {
+		if err := runDedupDemo(); err != nil {
 			log.Fatal(err)
 		}
 		return

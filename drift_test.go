@@ -79,6 +79,24 @@ var statsMetricFamily = map[string]string{
 	"CowBreaks":           "nesc_hyp_cow_breaks_total",
 	"BTLBInvalidations":   "nesc_device_btlb_invalidations_total",
 	"SharedBlocks":        "nesc_fs_shared_blocks",
+	"CASSeals":            "nesc_cas_seals_total",
+	"CASForks":            "nesc_cas_forks_total",
+	"CASReleases":         "nesc_cas_releases_total",
+	"CASDedupHits":        "nesc_cas_dedup_hits_total",
+	"CASChunksLive":       "nesc_cas_chunks_live",
+	"CASBlocksLogical":    "nesc_cas_blocks_logical",
+	"CASFetchMisses":      "nesc_cas_fetch_misses_total",
+	"CASMaterializations": "nesc_cas_materializations_total",
+	"CASRemoteFetches":    "nesc_cas_remote_fetches_total",
+	"CASRemotePuts":       "nesc_cas_remote_puts_total",
+	"CASRemoteRetries":    "nesc_cas_remote_retries_total",
+	"CASRemoteFetchTime":  "nesc_cas_remote_fetch_ns",
+	"CASFetchFails":       "nesc_cas_fetch_fails_total",
+	"CASHashMismatches":   "nesc_cas_hash_mismatches_total",
+	"CASCacheHits":        "nesc_cas_cache_hits_total",
+	"CASCacheMisses":      "nesc_cas_cache_misses_total",
+	"CASCacheEvictions":   "nesc_cas_cache_evictions_total",
+	"CASCacheResident":    "nesc_cas_cache_resident",
 }
 
 // statsFieldExempt lists Stats fields that deliberately have no registry
@@ -126,6 +144,7 @@ func TestStatsFieldsMapToMetricFamilies(t *testing.T) {
 		Attribution:      true,
 		ScoreboardEvents: 32,
 		SLO:              &SLOObjective{},
+		CAS:              true,
 		Fault:            &FaultPlan{Seed: 1},
 	})
 	err := sim.Run(func(ctx *Ctx) error {
@@ -143,7 +162,23 @@ func TestStatsFieldsMapToMetricFamilies(t *testing.T) {
 		if err := vm.ReadAt(ctx, buf, 0); err != nil {
 			return err
 		}
+		// Content-addressed tier: seal, fork, and touch the fork so the cas
+		// store, cache, and materialization counters all move.
+		if _, err := ctx.SealImage("/drift.img", "drift-golden", 11); err != nil {
+			return err
+		}
+		if err := ctx.ForkImage("drift-golden", "/drift-fork.img", 11); err != nil {
+			return err
+		}
+		fvm, err := ctx.StartVM("drift-fork", BackendNeSC, "/drift-fork.img", 11)
+		if err != nil {
+			return err
+		}
+		if err := fvm.ReadAt(ctx, buf, 0); err != nil {
+			return err
+		}
 		ctx.Sleep(100 * time.Microsecond)
+		fvm.Stop(ctx)
 		vm.Stop(ctx)
 		return nil
 	})

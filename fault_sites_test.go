@@ -172,7 +172,69 @@ func runDeviceSiteScenario(t *testing.T) *fault.Injector {
 	return s.pl.Inj
 }
 
-// TestFaultSiteTableCoverage merges the per-site counters from both
+// runCASSiteScenario drives the remote-tier sites of the content-addressed
+// store: a golden image is sealed (RemoteStore consulted on the PUT's retry
+// ladder — Prob 1 fires every attempt, and the idempotent PUT still lands),
+// forked twice, and each fork read end to end; the first fork's
+// materializations consult (and transiently fault) RemoteFetch, the second
+// mostly rides the warmed chunk cache.
+func runCASSiteScenario(t *testing.T) *fault.Injector {
+	t.Helper()
+	plan := &FaultPlan{Seed: 0xCA5E}
+	plan.Sites[FaultRemoteFetch] = FaultSiteParams{Prob: 0.2, DelayProb: 0.1, Delay: 20 * 1000}
+	plan.Sites[FaultRemoteStore] = FaultSiteParams{Prob: 1}
+	const blocks, blockSize = 48, 1024
+	cfg := DefaultConfig()
+	cfg.MediumMB = 16
+	cfg.CAS = true
+	cfg.Fault = plan
+	cfg.DriverTimeout = 5 * time.Millisecond
+	cfg.DriverRetryMax = 8
+	s := New(cfg)
+	err := s.Run(func(ctx *Ctx) error {
+		// Per-block-distinct content: stripePattern repeats with a 256-byte
+		// period, which would dedup the whole image to one chunk and leave
+		// the remote-fetch site nearly unconsulted. Mixing the block index in
+		// keeps all 48 chunks unique so every materialization pays a fetch.
+		want := make([]byte, blocks*blockSize)
+		for i := range want {
+			want[i] = byte(i*7 + i/blockSize*131 + 5)
+		}
+		if err := ctx.CreateImage("/golden.img", 3, blocks*blockSize, true); err != nil {
+			return err
+		}
+		if err := ctx.WriteHostFile("/golden.img", want, 0); err != nil {
+			return err
+		}
+		if _, err := ctx.SealImage("/golden.img", "golden", 3); err != nil {
+			return err
+		}
+		for i := 0; i < 2; i++ {
+			path := fmt.Sprintf("/fork%d.img", i)
+			if err := ctx.ForkImage("golden", path, 3); err != nil {
+				return err
+			}
+			vm, err := ctx.StartVM(fmt.Sprintf("fork%d", i), BackendNeSC, path, 3)
+			if err != nil {
+				return err
+			}
+			got := make([]byte, blocks*blockSize)
+			if err := vm.ReadAt(ctx, got, 0); err != nil {
+				return fmt.Errorf("fork %d read: %w", i, err)
+			}
+			if !bytes.Equal(got, want) {
+				return fmt.Errorf("fork %d content diverged from the sealed image", i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("cas site scenario: %v", err)
+	}
+	return s.pl.Inj
+}
+
+// TestFaultSiteTableCoverage merges the per-site counters from the
 // scenarios and asserts, site by site, that each one was consulted and
 // fired at least once.
 func TestFaultSiteTableCoverage(t *testing.T) {
@@ -180,6 +242,7 @@ func TestFaultSiteTableCoverage(t *testing.T) {
 	for _, in := range []*fault.Injector{
 		runClassicSiteScenario(t),
 		runDeviceSiteScenario(t),
+		runCASSiteScenario(t),
 	} {
 		for site := fault.Site(0); site < fault.NumSites; site++ {
 			ops[site] += in.Ops(site)
@@ -201,8 +264,10 @@ func TestFaultSiteTableCoverage(t *testing.T) {
 
 // runDelayScenario drives one small seeded workload — two sparse-image
 // tenants writing and reading verified stripes through the lazy-allocation
-// path — with the given fault plan, and returns the injector (nil plan is
-// allowed) plus the workload's virtual-time duration.
+// path, then a content-addressed seal + fork read so the remote-tier sites
+// are consulted inside the measured window — with the given fault plan, and
+// returns the injector (nil plan is allowed) plus the workload's
+// virtual-time duration.
 func runDelayScenario(t *testing.T, plan *FaultPlan) (*fault.Injector, time.Duration) {
 	t.Helper()
 	const blockSize = 1024
@@ -210,6 +275,7 @@ func runDelayScenario(t *testing.T, plan *FaultPlan) (*fault.Injector, time.Dura
 	cfg := DefaultConfig()
 	cfg.MediumMB = 16
 	cfg.UseIOMMU = true
+	cfg.CAS = true
 	cfg.Fault = plan
 	s := New(cfg)
 
@@ -233,6 +299,25 @@ func runDelayScenario(t *testing.T, plan *FaultPlan) (*fault.Injector, time.Dura
 				return err
 			}
 			if err := readVerified(ctx, vm, want, got, int64(round)*stripe); err != nil {
+				return err
+			}
+		}
+		// Content-addressed phase: seal the image (RemoteStore on the batched
+		// PUT), fork it, and read the fork end to end (RemoteFetch on every
+		// chunk materialization).
+		if _, err := ctx.SealImage("/delay.img", "delay-golden", 9); err != nil {
+			return err
+		}
+		if err := ctx.ForkImage("delay-golden", "/delay-fork.img", 9); err != nil {
+			return err
+		}
+		fvm, err := ctx.StartVM("delay-fork", BackendNeSC, "/delay-fork.img", 9)
+		if err != nil {
+			return err
+		}
+		for round := 0; round < rounds; round++ {
+			stripePattern(want, 0, round)
+			if err := readVerified(ctx, fvm, want, got, int64(round)*stripe); err != nil {
 				return err
 			}
 		}
@@ -265,6 +350,8 @@ func TestFaultSiteDelayTable(t *testing.T) {
 		fault.DMACorrupt:         false,
 		fault.DeviceKill:         false,
 		fault.DevicePartition:    false,
+		fault.RemoteFetch:        true,
+		fault.RemoteStore:        true,
 	}
 	for site := fault.Site(0); site < fault.NumSites; site++ {
 		if _, ok := delayMeaningful[site]; !ok {

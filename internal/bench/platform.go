@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"nesc/internal/blockdev"
+	"nesc/internal/cas"
 	"nesc/internal/core"
 	"nesc/internal/extfs"
 	"nesc/internal/fault"
@@ -40,6 +41,14 @@ type Config struct {
 	// Fault, when set, arms a seeded fault injector across the medium, the
 	// PCIe fabric, and the hypervisor's miss-service path.
 	Fault *fault.Plan
+	// CAS enables the content-addressed block tier: a fleet-shared
+	// refcounted chunk store (simulated remote object tier) with per-device
+	// LRU chunk caches, reached through SealImage / ForkImage and the
+	// MissReasonFetch materialization path. Off (the default), the platform
+	// is byte-identical to pre-cas builds.
+	CAS bool
+	// CASCacheChunks sizes each device's local chunk cache (0 = default 64).
+	CASCacheChunks int
 	// SeedStore, when set, backs the medium with an existing store instead of
 	// a fresh zeroed one — the surviving durable state of a crashed platform.
 	SeedStore *blockdev.Store
@@ -141,6 +150,13 @@ func NewPlatform(cfg Config) *Platform {
 		}
 		fab.SetInjector(pl.Inj)
 		h.SetInjector(pl.Inj)
+	}
+	if cfg.CAS {
+		cc := cfg.CASCacheChunks
+		if cc == 0 {
+			cc = 64
+		}
+		h.EnableCAS(cas.NewStore(cas.DefaultParams(cfg.Core.BlockSize), pl.Inj), cc)
 	}
 	if cfg.Metrics != nil || cfg.Spans != nil {
 		ctl.AttachTelemetry(cfg.Metrics, cfg.Spans)

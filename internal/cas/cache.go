@@ -1,0 +1,143 @@
+package cas
+
+// Per-device LRU chunk cache: the local tier between a device's miss path
+// and the remote object store. Recently materialized chunks are served from
+// here without a remote round trip — the golden-image case, where every
+// host forking the same image touches the same chunks. Entries can be
+// pinned (an in-flight materialization DMA must not have its source
+// evicted); eviction walks the LRU tail past pinned entries. A nil *Cache
+// is a valid disabled cache: Get always misses, Put drops.
+
+// centry is one resident chunk on the cache's doubly linked LRU list
+// (front = most recent).
+type centry struct {
+	hash       Hash
+	data       []byte
+	pins       int
+	prev, next *centry
+}
+
+// CacheStats is the cache's counter snapshot.
+type CacheStats struct {
+	Hits, Misses, Evictions int64
+	Resident                int64
+}
+
+// Cache is one device's local chunk cache. Single-threaded, like everything
+// behind the engine hand-off.
+type Cache struct {
+	capacity    int
+	entries     map[Hash]*centry
+	front, back *centry
+
+	hits, misses, evictions int64
+}
+
+// NewCache builds a cache holding up to capacity chunks (min 1).
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{capacity: capacity, entries: make(map[Hash]*centry)}
+}
+
+// Stats snapshots the counters (zero value on nil).
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Resident: int64(len(c.entries))}
+}
+
+// unlink removes e from the LRU list.
+func (c *Cache) unlink(e *centry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.front = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.back = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// pushFront makes e the most recently used entry.
+func (c *Cache) pushFront(e *centry) {
+	e.next = c.front
+	if c.front != nil {
+		c.front.prev = e
+	}
+	c.front = e
+	if c.back == nil {
+		c.back = e
+	}
+}
+
+// Get returns the cached chunk and promotes it to most recently used.
+func (c *Cache) Get(h Hash) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	e, ok := c.entries[h]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.unlink(e)
+	c.pushFront(e)
+	return e.data, true
+}
+
+// Put inserts a chunk at the front, evicting from the LRU tail — skipping
+// pinned entries — until the cache fits. If every entry is pinned the cache
+// temporarily overflows rather than evicting an in-use chunk.
+func (c *Cache) Put(h Hash, data []byte) {
+	if c == nil {
+		return
+	}
+	if e, ok := c.entries[h]; ok {
+		c.unlink(e)
+		c.pushFront(e)
+		return
+	}
+	e := &centry{hash: h, data: append([]byte(nil), data...)}
+	c.entries[h] = e
+	c.pushFront(e)
+	for len(c.entries) > c.capacity {
+		victim := c.back
+		for victim != nil && victim.pins > 0 {
+			victim = victim.prev
+		}
+		if victim == nil || victim == e {
+			return // everything pinned (or only the new entry is evictable)
+		}
+		c.unlink(victim)
+		delete(c.entries, victim.hash)
+		c.evictions++
+	}
+}
+
+// Pin protects a resident chunk from eviction until Unpin. Pinning a chunk
+// that is not resident is a no-op (it cannot be evicted either way).
+func (c *Cache) Pin(h Hash) {
+	if c == nil {
+		return
+	}
+	if e, ok := c.entries[h]; ok {
+		e.pins++
+	}
+}
+
+// Unpin releases one Pin.
+func (c *Cache) Unpin(h Hash) {
+	if c == nil {
+		return
+	}
+	if e, ok := c.entries[h]; ok && e.pins > 0 {
+		e.pins--
+	}
+}

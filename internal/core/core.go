@@ -639,6 +639,11 @@ type Function struct {
 	enabled    bool
 	treeRoot   int64
 	sizeBlocks uint64
+	// fetchBacked marks a VF whose image is a cas manifest fork: holes are
+	// not zero-fill but unmaterialized content, so every hole — read or
+	// write — raises a MissReasonFetch miss. Survives FLR like the other
+	// management registers.
+	fetchBacked bool
 
 	// Miss latch (read by the hypervisor on a miss interrupt).
 	missAddr      uint64

@@ -354,16 +354,19 @@ func (c *Controller) walkerLoop(p *sim.Proc) {
 				ch.lba = res.PLBA
 				c.pushPLBA(p, f, ch)
 				break walk
-			case res.Hole && ch.req.Op == OpRead:
+			case res.Hole && ch.req.Op == OpRead && !f.fetchBacked:
 				// POSIX: holes read as zeros (paper Fig. 5a "DMA zero
-				// blocks").
+				// blocks"). On a fetch-backed VF a hole is unmaterialized
+				// content, not zeros — fall through to the miss path so the
+				// hypervisor fetches the chunk from the cas tier.
 				ch.zero = true
 				c.pushPLBA(p, f, ch)
 				break walk
 			default:
-				// Hole on a write, a pruned subtree on either op, or a write
-				// hitting a write-protected (CoW shared) extent: the
-				// hypervisor must allocate/regenerate/unshare mappings.
+				// Hole on a write, a pruned subtree on either op, a write
+				// hitting a write-protected (CoW shared) extent, or any hole
+				// on a fetch-backed VF: the hypervisor must
+				// allocate/regenerate/unshare/materialize mappings.
 				c.Misses++
 				ch.tag = trace.TagMiss
 				if cowFault {
@@ -377,6 +380,9 @@ func (c *Controller) walkerLoop(p *sim.Proc) {
 					f.missSize = 1
 					f.missIsWrite = ch.req.Op == OpWrite
 					f.missReason = MissReasonTranslate
+					if res.Hole && f.fetchBacked {
+						f.missReason = MissReasonFetch
+					}
 					if cowFault {
 						f.missReason = MissReasonCoW
 					}

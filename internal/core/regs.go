@@ -97,10 +97,12 @@ const (
 	MgmtWeight      = 0x2C // QoS weight for the VF multiplexer, 1..255 (4B)
 	MgmtQueues      = 0x30 // active queue-pair count, 1..QueuesPerVF (4B)
 	MgmtMissReason  = 0x34 // RO: reason code of the latched miss (4B)
+	MgmtFetch       = 0x38 // 1 = fetch-backed VF: holes miss for materialization (4B)
 
 	// Miss reason codes (MgmtMissReason).
 	MissReasonTranslate = 0 // no mapping: hole or pruned subtree
 	MissReasonCoW       = 1 // write hit a write-protected (CoW shared) extent
+	MissReasonFetch     = 2 // hole on a fetch-backed VF: content must materialize
 
 	// RewalkTree verdicts.
 	RewalkRetry = 1
@@ -450,6 +452,11 @@ func (c *Controller) mgmtRead(reg int64) uint64 {
 		return uint64(f.weight)
 	case MgmtQueues:
 		return uint64(f.numQueues)
+	case MgmtFetch:
+		if f.fetchBacked {
+			return 1
+		}
+		return 0
 	}
 	return 0
 }
@@ -492,6 +499,12 @@ func (c *Controller) mgmtWrite(reg int64, val uint64) {
 		if val >= 1 && val <= uint64(len(f.queues)) {
 			f.numQueues = int(val)
 		}
+	case MgmtFetch:
+		// Fetch-backed VFs (forked golden images) turn every hole — read or
+		// write — into a miss so the hypervisor can materialize the block's
+		// content from the cas tier. The register is written only when the
+		// tier is in use, keeping pre-cas MMIO schedules identical.
+		f.fetchBacked = val == 1
 	}
 }
 

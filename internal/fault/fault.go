@@ -52,6 +52,13 @@ const (
 	// a link flap rather than a dead controller.
 	DeviceKill
 	DevicePartition
+	// Remote-tier sites for the content-addressed store (cas). RemoteFetch
+	// covers GETs from the simulated object tier (chunk materialization);
+	// RemoteStore covers PUTs (sealing). Both support delay injection — the
+	// remote tier is a network service, so chronic slowness is its most
+	// realistic failure shape.
+	RemoteFetch
+	RemoteStore
 	NumSites
 )
 
@@ -79,6 +86,10 @@ func (s Site) String() string {
 		return "device-kill"
 	case DevicePartition:
 		return "device-partition"
+	case RemoteFetch:
+		return "remote-fetch"
+	case RemoteStore:
+		return "remote-store"
 	default:
 		return fmt.Sprintf("Site(%d)", int(s))
 	}

@@ -1,6 +1,7 @@
 package hypervisor
 
 import (
+	"nesc/internal/cas"
 	"nesc/internal/core"
 	"nesc/internal/extent"
 	"nesc/internal/extfs"
@@ -29,6 +30,11 @@ type Device struct {
 	// sites nil-skip.
 	vfs   []*vfState
 	trees map[string]*sharedTree
+	// casBindings maps device paths to their cas-fork manifests; casCache is
+	// this device's local chunk cache (see cas.go). Both nil until the
+	// content-addressed tier is used on this device.
+	casBindings map[string]*casBinding
+	casCache    *cas.Cache
 	// missBusy marks VFs whose latched miss is already being serviced, so
 	// duplicate miss interrupts are idempotent (see serviceMisses).
 	missBusy []bool

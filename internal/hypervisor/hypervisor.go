@@ -12,6 +12,7 @@ package hypervisor
 import (
 	"fmt"
 
+	"nesc/internal/cas"
 	"nesc/internal/core"
 	"nesc/internal/extent"
 	"nesc/internal/extfs"
@@ -143,6 +144,16 @@ type Hypervisor struct {
 
 	// inj optionally perturbs the miss-service path (fault.MissHandler site).
 	inj *fault.Injector
+
+	// cas is the fleet-shared content-addressed store (EnableCAS); nil keeps
+	// the tier off. casCacheChunks sizes each device's local chunk cache.
+	cas            *cas.Store
+	casCacheChunks int
+	// CASMaterializations counts chunks written into backing files by the
+	// MissReasonFetch service path; CASFetchMisses counts the serviced fetch
+	// misses themselves.
+	CASMaterializations int64
+	CASFetchMisses      int64
 
 	// MissInterrupts counts serviced NeSC miss interrupts.
 	MissInterrupts int64

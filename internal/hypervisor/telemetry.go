@@ -1,6 +1,7 @@
 package hypervisor
 
 import (
+	"nesc/internal/cas"
 	"nesc/internal/guest"
 	"nesc/internal/metrics"
 	"nesc/internal/pcie"
@@ -37,6 +38,8 @@ func (h *Hypervisor) RegisterMetrics(reg *metrics.Registry) {
 		{"nesc_scrub_blocks_total", "blocks verified by the scrubber", &h.ScrubBlocks},
 		{"nesc_scrub_errors_total", "scrub requests completed non-OK", &h.ScrubErrors},
 		{"nesc_scrub_repairs_total", "device repairs observed during scrub passes", &h.ScrubRepairs},
+		{"nesc_cas_fetch_misses_total", "translation misses raised for chunk materialization", &h.CASFetchMisses},
+		{"nesc_cas_materializations_total", "forked blocks materialized into backing files", &h.CASMaterializations},
 	}
 	for _, ct := range counters {
 		v := ct.v
@@ -113,6 +116,35 @@ func (h *Hypervisor) RegisterMetrics(reg *metrics.Registry) {
 	for _, fg := range fabricG {
 		get := fg.get
 		reg.GaugeFunc(fg.name, fg.help, no, func() float64 { return float64(get(h.FabricStatsNow())) })
+	}
+	// Content-addressed tier totals: store counters are fleet-global, cache
+	// counters aggregate the per-device chunk caches. Everything registers
+	// unconditionally — the closures are nil-safe and read zero while the
+	// tier is disabled — so dashboards keep a stable family set.
+	casG := []struct {
+		name, help string
+		get        func(cas.Stats, cas.CacheStats) float64
+	}{
+		{"nesc_cas_seals_total", "images content-addressed into the chunk store", func(s cas.Stats, _ cas.CacheStats) float64 { return float64(s.Seals) }},
+		{"nesc_cas_forks_total", "metadata-only image forks taken", func(s cas.Stats, _ cas.CacheStats) float64 { return float64(s.Forks) }},
+		{"nesc_cas_releases_total", "manifests released from the store", func(s cas.Stats, _ cas.CacheStats) float64 { return float64(s.Releases) }},
+		{"nesc_cas_dedup_hits_total", "sealed blocks deduplicated against existing chunks", func(s cas.Stats, _ cas.CacheStats) float64 { return float64(s.DedupHits) }},
+		{"nesc_cas_chunks_live", "unique chunks currently referenced", func(s cas.Stats, _ cas.CacheStats) float64 { return float64(s.ChunksLive) }},
+		{"nesc_cas_blocks_logical", "logical blocks across all live manifests", func(s cas.Stats, _ cas.CacheStats) float64 { return float64(s.BlocksLogical) }},
+		{"nesc_cas_remote_fetches_total", "chunk GETs issued to the remote tier", func(s cas.Stats, _ cas.CacheStats) float64 { return float64(s.RemoteFetches) }},
+		{"nesc_cas_remote_puts_total", "batched PUT round trips to the remote tier", func(s cas.Stats, _ cas.CacheStats) float64 { return float64(s.RemotePuts) }},
+		{"nesc_cas_remote_retries_total", "remote round trips retried after transient faults", func(s cas.Stats, _ cas.CacheStats) float64 { return float64(s.RemoteRetries) }},
+		{"nesc_cas_remote_fetch_ns", "virtual time spent in remote chunk fetches", func(s cas.Stats, _ cas.CacheStats) float64 { return float64(s.RemoteFetchTime) }},
+		{"nesc_cas_fetch_fails_total", "chunk fetches that exhausted the retry ladder", func(s cas.Stats, _ cas.CacheStats) float64 { return float64(s.FetchFails) }},
+		{"nesc_cas_hash_mismatches_total", "fetched payloads rejected by content verification", func(s cas.Stats, _ cas.CacheStats) float64 { return float64(s.HashMismatches) }},
+		{"nesc_cas_cache_hits_total", "chunk-cache hits across the fleet", func(_ cas.Stats, c cas.CacheStats) float64 { return float64(c.Hits) }},
+		{"nesc_cas_cache_misses_total", "chunk-cache misses across the fleet", func(_ cas.Stats, c cas.CacheStats) float64 { return float64(c.Misses) }},
+		{"nesc_cas_cache_evictions_total", "chunks evicted from the per-device caches", func(_ cas.Stats, c cas.CacheStats) float64 { return float64(c.Evictions) }},
+		{"nesc_cas_cache_resident", "chunks currently resident across the per-device caches", func(_ cas.Stats, c cas.CacheStats) float64 { return float64(c.Resident) }},
+	}
+	for _, cg := range casG {
+		get := cg.get
+		reg.GaugeFunc(cg.name, cg.help, no, func() float64 { return get(h.cas.Stats(), h.CASCacheStatsNow()) })
 	}
 }
 

@@ -59,6 +59,7 @@ func (d *Device) CreateVF(p *sim.Proc, path string, uid uint32) (int, error) {
 	st.shared = sh
 	st.identity = false
 	d.programVF(p, idx, sh.tree.Root(), sizeBlocks)
+	d.programCASFetch(p, idx, path)
 	return idx, nil
 }
 
@@ -225,6 +226,7 @@ func (d *Device) serviceMisses(p *sim.Proc) {
 // services every latched bit in it.
 func (d *Device) serviceMissBank(p *sim.Proc, bank int, reg int64) {
 	pending := d.h.mmioR(p, reg)
+	serviced := false
 	for bit := 0; bit < 64 && pending != 0; bit++ {
 		idx := bank*64 + bit
 		if idx >= d.Ctl.P.NumVFs {
@@ -244,6 +246,19 @@ func (d *Device) serviceMissBank(p *sim.Proc, bank int, reg int64) {
 			// second, stale rewalk verdict onto whatever miss latches next.
 			continue
 		}
+		if serviced && d.vfFetchBacked(idx) {
+			// Every service earlier in this sweep slept, so the bank snapshot
+			// is stale: a concurrent handler may have serviced this bit long
+			// ago. For ordinary VFs a duplicate service is an idempotent
+			// re-allocation, but on a fetch-backed VF it would re-materialize
+			// chunks the guest may have overwritten since — so spend one
+			// register read to confirm the miss is still latched. Gating on
+			// fetch-backed keeps the cas-free MMIO schedule bit-identical.
+			pending = d.h.mmioR(p, reg)
+			if pending&(1<<uint(bit)) == 0 {
+				continue
+			}
+		}
 		d.missBusy[idx] = true
 		if d.lockVF(p, idx) {
 			// A management operation (FLR, snapshot, migration) ran while we
@@ -262,15 +277,26 @@ func (d *Device) serviceMissBank(p *sim.Proc, bank int, reg int64) {
 		d.serviceMiss(p, idx)
 		d.unlockVF(idx)
 		d.missBusy[idx] = false
+		serviced = true
 	}
 }
 
+// vfFetchBacked reports whether VF idx currently exports a cas-fork image
+// (holes are unmaterialized content, so duplicate miss services are
+// destructive there). Timeless host-side lookup.
+func (d *Device) vfFetchBacked(idx int) bool {
+	st := d.vfAt(idx)
+	return st != nil && st.inUse && d.casBindings[st.path] != nil
+}
+
 // serviceMiss handles one VF's latched miss end to end and always releases
-// the stalled walk with exactly one rewalk verdict. Two reasons reach here:
-// MissReasonTranslate (a hole — extend the file, the lazy-allocation path)
-// and MissReasonCoW (a write hit a write-protected extent — break the
-// snapshot sharing for the faulting blocks). Both end with a tree rebuild
-// and a retry, so the device re-walks and finds a writable mapping.
+// the stalled walk with exactly one rewalk verdict. Three reasons reach
+// here: MissReasonTranslate (a hole — extend the file, the lazy-allocation
+// path), MissReasonCoW (a write hit a write-protected extent — break the
+// snapshot sharing for the faulting blocks), and MissReasonFetch (a hole on
+// a fetch-backed VF — materialize the blocks' content from the cas tier).
+// All end with a tree rebuild and a retry, so the device re-walks and finds
+// a writable mapping.
 func (d *Device) serviceMiss(p *sim.Proc, idx int) {
 	h := d.h
 	h.MissInterrupts++
@@ -295,15 +321,33 @@ func (d *Device) serviceMiss(p *sim.Proc, idx int) {
 		return
 	}
 	cow := reason == core.MissReasonCoW
+	fetch := reason == core.MissReasonFetch
 	start := p.Now()
-	if cow {
+	switch {
+	case fetch:
+		// A hole on a fetch-backed VF: the blocks' content lives in the cas
+		// tier. The extra register read (is the stalled op a read or a write?)
+		// only labels attribution rows; it happens unconditionally so the
+		// fetch path's schedule is identical with attribution on or off.
+		op := "read"
+		if h.mmioR(p, mgmt+core.MgmtMissIsWrite) != 0 {
+			op = "write"
+		}
+		h.CASFetchMisses++
+		if err := d.materializeRange(p, idx, st, missAddr, missSize, op); err != nil {
+			h.mmioW(p, mgmt+core.MgmtRewalk, core.RewalkFail)
+			return
+		}
+	case cow:
 		if err := d.HostFS.BreakRange(p, st.path, missAddr, missSize); err != nil {
 			h.mmioW(p, mgmt+core.MgmtRewalk, core.RewalkFail)
 			return
 		}
-	} else if err := d.HostFS.AllocateRange(p, st.path, missAddr, missSize); err != nil {
-		h.mmioW(p, mgmt+core.MgmtRewalk, core.RewalkFail)
-		return
+	default:
+		if err := d.HostFS.AllocateRange(p, st.path, missAddr, missSize); err != nil {
+			h.mmioW(p, mgmt+core.MgmtRewalk, core.RewalkFail)
+			return
+		}
 	}
 	runs, _, err := d.HostFS.Runs(p, st.path)
 	if err != nil {
@@ -326,6 +370,11 @@ func (d *Device) serviceMiss(p *sim.Proc, idx int) {
 		if h.cowBreakHist != nil {
 			h.cowBreakHist.Observe(int64(p.Now() - start))
 		}
+	}
+	if fetch {
+		// Materialization rewrote the range's mappings; drop any translation
+		// the device cached for it before releasing the walk.
+		d.invalidateVFRange(p, idx, missAddr, missSize)
 	}
 	h.mmioW(p, mgmt+core.MgmtRewalk, core.RewalkRetry)
 }

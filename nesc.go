@@ -171,6 +171,20 @@ type Config struct {
 	// request errors — cross-linked by request id to flight-recorder dumps.
 	// Inspect with Anomalies, ScoreboardDump, or the nescctl -top snapshot.
 	ScoreboardEvents int
+
+	// CAS enables the content-addressed block tier: SealImage hashes an
+	// image's blocks into a fleet-shared refcounted chunk store (a simulated
+	// remote object tier with its own latency/bandwidth cost model and fault
+	// sites), deduplicating against everything already sealed; ForkImage /
+	// ForkImageOn clone a sealed image onto any fleet host as a metadata-only
+	// copy whose chunks materialize lazily — on first guest touch — through
+	// the device's translation-miss path, served from a per-device LRU chunk
+	// cache or the remote tier. Off (the default), the platform is
+	// byte-identical to pre-cas builds.
+	CAS bool
+	// CASCacheChunks sizes each device's local chunk cache in chunks
+	// (default 64; requires CAS).
+	CASCacheChunks int
 }
 
 // SLOObjective declares one tenant's service-level objective. Zero fields
@@ -253,6 +267,10 @@ const (
 	FaultMediumCorruptRead  = fault.MediumCorruptRead  // read returns flipped bytes (transient)
 	FaultMediumCorruptWrite = fault.MediumCorruptWrite // write latches its sector corrupt
 	FaultDMACorrupt         = fault.DMACorrupt         // payload flipped on the DMA path
+
+	// Remote-tier sites of the content-addressed store (Config.CAS).
+	FaultRemoteFetch = fault.RemoteFetch // chunk GETs fail transiently or run late
+	FaultRemoteStore = fault.RemoteStore // chunk PUTs retry (idempotent) or run late
 )
 
 // DefaultConfig returns the calibrated platform.
@@ -303,6 +321,8 @@ func newSimulation(cfg Config, seed *blockdev.Store) *Simulation {
 	bcfg.Hyp.DisablePI = cfg.DisablePI
 	bcfg.Fault = cfg.Fault
 	bcfg.NumDevices = cfg.Devices
+	bcfg.CAS = cfg.CAS
+	bcfg.CASCacheChunks = cfg.CASCacheChunks
 	bcfg.SeedStore = seed
 	bcfg.MountExisting = seed != nil
 	switch cfg.HostJournal {
@@ -787,6 +807,33 @@ type Stats struct {
 	// SharedBlocks is the live count of host data blocks shared between
 	// images (blocks with extra references).
 	SharedBlocks int64
+
+	// Content-addressed tier counters (all zero with Config.CAS off).
+
+	// CASSeals / CASForks / CASReleases count store operations: images
+	// content-addressed, metadata-only clones taken, and images released.
+	CASSeals, CASForks, CASReleases int64
+	// CASDedupHits counts sealed blocks that matched an already-stored
+	// chunk; CASChunksLive / CASBlocksLogical are the live population the
+	// dedup ratio is computed from (logical blocks referenced vs unique
+	// chunks stored).
+	CASDedupHits, CASChunksLive, CASBlocksLogical int64
+	// CASFetchMisses counts serviced fetch misses (first guest touches of
+	// unmaterialized forked blocks); CASMaterializations counts the chunks
+	// written into backing files by those services.
+	CASFetchMisses, CASMaterializations int64
+	// CASRemoteFetches / CASRemotePuts count remote-tier round trips;
+	// CASRemoteRetries counts transient-fault retries across both;
+	// CASRemoteFetchTime is the total virtual time spent waiting on GETs.
+	CASRemoteFetches, CASRemotePuts, CASRemoteRetries int64
+	CASRemoteFetchTime                                time.Duration
+	// CASFetchFails counts fetches that exhausted the retry ladder;
+	// CASHashMismatches counts payloads rejected by content verification
+	// (the integrity ladder — corrupt chunks are never served).
+	CASFetchFails, CASHashMismatches int64
+	// CASCacheHits / CASCacheMisses / CASCacheEvictions / CASCacheResident
+	// aggregate the per-device chunk caches.
+	CASCacheHits, CASCacheMisses, CASCacheEvictions, CASCacheResident int64
 }
 
 // Stats snapshots the platform counters.
@@ -801,6 +848,8 @@ func (s *Simulation) Stats() Stats {
 		degradedOps, degradedTime = inj.DegradedOps, time.Duration(inj.DegradedTime)
 	}
 	fab := s.pl.Hyp.FabricStatsNow()
+	cst := s.pl.Hyp.CAS().Stats()
+	ccs := s.pl.Hyp.CASCacheStatsNow()
 	return Stats{
 		BTLBHitRate:      ctl.BTLBStats.Rate(),
 		BTLBHits:         ctl.BTLBStats.Hits,
@@ -867,6 +916,25 @@ func (s *Simulation) Stats() Stats {
 		CowBreaks:         s.pl.Hyp.CowBreaks,
 		BTLBInvalidations: ctl.BTLBInvalidations,
 		SharedBlocks:      s.pl.Hyp.HostFS.SharedBlocks(),
+
+		CASSeals:            cst.Seals,
+		CASForks:            cst.Forks,
+		CASReleases:         cst.Releases,
+		CASDedupHits:        cst.DedupHits,
+		CASChunksLive:       cst.ChunksLive,
+		CASBlocksLogical:    cst.BlocksLogical,
+		CASFetchMisses:      s.pl.Hyp.CASFetchMisses,
+		CASMaterializations: s.pl.Hyp.CASMaterializations,
+		CASRemoteFetches:    cst.RemoteFetches,
+		CASRemotePuts:       cst.RemotePuts,
+		CASRemoteRetries:    cst.RemoteRetries,
+		CASRemoteFetchTime:  time.Duration(cst.RemoteFetchTime),
+		CASFetchFails:       cst.FetchFails,
+		CASHashMismatches:   cst.HashMismatches,
+		CASCacheHits:        ccs.Hits,
+		CASCacheMisses:      ccs.Misses,
+		CASCacheEvictions:   ccs.Evictions,
+		CASCacheResident:    ccs.Resident,
 	}
 }
 
